@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels behind every
+// experiment: GEMM, im2col convolution, BatchNorm, channel gather, and the
+// OP-TEE-style invoke round-trip. These are the numbers to watch when
+// porting the runtime to a real device.
+
+#include <benchmark/benchmark.h>
+
+#include "core/two_branch.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "tee/optee_api.h"
+#include "tensor/gemm.h"
+
+namespace {
+
+using namespace tbnet;
+
+void BM_GemmNN(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gemm_nn(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  Rng rng(2);
+  nn::Conv2d conv(c, c, {.kernel = 3, .stride = 1, .pad = 1, .bias = false},
+                  rng);
+  Tensor x = Tensor::randn(Shape{1, c, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.macs(x.shape()));
+}
+BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  Rng rng(3);
+  nn::Conv2d conv(c, c, {.kernel = 3, .stride = 1, .pad = 1, .bias = false},
+                  rng);
+  Tensor x = Tensor::randn(Shape{1, c, 32, 32}, rng);
+  Tensor y = conv.forward(x, true);
+  Tensor g = Tensor::randn(y.shape(), rng);
+  for (auto _ : state) {
+    conv.zero_grad();
+    Tensor dx = conv.backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(16)->Arg(32);
+
+void BM_BatchNormForwardTrain(benchmark::State& state) {
+  Rng rng(4);
+  nn::BatchNorm2d bn(64);
+  Tensor x = Tensor::randn(Shape{8, 64, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = bn.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() * x.numel() * 4);
+}
+BENCHMARK(BM_BatchNormForwardTrain);
+
+void BM_GatherChannels(benchmark::State& state) {
+  Rng rng(5);
+  Tensor x = Tensor::randn(Shape{1, 128, 16, 16}, rng);
+  std::vector<int64_t> map;
+  for (int64_t i = 0; i < 128; i += 2) map.push_back(i);
+  for (auto _ : state) {
+    Tensor y = core::gather_channels(x, map);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_GatherChannels);
+
+class NoopTA : public tee::TrustedApp {
+ public:
+  uint32_t invoke(uint32_t, const std::vector<uint8_t>&,
+                  std::vector<uint8_t>& out, tee::TaContext&) override {
+    out = {0};
+    return tee::kTeeSuccess;
+  }
+};
+
+void BM_TeeInvokeRoundTrip(benchmark::State& state) {
+  tee::SecureWorld world;
+  world.install("noop", std::make_unique<NoopTA>());
+  tee::TeeContext ctx(world);
+  tee::TeeSession session = ctx.open_session("noop");
+  std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)), 42);
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    session.invoke(1, payload, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TeeInvokeRoundTrip)->Arg(1024)->Arg(64 * 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Table 1 — "The performance of TBNet and its protection against direct
+// model usage": victim accuracy, TBNet (fused) accuracy, attacker
+// direct-use accuracy of the extracted M_R, and the security gap, for
+// {VGG18, ResNet20} x {CIFAR10, CIFAR100}.
+//
+// Expected shape (paper, absolute numbers are testbed-specific):
+//   * TBNet accuracy ~= victim accuracy (small security-performance cost),
+//   * attacker accuracy far below TBNet (>= 20% gap),
+//   * the gap is most extreme for ResNet (M_R lacks the skip connections,
+//     so the extracted plain chain is close to useless: 10-20%).
+
+#include <cstdio>
+
+#include "attack/attacks.h"
+#include "common.h"
+
+namespace {
+
+struct PaperRow {
+  double victim, tbnet, attack;
+};
+
+}  // namespace
+
+int main() {
+  using namespace tbnet;
+  const bool paper_scale = bench::paper_scale_requested();
+  bench::print_header(
+      "Table 1: TBNet accuracy vs. attacker direct-use accuracy");
+  std::printf(
+      "Workloads are synthetic CIFAR-shaped datasets (see DESIGN.md); compare"
+      " trends,\nnot absolute numbers. Paper values shown for reference.\n\n");
+
+  const bench::Setup setups[] = {
+      bench::vgg18_cifar10(paper_scale),
+      bench::resnet20_cifar10(paper_scale),
+      bench::vgg18_cifar100(paper_scale),
+      bench::resnet20_cifar100(paper_scale),
+  };
+  const PaperRow paper[] = {
+      {91.29, 90.72, 69.80},  // VGG18 / CIFAR10
+      {92.27, 91.68, 10.00},  // ResNet20 / CIFAR10
+      {67.41, 68.37, 42.64},  // VGG18 / CIFAR100
+      {71.03, 69.49, 20.29},  // ResNet20 / CIFAR100
+  };
+
+  std::printf("%-22s | %9s %9s %9s %9s | paper (V/T/A)\n", "Model / Dataset",
+              "Victim", "TBNet", "Attack", "Gap");
+  std::printf("%s\n", std::string(96, '-').c_str());
+  bool all_gaps_positive = true;
+  for (size_t i = 0; i < 4; ++i) {
+    const bench::Artifacts a = bench::get_or_build(setups[i]);
+    const auto test = bench::test_set(setups[i]);
+    // Tab. 1's Attack Acc. = direct use of the extracted M_R.
+    core::TwoBranchModel model = a.model.clone();
+    const double attack = attack::direct_use_accuracy(model, test);
+    const double gap = a.report.final_acc - attack;
+    all_gaps_positive &= gap > 0.0;
+    std::printf("%-22s | %9s %9s %9s %9s | %.2f/%.2f/%.2f\n",
+                setups[i].label.c_str(), bench::pct(a.victim_acc).c_str(),
+                bench::pct(a.report.final_acc).c_str(),
+                bench::pct(attack).c_str(), bench::pct(gap).c_str(),
+                paper[i].victim, paper[i].tbnet, paper[i].attack);
+  }
+  std::printf("\nShape check: security gap positive in every row: %s\n",
+              all_gaps_positive ? "yes" : "NO (investigate)");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Table 3 — inference latency (seconds) on the simulated Raspberry Pi 3B /
+// OP-TEE device: the full victim executed inside the TEE (baseline) vs.
+// TBNet's split execution (M_R in the REE, pruned M_T in the TEE, one-way
+// per-stage transfers, pipelined across the two cores).
+//
+// Paper (CIFAR10): VGG18 2.3983s -> 1.9589s (1.22x), ResNet20 3.7425s ->
+// 3.2667s (1.15x). Absolute seconds depend on the device profile; the
+// reduction factor is the reproducible shape.
+//
+// A wall-clock cross-check runs the real layer kernels on this host for both
+// schedules' TEE-side work to confirm the analytic MAC ratios are sane.
+
+#include <chrono>
+#include <cstdio>
+
+#include "common.h"
+#include "runtime/measurements.h"
+#include "tee/cost_model.h"
+
+namespace {
+
+double host_seconds_for(tbnet::nn::Layer& model, const tbnet::Tensor& input,
+                        int reps) {
+  using clock = std::chrono::steady_clock;
+  model.forward(input, false);  // warm-up
+  const auto t0 = clock::now();
+  for (int i = 0; i < reps; ++i) model.forward(input, false);
+  const auto t1 = clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() / reps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tbnet;
+  const bool paper_scale = bench::paper_scale_requested();
+  bench::print_header(
+      "Table 3: inference latency, full-victim-in-TEE vs. TBNet (CIFAR10)");
+  const tee::CostModel cm(tee::DeviceProfile::rpi3());
+  std::printf("Device profile: %s\n", cm.profile().name.c_str());
+  std::printf("  REE %.0f MMAC/s, TEE %.0f MMAC/s, switch %.0f us, channel %.1f GB/s\n\n",
+              cm.profile().ree_macs_per_s / 1e6,
+              cm.profile().tee_macs_per_s / 1e6,
+              cm.profile().world_switch_s * 1e6,
+              cm.profile().channel_bytes_per_s / 1e9);
+
+  const bench::Setup setups[] = {
+      bench::vgg18_cifar10(paper_scale),
+      bench::resnet20_cifar10(paper_scale),
+  };
+  const double paper_base[] = {2.3983, 3.7425};
+  const double paper_tbnet[] = {1.9589, 3.2667};
+
+  std::printf("%-22s | %12s %12s %10s | paper: base/TBNet (red.)\n", "Model",
+              "Baseline (s)", "TBNet (s)", "Reduction");
+  std::printf("%s\n", std::string(98, '-').c_str());
+  for (size_t i = 0; i < 2; ++i) {
+    bench::Artifacts a = bench::get_or_build(setups[i]);
+    const Shape img{3, 32, 32};
+    const auto vfp = runtime::measure_victim(a.victim, img);
+    const auto tfp = runtime::measure_two_branch(a.model, img);
+    const double baseline =
+        simulate_full_tee(cm, vfp.stage_macs, vfp.input_bytes).makespan_s;
+    const double split = simulate_two_branch(cm, tfp.stages).makespan_s;
+    std::printf("%-22s | %12.4f %12.4f %9.2fx | %.4f/%.4f (%.2fx)\n",
+                setups[i].label.c_str(), baseline, split, baseline / split,
+                paper_base[i], paper_tbnet[i], paper_base[i] / paper_tbnet[i]);
+  }
+
+  // Host wall-clock cross-check: run the actual TEE-side computation
+  // (victim vs. secure branch) with the real kernels.
+  std::printf("\nHost wall-clock cross-check (real kernels, batch 1):\n");
+  for (size_t i = 0; i < 2; ++i) {
+    bench::Artifacts a = bench::get_or_build(setups[i], /*verbose=*/false);
+    Rng rng(3);
+    Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+    const double victim_s = host_seconds_for(a.victim, x, 5);
+    // Secure branch alone (its compute is what occupies the TEE core).
+    double secure_s = 0.0;
+    {
+      Tensor fused = x;
+      using clock = std::chrono::steady_clock;
+      const auto t0 = clock::now();
+      for (int rep = 0; rep < 5; ++rep) {
+        Tensor f = x;
+        for (int s = 0; s < a.model.num_stages(); ++s) {
+          f = a.model.stage(s).secure->forward(f, false);
+        }
+      }
+      secure_s = std::chrono::duration<double>(clock::now() - t0).count() / 5;
+    }
+    std::printf("  %-20s victim %.4f s, pruned M_T %.4f s (ratio %.2fx)\n",
+                setups[i].label.c_str(), victim_s, secure_s,
+                victim_s / secure_s);
+  }
+  std::printf(
+      "\nShape check: reduction factors in the paper's 1.1-1.3x band come\n"
+      "from pruned TEE work + pipelined REE execution, not absolute speed.\n");
+  return 0;
+}

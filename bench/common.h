@@ -1,0 +1,78 @@
+#pragma once
+// Shared infrastructure for the experiment harnesses (one binary per paper
+// table/figure, see DESIGN.md §4).
+//
+// Every experiment starts from the same four trained pipelines
+// ({VGG18, ResNet20} x {CIFAR10-like, CIFAR100-like}); building one involves
+// real training, so finished artifacts (victim + finalized two-branch model
+// + headline numbers) are cached on disk under ./tbnet_bench_cache/ and
+// shared across bench binaries. Delete the directory to retrain.
+//
+// Scale note: the default configurations are CPU-sized (width-multiplied
+// models, synthetic data, few epochs) so the full bench suite runs in
+// minutes. Set TBNET_BENCH_SCALE=paper to train substantially larger
+// configurations (slower, closer to the paper's operating point).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/two_branch.h"
+#include "data/synthetic_cifar.h"
+#include "models/model_zoo.h"
+#include "models/trainer.h"
+#include "nn/sequential.h"
+
+namespace tbnet::bench {
+
+/// Full description of one experiment pipeline.
+struct Setup {
+  std::string label;          ///< e.g. "VGG18 / CIFAR10"
+  std::string dataset_label;  ///< "CIFAR10" or "CIFAR100"
+  models::ModelConfig model;
+  int64_t classes = 10;
+  int64_t train_size = 400;
+  int64_t test_size = 200;
+  double difficulty = 0.55;
+  uint64_t data_seed = 77;
+  models::TrainConfig victim_train;
+  core::PipelineConfig pipeline;
+
+  /// Cache key: stable digest of everything that affects the artifacts.
+  std::string key() const;
+};
+
+/// The four paper configurations (scaled). `scale_up` uses larger models and
+/// more training (TBNET_BENCH_SCALE=paper).
+Setup vgg18_cifar10(bool scale_up = false);
+Setup vgg18_cifar100(bool scale_up = false);
+Setup resnet20_cifar10(bool scale_up = false);
+Setup resnet20_cifar100(bool scale_up = false);
+bool paper_scale_requested();
+
+/// Datasets for a setup (train split 0, test split 1).
+data::SyntheticCifar train_set(const Setup& s);
+data::SyntheticCifar test_set(const Setup& s);
+
+/// Finished experiment artifacts.
+struct Artifacts {
+  nn::Sequential victim;        ///< trained victim model
+  core::TwoBranchModel model;   ///< finalized TBNet (post step 6)
+  double victim_acc = 0.0;
+  core::PipelineReport report;
+};
+
+/// Loads the artifacts from cache or trains them (and caches).
+Artifacts get_or_build(const Setup& s, bool verbose = true);
+
+/// Formatting helpers shared by the harness binaries.
+void print_header(const std::string& title);
+std::string pct(double fraction);
+std::string mib(int64_t bytes);
+
+/// Renders a horizontal ASCII histogram of `values` with `bins` buckets.
+void print_histogram(const std::string& title,
+                     const std::vector<float>& values, int bins = 20);
+
+}  // namespace tbnet::bench

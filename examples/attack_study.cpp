@@ -1,0 +1,97 @@
+// attack_study — the evaluation from the adversary's chair.
+//
+// Builds one protected deployment, then runs the full attacker toolkit
+// against it and against a DarkneTZ-style partition baseline:
+//   * direct use of the lifted M_R,
+//   * fine-tuning the lifted M_R with 1%..100% of the training data,
+//   * the substitute-layer attack (only possible against the partition
+//     baseline, whose TEE inputs/outputs are observable).
+//
+// Run: ./build/examples/attack_study
+
+#include <cstdio>
+#include <string>
+
+#include "attack/attacks.h"
+#include "core/pipeline.h"
+#include "data/synthetic_cifar.h"
+#include "models/model_zoo.h"
+#include "models/trainer.h"
+#include "runtime/deployed.h"
+#include "tee/optee_api.h"
+
+using namespace tbnet;
+
+int main() {
+  auto [train, test] = data::SyntheticCifar::make_split(10, 400, 200, 91);
+
+  models::ModelConfig cfg;
+  cfg.family = models::Family::kVgg;
+  cfg.depth = 11;
+  cfg.classes = 10;
+  cfg.width_mult = 0.125;
+  cfg.seed = 9;
+
+  std::printf("== setup: victim + TBNet protection ==\n");
+  nn::Sequential victim = models::build_victim(cfg);
+  models::TrainConfig vt;
+  vt.epochs = 6;
+  vt.batch_size = 64;
+  vt.lr = 0.1;
+  vt.augment = false;
+  models::train_classifier(victim, train, test, vt);
+  const double victim_acc = models::evaluate(victim, test);
+
+  core::TwoBranchModel model = models::build_two_branch(victim, cfg);
+  core::PipelineConfig pc;
+  pc.transfer.epochs = 6;
+  pc.transfer.augment = false;
+  pc.prune.max_iterations = 3;
+  pc.prune.acc_drop_budget = 0.06;
+  pc.prune.finetune.epochs = 1;
+  pc.prune.finetune.augment = false;
+  pc.recovery.epochs = 2;
+  pc.recovery.augment = false;
+  const auto report = core::TbnetPipeline(pc).run(
+      model, models::prune_points(cfg), train, test);
+  std::printf("victim %.2f%% | TBNet %.2f%%\n\n", 100 * victim_acc,
+              100 * report.final_acc);
+
+  std::printf("== attack 1: direct use of the lifted M_R ==\n");
+  const double direct = attack::direct_use_accuracy(model, test);
+  std::printf("stolen accuracy: %.2f%% (gap to TBNet: %.2f%%)\n\n",
+              100 * direct, 100 * (report.final_acc - direct));
+
+  std::printf("== attack 2: fine-tuning M_R with partial training data ==\n");
+  attack::FineTuneConfig ft;
+  ft.train.epochs = 4;
+  ft.train.batch_size = 64;
+  ft.train.lr = 0.02;
+  ft.train.augment = false;
+  for (const auto& r : attack::fine_tune_sweep(
+           model, train, test, {0.01, 0.25, 1.0}, ft)) {
+    std::printf("  %3.0f%% of data -> %.2f%%%s\n", 100 * r.fraction,
+                100 * r.accuracy,
+                r.accuracy < report.final_acc ? "  (< TBNet)" : "  (!!)");
+  }
+
+  std::printf("\n== attack 3: substitute layers vs. a partition baseline ==\n");
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  runtime::PartitionDeployment partition(victim, victim.size() - 2, ctx);
+  attack::SubstituteConfig sc;
+  sc.query_budget = 200;
+  sc.train.epochs = 10;
+  sc.train.batch_size = 64;
+  sc.train.lr = 0.02;
+  sc.train.augment = false;
+  const auto sub =
+      attack::substitute_layer_attack(partition, victim, train, test, sc);
+  std::printf("partition baseline broken: substitute model reaches %.2f%%"
+              " with %d queries (victim %.2f%%)\n",
+              100 * sub.accuracy, sub.queries_used, 100 * victim_acc);
+  std::printf("the same attack cannot target TBNet: the TEE releases no\n"
+              "per-layer outputs, so there are no (input, output) pairs to\n"
+              "regress on — the attacker is stuck with attacks 1 and 2.\n");
+  return 0;
+}

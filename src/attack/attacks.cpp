@@ -1,0 +1,193 @@
+#include "attack/attacks.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/pruner.h"
+
+#include "data/dataloader.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/optimizer.h"
+#include "nn/residual.h"
+#include "tensor/ops.h"
+
+namespace tbnet::attack {
+namespace {
+
+/// Re-randomizes every parameter of a cloned architecture — the attacker
+/// knows the structure but not the hidden weights.
+void reinitialize(nn::Layer& layer, Rng& rng) {
+  if (auto* seq = dynamic_cast<nn::Sequential*>(&layer)) {
+    for (int i = 0; i < seq->size(); ++i) reinitialize(seq->layer(i), rng);
+    return;
+  }
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+    const int64_t fan_in = conv->weight().numel() / conv->out_channels();
+    nn::kaiming_normal(conv->weight(), fan_in, rng);
+    if (conv->has_bias()) conv->bias().zero();
+    return;
+  }
+  if (auto* dense = dynamic_cast<nn::Dense*>(&layer)) {
+    nn::kaiming_normal(dense->weight(), dense->in_features(), rng);
+    if (dense->has_bias()) dense->bias().zero();
+    return;
+  }
+  if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&layer)) {
+    bn->gamma().fill(1.0f);
+    bn->beta().zero();
+    bn->running_mean().zero();
+    bn->running_var().fill(1.0f);
+    return;
+  }
+  if (auto* res = dynamic_cast<nn::ResidualBlock*>(&layer)) {
+    reinitialize(res->conv1(), rng);
+    reinitialize(res->bn1(), rng);
+    reinitialize(res->conv2(), rng);
+    reinitialize(res->bn2(), rng);
+    return;
+  }
+  // Stateless layers (ReLU, pools, Flatten): nothing to do.
+}
+
+}  // namespace
+
+nn::Sequential extract_exposed_model(const core::TwoBranchModel& model) {
+  nn::Sequential stolen;
+  for (int i = 0; i < model.num_stages(); ++i) {
+    stolen.add(model.stage(i).exposed->clone());
+  }
+  return stolen;
+}
+
+double direct_use_accuracy(const core::TwoBranchModel& model,
+                           const data::Dataset& test) {
+  nn::Sequential stolen = extract_exposed_model(model);
+  return models::evaluate(stolen, test);
+}
+
+FineTuneResult fine_tune_attack(const core::TwoBranchModel& model,
+                                const data::Dataset& train,
+                                const data::Dataset& test, double fraction,
+                                const FineTuneConfig& cfg) {
+  nn::Sequential stolen = extract_exposed_model(model);
+  const data::SubsetDataset subset =
+      data::fraction_of(train, fraction, cfg.subset_seed);
+  FineTuneResult result;
+  result.fraction = fraction;
+  if (subset.size() > 0) {
+    result.detail = models::train_classifier(stolen, subset, test, cfg.train);
+  }
+  result.accuracy = models::evaluate(stolen, test);
+  return result;
+}
+
+std::vector<FineTuneResult> fine_tune_sweep(
+    const core::TwoBranchModel& model, const data::Dataset& train,
+    const data::Dataset& test, const std::vector<double>& fractions,
+    const FineTuneConfig& cfg) {
+  std::vector<FineTuneResult> results;
+  results.reserve(fractions.size());
+  for (double f : fractions) {
+    results.push_back(fine_tune_attack(model, train, test, f, cfg));
+  }
+  return results;
+}
+
+SubstituteResult substitute_layer_attack(
+    runtime::PartitionDeployment& deployment, const nn::Sequential& victim,
+    const data::Dataset& attacker_data, const data::Dataset& test,
+    const SubstituteConfig& cfg) {
+  SubstituteResult result;
+  Rng rng(cfg.seed);
+
+  // 1. Build the substitute tail: architecture known, weights random.
+  nn::Sequential substitute_tail;
+  for (int i = deployment.first_tee_stage(); i < victim.size(); ++i) {
+    substitute_tail.add(victim.layer(i).clone());
+  }
+  reinitialize(substitute_tail, rng);
+
+  // 2. Harvest (hidden input, released logits) pairs by querying the device.
+  const int queries = static_cast<int>(
+      std::min<int64_t>(cfg.query_budget, attacker_data.size()));
+  std::vector<Tensor> features, targets;
+  features.reserve(static_cast<size_t>(queries));
+  targets.reserve(static_cast<size_t>(queries));
+  for (int q = 0; q < queries; ++q) {
+    const data::Sample s = attacker_data.get(q);
+    features.push_back(deployment.observable_tee_input(s.image));
+    targets.push_back(deployment.infer(s.image));
+  }
+  result.queries_used = queries;
+  if (queries == 0) return result;
+
+  // 3. Distill: minimize MSE between substitute logits and released logits.
+  nn::SGD sgd(cfg.train.lr, cfg.train.momentum, cfg.train.weight_decay);
+  nn::StepLR schedule(cfg.train.lr, cfg.train.lr_step, cfg.train.lr_gamma);
+  const int64_t bs = std::max<int64_t>(1, cfg.train.batch_size);
+  std::vector<int64_t> order(static_cast<size_t>(queries));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  for (int epoch = 0; epoch < cfg.train.epochs; ++epoch) {
+    sgd.set_lr(schedule.lr_at(epoch));
+    Rng erng(cfg.seed + 31 * static_cast<uint64_t>(epoch + 1));
+    erng.shuffle(order);
+    for (int64_t at = 0; at < queries; at += bs) {
+      const int64_t n = std::min<int64_t>(bs, queries - at);
+      // Stack the batch (features are [1, C, H, W] each).
+      const Shape f0 = features[0].shape();
+      Tensor fb(Shape{n, f0.dim(1), f0.dim(2), f0.dim(3)});
+      const Shape t0 = targets[0].shape();
+      Tensor tb(Shape{n, t0.dim(1)});
+      for (int64_t i = 0; i < n; ++i) {
+        const Tensor& f = features[static_cast<size_t>(order[static_cast<size_t>(at + i)])];
+        const Tensor& t = targets[static_cast<size_t>(order[static_cast<size_t>(at + i)])];
+        std::memcpy(fb.data() + i * f.numel(), f.data(),
+                    static_cast<size_t>(f.numel()) * sizeof(float));
+        std::memcpy(tb.data() + i * t.numel(), t.data(),
+                    static_cast<size_t>(t.numel()) * sizeof(float));
+      }
+      substitute_tail.zero_grad();
+      Tensor pred = substitute_tail.forward(fb, /*train=*/true);
+      // d/dpred of mean squared error.
+      Tensor grad = pred;
+      grad.axpy_(-1.0f, tb);
+      grad.scale_(2.0f / static_cast<float>(pred.numel()));
+      substitute_tail.backward(grad);
+      sgd.step(substitute_tail.params());
+    }
+  }
+
+  // 4. Assemble the stolen model: exact REE head + distilled tail.
+  nn::Sequential stolen;
+  for (int i = 0; i < deployment.first_tee_stage(); ++i) {
+    stolen.add(victim.layer(i).clone());
+  }
+  stolen.add(substitute_tail.clone());
+  result.accuracy = models::evaluate(stolen, test);
+  return result;
+}
+
+ArchInferenceResult infer_tee_architecture(
+    core::TwoBranchModel& model,
+    const std::vector<core::PrunePoint>& points) {
+  ArchInferenceResult result;
+  for (const core::PrunePoint& point : points) {
+    const core::ResolvedPoint rp = core::resolve_point_lenient(model, point);
+    ++result.total_groups;
+    // The attacker reads M_R's width off REE memory and guesses M_T matches.
+    if (rp.bn_exposed->channels() == rp.bn_secure->channels()) {
+      ++result.correct_guesses;
+    }
+  }
+  result.leak_fraction =
+      result.total_groups > 0
+          ? static_cast<double>(result.correct_guesses) / result.total_groups
+          : 0.0;
+  return result;
+}
+
+}  // namespace tbnet::attack

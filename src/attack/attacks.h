@@ -1,0 +1,96 @@
+#pragma once
+// Attacker toolkit — the threat model of paper §2.2 made executable.
+//
+// The attacker can read everything in REE memory: M_R's architecture and
+// weights, plus all REE->TEE transfers (which TBNet makes worthless: they
+// are M_R's own activations). The TEE is a black box. Three attacks:
+//
+//   * DirectUseAttack  — lift M_R and run it as-is (Tab. 1 "Attack Acc.").
+//   * FineTuneAttack   — retrain the lifted M_R with a fraction of the
+//                        training data (Fig. 2).
+//   * SubstituteLayerAttack — against DarkneTZ-style partitioning: observe
+//                        the (plaintext) inputs entering the TEE and the
+//                        outputs it releases, then train substitute layers
+//                        mimicking the hidden part (§2.3). Structurally
+//                        impossible against TBNet's one-way design: the TEE
+//                        releases no per-layer outputs to regress on.
+
+#include <vector>
+
+#include "core/prune_point.h"
+#include "core/two_branch.h"
+#include "data/dataset.h"
+#include "models/trainer.h"
+#include "nn/sequential.h"
+#include "runtime/deployed.h"
+
+namespace tbnet::attack {
+
+/// What the attacker lifts from REE memory: the exposed branch, flattened
+/// into a standalone network (M_R's own head produces its logits).
+nn::Sequential extract_exposed_model(const core::TwoBranchModel& model);
+
+/// Direct use: accuracy of the lifted M_R with no further work.
+double direct_use_accuracy(const core::TwoBranchModel& model,
+                           const data::Dataset& test);
+
+struct FineTuneResult {
+  double fraction = 0.0;       ///< training-data availability
+  double accuracy = 0.0;       ///< attacker's best test accuracy
+  models::TrainResult detail;
+};
+
+struct FineTuneConfig {
+  models::TrainConfig train;    ///< attacker's training recipe
+  uint64_t subset_seed = 1234;  ///< which samples the attacker obtained
+};
+
+/// Fine-tunes a *fresh copy* of the lifted M_R on `fraction` of the training
+/// data (paper Fig. 2's x-axis), reporting the attacker's final accuracy.
+FineTuneResult fine_tune_attack(const core::TwoBranchModel& model,
+                                const data::Dataset& train,
+                                const data::Dataset& test, double fraction,
+                                const FineTuneConfig& cfg);
+
+/// Sweeps data availability; returns one point per fraction.
+std::vector<FineTuneResult> fine_tune_sweep(
+    const core::TwoBranchModel& model, const data::Dataset& train,
+    const data::Dataset& test, const std::vector<double>& fractions,
+    const FineTuneConfig& cfg);
+
+struct SubstituteConfig {
+  int query_budget = 512;       ///< device queries the attacker may issue
+  models::TrainConfig train;    ///< substitute training recipe
+  uint64_t seed = 99;
+};
+
+struct SubstituteResult {
+  double accuracy = 0.0;        ///< stolen model's test accuracy
+  int queries_used = 0;
+};
+
+/// Substitute-layer attack on a DarkneTZ-style partition deployment: the
+/// attacker owns the REE head (read from memory), queries the device to
+/// collect (hidden-layer input, released logits) pairs, and distills
+/// substitute tail layers from them.
+SubstituteResult substitute_layer_attack(
+    runtime::PartitionDeployment& deployment, const nn::Sequential& victim,
+    const data::Dataset& attacker_data, const data::Dataset& test,
+    const SubstituteConfig& cfg);
+
+/// Architecture-inference attack — what rollback finalization (step 6)
+/// defends against. The attacker's best guess for each hidden channel-group
+/// width of M_T is the corresponding width of the visible M_R (before
+/// rollback they are identical by construction of the shared pruning mask).
+struct ArchInferenceResult {
+  int total_groups = 0;
+  int correct_guesses = 0;  ///< groups where width(M_R) == width(M_T)
+  /// Fraction of prunable groups whose hidden width the attacker pins
+  /// exactly; 1.0 means the TEE architecture leaks completely.
+  double leak_fraction = 0.0;
+};
+
+ArchInferenceResult infer_tee_architecture(
+    core::TwoBranchModel& model, const std::vector<core::PrunePoint>& points);
+
+}  // namespace tbnet::attack

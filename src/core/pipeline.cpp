@@ -1,0 +1,45 @@
+#include "core/pipeline.h"
+
+namespace tbnet::core {
+
+PipelineReport TbnetPipeline::run(TwoBranchModel& model,
+                                  const std::vector<PrunePoint>& points,
+                                  const data::Dataset& train,
+                                  const data::Dataset& test) {
+  PipelineReport report;
+  report.secure_bytes_initial = model.secure_param_bytes();
+
+  // Step 2: knowledge transfer.
+  const TransferResult transfer =
+      knowledge_transfer(model, points, train, test, cfg_.transfer);
+  report.transfer_acc = transfer.final_acc;
+
+  // Steps 3-5: iterative two-branch pruning.
+  TwoBranchPruner pruner(cfg_.prune);
+  PruneResult prune = pruner.run(model, points, train, test);
+  report.pruned_acc = prune.final_acc;
+  report.accepted_prune_iterations = prune.accepted_count;
+  report.prune_iterations = prune.iterations;
+
+  // Step 6: rollback finalization.
+  if (cfg_.rollback && prune.any_accepted) {
+    const RollbackReport rb = rollback_finalize(
+        model, std::move(prune.pre_last_accepted), points, prune.last_keep);
+    report.rollback_applied = rb.applied;
+    report.remapped_stages = static_cast<int>(rb.remapped_stages.size());
+    if (cfg_.recovery.epochs > 0) {
+      TransferConfig rec = cfg_.recovery;
+      rec.freeze_exposed = true;  // M_R must stay exactly as rolled back
+      knowledge_transfer(model, points, train, test, rec);
+    }
+  }
+
+  report.final_acc = evaluate_fused(model, test);
+  report.attack_direct_acc = evaluate_exposed_only(model, test);
+  report.arch_divergence = architectural_divergence(model, points);
+  report.secure_bytes_final = model.secure_param_bytes();
+  report.exposed_bytes_final = model.exposed_param_bytes();
+  return report;
+}
+
+}  // namespace tbnet::core

@@ -1,0 +1,73 @@
+#pragma once
+// TbnetPipeline — end-to-end orchestration of the six-step workflow of
+// Fig. 1: two-branch initialization is done by the caller (it needs the model
+// family builders); this class runs steps 2-6 and measures everything the
+// paper's evaluation reports.
+
+#include <vector>
+
+#include "core/knowledge_transfer.h"
+#include "core/prune_point.h"
+#include "core/pruner.h"
+#include "core/rollback.h"
+#include "core/two_branch.h"
+#include "data/dataset.h"
+
+namespace tbnet::core {
+
+struct PipelineConfig {
+  /// Step 2: knowledge transfer (Eq. 1).
+  TransferConfig transfer;
+  /// Steps 3-5: iterative two-branch pruning (Alg. 1).
+  PruneConfig prune;
+  /// Step 6: rollback finalization on/off (off = ablation).
+  bool rollback = true;
+  /// Optional post-rollback recovery fine-tune of M_T with M_R frozen
+  /// (epochs = 0 disables). Keeps M_R bit-identical to the rolled-back state
+  /// the attacker sees while letting M_T re-adapt to the wider REE input.
+  TransferConfig recovery;
+
+  PipelineConfig() {
+    recovery.epochs = 0;
+    recovery.freeze_exposed = true;
+    recovery.lambda = 0.0;  // no sparsity pressure after pruning is done
+  }
+};
+
+struct PipelineReport {
+  // Step 2.
+  double transfer_acc = 0.0;
+  // Steps 3-5.
+  double pruned_acc = 0.0;
+  int accepted_prune_iterations = 0;
+  std::vector<PruneIteration> prune_iterations;
+  // Step 6.
+  bool rollback_applied = false;
+  int remapped_stages = 0;
+  double final_acc = 0.0;  ///< fused accuracy of the deployable model
+
+  // Security metrics.
+  double attack_direct_acc = 0.0;   ///< attacker runs extracted M_R directly
+  int arch_divergence = 0;          ///< stages where arch(M_R) != arch(M_T)
+
+  // Resource metrics (bytes of parameters + BN buffers).
+  int64_t secure_bytes_initial = 0;
+  int64_t secure_bytes_final = 0;
+  int64_t exposed_bytes_final = 0;
+};
+
+class TbnetPipeline {
+ public:
+  explicit TbnetPipeline(PipelineConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Runs steps 2-6 in place on `model` (a freshly initialized two-branch
+  /// substitution from models::build_two_branch).
+  PipelineReport run(TwoBranchModel& model,
+                     const std::vector<PrunePoint>& points,
+                     const data::Dataset& train, const data::Dataset& test);
+
+ private:
+  PipelineConfig cfg_;
+};
+
+}  // namespace tbnet::core

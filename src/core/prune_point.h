@@ -1,0 +1,31 @@
+#pragma once
+// PrunePoint — a structural descriptor of one prunable channel group.
+//
+// The iterative two-branch pruner (Alg. 1) operates on *pairs* of BatchNorm
+// layers, one per branch, whose channels are pruned with a single shared
+// mask. Because pruning snapshots/rollbacks clone whole models, prune points
+// are described structurally (stage index + kind) and resolved against a
+// concrete model instance on demand, never stored as raw pointers.
+
+#include <vector>
+
+namespace tbnet::core {
+
+struct PrunePoint {
+  enum class Kind {
+    /// Prunes a stage's *output* channels — the fusion interface. Shrinks the
+    /// stage's last Conv+BN in both branches plus the consumers in stage+1
+    /// (next Conv's input channels, or the head Dense's input features).
+    /// Used for VGG-style chains.
+    kInterface,
+    /// Prunes channels *internal* to a block pair (conv1-out/bn1/conv2-in),
+    /// leaving the block's external interface intact. Used for residual /
+    /// plain block pairs, where the skip path pins the interface width.
+    kInternal,
+  };
+
+  Kind kind = Kind::kInterface;
+  int stage = 0;
+};
+
+}  // namespace tbnet::core

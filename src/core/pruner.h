@@ -1,0 +1,109 @@
+#pragma once
+// Iterative two-branch pruning (paper §3.4, Alg. 1).
+//
+// Per iteration:
+//   1. extract BN scale weights gamma_R, gamma_T for every prunable channel
+//      group (both branches),
+//   2. form composite weights BN = gamma_R + gamma_T per channel,
+//   3. sort all composite weights globally and threshold at the pruning
+//      ratio p, producing one shared 0/1 mask,
+//   4. physically prune the masked channels from *both* branches
+//      (conv out/in, BN, dense in as required),
+//   5. fine-tune the two-branch model to recover accuracy,
+//   6. accept if the accuracy drop vs. the pre-pruning baseline stays within
+//      theta_drop; otherwise revert to the pre-iteration snapshot and stop.
+//
+// The pruner records the snapshot preceding the last *accepted* iteration
+// and that iteration's keep lists — exactly the state rollback finalization
+// (step 6) needs.
+
+#include <vector>
+
+#include "core/knowledge_transfer.h"
+#include "core/prune_point.h"
+#include "core/two_branch.h"
+#include "data/dataset.h"
+#include "nn/batchnorm.h"
+
+namespace tbnet::core {
+
+struct PruneConfig {
+  double ratio = 0.10;            ///< fraction of total channels per iteration (paper: 10%)
+  double acc_drop_budget = 0.02;  ///< theta_drop, absolute accuracy fraction
+  int max_iterations = 10;
+  int64_t min_channels = 2;       ///< never prune a group below this width
+  TransferConfig finetune;        ///< per-iteration recovery fine-tune
+
+  /// Channel-importance criterion.
+  enum class Criterion {
+    kAbsCompositeSum,  ///< |gamma_R + gamma_T| — the literal Alg. 1 line 4
+    kSumOfAbs,         ///< |gamma_R| + |gamma_T| — ablation variant
+  };
+  Criterion criterion = Criterion::kAbsCompositeSum;
+  int log_every = 0;  ///< 1 = print per-iteration lines
+};
+
+/// One pruning iteration's outcome.
+struct PruneIteration {
+  int index = 0;
+  bool accepted = false;
+  double acc_after_finetune = 0.0;
+  /// Per prune point: indices of the channels kept (relative to the model
+  /// state *before* this iteration).
+  std::vector<std::vector<int64_t>> keep;
+  int64_t secure_param_bytes_after = 0;
+};
+
+struct PruneResult {
+  double baseline_acc = 0.0;  ///< fused accuracy before any pruning
+  double final_acc = 0.0;     ///< fused accuracy of the accepted model
+  std::vector<PruneIteration> iterations;
+  int accepted_count = 0;
+  bool any_accepted = false;
+  /// Snapshot of the model *before* the last accepted iteration — the state
+  /// M_R rolls back to in step 6.
+  TwoBranchModel pre_last_accepted;
+  /// Keep lists of the last accepted iteration (channel alignment maps).
+  std::vector<std::vector<int64_t>> last_keep;
+};
+
+/// The BN pair a prune point resolves to on a concrete model.
+struct ResolvedPoint {
+  nn::BatchNorm2d* bn_exposed = nullptr;
+  nn::BatchNorm2d* bn_secure = nullptr;
+};
+
+/// Locates the paired BNs of `point` in `model` (throws if the model does not
+/// have the expected block structure, or if the branches disagree on width —
+/// which is only legal after rollback finalization).
+ResolvedPoint resolve_point(TwoBranchModel& model, const PrunePoint& point);
+
+/// Same lookup without the equal-width check (for post-rollback inspection,
+/// where arch(M_R) != arch(M_T) is the whole point).
+ResolvedPoint resolve_point_lenient(TwoBranchModel& model,
+                                    const PrunePoint& point);
+
+/// Physically prunes the channels NOT listed in `keep` at `point`, editing
+/// both branches and (for interface points) the consumers in the next stage.
+void apply_channel_keep(TwoBranchModel& model, const PrunePoint& point,
+                        const std::vector<int64_t>& keep);
+
+/// Computes this iteration's keep lists from the composite BN weights
+/// (steps 1-3 of Alg. 1). Exposed for tests and ablations.
+std::vector<std::vector<int64_t>> compute_keep_lists(
+    TwoBranchModel& model, const std::vector<PrunePoint>& points,
+    double ratio, int64_t min_channels, PruneConfig::Criterion criterion);
+
+class TwoBranchPruner {
+ public:
+  explicit TwoBranchPruner(PruneConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Runs Alg. 1 in place on `model`.
+  PruneResult run(TwoBranchModel& model, const std::vector<PrunePoint>& points,
+                  const data::Dataset& train, const data::Dataset& test);
+
+ private:
+  PruneConfig cfg_;
+};
+
+}  // namespace tbnet::core

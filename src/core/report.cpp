@@ -1,0 +1,156 @@
+#include "core/report.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tbnet::core {
+
+void JsonWriter::comma() {
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back() && !pending_key_) out_ += ",";
+    first_in_scope_.back() = false;
+  }
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  pending_key_ = false;
+  out_ += "{";
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (first_in_scope_.empty()) {
+    throw std::logic_error("JsonWriter: end_object without begin");
+  }
+  first_in_scope_.pop_back();
+  out_ += "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& k) {
+  if (!k.empty()) key(k);
+  comma();
+  pending_key_ = false;
+  out_ += "[";
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (first_in_scope_.empty()) {
+    throw std::logic_error("JsonWriter: end_array without begin");
+  }
+  first_in_scope_.pop_back();
+  out_ += "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma();
+  out_ += "\"" + escape(k) + "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  pending_key_ = false;
+  if (std::isfinite(v)) {
+    std::ostringstream os;
+    os << v;
+    out_ += os.str();
+  } else {
+    out_ += "null";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  comma();
+  pending_key_ = false;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  pending_key_ = false;
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  pending_key_ = false;
+  out_ += "\"" + escape(v) + "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& k, double v) {
+  return key(k).value(v);
+}
+JsonWriter& JsonWriter::field(const std::string& k, int64_t v) {
+  return key(k).value(v);
+}
+JsonWriter& JsonWriter::field(const std::string& k, bool v) {
+  return key(k).value(v);
+}
+JsonWriter& JsonWriter::field(const std::string& k, const std::string& v) {
+  return key(k).value(v);
+}
+
+std::string to_json(const PipelineReport& r, const std::string& label) {
+  JsonWriter w;
+  w.begin_object()
+      .field("label", label)
+      .field("transfer_acc", r.transfer_acc)
+      .field("pruned_acc", r.pruned_acc)
+      .field("final_acc", r.final_acc)
+      .field("attack_direct_acc", r.attack_direct_acc)
+      .field("accepted_prune_iterations", r.accepted_prune_iterations)
+      .field("rollback_applied", r.rollback_applied)
+      .field("remapped_stages", r.remapped_stages)
+      .field("arch_divergence", r.arch_divergence)
+      .field("secure_bytes_initial", r.secure_bytes_initial)
+      .field("secure_bytes_final", r.secure_bytes_final)
+      .field("exposed_bytes_final", r.exposed_bytes_final);
+  w.begin_array("prune_iterations");
+  for (const PruneIteration& it : r.prune_iterations) {
+    w.begin_object()
+        .field("index", it.index)
+        .field("accepted", it.accepted)
+        .field("acc_after_finetune", it.acc_after_finetune)
+        .field("secure_param_bytes_after", it.secure_param_bytes_after)
+        .end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_text_file: cannot open " + path);
+  f << text;
+  if (!f) throw std::runtime_error("write_text_file: write failed for " + path);
+}
+
+}  // namespace tbnet::core

@@ -1,0 +1,56 @@
+#pragma once
+// Machine-readable experiment reports.
+//
+// The bench harnesses print human-readable tables AND can dump the same
+// numbers as JSON so downstream tooling (plots, CI regression checks) never
+// scrapes stdout. The writer is a tiny purpose-built emitter — the values
+// involved are flat records of numbers and strings.
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace tbnet::core {
+
+/// Minimal JSON document builder (objects, arrays, numbers, strings, bools).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array(const std::string& key = "");
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(double v);
+  JsonWriter& value(int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& field(const std::string& k, double v);
+  JsonWriter& field(const std::string& k, int64_t v);
+  JsonWriter& field(const std::string& k, int v) {
+    return field(k, static_cast<int64_t>(v));
+  }
+  JsonWriter& field(const std::string& k, bool v);
+  JsonWriter& field(const std::string& k, const std::string& v);
+
+  /// The accumulated document.
+  std::string str() const { return out_; }
+
+ private:
+  void comma();
+  static std::string escape(const std::string& s);
+
+  std::string out_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+/// Serializes a pipeline report (all accuracy/resource fields).
+std::string to_json(const PipelineReport& report, const std::string& label);
+
+/// Writes `json` to `path` (creating parent directories is the caller's
+/// job); throws std::runtime_error on I/O failure.
+void write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace tbnet::core

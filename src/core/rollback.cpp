@@ -1,0 +1,65 @@
+#include "core/rollback.h"
+
+#include <stdexcept>
+
+#include "core/pruner.h"
+
+namespace tbnet::core {
+
+RollbackReport rollback_finalize(
+    TwoBranchModel& model, TwoBranchModel&& pre_last,
+    const std::vector<PrunePoint>& points,
+    const std::vector<std::vector<int64_t>>& last_keep) {
+  RollbackReport report;
+  report.exposed_bytes_before = model.exposed_param_bytes();
+  if (pre_last.num_stages() == 0) return report;  // nothing accepted
+  if (pre_last.num_stages() != model.num_stages()) {
+    throw std::invalid_argument(
+        "rollback_finalize: snapshot stage count mismatch");
+  }
+  if (last_keep.size() != points.size()) {
+    throw std::invalid_argument(
+        "rollback_finalize: keep lists do not match prune points");
+  }
+
+  // M_R <- pre-prune state (architecture + weights).
+  for (int i = 0; i < model.num_stages(); ++i) {
+    model.stage(i).exposed = std::move(pre_last.stage(i).exposed);
+    model.stage(i).channel_map.clear();
+  }
+
+  // Install alignment maps at the interfaces the last iteration narrowed.
+  // (The branches now legitimately disagree on widths — lenient lookup.)
+  for (size_t p = 0; p < points.size(); ++p) {
+    if (points[p].kind != PrunePoint::Kind::kInterface) continue;
+    const std::vector<int64_t>& keep = last_keep[p];
+    const ResolvedPoint rp = resolve_point_lenient(model, points[p]);
+    if (static_cast<int64_t>(keep.size()) != rp.bn_secure->channels()) {
+      throw std::logic_error(
+          "rollback_finalize: keep list width does not match secure branch");
+    }
+    if (static_cast<int64_t>(keep.size()) == rp.bn_exposed->channels()) {
+      continue;  // nothing was pruned at this interface in the last round
+    }
+    model.stage(points[p].stage).channel_map = keep;
+    report.remapped_stages.push_back(points[p].stage);
+  }
+  report.applied = true;
+  report.exposed_bytes_after = model.exposed_param_bytes();
+  return report;
+}
+
+int architectural_divergence(TwoBranchModel& model,
+                             const std::vector<PrunePoint>& points) {
+  int diverged = 0;
+  for (const PrunePoint& pt : points) {
+    const ResolvedPoint rp = resolve_point_lenient(model, pt);
+    if (rp.bn_exposed != nullptr && rp.bn_secure != nullptr &&
+        rp.bn_exposed->channels() > rp.bn_secure->channels()) {
+      ++diverged;
+    }
+  }
+  return diverged;
+}
+
+}  // namespace tbnet::core

@@ -1,0 +1,44 @@
+#pragma once
+// Rollback finalization (paper §3.5, step 6).
+//
+// After iterative pruning both branches share one architecture; since M_R is
+// fully exposed in REE, an attacker could read M_T's architecture off it.
+// Rollback restores M_R (architecture AND weights) to the state preceding
+// the most recent accepted pruning iteration, making arch(M_R) != arch(M_T),
+// and installs per-stage channel maps so the TEE can gather the channels of
+// the incoming (wider) REE feature maps that align with its own retained
+// channels before the element-wise add.
+
+#include <vector>
+
+#include "core/prune_point.h"
+#include "core/two_branch.h"
+
+namespace tbnet::core {
+
+struct RollbackReport {
+  bool applied = false;
+  /// Stages whose fusion now uses a non-identity channel map.
+  std::vector<int> remapped_stages;
+  int64_t exposed_bytes_before = 0;
+  int64_t exposed_bytes_after = 0;
+};
+
+/// Replaces `model`'s exposed branch with `pre_last`'s (consuming it) and
+/// installs the channel maps derived from `last_keep` (the keep lists of the
+/// last accepted pruning iteration, index-aligned with `points`).
+///
+/// Only interface points change the fusion width and therefore produce a
+/// channel map; internal points leave the interface intact.
+RollbackReport rollback_finalize(
+    TwoBranchModel& model, TwoBranchModel&& pre_last,
+    const std::vector<PrunePoint>& points,
+    const std::vector<std::vector<int64_t>>& last_keep);
+
+/// A summary measure of architectural divergence between the branches:
+/// number of stages where the exposed branch carries more channels than the
+/// secure branch (0 means the attacker can read M_T's architecture off M_R).
+int architectural_divergence(TwoBranchModel& model,
+                             const std::vector<PrunePoint>& points);
+
+}  // namespace tbnet::core

@@ -1,0 +1,304 @@
+#include "core/two_branch.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+
+namespace tbnet::core {
+namespace {
+
+/// Splits a rank-2/4 activation shape into [N, C, inner].
+void nchw_view(const Shape& s, int64_t* n, int64_t* c, int64_t* inner) {
+  if (s.ndim() == 4) {
+    *n = s.dim(0);
+    *c = s.dim(1);
+    *inner = s.dim(2) * s.dim(3);
+  } else if (s.ndim() == 2) {
+    *n = s.dim(0);
+    *c = s.dim(1);
+    *inner = 1;
+  } else {
+    throw std::invalid_argument("gather/scatter: expected rank-2 or 4, got " +
+                                s.str());
+  }
+}
+
+}  // namespace
+
+Tensor gather_channels(const Tensor& in, const std::vector<int64_t>& map) {
+  if (map.empty()) return in;
+  int64_t n = 0, c = 0, inner = 0;
+  nchw_view(in.shape(), &n, &c, &inner);
+  std::vector<int64_t> dims = in.shape().dims();
+  dims[1] = static_cast<int64_t>(map.size());
+  Tensor out{Shape(dims)};
+  const int64_t kc = static_cast<int64_t>(map.size());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < kc; ++j) {
+      const int64_t src_c = map[static_cast<size_t>(j)];
+      if (src_c < 0 || src_c >= c) {
+        throw std::out_of_range("gather_channels: map index out of range");
+      }
+      const float* src = in.data() + (i * c + src_c) * inner;
+      float* dst = out.data() + (i * kc + j) * inner;
+      for (int64_t p = 0; p < inner; ++p) dst[p] = src[p];
+    }
+  }
+  return out;
+}
+
+Tensor scatter_channels(const Tensor& grad, const std::vector<int64_t>& map,
+                        const Shape& full_shape) {
+  if (map.empty()) {
+    if (grad.shape() != full_shape) {
+      throw std::invalid_argument("scatter_channels: identity shape mismatch");
+    }
+    return grad;
+  }
+  int64_t n = 0, c = 0, inner = 0;
+  nchw_view(full_shape, &n, &c, &inner);
+  const int64_t kc = static_cast<int64_t>(map.size());
+  Tensor out(full_shape);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < kc; ++j) {
+      const int64_t dst_c = map[static_cast<size_t>(j)];
+      const float* src = grad.data() + (i * kc + j) * inner;
+      float* dst = out.data() + (i * c + dst_c) * inner;
+      for (int64_t p = 0; p < inner; ++p) dst[p] += src[p];
+    }
+  }
+  return out;
+}
+
+TwoBranchModel TwoBranchModel::clone() const {
+  TwoBranchModel copy;
+  for (const FusionStage& s : stages_) {
+    copy.stages_.push_back(FusionStage{s.exposed->clone(), s.secure->clone(),
+                                       s.channel_map, s.fused});
+  }
+  return copy;
+}
+
+void TwoBranchModel::add_stage(std::unique_ptr<nn::Layer> exposed,
+                               std::unique_ptr<nn::Layer> secure) {
+  if (!exposed || !secure) {
+    throw std::invalid_argument("TwoBranchModel::add_stage: null block");
+  }
+  stages_.push_back(
+      FusionStage{std::move(exposed), std::move(secure), {}, true});
+}
+
+Tensor TwoBranchModel::forward(const Tensor& input, bool train,
+                               bool train_exposed) {
+  if (stages_.empty()) throw std::logic_error("TwoBranchModel: no stages");
+  exposed_out_shapes_.clear();
+  Tensor out_r = input;
+  Tensor fused = input;
+  for (FusionStage& s : stages_) {
+    Tensor out_t = s.secure->forward(fused, train);
+    if (s.fused) {
+      out_r = s.exposed->forward(out_r, train && train_exposed);
+      Tensor aligned = gather_channels(out_r, s.channel_map);
+      if (aligned.shape() != out_t.shape()) {
+        throw std::logic_error(
+            "TwoBranchModel: fusion shape mismatch (exposed " +
+            aligned.shape().str() + " vs secure " + out_t.shape().str() + ")");
+      }
+      out_t.add_(aligned);
+      exposed_out_shapes_.push_back(out_r.shape());
+    } else {
+      // Non-fused stage (the classifier head): the exposed block is not
+      // executed — the TBNet output is derived from M_T alone.
+      exposed_out_shapes_.push_back(Shape());
+    }
+    fused = std::move(out_t);
+  }
+  last_mode_ = train ? ForwardMode::kFused : ForwardMode::kNone;
+  last_train_exposed_ = train_exposed;
+  return fused;
+}
+
+Tensor TwoBranchModel::forward_secure_only(const Tensor& input, bool train) {
+  if (stages_.empty()) throw std::logic_error("TwoBranchModel: no stages");
+  Tensor x = input;
+  for (FusionStage& s : stages_) x = s.secure->forward(x, train);
+  last_mode_ = train ? ForwardMode::kSecureOnly : ForwardMode::kNone;
+  return x;
+}
+
+Tensor TwoBranchModel::forward_exposed_only(const Tensor& input, bool train) {
+  if (stages_.empty()) throw std::logic_error("TwoBranchModel: no stages");
+  Tensor x = input;
+  for (FusionStage& s : stages_) x = s.exposed->forward(x, train);
+  last_mode_ = train ? ForwardMode::kExposedOnly : ForwardMode::kNone;
+  return x;
+}
+
+void TwoBranchModel::backward(const Tensor& grad_logits, bool freeze_exposed) {
+  const int n = num_stages();
+  switch (last_mode_) {
+    case ForwardMode::kFused: {
+      if (!last_train_exposed_ && !freeze_exposed) {
+        throw std::logic_error(
+            "TwoBranchModel::backward: exposed branch ran in eval mode; "
+            "call backward(grad, /*freeze_exposed=*/true)");
+      }
+      Tensor g_fused = grad_logits;
+      Tensor g_r_carry;  // grad wrt out_R[i] from exposed block i+1
+      for (int i = n - 1; i >= 0; --i) {
+        FusionStage& s = stages_[static_cast<size_t>(i)];
+        Tensor g_out_t = g_fused;  // fused = out_T (+ gather(out_R) if fused)
+        Tensor g_fused_prev = s.secure->backward(g_out_t);
+        if (!freeze_exposed) {
+          if (s.fused) {
+            Tensor g_out_r =
+                scatter_channels(g_fused, s.channel_map,
+                                 exposed_out_shapes_[static_cast<size_t>(i)]);
+            if (!g_r_carry.empty()) g_out_r.add_(g_r_carry);
+            g_r_carry = s.exposed->backward(g_out_r);
+          } else if (!g_r_carry.empty()) {
+            // Non-fused stages form a suffix (the head); nothing upstream of
+            // them can have produced a carry.
+            throw std::logic_error(
+                "TwoBranchModel: non-fused stage below a fused one");
+          }
+        }
+        g_fused = std::move(g_fused_prev);
+      }
+      break;
+    }
+    case ForwardMode::kSecureOnly: {
+      Tensor g = grad_logits;
+      for (int i = n - 1; i >= 0; --i) {
+        g = stages_[static_cast<size_t>(i)].secure->backward(g);
+      }
+      break;
+    }
+    case ForwardMode::kExposedOnly: {
+      Tensor g = grad_logits;
+      for (int i = n - 1; i >= 0; --i) {
+        g = stages_[static_cast<size_t>(i)].exposed->backward(g);
+      }
+      break;
+    }
+    case ForwardMode::kNone:
+      throw std::logic_error(
+          "TwoBranchModel::backward without a training forward pass");
+  }
+  last_mode_ = ForwardMode::kNone;
+}
+
+namespace {
+
+void append_params(std::vector<nn::ParamRef>& all, nn::Layer& block,
+                   const std::string& prefix) {
+  for (nn::ParamRef p : block.params()) {
+    p.name = prefix + "." + p.name;
+    all.push_back(p);
+  }
+}
+
+}  // namespace
+
+std::vector<nn::ParamRef> TwoBranchModel::params() {
+  std::vector<nn::ParamRef> all = params_exposed();
+  std::vector<nn::ParamRef> sec = params_secure();
+  all.insert(all.end(), sec.begin(), sec.end());
+  return all;
+}
+
+std::vector<nn::ParamRef> TwoBranchModel::params_secure() {
+  std::vector<nn::ParamRef> all;
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    append_params(all, *stages_[i].secure, "stage" + std::to_string(i) + ".T");
+  }
+  return all;
+}
+
+std::vector<nn::ParamRef> TwoBranchModel::params_exposed() {
+  std::vector<nn::ParamRef> all;
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    append_params(all, *stages_[i].exposed, "stage" + std::to_string(i) + ".R");
+  }
+  return all;
+}
+
+void TwoBranchModel::zero_grad() {
+  for (FusionStage& s : stages_) {
+    s.exposed->zero_grad();
+    s.secure->zero_grad();
+  }
+}
+
+int64_t TwoBranchModel::secure_param_bytes() const {
+  int64_t total = 0;
+  for (const FusionStage& s : stages_) total += s.secure->param_bytes();
+  return total;
+}
+
+int64_t TwoBranchModel::exposed_param_bytes() const {
+  int64_t total = 0;
+  for (const FusionStage& s : stages_) total += s.exposed->param_bytes();
+  return total;
+}
+
+void save_two_branch(std::ostream& os, const TwoBranchModel& model) {
+  const int64_t stages = model.num_stages();
+  os.write(reinterpret_cast<const char*>(&stages), sizeof(stages));
+  for (int i = 0; i < stages; ++i) {
+    const FusionStage& s = model.stage(i);
+    const int64_t map_len = static_cast<int64_t>(s.channel_map.size());
+    os.write(reinterpret_cast<const char*>(&map_len), sizeof(map_len));
+    for (int64_t v : s.channel_map) {
+      os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+    const int64_t fused = s.fused ? 1 : 0;
+    os.write(reinterpret_cast<const char*>(&fused), sizeof(fused));
+    nn::save_layer(os, *s.exposed);
+    nn::save_layer(os, *s.secure);
+  }
+}
+
+TwoBranchModel load_two_branch(std::istream& is) {
+  int64_t stages = 0;
+  is.read(reinterpret_cast<char*>(&stages), sizeof(stages));
+  if (!is || stages <= 0 || stages > 4096) {
+    throw std::runtime_error("load_two_branch: corrupt stage count");
+  }
+  TwoBranchModel model;
+  for (int64_t i = 0; i < stages; ++i) {
+    int64_t map_len = 0;
+    is.read(reinterpret_cast<char*>(&map_len), sizeof(map_len));
+    if (!is || map_len < 0 || map_len > (1 << 20)) {
+      throw std::runtime_error("load_two_branch: corrupt channel map");
+    }
+    std::vector<int64_t> map(static_cast<size_t>(map_len));
+    for (int64_t& v : map) {
+      is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    }
+    int64_t fused = 1;
+    is.read(reinterpret_cast<char*>(&fused), sizeof(fused));
+    if (!is) throw std::runtime_error("load_two_branch: truncated stage");
+    auto exposed = nn::load_layer(is);
+    auto secure = nn::load_layer(is);
+    model.add_stage(std::move(exposed), std::move(secure));
+    model.stage(static_cast<int>(i)).channel_map = std::move(map);
+    model.stage(static_cast<int>(i)).fused = (fused != 0);
+  }
+  return model;
+}
+
+int64_t TwoBranchModel::secure_bn_channels() {
+  int64_t total = 0;
+  for (nn::ParamRef& p : params_secure()) {
+    const std::string& n = p.name;
+    if (n.size() >= 5 && n.compare(n.size() - 5, 5, "gamma") == 0) {
+      total += p.value->numel();
+    }
+  }
+  return total;
+}
+
+}  // namespace tbnet::core

@@ -1,0 +1,53 @@
+#include "data/augment.h"
+
+#include <stdexcept>
+
+namespace tbnet::data {
+
+Tensor flip_horizontal(const Tensor& chw) {
+  if (chw.shape().ndim() != 3) {
+    throw std::invalid_argument("flip_horizontal: expected CHW tensor");
+  }
+  const int64_t c = chw.dim(0), h = chw.dim(1), w = chw.dim(2);
+  Tensor out(chw.shape());
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      const float* src = chw.data() + (ch * h + y) * w;
+      float* dst = out.data() + (ch * h + y) * w;
+      for (int64_t x = 0; x < w; ++x) dst[x] = src[w - 1 - x];
+    }
+  }
+  return out;
+}
+
+Tensor random_pad_crop(const Tensor& chw, int64_t pad, Rng& rng) {
+  if (chw.shape().ndim() != 3) {
+    throw std::invalid_argument("random_pad_crop: expected CHW tensor");
+  }
+  if (pad < 0) throw std::invalid_argument("random_pad_crop: pad must be >= 0");
+  if (pad == 0) return chw;
+  const int64_t c = chw.dim(0), h = chw.dim(1), w = chw.dim(2);
+  const int64_t oy = rng.uniform_int(2 * pad + 1) - pad;  // offset in [-pad, pad]
+  const int64_t ox = rng.uniform_int(2 * pad + 1) - pad;
+  Tensor out(chw.shape());
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      const int64_t sy = y + oy;
+      float* dst = out.data() + (ch * h + y) * w;
+      if (sy < 0 || sy >= h) continue;  // stays zero
+      const float* src = chw.data() + (ch * h + sy) * w;
+      for (int64_t x = 0; x < w; ++x) {
+        const int64_t sx = x + ox;
+        dst[x] = (sx >= 0 && sx < w) ? src[sx] : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor augment_standard(const Tensor& chw, Rng& rng) {
+  Tensor out = (rng.uniform() < 0.5) ? flip_horizontal(chw) : chw;
+  return random_pad_crop(out, 4, rng);
+}
+
+}  // namespace tbnet::data

@@ -1,0 +1,19 @@
+#pragma once
+// Training-time image augmentation (CHW tensors).
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace tbnet::data {
+
+/// Mirrors the image horizontally (W axis).
+Tensor flip_horizontal(const Tensor& chw);
+
+/// Zero-pads by `pad` on every side and crops a random window back to the
+/// original size — the standard CIFAR recipe.
+Tensor random_pad_crop(const Tensor& chw, int64_t pad, Rng& rng);
+
+/// Applies the standard recipe: 50% horizontal flip + pad-4 random crop.
+Tensor augment_standard(const Tensor& chw, Rng& rng);
+
+}  // namespace tbnet::data

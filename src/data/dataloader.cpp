@@ -1,0 +1,74 @@
+#include "data/dataloader.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "data/augment.h"
+
+namespace tbnet::data {
+
+DataLoader::DataLoader(const Dataset& dataset, const Options& opt)
+    : dataset_(dataset), opt_(opt), aug_rng_(opt.seed) {
+  if (opt.batch_size <= 0) {
+    throw std::invalid_argument("DataLoader: batch_size must be positive");
+  }
+  order_.resize(static_cast<size_t>(dataset.size()));
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = static_cast<int64_t>(i);
+  start_epoch(0);
+}
+
+void DataLoader::start_epoch(int epoch) {
+  cursor_ = 0;
+  aug_rng_ = Rng(opt_.seed ^ (0xA5A5A5A5ull * static_cast<uint64_t>(epoch + 1)));
+  if (opt_.shuffle) {
+    Rng shuffle_rng(opt_.seed + 0x51ED270ull * static_cast<uint64_t>(epoch + 1));
+    shuffle_rng.shuffle(order_);
+  }
+}
+
+int64_t DataLoader::batches_per_epoch() const {
+  const int64_t n = dataset_.size();
+  if (opt_.drop_last) return n / opt_.batch_size;
+  return (n + opt_.batch_size - 1) / opt_.batch_size;
+}
+
+bool DataLoader::next(Batch& batch) {
+  const int64_t n = dataset_.size();
+  if (cursor_ >= n) return false;
+  int64_t count = std::min(opt_.batch_size, n - cursor_);
+  if (opt_.drop_last && count < opt_.batch_size) return false;
+
+  const Shape img = dataset_.image_shape();
+  batch.images = Tensor(Shape{count, img.dim(0), img.dim(1), img.dim(2)});
+  batch.labels.assign(static_cast<size_t>(count), 0);
+  const int64_t stride = img.numel();
+  for (int64_t i = 0; i < count; ++i) {
+    Sample s = dataset_.get(order_[static_cast<size_t>(cursor_ + i)]);
+    Tensor image = opt_.augment ? augment_standard(s.image, aug_rng_) : s.image;
+    std::memcpy(batch.images.data() + i * stride, image.data(),
+                static_cast<size_t>(stride) * sizeof(float));
+    batch.labels[static_cast<size_t>(i)] = s.label;
+  }
+  cursor_ += count;
+  return true;
+}
+
+Batch collect_batch(const Dataset& dataset,
+                    const std::vector<int64_t>& indices) {
+  if (indices.empty()) throw std::invalid_argument("collect_batch: empty");
+  const Shape img = dataset.image_shape();
+  Batch batch;
+  const int64_t count = static_cast<int64_t>(indices.size());
+  batch.images = Tensor(Shape{count, img.dim(0), img.dim(1), img.dim(2)});
+  batch.labels.assign(indices.size(), 0);
+  const int64_t stride = img.numel();
+  for (int64_t i = 0; i < count; ++i) {
+    Sample s = dataset.get(indices[static_cast<size_t>(i)]);
+    std::memcpy(batch.images.data() + i * stride, s.image.data(),
+                static_cast<size_t>(stride) * sizeof(float));
+    batch.labels[static_cast<size_t>(i)] = s.label;
+  }
+  return batch;
+}
+
+}  // namespace tbnet::data

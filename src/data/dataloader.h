@@ -1,0 +1,55 @@
+#pragma once
+// DataLoader: shuffled mini-batch iteration over a Dataset.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace tbnet::data {
+
+/// A mini-batch: images stacked into NCHW + integer labels.
+struct Batch {
+  Tensor images;
+  std::vector<int64_t> labels;
+  int64_t size() const { return static_cast<int64_t>(labels.size()); }
+};
+
+/// Deterministic mini-batch loader.
+///
+/// Shuffling is a pure function of (seed, epoch); augmentation draws from a
+/// per-epoch stream so runs are reproducible regardless of thread count.
+class DataLoader {
+ public:
+  struct Options {
+    int64_t batch_size = 64;
+    bool shuffle = true;
+    bool augment = false;     ///< flip + pad-crop (training only)
+    bool drop_last = false;   ///< drop a trailing partial batch
+    uint64_t seed = 7;
+  };
+
+  DataLoader(const Dataset& dataset, const Options& opt);
+
+  /// Re-deals the deck for `epoch` and rewinds to the first batch.
+  void start_epoch(int epoch);
+
+  /// Fills `batch` with the next mini-batch; returns false at epoch end.
+  bool next(Batch& batch);
+
+  int64_t batches_per_epoch() const;
+
+ private:
+  const Dataset& dataset_;
+  Options opt_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+  Rng aug_rng_;
+};
+
+/// Stacks dataset[indices] into one batch (no augmentation).
+Batch collect_batch(const Dataset& dataset,
+                    const std::vector<int64_t>& indices);
+
+}  // namespace tbnet::data

@@ -1,0 +1,25 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/rng.h"
+
+namespace tbnet::data {
+
+SubsetDataset fraction_of(const Dataset& base, double fraction, uint64_t seed) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("fraction_of: fraction must be in [0, 1]");
+  }
+  std::vector<int64_t> idx(static_cast<size_t>(base.size()));
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int64_t>(i);
+  Rng rng(seed);
+  rng.shuffle(idx);
+  const auto keep = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(base.size())));
+  idx.resize(std::min(idx.size(), keep));
+  return SubsetDataset(base, std::move(idx));
+}
+
+}  // namespace tbnet::data

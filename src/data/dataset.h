@@ -1,0 +1,56 @@
+#pragma once
+// Dataset interface: indexable, labeled image collections.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tbnet::data {
+
+/// One labeled example. Images are CHW float tensors.
+struct Sample {
+  Tensor image;
+  int64_t label = 0;
+};
+
+/// Abstract random-access dataset.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual int64_t size() const = 0;
+  virtual Sample get(int64_t index) const = 0;
+  virtual int64_t num_classes() const = 0;
+  /// CHW shape of every image.
+  virtual Shape image_shape() const = 0;
+};
+
+/// View over a subset of another dataset (attacker data-availability sweeps,
+/// train/val splits). Does not own the base dataset.
+class SubsetDataset : public Dataset {
+ public:
+  SubsetDataset(const Dataset& base, std::vector<int64_t> indices)
+      : base_(base), indices_(std::move(indices)) {}
+
+  int64_t size() const override {
+    return static_cast<int64_t>(indices_.size());
+  }
+  Sample get(int64_t index) const override {
+    return base_.get(indices_.at(static_cast<size_t>(index)));
+  }
+  int64_t num_classes() const override { return base_.num_classes(); }
+  Shape image_shape() const override { return base_.image_shape(); }
+
+ private:
+  const Dataset& base_;
+  std::vector<int64_t> indices_;
+};
+
+/// First ceil(fraction * size) examples of a deterministic shuffle of `base`.
+/// This is how the attacker's "x% of the training dataset" (paper Fig. 2)
+/// is materialized.
+SubsetDataset fraction_of(const Dataset& base, double fraction, uint64_t seed);
+
+}  // namespace tbnet::data

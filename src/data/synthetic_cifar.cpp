@@ -1,0 +1,113 @@
+#include "data/synthetic_cifar.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/rng.h"
+
+namespace tbnet::data {
+namespace {
+
+/// Stable 64-bit mix of the identifying fields (SplitMix finalizer).
+uint64_t mix(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t z = a + 0x9E3779B97F4A7C15ull * (b + 1) + 0xBF58476D1CE4E5B9ull * (c + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SyntheticCifar::SyntheticCifar(const Options& opt) : opt_(opt) {
+  if (opt.classes <= 1) {
+    throw std::invalid_argument("SyntheticCifar: need at least 2 classes");
+  }
+  if (opt.samples < 0 || opt.image_size < 4 || opt.channels < 1) {
+    throw std::invalid_argument("SyntheticCifar: bad geometry");
+  }
+  if (opt.difficulty < 0.0 || opt.difficulty > 1.0) {
+    throw std::invalid_argument("SyntheticCifar: difficulty must be in [0,1]");
+  }
+}
+
+Sample SyntheticCifar::get(int64_t index) const {
+  if (index < 0 || index >= opt_.samples) {
+    throw std::out_of_range("SyntheticCifar::get: index out of range");
+  }
+  const int64_t k = index % opt_.classes;  // balanced labels
+  Rng rng(mix(opt_.seed, opt_.split, static_cast<uint64_t>(index)));
+
+  const int64_t s = opt_.image_size, C = opt_.channels;
+  const double K = static_cast<double>(opt_.classes);
+  const double diff = opt_.difficulty;
+
+  // Class signature -----------------------------------------------------
+  const double theta =
+      M_PI * static_cast<double>(k) / K + 0.12 * diff * rng.normal();
+  const double freq =
+      2.0 + static_cast<double>((k * 7) % 11) * 0.55 + 0.15 * diff * rng.normal();
+  const double phase = rng.uniform(0.0, 2.0 * M_PI);
+
+  // Class color profile for the grating and the blob (distinct projections
+  // so classes sharing an orientation at K > 16 stay separable).
+  double grating_color[3], blob_color[3];
+  for (int c = 0; c < 3; ++c) {
+    grating_color[c] =
+        0.55 + 0.45 * std::sin(2.0 * M_PI * static_cast<double>(k) / K +
+                               2.1 * static_cast<double>(c));
+    blob_color[c] =
+        0.55 + 0.45 * std::cos(2.0 * M_PI * static_cast<double>(k * 3 + 1) / K +
+                               1.7 * static_cast<double>(c));
+  }
+
+  // Blob position from a class-specific lattice cell + per-sample jitter.
+  const double cell = static_cast<double>(s) / 4.0;
+  const double bx = cell * (1.0 + static_cast<double>(k % 3)) +
+                    0.8 * diff * cell * (rng.uniform() - 0.5);
+  const double by = cell * (1.0 + static_cast<double>((k / 3) % 3)) +
+                    0.8 * diff * cell * (rng.uniform() - 0.5);
+  const double sigma = static_cast<double>(s) / 6.0;
+
+  const double noise_sd = 0.15 + 0.45 * diff;
+  const double ct = std::cos(theta), st = std::sin(theta);
+
+  Tensor img(image_shape());
+  for (int64_t c = 0; c < C; ++c) {
+    const double gc = grating_color[c % 3];
+    const double bc = blob_color[c % 3];
+    float* plane = img.data() + c * s * s;
+    for (int64_t y = 0; y < s; ++y) {
+      for (int64_t x = 0; x < s; ++x) {
+        const double u = (static_cast<double>(x) * ct +
+                          static_cast<double>(y) * st) /
+                         static_cast<double>(s);
+        const double grating = std::sin(2.0 * M_PI * freq * u + phase);
+        const double dx = static_cast<double>(x) - bx;
+        const double dy = static_cast<double>(y) - by;
+        const double blob = std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+        const double v = 0.5 * gc * grating + 1.1 * bc * blob +
+                         noise_sd * rng.normal();
+        plane[y * s + x] = static_cast<float>(v);
+      }
+    }
+  }
+  return Sample{std::move(img), k};
+}
+
+std::pair<SyntheticCifar, SyntheticCifar> SyntheticCifar::make_split(
+    int64_t classes, int64_t train_size, int64_t test_size, uint64_t seed,
+    int64_t image_size, double difficulty) {
+  Options train;
+  train.classes = classes;
+  train.samples = train_size;
+  train.image_size = image_size;
+  train.seed = seed;
+  train.split = 0;
+  train.difficulty = difficulty;
+  Options test = train;
+  test.samples = test_size;
+  test.split = 1;
+  return {SyntheticCifar(train), SyntheticCifar(test)};
+}
+
+}  // namespace tbnet::data

@@ -1,0 +1,60 @@
+#pragma once
+// SyntheticCifar — procedurally generated stand-in for CIFAR-10/100.
+//
+// The evaluation environment has no dataset files, so we synthesize a
+// classification task with the same tensor geometry (3x32x32 by default) and
+// class counts (10 or 100). Each class defines a signature combining:
+//   * an oriented sinusoidal grating (class-specific angle & frequency),
+//   * a colored Gaussian blob at a class-specific position,
+//   * a class-specific RGB color profile,
+// plus per-sample jitter (random phase, position & angle noise) and additive
+// Gaussian pixel noise controlled by `difficulty`. Images are generated
+// deterministically from (seed, split, index) — nothing is stored, so a
+// 50k-image dataset costs no memory.
+//
+// Why this preserves the paper's evaluation: TBNet's claims are about the
+// *relative* accuracy of (victim, TBNet, attacker-visible branch) and about
+// TEE memory/latency, none of which depend on natural image statistics —
+// only on having a task where knowledge transfer, pruning damage, and partial
+// model degradation are all measurable. See DESIGN.md §2.
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace tbnet::data {
+
+class SyntheticCifar : public Dataset {
+ public:
+  struct Options {
+    int64_t classes = 10;
+    int64_t samples = 2000;     ///< examples in this split
+    int64_t image_size = 32;    ///< square images
+    int64_t channels = 3;
+    uint64_t seed = 42;         ///< dataset identity
+    uint32_t split = 0;         ///< 0 = train, 1 = test (decorrelates samples)
+    double difficulty = 0.5;    ///< 0 = clean, 1 = very noisy
+  };
+
+  explicit SyntheticCifar(const Options& opt);
+
+  int64_t size() const override { return opt_.samples; }
+  Sample get(int64_t index) const override;
+  int64_t num_classes() const override { return opt_.classes; }
+  Shape image_shape() const override {
+    return Shape{opt_.channels, opt_.image_size, opt_.image_size};
+  }
+
+  const Options& options() const { return opt_; }
+
+  /// Train/test pair with the same class structure but disjoint sample
+  /// randomness.
+  static std::pair<SyntheticCifar, SyntheticCifar> make_split(
+      int64_t classes, int64_t train_size, int64_t test_size, uint64_t seed,
+      int64_t image_size = 32, double difficulty = 0.5);
+
+ private:
+  Options opt_;
+};
+
+}  // namespace tbnet::data

@@ -1,0 +1,124 @@
+#include "nn/activations.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tbnet::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  if (train) {
+    mask_.assign(static_cast<size_t>(input.numel()), 0);
+    cached_shape_ = input.shape();
+  }
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (out[i] > 0.0f) {
+      if (train) mask_[static_cast<size_t>(i)] = 1;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (mask_.empty() || grad_output.shape() != cached_shape_) {
+    throw std::logic_error("ReLU::backward without matching forward(train)");
+  }
+  Tensor grad = grad_output;
+  for (int64_t i = 0; i < grad.numel(); ++i) {
+    if (!mask_[static_cast<size_t>(i)]) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const {
+  return std::make_unique<ReLU>();
+}
+
+LeakyReLU::LeakyReLU(float alpha) : alpha_(alpha) {
+  if (alpha < 0.0f || alpha >= 1.0f) {
+    throw std::invalid_argument("LeakyReLU: alpha must be in [0, 1)");
+  }
+}
+
+Tensor LeakyReLU::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  if (train) {
+    mask_.assign(static_cast<size_t>(input.numel()), 0);
+    cached_shape_ = input.shape();
+  }
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (out[i] > 0.0f) {
+      if (train) mask_[static_cast<size_t>(i)] = 1;
+    } else {
+      out[i] *= alpha_;
+    }
+  }
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  if (mask_.empty() || grad_output.shape() != cached_shape_) {
+    throw std::logic_error("LeakyReLU::backward without forward(train)");
+  }
+  Tensor grad = grad_output;
+  for (int64_t i = 0; i < grad.numel(); ++i) {
+    if (!mask_[static_cast<size_t>(i)]) grad[i] *= alpha_;
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> LeakyReLU::clone() const {
+  return std::make_unique<LeakyReLU>(alpha_);
+}
+
+Tensor Tanh::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] = std::tanh(out[i]);
+  if (train) cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  if (cached_output_.empty() ||
+      grad_output.shape() != cached_output_.shape()) {
+    throw std::logic_error("Tanh::backward without forward(train)");
+  }
+  Tensor grad = grad_output;
+  for (int64_t i = 0; i < grad.numel(); ++i) {
+    const float y = cached_output_[i];
+    grad[i] *= 1.0f - y * y;
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(); }
+
+Tensor Sigmoid::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  if (train) cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  if (cached_output_.empty() ||
+      grad_output.shape() != cached_output_.shape()) {
+    throw std::logic_error("Sigmoid::backward without forward(train)");
+  }
+  Tensor grad = grad_output;
+  for (int64_t i = 0; i < grad.numel(); ++i) {
+    const float y = cached_output_[i];
+    grad[i] *= y * (1.0f - y);
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> Sigmoid::clone() const {
+  return std::make_unique<Sigmoid>();
+}
+
+}  // namespace tbnet::nn

@@ -1,0 +1,71 @@
+#pragma once
+// Elementwise activation layers.
+
+#include "nn/layer.h"
+
+namespace tbnet::nn {
+
+/// Rectified linear unit. Works on any rank; caches the sign mask.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "ReLU"; }
+  std::unique_ptr<Layer> clone() const override;
+  Shape out_shape(const Shape& in) const override { return in; }
+  int64_t macs(const Shape& in) const override { return in.numel(); }
+
+ private:
+  std::vector<uint8_t> mask_;
+  Shape cached_shape_;
+};
+
+/// max(x, alpha*x); alpha in [0, 1).
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float alpha = 0.01f);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "LeakyReLU"; }
+  std::unique_ptr<Layer> clone() const override;
+  Shape out_shape(const Shape& in) const override { return in; }
+  int64_t macs(const Shape& in) const override { return in.numel(); }
+
+  float alpha() const { return alpha_; }
+
+ private:
+  float alpha_;
+  std::vector<uint8_t> mask_;
+  Shape cached_shape_;
+};
+
+/// Hyperbolic tangent.
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "Tanh"; }
+  std::unique_ptr<Layer> clone() const override;
+  Shape out_shape(const Shape& in) const override { return in; }
+  int64_t macs(const Shape& in) const override { return 4 * in.numel(); }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Logistic sigmoid.
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "Sigmoid"; }
+  std::unique_ptr<Layer> clone() const override;
+  Shape out_shape(const Shape& in) const override { return in; }
+  int64_t macs(const Shape& in) const override { return 4 * in.numel(); }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace tbnet::nn

@@ -1,0 +1,186 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tbnet::nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Tensor::ones(Shape{channels})),
+      gamma_grad_(Shape{channels}),
+      beta_(Shape{channels}),
+      beta_grad_(Shape{channels}),
+      running_mean_(Shape{channels}),
+      running_var_(Tensor::ones(Shape{channels})) {
+  if (channels <= 0) {
+    throw std::invalid_argument("BatchNorm2d: channels must be positive");
+  }
+}
+
+Shape BatchNorm2d::out_shape(const Shape& in) const {
+  if (in.ndim() != 4 || in.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d: bad input shape " + in.str());
+  }
+  return in;
+}
+
+int64_t BatchNorm2d::macs(const Shape& in) const {
+  return out_shape(in).numel() * 2;  // scale + shift per element
+}
+
+int64_t BatchNorm2d::param_bytes() const {
+  // gamma, beta + running mean/var all live with the model.
+  return 4 * channels_ * static_cast<int64_t>(sizeof(float));
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+  out_shape(input.shape());  // validates
+  const int64_t n = input.dim(0), c = channels_, h = input.dim(2),
+                w = input.dim(3);
+  const int64_t spatial = h * w;
+  const int64_t per_channel = n * spatial;
+  Tensor out(input.shape());
+
+  if (train) {
+    cached_xhat_ = Tensor(input.shape());
+    cached_inv_std_.assign(static_cast<size_t>(c), 0.0f);
+    for (int64_t ch = 0; ch < c; ++ch) {
+      double mean = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* src = input.data() + (i * c + ch) * spatial;
+        for (int64_t p = 0; p < spatial; ++p) mean += src[p];
+      }
+      mean /= static_cast<double>(per_channel);
+      double var = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* src = input.data() + (i * c + ch) * spatial;
+        for (int64_t p = 0; p < spatial; ++p) {
+          const double d = src[p] - mean;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(per_channel);
+
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      cached_inv_std_[static_cast<size_t>(ch)] = inv_std;
+      const float g = gamma_[ch], b = beta_[ch];
+      for (int64_t i = 0; i < n; ++i) {
+        const float* src = input.data() + (i * c + ch) * spatial;
+        float* xh = cached_xhat_.data() + (i * c + ch) * spatial;
+        float* dst = out.data() + (i * c + ch) * spatial;
+        for (int64_t p = 0; p < spatial; ++p) {
+          xh[p] = (src[p] - static_cast<float>(mean)) * inv_std;
+          dst[p] = g * xh[p] + b;
+        }
+      }
+      // Exponential running stats (biased variance, matching the norm).
+      running_mean_[ch] = (1.0f - momentum_) * running_mean_[ch] +
+                          momentum_ * static_cast<float>(mean);
+      running_var_[ch] = (1.0f - momentum_) * running_var_[ch] +
+                         momentum_ * static_cast<float>(var);
+    }
+  } else {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float inv_std = 1.0f / std::sqrt(running_var_[ch] + eps_);
+      const float g = gamma_[ch], b = beta_[ch], m = running_mean_[ch];
+      for (int64_t i = 0; i < n; ++i) {
+        const float* src = input.data() + (i * c + ch) * spatial;
+        float* dst = out.data() + (i * c + ch) * spatial;
+        for (int64_t p = 0; p < spatial; ++p) {
+          dst[p] = g * (src[p] - m) * inv_std + b;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  if (cached_xhat_.empty()) {
+    throw std::logic_error("BatchNorm2d::backward before forward(train)");
+  }
+  if (grad_output.shape() != cached_xhat_.shape()) {
+    throw std::invalid_argument("BatchNorm2d::backward: grad shape mismatch");
+  }
+  const int64_t n = grad_output.dim(0), c = channels_, h = grad_output.dim(2),
+                w = grad_output.dim(3);
+  const int64_t spatial = h * w;
+  const int64_t per_channel = n * spatial;
+  Tensor grad_input(grad_output.shape());
+
+  for (int64_t ch = 0; ch < c; ++ch) {
+    // Accumulate dgamma = sum(dy * xhat), dbeta = sum(dy), plus the two batch
+    // means needed for dx.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* dy = grad_output.data() + (i * c + ch) * spatial;
+      const float* xh = cached_xhat_.data() + (i * c + ch) * spatial;
+      for (int64_t p = 0; p < spatial; ++p) {
+        sum_dy += dy[p];
+        sum_dy_xhat += dy[p] * xh[p];
+      }
+    }
+    gamma_grad_[ch] += static_cast<float>(sum_dy_xhat);
+    beta_grad_[ch] += static_cast<float>(sum_dy);
+
+    const float inv_std = cached_inv_std_[static_cast<size_t>(ch)];
+    const float g = gamma_[ch];
+    const float mean_dy = static_cast<float>(sum_dy / per_channel);
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / per_channel);
+    for (int64_t i = 0; i < n; ++i) {
+      const float* dy = grad_output.data() + (i * c + ch) * spatial;
+      const float* xh = cached_xhat_.data() + (i * c + ch) * spatial;
+      float* dx = grad_input.data() + (i * c + ch) * spatial;
+      for (int64_t p = 0; p < spatial; ++p) {
+        dx[p] = g * inv_std * (dy[p] - mean_dy - xh[p] * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> BatchNorm2d::params() {
+  return {
+      {"gamma", &gamma_, &gamma_grad_, /*decay=*/false},
+      {"beta", &beta_, &beta_grad_, /*decay=*/false},
+  };
+}
+
+std::unique_ptr<Layer> BatchNorm2d::clone() const {
+  auto copy = std::make_unique<BatchNorm2d>(*this);
+  copy->cached_xhat_ = Tensor();
+  copy->cached_inv_std_.clear();
+  return copy;
+}
+
+void BatchNorm2d::select_channels(const std::vector<int64_t>& keep) {
+  if (keep.empty()) {
+    throw std::invalid_argument("BatchNorm2d: cannot prune all channels");
+  }
+  const int64_t k = static_cast<int64_t>(keep.size());
+  Tensor g(Shape{k}), b(Shape{k}), rm(Shape{k}), rv(Shape{k});
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t src = keep[static_cast<size_t>(i)];
+    if (src < 0 || src >= channels_) {
+      throw std::out_of_range("BatchNorm2d::select_channels: index out of range");
+    }
+    g[i] = gamma_[src];
+    b[i] = beta_[src];
+    rm[i] = running_mean_[src];
+    rv[i] = running_var_[src];
+  }
+  gamma_ = std::move(g);
+  beta_ = std::move(b);
+  running_mean_ = std::move(rm);
+  running_var_ = std::move(rv);
+  gamma_grad_ = Tensor(Shape{k});
+  beta_grad_ = Tensor(Shape{k});
+  channels_ = k;
+  cached_xhat_ = Tensor();
+  cached_inv_std_.clear();
+}
+
+}  // namespace tbnet::nn

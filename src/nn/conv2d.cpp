@@ -1,0 +1,189 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/init.h"
+#include "tensor/gemm.h"
+
+namespace tbnet::nn {
+
+Conv2d::Conv2d(int64_t in_c, int64_t out_c, const Options& opt, Rng& rng)
+    : in_c_(in_c),
+      out_c_(out_c),
+      opt_(opt),
+      weight_(Shape{out_c, in_c, opt.kernel, opt.kernel}),
+      weight_grad_(Shape{out_c, in_c, opt.kernel, opt.kernel}) {
+  if (in_c <= 0 || out_c <= 0) {
+    throw std::invalid_argument("Conv2d: channel counts must be positive");
+  }
+  kaiming_normal(weight_, in_c * opt.kernel * opt.kernel, rng);
+  if (opt_.bias) {
+    bias_ = Tensor(Shape{out_c});
+    bias_grad_ = Tensor(Shape{out_c});
+  }
+}
+
+Conv2dGeom Conv2d::geom_for(const Shape& in) const {
+  if (in.ndim() != 4) {
+    throw std::invalid_argument("Conv2d: expected NCHW input, got " + in.str());
+  }
+  if (in.dim(1) != in_c_) {
+    throw std::invalid_argument("Conv2d: input has " + std::to_string(in.dim(1)) +
+                                " channels, layer expects " +
+                                std::to_string(in_c_));
+  }
+  Conv2dGeom g;
+  g.in_c = in_c_;
+  g.in_h = in.dim(2);
+  g.in_w = in.dim(3);
+  g.kernel_h = g.kernel_w = opt_.kernel;
+  g.stride_h = g.stride_w = opt_.stride;
+  g.pad_h = g.pad_w = opt_.pad;
+  return g;
+}
+
+Shape Conv2d::out_shape(const Shape& in) const {
+  const Conv2dGeom g = geom_for(in);
+  return Shape{in.dim(0), out_c_, g.out_h(), g.out_w()};
+}
+
+int64_t Conv2d::macs(const Shape& in) const {
+  const Conv2dGeom g = geom_for(in);
+  return in.dim(0) * out_c_ * g.col_cols() * g.col_rows();
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool train) {
+  const Conv2dGeom g = geom_for(input.shape());
+  const int64_t n = input.dim(0);
+  const int64_t rows = g.col_rows(), cols = g.col_cols();
+  Tensor out(out_shape(input.shape()));
+  std::vector<float> colbuf(static_cast<size_t>(rows * cols));
+  const int64_t in_stride = in_c_ * g.in_h * g.in_w;
+  const int64_t out_stride = out_c_ * cols;
+  for (int64_t i = 0; i < n; ++i) {
+    im2col(g, input.data() + i * in_stride, colbuf.data());
+    gemm_nn(out_c_, cols, rows, 1.0f, weight_.data(), colbuf.data(), 0.0f,
+            out.data() + i * out_stride);
+  }
+  if (opt_.bias) {
+    for (int64_t i = 0; i < n; ++i) {
+      float* dst = out.data() + i * out_stride;
+      for (int64_t c = 0; c < out_c_; ++c) {
+        const float b = bias_[c];
+        for (int64_t p = 0; p < cols; ++p) dst[c * cols + p] += b;
+      }
+    }
+  }
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Conv2d::backward called before forward(train)");
+  }
+  const Tensor& x = cached_input_;
+  const Conv2dGeom g = geom_for(x.shape());
+  const int64_t n = x.dim(0);
+  const int64_t rows = g.col_rows(), cols = g.col_cols();
+  if (grad_output.shape() != out_shape(x.shape())) {
+    throw std::invalid_argument("Conv2d::backward: grad shape mismatch");
+  }
+
+  Tensor grad_input(x.shape());
+  std::vector<float> colbuf(static_cast<size_t>(rows * cols));
+  std::vector<float> dcol(static_cast<size_t>(rows * cols));
+  const int64_t in_stride = in_c_ * g.in_h * g.in_w;
+  const int64_t out_stride = out_c_ * cols;
+
+  for (int64_t i = 0; i < n; ++i) {
+    const float* dy = grad_output.data() + i * out_stride;
+    // dW += dy * cols^T       [out_c, rows]
+    im2col(g, x.data() + i * in_stride, colbuf.data());
+    gemm_nt(out_c_, rows, cols, 1.0f, dy, colbuf.data(), 1.0f,
+            weight_grad_.data());
+    // dcols = W^T * dy        [rows, cols]
+    gemm_tn(rows, cols, out_c_, 1.0f, weight_.data(), dy, 0.0f, dcol.data());
+    col2im(g, dcol.data(), grad_input.data() + i * in_stride);
+  }
+  if (opt_.bias) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float* dy = grad_output.data() + i * out_stride;
+      for (int64_t c = 0; c < out_c_; ++c) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < cols; ++p) acc += dy[c * cols + p];
+        bias_grad_[c] += acc;
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Conv2d::params() {
+  std::vector<ParamRef> ps;
+  ps.push_back({"weight", &weight_, &weight_grad_, /*decay=*/true});
+  if (opt_.bias) ps.push_back({"bias", &bias_, &bias_grad_, /*decay=*/false});
+  return ps;
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+  auto copy = std::make_unique<Conv2d>(*this);
+  copy->cached_input_ = Tensor();
+  return copy;
+}
+
+namespace {
+
+/// Gathers slices of `src` along dimension `dim` (rank-4 weight tensor).
+Tensor gather_dim(const Tensor& src, int dim, const std::vector<int64_t>& keep) {
+  const Shape& s = src.shape();
+  std::vector<int64_t> dims = s.dims();
+  dims[static_cast<size_t>(dim)] = static_cast<int64_t>(keep.size());
+  Tensor out{Shape(dims)};
+  // Treat the tensor as [outer, extent, inner].
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < dim; ++i) outer *= s.dim(i);
+  for (int i = dim + 1; i < s.ndim(); ++i) inner *= s.dim(i);
+  const int64_t extent = s.dim(dim);
+  for (int64_t o = 0; o < outer; ++o) {
+    for (size_t ki = 0; ki < keep.size(); ++ki) {
+      const int64_t k = keep[ki];
+      if (k < 0 || k >= extent) {
+        throw std::out_of_range("Conv2d channel selection index out of range");
+      }
+      const float* src_p = src.data() + (o * extent + k) * inner;
+      float* dst_p = out.data() + (o * static_cast<int64_t>(keep.size()) +
+                                   static_cast<int64_t>(ki)) *
+                                      inner;
+      for (int64_t j = 0; j < inner; ++j) dst_p[j] = src_p[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Conv2d::select_out_channels(const std::vector<int64_t>& keep) {
+  if (keep.empty()) throw std::invalid_argument("Conv2d: cannot prune all output channels");
+  weight_ = gather_dim(weight_, 0, keep);
+  weight_grad_ = Tensor(weight_.shape());
+  if (opt_.bias) {
+    Tensor nb(Shape{static_cast<int64_t>(keep.size())});
+    for (size_t i = 0; i < keep.size(); ++i) nb[static_cast<int64_t>(i)] = bias_[keep[i]];
+    bias_ = std::move(nb);
+    bias_grad_ = Tensor(bias_.shape());
+  }
+  out_c_ = static_cast<int64_t>(keep.size());
+  cached_input_ = Tensor();
+}
+
+void Conv2d::select_in_channels(const std::vector<int64_t>& keep) {
+  if (keep.empty()) throw std::invalid_argument("Conv2d: cannot prune all input channels");
+  weight_ = gather_dim(weight_, 1, keep);
+  weight_grad_ = Tensor(weight_.shape());
+  in_c_ = static_cast<int64_t>(keep.size());
+  cached_input_ = Tensor();
+}
+
+}  // namespace tbnet::nn

@@ -1,0 +1,64 @@
+#pragma once
+// 2-D convolution layer (NCHW), im2col + GEMM implementation.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+#include "tensor/rng.h"
+
+namespace tbnet::nn {
+
+/// Conv2d with square or rectangular kernels, zero padding, optional bias.
+///
+/// Weight layout: [out_c, in_c, kh, kw]. Channel-pruning support
+/// (select_out_channels / select_in_channels) is what the TBNet iterative
+/// two-branch pruner uses to physically shrink the network.
+class Conv2d : public Layer {
+ public:
+  struct Options {
+    int64_t kernel = 3;
+    int64_t stride = 1;
+    int64_t pad = 1;
+    bool bias = false;  ///< usually false: BatchNorm follows.
+  };
+
+  Conv2d(int64_t in_c, int64_t out_c, const Options& opt, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string kind() const override { return "Conv2d"; }
+  std::unique_ptr<Layer> clone() const override;
+  Shape out_shape(const Shape& in) const override;
+  int64_t macs(const Shape& in) const override;
+
+  int64_t in_channels() const { return in_c_; }
+  int64_t out_channels() const { return out_c_; }
+  const Options& options() const { return opt_; }
+
+  Tensor& weight() { return weight_; }
+  const Tensor& weight() const { return weight_; }
+  Tensor& bias() { return bias_; }
+  bool has_bias() const { return opt_.bias; }
+
+  /// Keeps only the listed output channels (rows of the weight); used when
+  /// this layer's own BN channels are pruned.
+  void select_out_channels(const std::vector<int64_t>& keep);
+
+  /// Keeps only the listed input channels; used when the *previous* layer's
+  /// channels are pruned.
+  void select_in_channels(const std::vector<int64_t>& keep);
+
+ private:
+  Conv2dGeom geom_for(const Shape& in) const;
+
+  int64_t in_c_, out_c_;
+  Options opt_;
+  Tensor weight_, weight_grad_;
+  Tensor bias_, bias_grad_;
+  Tensor cached_input_;  ///< set by forward(train=true)
+};
+
+}  // namespace tbnet::nn

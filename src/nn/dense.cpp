@@ -1,0 +1,134 @@
+#include "nn/dense.h"
+
+#include <stdexcept>
+
+#include "nn/init.h"
+#include "tensor/gemm.h"
+
+namespace tbnet::nn {
+
+Dense::Dense(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_f_(in_features),
+      out_f_(out_features),
+      has_bias_(bias),
+      weight_(Shape{out_features, in_features}),
+      weight_grad_(Shape{out_features, in_features}) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Dense: feature counts must be positive");
+  }
+  kaiming_normal(weight_, in_features, rng);
+  if (has_bias_) {
+    bias_ = Tensor(Shape{out_features});
+    bias_grad_ = Tensor(Shape{out_features});
+  }
+}
+
+Shape Dense::out_shape(const Shape& in) const {
+  if (in.ndim() != 2 || in.dim(1) != in_f_) {
+    throw std::invalid_argument("Dense: expected [N, " + std::to_string(in_f_) +
+                                "], got " + in.str());
+  }
+  return Shape{in.dim(0), out_f_};
+}
+
+int64_t Dense::macs(const Shape& in) const {
+  return out_shape(in).dim(0) * out_f_ * in_f_;
+}
+
+Tensor Dense::forward(const Tensor& input, bool train) {
+  const Shape os = out_shape(input.shape());
+  const int64_t n = input.dim(0);
+  Tensor out(os);
+  // out[n, out_f] = x[n, in_f] * W^T (W is [out_f, in_f])
+  gemm_nt(n, out_f_, in_f_, 1.0f, input.data(), weight_.data(), 0.0f,
+          out.data());
+  if (has_bias_) {
+    for (int64_t i = 0; i < n; ++i) {
+      float* row = out.data() + i * out_f_;
+      for (int64_t j = 0; j < out_f_; ++j) row[j] += bias_[j];
+    }
+  }
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Dense::backward before forward(train)");
+  }
+  const Tensor& x = cached_input_;
+  const int64_t n = x.dim(0);
+  if (grad_output.shape() != Shape{n, out_f_}) {
+    throw std::invalid_argument("Dense::backward: grad shape mismatch");
+  }
+  // dW[out_f, in_f] += dy^T[out_f, n] * x[n, in_f]
+  gemm_tn(out_f_, in_f_, n, 1.0f, grad_output.data(), x.data(), 1.0f,
+          weight_grad_.data());
+  if (has_bias_) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float* row = grad_output.data() + i * out_f_;
+      for (int64_t j = 0; j < out_f_; ++j) bias_grad_[j] += row[j];
+    }
+  }
+  // dx[n, in_f] = dy[n, out_f] * W[out_f, in_f]
+  Tensor grad_input(x.shape());
+  gemm_nn(n, in_f_, out_f_, 1.0f, grad_output.data(), weight_.data(), 0.0f,
+          grad_input.data());
+  return grad_input;
+}
+
+std::vector<ParamRef> Dense::params() {
+  std::vector<ParamRef> ps;
+  ps.push_back({"weight", &weight_, &weight_grad_, /*decay=*/true});
+  if (has_bias_) ps.push_back({"bias", &bias_, &bias_grad_, /*decay=*/false});
+  return ps;
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto copy = std::make_unique<Dense>(*this);
+  copy->cached_input_ = Tensor();
+  return copy;
+}
+
+void Dense::select_in_features(const std::vector<int64_t>& keep) {
+  if (keep.empty()) {
+    throw std::invalid_argument("Dense: cannot prune all input features");
+  }
+  const int64_t k = static_cast<int64_t>(keep.size());
+  Tensor w(Shape{out_f_, k});
+  for (int64_t o = 0; o < out_f_; ++o) {
+    const float* src = weight_.data() + o * in_f_;
+    float* dst = w.data() + o * k;
+    for (int64_t i = 0; i < k; ++i) {
+      const int64_t idx = keep[static_cast<size_t>(i)];
+      if (idx < 0 || idx >= in_f_) {
+        throw std::out_of_range("Dense::select_in_features: index out of range");
+      }
+      dst[i] = src[idx];
+    }
+  }
+  weight_ = std::move(w);
+  weight_grad_ = Tensor(weight_.shape());
+  in_f_ = k;
+  cached_input_ = Tensor();
+}
+
+void Dense::select_in_channels(const std::vector<int64_t>& keep,
+                               int64_t features_per_channel) {
+  if (features_per_channel <= 0 ||
+      in_f_ % features_per_channel != 0) {
+    throw std::invalid_argument(
+        "Dense::select_in_channels: in_features not divisible by "
+        "features_per_channel");
+  }
+  std::vector<int64_t> feature_keep;
+  feature_keep.reserve(keep.size() * static_cast<size_t>(features_per_channel));
+  for (int64_t ch : keep) {
+    for (int64_t f = 0; f < features_per_channel; ++f) {
+      feature_keep.push_back(ch * features_per_channel + f);
+    }
+  }
+  select_in_features(feature_keep);
+}
+
+}  // namespace tbnet::nn

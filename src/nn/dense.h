@@ -1,0 +1,49 @@
+#pragma once
+// Fully-connected layer on [N, in_features] inputs.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace tbnet::nn {
+
+/// y = x * W^T + b, with W laid out [out_features, in_features].
+class Dense : public Layer {
+ public:
+  Dense(int64_t in_features, int64_t out_features, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string kind() const override { return "Dense"; }
+  std::unique_ptr<Layer> clone() const override;
+  Shape out_shape(const Shape& in) const override;
+  int64_t macs(const Shape& in) const override;
+
+  int64_t in_features() const { return in_f_; }
+  int64_t out_features() const { return out_f_; }
+  bool has_bias() const { return has_bias_; }
+  Tensor& weight() { return weight_; }
+  const Tensor& weight() const { return weight_; }
+  Tensor& bias() { return bias_; }
+
+  /// Keeps only the listed input *features* (columns of W).
+  void select_in_features(const std::vector<int64_t>& keep);
+
+  /// Keeps the input features corresponding to the listed input *channels*,
+  /// where each channel spans `features_per_channel` consecutive features
+  /// (used after a Flatten of [C, H, W] with H*W = features_per_channel).
+  void select_in_channels(const std::vector<int64_t>& keep,
+                          int64_t features_per_channel);
+
+ private:
+  int64_t in_f_, out_f_;
+  bool has_bias_;
+  Tensor weight_, weight_grad_;
+  Tensor bias_, bias_grad_;
+  Tensor cached_input_;
+};
+
+}  // namespace tbnet::nn

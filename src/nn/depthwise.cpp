@@ -1,0 +1,138 @@
+#include "nn/depthwise.h"
+
+#include <stdexcept>
+
+#include "nn/init.h"
+
+namespace tbnet::nn {
+
+DepthwiseConv2d::DepthwiseConv2d(int64_t channels, const Options& opt,
+                                 Rng& rng)
+    : channels_(channels),
+      opt_(opt),
+      weight_(Shape{channels, opt.kernel, opt.kernel}),
+      weight_grad_(Shape{channels, opt.kernel, opt.kernel}) {
+  if (channels <= 0) {
+    throw std::invalid_argument("DepthwiseConv2d: channels must be positive");
+  }
+  kaiming_normal(weight_, opt.kernel * opt.kernel, rng);
+}
+
+Shape DepthwiseConv2d::out_shape(const Shape& in) const {
+  if (in.ndim() != 4 || in.dim(1) != channels_) {
+    throw std::invalid_argument("DepthwiseConv2d: bad input " + in.str());
+  }
+  const int64_t oh = out_hw(in.dim(2), opt_.pad, opt_.kernel, opt_.stride);
+  const int64_t ow = out_hw(in.dim(3), opt_.pad, opt_.kernel, opt_.stride);
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("DepthwiseConv2d: kernel larger than input");
+  }
+  return Shape{in.dim(0), channels_, oh, ow};
+}
+
+int64_t DepthwiseConv2d::macs(const Shape& in) const {
+  return out_shape(in).numel() * opt_.kernel * opt_.kernel;
+}
+
+Tensor DepthwiseConv2d::forward(const Tensor& input, bool train) {
+  const Shape os = out_shape(input.shape());
+  const int64_t n = input.dim(0), ih = input.dim(2), iw = input.dim(3);
+  const int64_t oh = os.dim(2), ow = os.dim(3);
+  Tensor out(os);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float* plane = input.data() + (i * channels_ + c) * ih * iw;
+      const float* k = weight_.data() + c * opt_.kernel * opt_.kernel;
+      float* dst = out.data() + (i * channels_ + c) * oh * ow;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (int64_t ky = 0; ky < opt_.kernel; ++ky) {
+            const int64_t iy = oy * opt_.stride - opt_.pad + ky;
+            if (iy < 0 || iy >= ih) continue;
+            for (int64_t kx = 0; kx < opt_.kernel; ++kx) {
+              const int64_t ix = ox * opt_.stride - opt_.pad + kx;
+              if (ix < 0 || ix >= iw) continue;
+              acc += plane[iy * iw + ix] * k[ky * opt_.kernel + kx];
+            }
+          }
+          dst[oy * ow + ox] = acc;
+        }
+      }
+    }
+  }
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("DepthwiseConv2d::backward before forward(train)");
+  }
+  const Tensor& x = cached_input_;
+  if (grad_output.shape() != out_shape(x.shape())) {
+    throw std::invalid_argument("DepthwiseConv2d::backward: grad mismatch");
+  }
+  const int64_t n = x.dim(0), ih = x.dim(2), iw = x.dim(3);
+  const int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  Tensor grad_input(x.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float* plane = x.data() + (i * channels_ + c) * ih * iw;
+      const float* dy = grad_output.data() + (i * channels_ + c) * oh * ow;
+      const float* k = weight_.data() + c * opt_.kernel * opt_.kernel;
+      float* dk = weight_grad_.data() + c * opt_.kernel * opt_.kernel;
+      float* dx = grad_input.data() + (i * channels_ + c) * ih * iw;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          const float g = dy[oy * ow + ox];
+          if (g == 0.0f) continue;
+          for (int64_t ky = 0; ky < opt_.kernel; ++ky) {
+            const int64_t iy = oy * opt_.stride - opt_.pad + ky;
+            if (iy < 0 || iy >= ih) continue;
+            for (int64_t kx = 0; kx < opt_.kernel; ++kx) {
+              const int64_t ix = ox * opt_.stride - opt_.pad + kx;
+              if (ix < 0 || ix >= iw) continue;
+              dk[ky * opt_.kernel + kx] += g * plane[iy * iw + ix];
+              dx[iy * iw + ix] += g * k[ky * opt_.kernel + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> DepthwiseConv2d::params() {
+  return {{"weight", &weight_, &weight_grad_, /*decay=*/true}};
+}
+
+std::unique_ptr<Layer> DepthwiseConv2d::clone() const {
+  auto copy = std::make_unique<DepthwiseConv2d>(*this);
+  copy->cached_input_ = Tensor();
+  return copy;
+}
+
+void DepthwiseConv2d::select_channels(const std::vector<int64_t>& keep) {
+  if (keep.empty()) {
+    throw std::invalid_argument("DepthwiseConv2d: cannot prune all channels");
+  }
+  const int64_t kk = opt_.kernel * opt_.kernel;
+  Tensor w(Shape{static_cast<int64_t>(keep.size()), opt_.kernel, opt_.kernel});
+  for (size_t i = 0; i < keep.size(); ++i) {
+    const int64_t c = keep[i];
+    if (c < 0 || c >= channels_) {
+      throw std::out_of_range("DepthwiseConv2d::select_channels: bad index");
+    }
+    for (int64_t j = 0; j < kk; ++j) {
+      w[static_cast<int64_t>(i) * kk + j] = weight_[c * kk + j];
+    }
+  }
+  weight_ = std::move(w);
+  weight_grad_ = Tensor(weight_.shape());
+  channels_ = static_cast<int64_t>(keep.size());
+  cached_input_ = Tensor();
+}
+
+}  // namespace tbnet::nn

@@ -1,0 +1,55 @@
+#pragma once
+// Depthwise 2-D convolution — one k x k filter per channel.
+//
+// Building block of the depthwise-separable (MobileNet-style) family, which
+// extends TBNet beyond the paper's VGG/ResNet evaluation: edge deployments
+// overwhelmingly use separable convolutions, and the two-branch pruning
+// machinery must handle their channel-coupled structure (a depthwise layer's
+// input and output channels are the same set).
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace tbnet::nn {
+
+class DepthwiseConv2d : public Layer {
+ public:
+  struct Options {
+    int64_t kernel = 3;
+    int64_t stride = 1;
+    int64_t pad = 1;
+  };
+
+  DepthwiseConv2d(int64_t channels, const Options& opt, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string kind() const override { return "DepthwiseConv2d"; }
+  std::unique_ptr<Layer> clone() const override;
+  Shape out_shape(const Shape& in) const override;
+  int64_t macs(const Shape& in) const override;
+
+  int64_t channels() const { return channels_; }
+  const Options& options() const { return opt_; }
+  Tensor& weight() { return weight_; }
+  const Tensor& weight() const { return weight_; }
+
+  /// Keeps only the listed channels (input and output are the same set).
+  void select_channels(const std::vector<int64_t>& keep);
+
+ private:
+  int64_t out_hw(int64_t in, int64_t pad, int64_t k, int64_t s) const {
+    return (in + 2 * pad - k) / s + 1;
+  }
+
+  int64_t channels_;
+  Options opt_;
+  Tensor weight_, weight_grad_;  ///< [channels, kernel, kernel]
+  Tensor cached_input_;
+};
+
+}  // namespace tbnet::nn

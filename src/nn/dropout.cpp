@@ -1,0 +1,47 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace tbnet::nn {
+
+Dropout::Dropout(double p, uint64_t seed) : p_(p), seed_(seed), rng_(seed) {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("Dropout: p must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  if (!train || p_ == 0.0) return input;
+  Tensor out = input;
+  keep_mask_.assign(static_cast<size_t>(input.numel()), 0);
+  cached_shape_ = input.shape();
+  const float scale = static_cast<float>(1.0 / (1.0 - p_));
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (rng_.uniform() >= p_) {
+      keep_mask_[static_cast<size_t>(i)] = 1;
+      out[i] *= scale;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (p_ == 0.0) return grad_output;
+  if (keep_mask_.empty() || grad_output.shape() != cached_shape_) {
+    throw std::logic_error("Dropout::backward without matching forward(train)");
+  }
+  Tensor grad = grad_output;
+  const float scale = static_cast<float>(1.0 / (1.0 - p_));
+  for (int64_t i = 0; i < grad.numel(); ++i) {
+    grad[i] = keep_mask_[static_cast<size_t>(i)] ? grad[i] * scale : 0.0f;
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  return std::make_unique<Dropout>(p_, seed_);
+}
+
+}  // namespace tbnet::nn

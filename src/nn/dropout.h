@@ -1,0 +1,36 @@
+#pragma once
+// Dropout — inverted dropout with a per-layer deterministic RNG stream.
+//
+// Victim training recipes (classic VGG heads) and attacker fine-tuning both
+// use dropout; at inference it is the identity, so it never affects the
+// deployed TEE path.
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace tbnet::nn {
+
+class Dropout : public Layer {
+ public:
+  /// `p` = drop probability in [0, 1). Seed fixes the mask stream.
+  explicit Dropout(double p = 0.5, uint64_t seed = 0x0D07);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "Dropout"; }
+  std::unique_ptr<Layer> clone() const override;
+  Shape out_shape(const Shape& in) const override { return in; }
+  int64_t macs(const Shape& in) const override { return in.numel(); }
+
+  double p() const { return p_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  double p_;
+  uint64_t seed_;
+  Rng rng_;
+  std::vector<uint8_t> keep_mask_;
+  Shape cached_shape_;
+};
+
+}  // namespace tbnet::nn

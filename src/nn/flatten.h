@@ -1,0 +1,35 @@
+#pragma once
+// Flatten: [N, C, H, W] -> [N, C*H*W].
+
+#include "nn/layer.h"
+
+namespace tbnet::nn {
+
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override {
+    if (train) cached_in_shape_ = input.shape();
+    return input.reshaped(out_shape(input.shape()));
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    return grad_output.reshaped(cached_in_shape_);
+  }
+
+  std::string kind() const override { return "Flatten"; }
+
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>();
+  }
+
+  Shape out_shape(const Shape& in) const override {
+    return Shape{in.dim(0), in.numel() / in.dim(0)};
+  }
+
+  int64_t macs(const Shape&) const override { return 0; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace tbnet::nn

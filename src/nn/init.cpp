@@ -1,0 +1,27 @@
+#include "nn/init.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tbnet::nn {
+
+void kaiming_normal(Tensor& w, int64_t fan_in, Rng& rng) {
+  if (fan_in <= 0) throw std::invalid_argument("kaiming_normal: fan_in <= 0");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void xavier_uniform(Tensor& w, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  if (fan_in <= 0 || fan_out <= 0) {
+    throw std::invalid_argument("xavier_uniform: fan sizes must be positive");
+  }
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.uniform(-a, a));
+  }
+}
+
+}  // namespace tbnet::nn

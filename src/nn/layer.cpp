@@ -1,0 +1,21 @@
+#include "nn/layer.h"
+
+namespace tbnet::nn {
+
+void Layer::zero_grad() {
+  for (ParamRef& p : params()) {
+    if (p.grad != nullptr) p.grad->zero();
+  }
+}
+
+int64_t Layer::param_bytes() const {
+  int64_t bytes = 0;
+  // params() is non-const by design (it hands out mutable pointers); cast is
+  // confined here.
+  for (const ParamRef& p : const_cast<Layer*>(this)->params()) {
+    bytes += p.value->numel() * static_cast<int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+}  // namespace tbnet::nn

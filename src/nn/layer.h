@@ -1,0 +1,70 @@
+#pragma once
+// Layer: the interface every network building block implements.
+//
+// tbnet uses classic define-by-layer backprop (no tape autograd): each layer
+// caches what it needs during forward(train=true) and exposes backward() that
+// consumes dLoss/dOutput and returns dLoss/dInput, accumulating parameter
+// gradients internally. This is sufficient for the chain / two-branch
+// topologies in this project and keeps the memory profile predictable, which
+// matters for the TEE memory accounting.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace tbnet::nn {
+
+/// A named, non-owning view of one learnable parameter and its gradient.
+struct ParamRef {
+  std::string name;     ///< e.g. "conv1.weight"
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  bool apply_weight_decay = true;  ///< BN scale/shift usually exempted.
+};
+
+/// Abstract network layer operating on float tensors.
+///
+/// Convolutional layers use NCHW batches; Dense/Flatten use [N, features].
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. When `train` is true the layer caches the
+  /// activations it needs for backward() and (for BatchNorm) updates running
+  /// statistics.
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Back-propagates `grad_output` (dLoss/dOutput of the *last* forward call
+  /// with train=true), accumulating parameter gradients and returning
+  /// dLoss/dInput.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Sets all parameter gradients to zero.
+  void zero_grad();
+
+  /// Layer type tag used in logs and serialization ("Conv2d", ...).
+  virtual std::string kind() const = 0;
+
+  /// Deep copy, including parameters and running statistics, excluding any
+  /// cached forward state.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Output shape for a given input shape (throws on incompatible input).
+  virtual Shape out_shape(const Shape& in) const = 0;
+
+  /// Multiply-accumulate count of one forward pass on `in` (0 for reshape
+  /// style layers). Used by the TEE latency cost model.
+  virtual int64_t macs(const Shape& in) const = 0;
+
+  /// Bytes of learnable + buffer state that must live in device memory.
+  virtual int64_t param_bytes() const;
+};
+
+}  // namespace tbnet::nn

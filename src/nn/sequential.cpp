@@ -1,0 +1,76 @@
+#include "nn/sequential.h"
+
+namespace tbnet::nn {
+
+Sequential::Sequential(const Sequential& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+}
+
+Sequential& Sequential::operator=(const Sequential& other) {
+  if (this == &other) return *this;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  return *this;
+}
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamRef> Sequential::params() {
+  std::vector<ParamRef> all;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    for (ParamRef p : layers_[i]->params()) {
+      p.name = std::to_string(i) + "." + layers_[i]->kind() + "." + p.name;
+      all.push_back(p);
+    }
+  }
+  return all;
+}
+
+std::unique_ptr<Layer> Sequential::clone() const {
+  auto copy = std::make_unique<Sequential>();
+  for (const auto& l : layers_) copy->add(l->clone());
+  return copy;
+}
+
+Shape Sequential::out_shape(const Shape& in) const {
+  Shape s = in;
+  for (const auto& l : layers_) s = l->out_shape(s);
+  return s;
+}
+
+int64_t Sequential::macs(const Shape& in) const {
+  Shape s = in;
+  int64_t total = 0;
+  for (const auto& l : layers_) {
+    total += l->macs(s);
+    s = l->out_shape(s);
+  }
+  return total;
+}
+
+int64_t Sequential::param_bytes() const {
+  int64_t total = 0;
+  for (const auto& l : layers_) total += l->param_bytes();
+  return total;
+}
+
+}  // namespace tbnet::nn

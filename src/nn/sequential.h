@@ -1,0 +1,61 @@
+#pragma once
+// Sequential: an ordered container of layers that is itself a Layer.
+//
+// Used both for whole victim models and for the per-stage blocks of the
+// two-branch model (a fusion stage's REE or TEE side is a small Sequential).
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace tbnet::nn {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Deep-copying copy operations (layers are cloned).
+  Sequential(const Sequential& other);
+  Sequential& operator=(const Sequential& other);
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Convenience: constructs the layer in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  int size() const { return static_cast<int>(layers_.size()); }
+  Layer& layer(int i) { return *layers_[static_cast<size_t>(i)]; }
+  const Layer& layer(int i) const { return *layers_[static_cast<size_t>(i)]; }
+
+  /// n-th layer of dynamic type L (0-based), or nullptr.
+  template <typename L>
+  L* find_nth(int n) {
+    for (auto& l : layers_) {
+      if (auto* typed = dynamic_cast<L*>(l.get())) {
+        if (n-- == 0) return typed;
+      }
+    }
+    return nullptr;
+  }
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string kind() const override { return "Sequential"; }
+  std::unique_ptr<Layer> clone() const override;
+  Shape out_shape(const Shape& in) const override;
+  int64_t macs(const Shape& in) const override;
+  int64_t param_bytes() const override;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace tbnet::nn

@@ -1,0 +1,351 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/depthwise.h"
+#include "nn/dropout.h"
+#include "nn/flatten.h"
+#include "nn/pool.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+
+namespace tbnet::nn {
+namespace {
+
+void write_u32(std::ostream& os, uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_i64(std::ostream& os, int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_f32(std::ostream& os, float v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u32(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_u32(os, static_cast<uint32_t>(t.shape().ndim()));
+  for (int64_t d : t.shape().dims()) write_i64(os, d);
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+uint32_t read_u32(std::istream& is) {
+  uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("model stream truncated (u32)");
+  return v;
+}
+
+int64_t read_i64(std::istream& is) {
+  int64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("model stream truncated (i64)");
+  return v;
+}
+
+float read_f32(std::istream& is) {
+  float v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("model stream truncated (f32)");
+  return v;
+}
+
+std::string read_string(std::istream& is) {
+  const uint32_t n = read_u32(is);
+  if (n > (1u << 20)) throw std::runtime_error("model stream: string too long");
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  if (!is) throw std::runtime_error("model stream truncated (string)");
+  return s;
+}
+
+Tensor read_tensor(std::istream& is) {
+  const uint32_t rank = read_u32(is);
+  if (rank > 8) throw std::runtime_error("model stream: tensor rank too high");
+  std::vector<int64_t> dims;
+  dims.reserve(rank);
+  for (uint32_t i = 0; i < rank; ++i) {
+    const int64_t d = read_i64(is);
+    if (d <= 0 || d > (1ll << 32)) {
+      throw std::runtime_error("model stream: bad tensor dim");
+    }
+    dims.push_back(d);
+  }
+  Tensor t{Shape(dims)};
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!is) throw std::runtime_error("model stream truncated (tensor)");
+  return t;
+}
+
+/// std::streambuf that counts bytes without storing them.
+class CountingBuf : public std::streambuf {
+ public:
+  int64_t count = 0;
+
+ protected:
+  int overflow(int ch) override {
+    ++count;
+    return ch;
+  }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    count += n;
+    return n;
+  }
+};
+
+}  // namespace
+
+void save_layer(std::ostream& os, const Layer& layer) {
+  write_string(os, layer.kind());
+  if (const auto* conv = dynamic_cast<const Conv2d*>(&layer)) {
+    write_i64(os, conv->in_channels());
+    write_i64(os, conv->out_channels());
+    write_i64(os, conv->options().kernel);
+    write_i64(os, conv->options().stride);
+    write_i64(os, conv->options().pad);
+    write_u32(os, conv->has_bias() ? 1 : 0);
+    write_tensor(os, conv->weight());
+    if (conv->has_bias()) write_tensor(os, const_cast<Conv2d*>(conv)->bias());
+  } else if (const auto* dw = dynamic_cast<const DepthwiseConv2d*>(&layer)) {
+    write_i64(os, dw->channels());
+    write_i64(os, dw->options().kernel);
+    write_i64(os, dw->options().stride);
+    write_i64(os, dw->options().pad);
+    write_tensor(os, dw->weight());
+  } else if (const auto* bn = dynamic_cast<const BatchNorm2d*>(&layer)) {
+    write_i64(os, bn->channels());
+    write_f32(os, bn->eps());
+    write_f32(os, bn->momentum());
+    write_tensor(os, bn->gamma());
+    write_tensor(os, bn->beta());
+    write_tensor(os, bn->running_mean());
+    write_tensor(os, bn->running_var());
+  } else if (dynamic_cast<const ReLU*>(&layer) != nullptr) {
+    // no state
+  } else if (const auto* lrelu = dynamic_cast<const LeakyReLU*>(&layer)) {
+    write_f32(os, lrelu->alpha());
+  } else if (dynamic_cast<const Tanh*>(&layer) != nullptr) {
+    // no state
+  } else if (dynamic_cast<const Sigmoid*>(&layer) != nullptr) {
+    // no state
+  } else if (const auto* drop = dynamic_cast<const Dropout*>(&layer)) {
+    write_f32(os, static_cast<float>(drop->p()));
+    write_i64(os, static_cast<int64_t>(drop->seed()));
+  } else if (const auto* pool = dynamic_cast<const MaxPool2d*>(&layer)) {
+    write_i64(os, pool->kernel());
+    write_i64(os, pool->stride());
+  } else if (const auto* apool = dynamic_cast<const AvgPool2d*>(&layer)) {
+    write_i64(os, apool->kernel());
+    write_i64(os, apool->stride());
+  } else if (dynamic_cast<const GlobalAvgPool2d*>(&layer) != nullptr) {
+    // no state
+  } else if (dynamic_cast<const Flatten*>(&layer) != nullptr) {
+    // no state
+  } else if (const auto* dense = dynamic_cast<const Dense*>(&layer)) {
+    write_i64(os, dense->in_features());
+    write_i64(os, dense->out_features());
+    write_u32(os, dense->has_bias() ? 1 : 0);
+    write_tensor(os, dense->weight());
+    if (dense->has_bias()) write_tensor(os, const_cast<Dense*>(dense)->bias());
+  } else if (const auto* seq = dynamic_cast<const Sequential*>(&layer)) {
+    write_u32(os, static_cast<uint32_t>(seq->size()));
+    for (int i = 0; i < seq->size(); ++i) save_layer(os, seq->layer(i));
+  } else if (const auto* res = dynamic_cast<const ResidualBlock*>(&layer)) {
+    auto& block = const_cast<ResidualBlock&>(*res);
+    write_i64(os, res->in_channels());
+    write_i64(os, res->out_channels());
+    write_i64(os, res->stride());
+    write_i64(os, res->internal_channels());
+    save_layer(os, block.conv1());
+    save_layer(os, block.bn1());
+    save_layer(os, block.conv2());
+    save_layer(os, block.bn2());
+    if (res->has_downsample()) {
+      save_layer(os, block.down_conv());
+      save_layer(os, block.down_bn());
+    }
+  } else {
+    throw std::runtime_error("save_layer: unsupported layer kind '" +
+                             layer.kind() + "'");
+  }
+}
+
+std::unique_ptr<Layer> load_layer(std::istream& is) {
+  const std::string kind = read_string(is);
+  Rng rng(0);  // weights are overwritten right after construction
+  if (kind == "Conv2d") {
+    const int64_t in_c = read_i64(is);
+    const int64_t out_c = read_i64(is);
+    Conv2d::Options opt;
+    opt.kernel = read_i64(is);
+    opt.stride = read_i64(is);
+    opt.pad = read_i64(is);
+    opt.bias = read_u32(is) != 0;
+    auto conv = std::make_unique<Conv2d>(in_c, out_c, opt, rng);
+    conv->weight() = read_tensor(is);
+    if (conv->weight().shape() != Shape{out_c, in_c, opt.kernel, opt.kernel}) {
+      throw std::runtime_error("load_layer: Conv2d weight shape mismatch");
+    }
+    if (opt.bias) conv->bias() = read_tensor(is);
+    return conv;
+  }
+  if (kind == "DepthwiseConv2d") {
+    const int64_t channels = read_i64(is);
+    DepthwiseConv2d::Options opt;
+    opt.kernel = read_i64(is);
+    opt.stride = read_i64(is);
+    opt.pad = read_i64(is);
+    auto dw = std::make_unique<DepthwiseConv2d>(channels, opt, rng);
+    dw->weight() = read_tensor(is);
+    if (dw->weight().shape() != Shape{channels, opt.kernel, opt.kernel}) {
+      throw std::runtime_error("load_layer: DepthwiseConv2d shape mismatch");
+    }
+    return dw;
+  }
+  if (kind == "BatchNorm2d") {
+    const int64_t c = read_i64(is);
+    const float eps = read_f32(is);
+    const float momentum = read_f32(is);
+    auto bn = std::make_unique<BatchNorm2d>(c, eps, momentum);
+    bn->gamma() = read_tensor(is);
+    bn->beta() = read_tensor(is);
+    bn->running_mean() = read_tensor(is);
+    bn->running_var() = read_tensor(is);
+    if (bn->gamma().numel() != c) {
+      throw std::runtime_error("load_layer: BatchNorm2d shape mismatch");
+    }
+    return bn;
+  }
+  if (kind == "ReLU") return std::make_unique<ReLU>();
+  if (kind == "LeakyReLU") {
+    const float alpha = read_f32(is);
+    return std::make_unique<LeakyReLU>(alpha);
+  }
+  if (kind == "Tanh") return std::make_unique<Tanh>();
+  if (kind == "Sigmoid") return std::make_unique<Sigmoid>();
+  if (kind == "Dropout") {
+    const float p = read_f32(is);
+    const int64_t seed = read_i64(is);
+    return std::make_unique<Dropout>(p, static_cast<uint64_t>(seed));
+  }
+  if (kind == "MaxPool2d") {
+    const int64_t k = read_i64(is);
+    const int64_t s = read_i64(is);
+    return std::make_unique<MaxPool2d>(k, s);
+  }
+  if (kind == "AvgPool2d") {
+    const int64_t k = read_i64(is);
+    const int64_t s = read_i64(is);
+    return std::make_unique<AvgPool2d>(k, s);
+  }
+  if (kind == "GlobalAvgPool2d") return std::make_unique<GlobalAvgPool2d>();
+  if (kind == "Flatten") return std::make_unique<Flatten>();
+  if (kind == "Dense") {
+    const int64_t in_f = read_i64(is);
+    const int64_t out_f = read_i64(is);
+    const bool bias = read_u32(is) != 0;
+    auto dense = std::make_unique<Dense>(in_f, out_f, rng, bias);
+    dense->weight() = read_tensor(is);
+    if (dense->weight().shape() != Shape{out_f, in_f}) {
+      throw std::runtime_error("load_layer: Dense weight shape mismatch");
+    }
+    if (bias) dense->bias() = read_tensor(is);
+    return dense;
+  }
+  if (kind == "Sequential") {
+    const uint32_t n = read_u32(is);
+    auto seq = std::make_unique<Sequential>();
+    for (uint32_t i = 0; i < n; ++i) seq->add(load_layer(is));
+    return seq;
+  }
+  if (kind == "ResidualBlock") {
+    const int64_t in_c = read_i64(is);
+    const int64_t out_c = read_i64(is);
+    const int64_t stride = read_i64(is);
+    const int64_t internal = read_i64(is);
+    auto block = std::make_unique<ResidualBlock>(in_c, out_c, stride, rng);
+    if (internal != out_c) {
+      // Re-create the pruned internal width, then overwrite the weights.
+      std::vector<int64_t> keep(static_cast<size_t>(internal));
+      for (int64_t i = 0; i < internal; ++i) keep[static_cast<size_t>(i)] = i;
+      block->prune_internal(keep);
+    }
+    auto copy_into = [&is](Conv2d& conv, BatchNorm2d& bn) {
+      auto loaded_conv = load_layer(is);
+      auto loaded_bn = load_layer(is);
+      auto* c = dynamic_cast<Conv2d*>(loaded_conv.get());
+      auto* b = dynamic_cast<BatchNorm2d*>(loaded_bn.get());
+      if (!c || !b) {
+        throw std::runtime_error("load_layer: malformed ResidualBlock");
+      }
+      conv.weight() = c->weight();
+      bn.gamma() = b->gamma();
+      bn.beta() = b->beta();
+      bn.running_mean() = b->running_mean();
+      bn.running_var() = b->running_var();
+    };
+    copy_into(block->conv1(), block->bn1());
+    copy_into(block->conv2(), block->bn2());
+    if (block->has_downsample()) {
+      copy_into(block->down_conv(), block->down_bn());
+    }
+    return block;
+  }
+  throw std::runtime_error("load_layer: unknown layer kind '" + kind + "'");
+}
+
+void save_model(std::ostream& os, const Layer& model) {
+  os.write("TBNM", 4);
+  write_u32(os, kModelFormatVersion);
+  save_layer(os, model);
+}
+
+std::unique_ptr<Layer> load_model(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, "TBNM", 4) != 0) {
+    throw std::runtime_error("load_model: bad magic");
+  }
+  const uint32_t version = read_u32(is);
+  if (version != kModelFormatVersion) {
+    throw std::runtime_error("load_model: unsupported version " +
+                             std::to_string(version));
+  }
+  return load_layer(is);
+}
+
+void save_model_file(const std::string& path, const Layer& model) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_model_file: cannot open " + path);
+  save_model(f, model);
+}
+
+std::unique_ptr<Layer> load_model_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_model_file: cannot open " + path);
+  return load_model(f);
+}
+
+int64_t serialized_size(const Layer& model) {
+  CountingBuf buf;
+  std::ostream os(&buf);
+  save_model(os, model);
+  return buf.count;
+}
+
+}  // namespace tbnet::nn

@@ -1,0 +1,40 @@
+#pragma once
+// Binary model (de)serialization.
+//
+// Format: a small tagged tree mirroring the layer structure. This is the
+// on-disk / in-TA ("trusted application") representation used by the
+// deployment packager: the secure branch M_T is serialized with this code,
+// measured, and loaded inside the simulated TEE.
+//
+//   file    := magic "TBNM" u32(version) layer
+//   layer   := string(kind) kind-specific-config tensors
+//
+// All integers little-endian; tensors are rank + dims + raw float32.
+
+#include <iosfwd>
+#include <memory>
+
+#include "nn/layer.h"
+
+namespace tbnet::nn {
+
+inline constexpr uint32_t kModelFormatVersion = 1;
+
+/// Serializes a layer tree (any Layer produced by this library).
+void save_layer(std::ostream& os, const Layer& layer);
+
+/// Reconstructs a layer tree; throws std::runtime_error on malformed input.
+std::unique_ptr<Layer> load_layer(std::istream& is);
+
+/// Whole-model wrappers with magic/version framing.
+void save_model(std::ostream& os, const Layer& model);
+std::unique_ptr<Layer> load_model(std::istream& is);
+
+/// Convenience file-path overloads.
+void save_model_file(const std::string& path, const Layer& model);
+std::unique_ptr<Layer> load_model_file(const std::string& path);
+
+/// Serialized size in bytes (serializes into a counting stream).
+int64_t serialized_size(const Layer& model);
+
+}  // namespace tbnet::nn

@@ -1,0 +1,424 @@
+#include "runtime/deployed.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace tbnet::runtime {
+namespace {
+
+using tee::kTeeErrorBadParameters;
+using tee::kTeeErrorBadState;
+using tee::kTeeSuccess;
+using tee::pack_floats;
+using tee::pack_i64;
+using tee::unpack_floats;
+using tee::unpack_i64;
+
+void pack_tensor(std::vector<uint8_t>& buf, const Tensor& t) {
+  pack_i64(buf, t.shape().ndim());
+  for (int64_t d : t.shape().dims()) pack_i64(buf, d);
+  pack_floats(buf, t.data(), t.numel());
+}
+
+Tensor unpack_tensor(const std::vector<uint8_t>& buf, size_t* offset) {
+  const int64_t rank = unpack_i64(buf, offset);
+  if (rank < 0 || rank > 8) throw std::out_of_range("unpack_tensor: bad rank");
+  std::vector<int64_t> dims;
+  for (int64_t i = 0; i < rank; ++i) dims.push_back(unpack_i64(buf, offset));
+  Shape shape(dims);
+  std::vector<float> data = unpack_floats(buf, offset, shape.numel());
+  return Tensor(shape, std::move(data));
+}
+
+Tensor to_batch1(const Tensor& image_chw) {
+  if (image_chw.shape().ndim() != 3) {
+    throw std::invalid_argument("infer: expected a CHW image, got " +
+                                image_chw.shape().str());
+  }
+  return image_chw.reshaped(Shape{1, image_chw.dim(0), image_chw.dim(1),
+                                  image_chw.dim(2)});
+}
+
+constexpr int64_t kFloat = static_cast<int64_t>(sizeof(float));
+
+// ------------------------------------------------------------------------
+// TbnetTA: the secure-branch trusted application.
+// ------------------------------------------------------------------------
+class TbnetTA : public tee::TrustedApp {
+ public:
+  /// `image`: stage count, per stage (channel map, fused flag, block blob).
+  explicit TbnetTA(const std::vector<uint8_t>& image) {
+    size_t off = 0;
+    const int64_t stages = unpack_i64(image, &off);
+    if (stages <= 0 || stages > 4096) {
+      throw std::runtime_error("TbnetTA: corrupt TA image (stage count)");
+    }
+    for (int64_t i = 0; i < stages; ++i) {
+      const int64_t map_len = unpack_i64(image, &off);
+      std::vector<int64_t> map;
+      for (int64_t j = 0; j < map_len; ++j) map.push_back(unpack_i64(image, &off));
+      fused_flags_.push_back(unpack_i64(image, &off) != 0);
+      const int64_t blob_len = unpack_i64(image, &off);
+      std::string blob(reinterpret_cast<const char*>(image.data()) +
+                           static_cast<std::ptrdiff_t>(off),
+                       static_cast<size_t>(blob_len));
+      off += static_cast<size_t>(blob_len);
+      std::istringstream is(blob, std::ios::binary);
+      blocks_.push_back(nn::load_model(is));
+      maps_.push_back(std::move(map));
+    }
+  }
+
+  void on_install(tee::TaContext& ctx) override {
+    int64_t model_bytes = 0;
+    for (const auto& b : blocks_) model_bytes += b->param_bytes();
+    model_alloc_ = ctx.memory->allocate(model_bytes, "tbnet-ta/model");
+  }
+
+  uint32_t invoke(uint32_t command, const std::vector<uint8_t>& in,
+                  std::vector<uint8_t>& out, tee::TaContext& ctx) override {
+    switch (command) {
+      case kCmdReset:
+        acc_ = Tensor();
+        acc_alloc_.release();
+        next_stage_ = -1;
+        return kTeeSuccess;
+
+      case kCmdSetInput: {
+        size_t off = 0;
+        acc_ = unpack_tensor(in, &off);
+        acc_alloc_ =
+            ctx.memory->allocate(acc_.numel() * kFloat, "tbnet-ta/input");
+        next_stage_ = 0;
+        return kTeeSuccess;
+      }
+
+      case kCmdPushStage: {
+        size_t off = 0;
+        const int64_t stage = unpack_i64(in, &off);
+        if (stage != next_stage_ ||
+            stage >= static_cast<int64_t>(blocks_.size()) ||
+            !fused_flags_[static_cast<size_t>(stage)]) {
+          return kTeeErrorBadState;
+        }
+        const Tensor r_out = unpack_tensor(in, &off);
+        // Working-set accounting: incoming REE contribution + stage output
+        // live alongside the stored fused input during the stage.
+        auto incoming_alloc = ctx.memory->allocate(r_out.numel() * kFloat,
+                                                   "tbnet-ta/incoming");
+        Tensor out_t =
+            blocks_[static_cast<size_t>(stage)]->forward(acc_, false);
+        auto out_alloc =
+            ctx.memory->allocate(out_t.numel() * kFloat, "tbnet-ta/out");
+        // Fusion: select the REE channels aligned with our retained ones
+        // (paper §3.5), then element-wise add.
+        Tensor aligned =
+            core::gather_channels(r_out, maps_[static_cast<size_t>(stage)]);
+        if (aligned.shape() != out_t.shape()) return kTeeErrorBadParameters;
+        out_t.add_(aligned);
+        // The new fused map replaces the previous one.
+        acc_ = std::move(out_t);
+        acc_alloc_ = std::move(out_alloc);
+        next_stage_ = static_cast<int>(stage) + 1;
+        return kTeeSuccess;
+      }
+
+      case kCmdGetLogits: {
+        if (!run_tail(ctx)) return kTeeErrorBadState;
+        pack_tensor(out, acc_);
+        return kTeeSuccess;
+      }
+
+      case kCmdPredict: {
+        if (!run_tail(ctx)) return kTeeErrorBadState;
+        pack_i64(out, acc_.argmax());
+        return kTeeSuccess;
+      }
+
+      default:
+        return kTeeErrorBadParameters;
+    }
+  }
+
+ private:
+  /// Advances through the trailing non-fused stages (the classifier head,
+  /// which runs entirely inside the TEE with no REE contribution). Returns
+  /// false unless every stage has then been executed.
+  bool run_tail(tee::TaContext& ctx) {
+    while (next_stage_ >= 0 &&
+           next_stage_ < static_cast<int>(blocks_.size()) &&
+           !fused_flags_[static_cast<size_t>(next_stage_)]) {
+      Tensor out =
+          blocks_[static_cast<size_t>(next_stage_)]->forward(acc_, false);
+      auto alloc = ctx.memory->allocate(out.numel() * kFloat, "tbnet-ta/out");
+      acc_ = std::move(out);
+      acc_alloc_ = std::move(alloc);
+      ++next_stage_;
+    }
+    return next_stage_ == static_cast<int>(blocks_.size());
+  }
+
+  std::vector<std::unique_ptr<nn::Layer>> blocks_;
+  std::vector<std::vector<int64_t>> maps_;
+  std::vector<bool> fused_flags_;
+  Tensor acc_;
+  int next_stage_ = -1;
+  tee::SecureMemoryPool::Allocation model_alloc_, acc_alloc_;
+};
+
+// ------------------------------------------------------------------------
+// FullTeeTA: the whole victim model inside the TEE (baseline).
+// ------------------------------------------------------------------------
+class FullTeeTA : public tee::TrustedApp {
+ public:
+  explicit FullTeeTA(const std::vector<uint8_t>& image) {
+    std::string blob(reinterpret_cast<const char*>(image.data()),
+                     image.size());
+    std::istringstream is(blob, std::ios::binary);
+    model_ = nn::load_model(is);
+  }
+
+  void on_install(tee::TaContext& ctx) override {
+    model_alloc_ =
+        ctx.memory->allocate(model_->param_bytes(), "full-tee/model");
+  }
+
+  uint32_t invoke(uint32_t command, const std::vector<uint8_t>& in,
+                  std::vector<uint8_t>& out, tee::TaContext& ctx) override {
+    switch (command) {
+      case kCmdSetInput: {
+        size_t off = 0;
+        input_ = unpack_tensor(in, &off);
+        input_alloc_ =
+            ctx.memory->allocate(input_.numel() * kFloat, "full-tee/input");
+        return kTeeSuccess;
+      }
+      case kCmdGetLogits:
+      case kCmdPredict: {
+        if (input_.empty()) return kTeeErrorBadState;
+        // Walk the stages with in/out activation accounting.
+        Tensor x = input_;
+        auto live = ctx.memory->allocate(x.numel() * kFloat, "full-tee/act");
+        auto* seq = dynamic_cast<nn::Sequential*>(model_.get());
+        if (seq != nullptr) {
+          for (int i = 0; i < seq->size(); ++i) {
+            Tensor y = seq->layer(i).forward(x, false);
+            auto next = ctx.memory->allocate(y.numel() * kFloat,
+                                             "full-tee/act");
+            x = std::move(y);
+            live = std::move(next);
+          }
+        } else {
+          x = model_->forward(x, false);
+        }
+        if (command == kCmdGetLogits) {
+          pack_tensor(out, x);
+        } else {
+          pack_i64(out, x.argmax());
+        }
+        return kTeeSuccess;
+      }
+      default:
+        return kTeeErrorBadParameters;
+    }
+  }
+
+ private:
+  std::unique_ptr<nn::Layer> model_;
+  Tensor input_;
+  tee::SecureMemoryPool::Allocation model_alloc_, input_alloc_;
+};
+
+// ------------------------------------------------------------------------
+// PartitionTailTA: the DarkneTZ-style TEE tail.
+// ------------------------------------------------------------------------
+class PartitionTailTA : public tee::TrustedApp {
+ public:
+  explicit PartitionTailTA(const std::vector<uint8_t>& image) {
+    std::string blob(reinterpret_cast<const char*>(image.data()),
+                     image.size());
+    std::istringstream is(blob, std::ios::binary);
+    tail_ = nn::load_model(is);
+  }
+
+  void on_install(tee::TaContext& ctx) override {
+    model_alloc_ =
+        ctx.memory->allocate(tail_->param_bytes(), "partition/model");
+  }
+
+  uint32_t invoke(uint32_t command, const std::vector<uint8_t>& in,
+                  std::vector<uint8_t>& out, tee::TaContext&) override {
+    if (command != kCmdPushStage) return kTeeErrorBadParameters;
+    size_t off = 0;
+    Tensor feature = unpack_tensor(in, &off);
+    Tensor logits = tail_->forward(feature, false);
+    pack_tensor(out, logits);
+    return kTeeSuccess;
+  }
+
+ private:
+  std::unique_ptr<nn::Layer> tail_;
+  tee::SecureMemoryPool::Allocation model_alloc_;
+};
+
+std::vector<uint8_t> serialize_blob(const nn::Layer& layer) {
+  std::ostringstream os(std::ios::binary);
+  nn::save_model(os, layer);
+  const std::string s = os.str();
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+void ta_check(uint32_t status, const char* what) {
+  if (status != kTeeSuccess) {
+    throw std::runtime_error(std::string("TA command failed: ") + what +
+                             " (status " + std::to_string(status) + ")");
+  }
+}
+
+/// Builds the TBNet TA image: stage count, then per stage the channel map
+/// and the serialized secure block.
+std::vector<uint8_t> build_tbnet_ta_image(const core::TwoBranchModel& model) {
+  std::vector<uint8_t> image;
+  pack_i64(image, model.num_stages());
+  for (int i = 0; i < model.num_stages(); ++i) {
+    const core::FusionStage& s = model.stage(i);
+    pack_i64(image, static_cast<int64_t>(s.channel_map.size()));
+    for (int64_t v : s.channel_map) pack_i64(image, v);
+    pack_i64(image, s.fused ? 1 : 0);
+    const std::vector<uint8_t> blob = serialize_blob(*s.secure);
+    pack_i64(image, static_cast<int64_t>(blob.size()));
+    image.insert(image.end(), blob.begin(), blob.end());
+  }
+  return image;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- DeployedTBNet --
+
+DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
+                             tee::TeeContext& ctx, std::string uuid) {
+  const std::vector<uint8_t> image = build_tbnet_ta_image(model);
+  ta_image_bytes_ = static_cast<int64_t>(image.size());
+  ctx.world().install(uuid, std::make_unique<TbnetTA>(image));
+  session_ = std::make_unique<tee::TeeSession>(ctx.open_session(uuid));
+  for (int i = 0; i < model.num_stages(); ++i) {
+    // Only fused stages execute REE-side; non-fused (head) stages live
+    // solely in the TA.
+    if (model.stage(i).fused) {
+      exposed_.push_back(model.stage(i).exposed->clone());
+    }
+  }
+}
+
+Tensor DeployedTBNet::infer(const Tensor& image_chw) {
+  Tensor x = to_batch1(image_chw);
+  std::vector<uint8_t> payload;
+  pack_tensor(payload, x);
+  ta_check(session_->invoke(kCmdSetInput, payload), "SetInput");
+  for (size_t i = 0; i < exposed_.size(); ++i) {
+    x = exposed_[i]->forward(x, false);
+    payload.clear();
+    pack_i64(payload, static_cast<int64_t>(i));
+    pack_tensor(payload, x);
+    ta_check(session_->invoke(kCmdPushStage, payload), "PushStage");
+  }
+  std::vector<uint8_t> result;
+  ta_check(session_->invoke(kCmdGetLogits, {}, &result), "GetLogits");
+  size_t off = 0;
+  return unpack_tensor(result, &off);
+}
+
+int64_t DeployedTBNet::predict(const Tensor& image_chw) {
+  std::vector<uint8_t> result;
+  infer_to(image_chw, &result);
+  size_t off = 0;
+  return unpack_i64(result, &off);
+}
+
+void DeployedTBNet::infer_to(const Tensor& image_chw,
+                             std::vector<uint8_t>* result) {
+  Tensor x = to_batch1(image_chw);
+  std::vector<uint8_t> payload;
+  pack_tensor(payload, x);
+  ta_check(session_->invoke(kCmdSetInput, payload), "SetInput");
+  for (size_t i = 0; i < exposed_.size(); ++i) {
+    x = exposed_[i]->forward(x, false);
+    payload.clear();
+    pack_i64(payload, static_cast<int64_t>(i));
+    pack_tensor(payload, x);
+    ta_check(session_->invoke(kCmdPushStage, payload), "PushStage");
+  }
+  ta_check(session_->invoke(kCmdPredict, {}, result), "Predict");
+}
+
+// ------------------------------------------------------ FullTeeDeployment --
+
+FullTeeDeployment::FullTeeDeployment(const nn::Sequential& victim,
+                                     tee::TeeContext& ctx, std::string uuid) {
+  ctx.world().install(uuid,
+                      std::make_unique<FullTeeTA>(serialize_blob(victim)));
+  session_ = std::make_unique<tee::TeeSession>(ctx.open_session(uuid));
+}
+
+Tensor FullTeeDeployment::infer(const Tensor& image_chw) {
+  std::vector<uint8_t> payload;
+  pack_tensor(payload, to_batch1(image_chw));
+  ta_check(session_->invoke(kCmdSetInput, payload), "SetInput");
+  std::vector<uint8_t> result;
+  ta_check(session_->invoke(kCmdGetLogits, {}, &result), "GetLogits");
+  size_t off = 0;
+  return unpack_tensor(result, &off);
+}
+
+int64_t FullTeeDeployment::predict(const Tensor& image_chw) {
+  return infer(image_chw).argmax();
+}
+
+// ---------------------------------------------------- PartitionDeployment --
+
+PartitionDeployment::PartitionDeployment(const nn::Sequential& victim,
+                                         int first_tee_stage,
+                                         tee::TeeContext& ctx,
+                                         std::string uuid)
+    : first_tee_stage_(first_tee_stage) {
+  if (first_tee_stage <= 0 || first_tee_stage >= victim.size()) {
+    throw std::invalid_argument(
+        "PartitionDeployment: first_tee_stage out of range");
+  }
+  nn::Sequential tail;
+  for (int i = first_tee_stage; i < victim.size(); ++i) {
+    tail.add(victim.layer(i).clone());
+  }
+  ctx.world().install(uuid,
+                      std::make_unique<PartitionTailTA>(serialize_blob(tail)));
+  session_ = std::make_unique<tee::TeeSession>(ctx.open_session(uuid));
+  for (int i = 0; i < first_tee_stage; ++i) {
+    head_.push_back(victim.layer(i).clone());
+  }
+}
+
+Tensor PartitionDeployment::observable_tee_input(const Tensor& image_chw) {
+  Tensor x = to_batch1(image_chw);
+  for (auto& l : head_) x = l->forward(x, false);
+  return x;
+}
+
+Tensor PartitionDeployment::infer(const Tensor& image_chw) {
+  Tensor feature = observable_tee_input(image_chw);
+  std::vector<uint8_t> payload;
+  pack_tensor(payload, feature);
+  std::vector<uint8_t> result;
+  ta_check(session_->invoke(kCmdPushStage, payload, &result), "PushTail");
+  size_t off = 0;
+  return unpack_tensor(result, &off);
+}
+
+int64_t PartitionDeployment::predict(const Tensor& image_chw) {
+  return infer(image_chw).argmax();
+}
+
+}  // namespace tbnet::runtime

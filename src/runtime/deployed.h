@@ -1,0 +1,97 @@
+#pragma once
+// Deployed inference engines.
+//
+// DeployedTBNet is the production shape of a finalized two-branch model:
+// M_R's blocks run as normal-world code; M_T is serialized, installed as a
+// trusted application in the simulated secure world, and driven through the
+// OP-TEE-style session API. Every intermediate feature map crosses the
+// one-way channel; the TEE releases only the final prediction.
+//
+// Two prior-art baselines share the infrastructure:
+//   * FullTeeDeployment — the entire victim inside the TEE (full protection,
+//     worst latency/memory; the paper's comparison baseline).
+//   * PartitionDeployment — DarkneTZ-style layer split with plaintext
+//     feature maps crossing both ways; the substitute-layer attack in
+//     attack/ breaks it, motivating TBNet's one-way design.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/two_branch.h"
+#include "nn/sequential.h"
+#include "tee/optee_api.h"
+
+namespace tbnet::runtime {
+
+/// TBNet TA command IDs.
+inline constexpr uint32_t kCmdSetInput = 1;
+inline constexpr uint32_t kCmdPushStage = 2;
+inline constexpr uint32_t kCmdGetLogits = 3;
+inline constexpr uint32_t kCmdPredict = 4;
+inline constexpr uint32_t kCmdReset = 5;
+
+/// Splits a finalized TwoBranchModel into an REE half and an installed TA.
+class DeployedTBNet {
+ public:
+  /// Clones M_R into normal-world memory, serializes M_T + channel maps into
+  /// a TA image and installs it in `ctx`'s secure world under `uuid`.
+  DeployedTBNet(const core::TwoBranchModel& model, tee::TeeContext& ctx,
+                std::string uuid = "tbnet-secure-branch");
+
+  /// Runs one inference (CHW image), returning the logits the TEE releases.
+  Tensor infer(const Tensor& image_chw);
+
+  /// Runs one inference and returns only the predicted label (the strictly
+  /// minimal output a hardened deployment would release).
+  int64_t predict(const Tensor& image_chw);
+
+  int num_stages() const { return static_cast<int>(exposed_.size()); }
+  int64_t ta_image_bytes() const { return ta_image_bytes_; }
+
+ private:
+  void infer_to(const Tensor& image_chw, std::vector<uint8_t>* result);
+
+  std::vector<std::unique_ptr<nn::Layer>> exposed_;
+  std::unique_ptr<tee::TeeSession> session_;
+  int64_t ta_image_bytes_ = 0;
+};
+
+/// Baseline: whole victim model inside the TEE.
+class FullTeeDeployment {
+ public:
+  FullTeeDeployment(const nn::Sequential& victim, tee::TeeContext& ctx,
+                    std::string uuid = "full-victim");
+
+  Tensor infer(const Tensor& image_chw);
+  int64_t predict(const Tensor& image_chw);
+
+ private:
+  std::unique_ptr<tee::TeeSession> session_;
+};
+
+/// Prior-art baseline: stages [0, first_tee_stage) in the REE, the rest in
+/// the TEE (DarkneTZ-style). Requires a bidirectional-policy context.
+class PartitionDeployment {
+ public:
+  PartitionDeployment(const nn::Sequential& victim, int first_tee_stage,
+                      tee::TeeContext& ctx,
+                      std::string uuid = "partition-tail");
+
+  Tensor infer(const Tensor& image_chw);
+  int64_t predict(const Tensor& image_chw);
+
+  /// What an attacker monitoring REE memory observes entering the TEE — the
+  /// exact input of the hidden layers. Combined with the logits the user
+  /// receives, this is the training set for the substitute-layer attack.
+  Tensor observable_tee_input(const Tensor& image_chw);
+
+  int first_tee_stage() const { return first_tee_stage_; }
+
+ private:
+  std::vector<std::unique_ptr<nn::Layer>> head_;  // REE-resident stages
+  std::unique_ptr<tee::TeeSession> session_;
+  int first_tee_stage_ = 0;
+};
+
+}  // namespace tbnet::runtime

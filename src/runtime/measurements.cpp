@@ -1,0 +1,76 @@
+#include "runtime/measurements.h"
+
+namespace tbnet::runtime {
+namespace {
+
+constexpr int64_t kFloat = static_cast<int64_t>(sizeof(float));
+
+Shape with_batch(const Shape& chw) {
+  if (chw.ndim() != 3) {
+    throw std::invalid_argument("measure: expected CHW input shape, got " +
+                                chw.str());
+  }
+  return Shape{1, chw.dim(0), chw.dim(1), chw.dim(2)};
+}
+
+}  // namespace
+
+TwoBranchFootprint measure_two_branch(const core::TwoBranchModel& model,
+                                      const Shape& input_chw) {
+  TwoBranchFootprint fp;
+  const Shape input = with_batch(input_chw);
+  fp.input_bytes = input.numel() * kFloat;
+
+  Shape r_in = input;
+  Shape t_in = input;
+  for (int i = 0; i < model.num_stages(); ++i) {
+    const core::FusionStage& s = model.stage(i);
+    tee::StageCost cost;
+    const Shape t_out = s.secure->out_shape(t_in);
+    cost.secure_macs = s.secure->macs(t_in);
+    int64_t working = (t_in.numel() + t_out.numel()) * kFloat;
+    if (s.fused) {
+      // The REE runs the exposed block, ships its output, and the TEE adds
+      // the aligned channels; non-fused stages (the head) cost only M_T
+      // compute — the exposed head never executes on the device.
+      cost.exposed_macs = s.exposed->macs(r_in);
+      const Shape r_out = s.exposed->out_shape(r_in);
+      cost.secure_macs += t_out.numel();  // fusion element-wise add
+      cost.transfer_bytes = r_out.numel() * kFloat;
+      fp.total_transfer_bytes += cost.transfer_bytes;
+      working += t_out.numel() * kFloat;  // incoming REE contribution
+      r_in = r_out;
+    }
+    fp.secure_activation_peak = std::max(fp.secure_activation_peak, working);
+    fp.stages.push_back(cost);
+    t_in = t_out;
+  }
+  for (int i = 0; i < model.num_stages(); ++i) {
+    fp.secure_model_bytes += model.stage(i).secure->param_bytes();
+    fp.exposed_model_bytes += model.stage(i).exposed->param_bytes();
+  }
+  fp.secure_total_bytes = fp.secure_model_bytes + fp.secure_activation_peak;
+  return fp;
+}
+
+VictimFootprint measure_victim(const nn::Sequential& victim,
+                               const Shape& input_chw) {
+  VictimFootprint fp;
+  const Shape input = with_batch(input_chw);
+  fp.input_bytes = input.numel() * kFloat;
+  Shape in = input;
+  for (int i = 0; i < victim.size(); ++i) {
+    const nn::Layer& stage = victim.layer(i);
+    fp.stage_macs.push_back(stage.macs(in));
+    const Shape out = stage.out_shape(in);
+    fp.stage_out_bytes.push_back(out.numel() * kFloat);
+    fp.activation_peak =
+        std::max(fp.activation_peak, (in.numel() + out.numel()) * kFloat);
+    in = out;
+  }
+  fp.model_bytes = victim.param_bytes();
+  fp.total_bytes = fp.model_bytes + fp.activation_peak;
+  return fp;
+}
+
+}  // namespace tbnet::runtime

@@ -1,0 +1,44 @@
+#pragma once
+// Footprint measurement: per-stage MACs, transfer sizes, and memory needs of
+// deployable models. These feed the tee:: cost model (latency, Tab. 3) and
+// the secure-memory accounting (Fig. 3).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/two_branch.h"
+#include "nn/sequential.h"
+#include "tee/cost_model.h"
+
+namespace tbnet::runtime {
+
+/// Static footprint of a two-branch deployment (batch size 1).
+struct TwoBranchFootprint {
+  std::vector<tee::StageCost> stages;
+  int64_t secure_model_bytes = 0;     ///< M_T parameters + BN buffers
+  int64_t exposed_model_bytes = 0;    ///< M_R parameters + BN buffers
+  int64_t secure_activation_peak = 0; ///< analytic activation peak in TEE
+  int64_t secure_total_bytes = 0;     ///< model + activation peak
+  int64_t input_bytes = 0;
+  int64_t total_transfer_bytes = 0;
+};
+
+/// Measures a two-branch model for a CHW input (batch dimension added
+/// internally). Uses shape inference only — no forward pass is run.
+TwoBranchFootprint measure_two_branch(const core::TwoBranchModel& model,
+                                      const Shape& input_chw);
+
+/// Static footprint of a single-branch (victim) model deployed whole.
+struct VictimFootprint {
+  std::vector<int64_t> stage_macs;
+  std::vector<int64_t> stage_out_bytes;
+  int64_t model_bytes = 0;
+  int64_t activation_peak = 0;
+  int64_t total_bytes = 0;  ///< model + activation peak
+  int64_t input_bytes = 0;
+};
+
+VictimFootprint measure_victim(const nn::Sequential& victim,
+                               const Shape& input_chw);
+
+}  // namespace tbnet::runtime

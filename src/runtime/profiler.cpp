@@ -1,0 +1,73 @@
+#include "runtime/profiler.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tbnet::runtime {
+
+DeploymentProfile profile_deployment(const core::TwoBranchModel& model,
+                                     const nn::Sequential& victim,
+                                     const tee::CostModel& device,
+                                     const Shape& input_chw) {
+  DeploymentProfile profile;
+  const TwoBranchFootprint fp = measure_two_branch(model, input_chw);
+  const VictimFootprint vfp = measure_victim(victim, input_chw);
+
+  for (size_t i = 0; i < fp.stages.size(); ++i) {
+    const tee::StageCost& cost = fp.stages[i];
+    StageProfile sp;
+    sp.stage = static_cast<int>(i);
+    sp.fused = model.stage(static_cast<int>(i)).fused;
+    sp.exposed_macs = cost.exposed_macs;
+    sp.secure_macs = cost.secure_macs;
+    sp.transfer_bytes = cost.transfer_bytes;
+    sp.ree_seconds =
+        device.compute_seconds(tee::World::kNormal, cost.exposed_macs);
+    sp.tee_seconds =
+        device.compute_seconds(tee::World::kSecure, cost.secure_macs);
+    sp.transfer_seconds =
+        sp.fused ? device.transfer_seconds(cost.transfer_bytes) : 0.0;
+    profile.stages.push_back(sp);
+  }
+  profile.tbnet_timeline = simulate_two_branch(device, fp.stages);
+  profile.baseline_timeline =
+      simulate_full_tee(device, vfp.stage_macs, vfp.input_bytes);
+  profile.secure_model_bytes = fp.secure_model_bytes;
+  profile.secure_activation_peak = fp.secure_activation_peak;
+  profile.baseline_secure_bytes = vfp.total_bytes;
+  return profile;
+}
+
+std::string format_profile(const DeploymentProfile& p) {
+  std::ostringstream os;
+  char line[256];
+  os << "stage | fused |   REE MACs |   TEE MACs | transfer B |  REE ms |"
+        "  TEE ms | xfer ms\n";
+  os << std::string(88, '-') << "\n";
+  for (const StageProfile& s : p.stages) {
+    std::snprintf(line, sizeof(line),
+                  "%5d | %5s | %10lld | %10lld | %10lld | %7.3f | %7.3f | %7.3f\n",
+                  s.stage, s.fused ? "yes" : "no",
+                  static_cast<long long>(s.exposed_macs),
+                  static_cast<long long>(s.secure_macs),
+                  static_cast<long long>(s.transfer_bytes),
+                  1e3 * s.ree_seconds, 1e3 * s.tee_seconds,
+                  1e3 * s.transfer_seconds);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "\nlatency: baseline %.4f s, TBNet %.4f s (%.2fx)\n",
+                p.baseline_timeline.makespan_s, p.tbnet_timeline.makespan_s,
+                p.latency_reduction());
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "secure memory: baseline %.1f KiB, TBNet %.1f KiB model +"
+                " %.1f KiB activations (%.2fx)\n",
+                p.baseline_secure_bytes / 1024.0,
+                p.secure_model_bytes / 1024.0,
+                p.secure_activation_peak / 1024.0, p.memory_reduction());
+  os << line;
+  return os.str();
+}
+
+}  // namespace tbnet::runtime

@@ -1,0 +1,60 @@
+#pragma once
+// DeploymentProfiler — per-stage breakdown of a TBNet deployment.
+//
+// Combines the static footprint (MACs, transfer bytes, memory) with the
+// device cost model into the table an engineer would want before flashing a
+// device: where the time goes (REE compute / TEE compute / channel), which
+// stage dominates the TEE working set, and how the split compares with the
+// all-in-TEE baseline.
+
+#include <string>
+#include <vector>
+
+#include "core/two_branch.h"
+#include "nn/sequential.h"
+#include "runtime/measurements.h"
+#include "tee/cost_model.h"
+
+namespace tbnet::runtime {
+
+struct StageProfile {
+  int stage = 0;
+  bool fused = true;
+  int64_t exposed_macs = 0;
+  int64_t secure_macs = 0;
+  int64_t transfer_bytes = 0;
+  double ree_seconds = 0.0;
+  double tee_seconds = 0.0;
+  double transfer_seconds = 0.0;
+};
+
+struct DeploymentProfile {
+  std::vector<StageProfile> stages;
+  tee::TimelineResult tbnet_timeline;
+  tee::TimelineResult baseline_timeline;  ///< whole victim in the TEE
+  int64_t secure_model_bytes = 0;
+  int64_t secure_activation_peak = 0;
+  int64_t baseline_secure_bytes = 0;
+
+  double latency_reduction() const {
+    return tbnet_timeline.makespan_s > 0
+               ? baseline_timeline.makespan_s / tbnet_timeline.makespan_s
+               : 0.0;
+  }
+  double memory_reduction() const {
+    const double tb =
+        static_cast<double>(secure_model_bytes + secure_activation_peak);
+    return tb > 0 ? static_cast<double>(baseline_secure_bytes) / tb : 0.0;
+  }
+};
+
+/// Profiles `model` against `victim` on the given device for a CHW input.
+DeploymentProfile profile_deployment(const core::TwoBranchModel& model,
+                                     const nn::Sequential& victim,
+                                     const tee::CostModel& device,
+                                     const Shape& input_chw);
+
+/// Pretty-prints the profile as an aligned table.
+std::string format_profile(const DeploymentProfile& profile);
+
+}  // namespace tbnet::runtime

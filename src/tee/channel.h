@@ -1,0 +1,62 @@
+#pragma once
+// OneWayChannel — the REE -> TEE data path with direction enforcement.
+//
+// TBNet's security argument (paper §3.2) hinges on intermediate feature maps
+// flowing only from the normal world into the secure world. The channel is a
+// hard invariant here: any attempt to push a payload in the secure->normal
+// direction throws SecurityViolation. The channel also keeps transfer
+// statistics (count, bytes, per-transfer log) that feed the latency model
+// and the experiment reports.
+//
+// A `Policy::kBidirectional` mode exists solely to model *prior-art*
+// baselines (DarkneTZ-style partitioning returns TEE feature maps to the
+// REE in plaintext); payloads sent secure->normal under that policy are
+// tallied as leaked bytes, which is what the substitute-layer attack feeds
+// on.
+
+#include <cstdint>
+#include <vector>
+
+#include "tee/world.h"
+
+namespace tbnet::tee {
+
+class OneWayChannel {
+ public:
+  enum class Policy {
+    kOneWayIntoTee,  ///< TBNet: normal->secure only
+    kBidirectional,  ///< prior-art baselines; secure->normal counted as leak
+  };
+
+  explicit OneWayChannel(Policy policy = Policy::kOneWayIntoTee)
+      : policy_(policy) {}
+
+  struct Transfer {
+    World from = World::kNormal;
+    World to = World::kSecure;
+    int64_t bytes = 0;
+  };
+
+  /// Registers a payload crossing worlds. Throws SecurityViolation for a
+  /// secure->normal push under the one-way policy.
+  void push(World from, World to, int64_t bytes);
+
+  Policy policy() const { return policy_; }
+  int64_t transfer_count() const { return static_cast<int64_t>(log_.size()); }
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t bytes_into_tee() const { return into_tee_; }
+  /// Bytes that left the TEE in plaintext (0 under the one-way policy).
+  int64_t leaked_bytes() const { return leaked_; }
+  const std::vector<Transfer>& log() const { return log_; }
+
+  void reset();
+
+ private:
+  Policy policy_;
+  std::vector<Transfer> log_;
+  int64_t total_bytes_ = 0;
+  int64_t into_tee_ = 0;
+  int64_t leaked_ = 0;
+};
+
+}  // namespace tbnet::tee

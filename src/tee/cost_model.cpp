@@ -1,0 +1,107 @@
+#include "tee/cost_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tbnet::tee {
+
+double CostModel::compute_seconds(World world, int64_t macs) const {
+  if (macs < 0) throw std::invalid_argument("compute_seconds: negative MACs");
+  const double rate = (world == World::kNormal) ? profile_.ree_macs_per_s
+                                                : profile_.tee_macs_per_s;
+  return static_cast<double>(macs) / rate;
+}
+
+double CostModel::transfer_seconds(int64_t bytes) const {
+  if (bytes < 0) throw std::invalid_argument("transfer_seconds: negative size");
+  return profile_.world_switch_s +
+         static_cast<double>(bytes) / profile_.channel_bytes_per_s;
+}
+
+TimelineResult simulate_two_branch(const CostModel& model,
+                                   const std::vector<StageCost>& stages) {
+  TimelineResult result;
+  const size_t n = stages.size();
+  if (n == 0) return result;
+
+  // r_done[i]: R_i finished on the REE core; x_done[i]: its output landed in
+  // the TEE; t_done[i]: T_i finished AND the stage's fusion add completed.
+  std::vector<double> r_done(n), x_done(n), t_done(n);
+  double ree_clock = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double r = model.compute_seconds(World::kNormal,
+                                           stages[i].exposed_macs);
+    ree_clock += r;
+    r_done[i] = ree_clock;
+    result.ree_busy_s += r;
+    // The transfer starts as soon as R_i is done (shared-memory DMA model;
+    // serialized with other transfers implicitly by R's serial order).
+    const double x = model.transfer_seconds(stages[i].transfer_bytes);
+    x_done[i] = r_done[i] + x;
+    result.transfer_s += x;
+  }
+  double tee_clock = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // T_i consumes fused[i-1], available once T_{i-1} finished its add —
+    // which itself waited for x_done[i-1].
+    const double ready = (i == 0) ? 0.0 : t_done[i - 1];
+    const double t = model.compute_seconds(World::kSecure,
+                                           stages[i].secure_macs);
+    const double t_compute_done = std::max(tee_clock, ready) + t;
+    // The fusion add needs R_i's transferred output.
+    t_done[i] = std::max(t_compute_done, x_done[i]);
+    tee_clock = t_done[i];
+    result.tee_busy_s += t;
+    result.stage_finish_s.push_back(t_done[i]);
+  }
+  result.makespan_s = t_done[n - 1];
+  return result;
+}
+
+TimelineResult simulate_full_tee(const CostModel& model,
+                                 const std::vector<int64_t>& stage_macs,
+                                 int64_t input_bytes) {
+  TimelineResult result;
+  double clock = model.transfer_seconds(input_bytes);
+  result.transfer_s = clock;
+  for (int64_t macs : stage_macs) {
+    const double t = model.compute_seconds(World::kSecure, macs);
+    clock += t;
+    result.tee_busy_s += t;
+    result.stage_finish_s.push_back(clock);
+  }
+  result.makespan_s = clock;
+  return result;
+}
+
+TimelineResult simulate_partition(const CostModel& model,
+                                  const std::vector<int64_t>& stage_macs,
+                                  const std::vector<int64_t>& stage_out_bytes,
+                                  int first_tee_stage, int64_t input_bytes) {
+  if (stage_macs.size() != stage_out_bytes.size()) {
+    throw std::invalid_argument("simulate_partition: size mismatch");
+  }
+  TimelineResult result;
+  double clock = 0.0;
+  for (size_t i = 0; i < stage_macs.size(); ++i) {
+    const bool in_tee = static_cast<int>(i) >= first_tee_stage;
+    if (static_cast<int>(i) == first_tee_stage) {
+      const double x = model.transfer_seconds(
+          i == 0 ? input_bytes : stage_out_bytes[i - 1]);
+      clock += x;
+      result.transfer_s += x;
+    }
+    const double t = model.compute_seconds(
+        in_tee ? World::kSecure : World::kNormal, stage_macs[i]);
+    clock += t;
+    (in_tee ? result.tee_busy_s : result.ree_busy_s) += t;
+    result.stage_finish_s.push_back(clock);
+  }
+  // Result (or feature map, in DarkneTZ's middle-partition case) returns to
+  // the REE: one more switch.
+  clock += model.switch_seconds();
+  result.makespan_s = clock;
+  return result;
+}
+
+}  // namespace tbnet::tee

@@ -1,0 +1,75 @@
+#pragma once
+// CostModel + Timeline — the analytic latency machinery.
+//
+// Inference latency is simulated on two "processors" (the REE core and the
+// TEE core) connected by the one-way channel. Each fusion stage contributes
+// three work items:
+//   R_i (REE compute)  ->  X_i (transfer R_i's output)  ->  T_i (TEE compute)
+// with dependencies R_i -> R_{i+1}, T_i -> T_{i+1}, X_i -> T_{i+1} (the TEE
+// needs the fused input), plus X_{last} -> completion. The REE can therefore
+// run ahead of the TEE (software pipelining across stages), which is where
+// TBNet's latency win over the all-in-TEE baseline comes from: the heavy
+// lifting moves to the faster normal world while the TEE only runs the
+// pruned secure branch.
+
+#include <cstdint>
+#include <vector>
+
+#include "tee/device_profile.h"
+#include "tee/world.h"
+
+namespace tbnet::tee {
+
+class CostModel {
+ public:
+  explicit CostModel(DeviceProfile profile) : profile_(std::move(profile)) {}
+
+  const DeviceProfile& profile() const { return profile_; }
+
+  /// Seconds to execute `macs` multiply-accumulates in `world`.
+  double compute_seconds(World world, int64_t macs) const;
+
+  /// Seconds to move `bytes` across worlds, including one world switch.
+  double transfer_seconds(int64_t bytes) const;
+
+  double switch_seconds() const { return profile_.world_switch_s; }
+
+ private:
+  DeviceProfile profile_;
+};
+
+/// Per-fusion-stage work description.
+struct StageCost {
+  int64_t exposed_macs = 0;    ///< R_i work (REE)
+  int64_t secure_macs = 0;     ///< T_i work (TEE), including the fusion add
+  int64_t transfer_bytes = 0;  ///< R_i output feature map size
+};
+
+/// Simulation output.
+struct TimelineResult {
+  double makespan_s = 0.0;      ///< end-to-end inference latency
+  double ree_busy_s = 0.0;      ///< total REE compute time
+  double tee_busy_s = 0.0;      ///< total TEE compute time
+  double transfer_s = 0.0;      ///< total channel time (incl. switches)
+  /// Per-stage completion times of the TEE work items (diagnostics).
+  std::vector<double> stage_finish_s;
+};
+
+/// TBNet split execution: pipelined two-processor schedule.
+TimelineResult simulate_two_branch(const CostModel& model,
+                                   const std::vector<StageCost>& stages);
+
+/// Baseline: the entire victim runs serialized inside the TEE; input upload
+/// is one transfer.
+TimelineResult simulate_full_tee(const CostModel& model,
+                                 const std::vector<int64_t>& stage_macs,
+                                 int64_t input_bytes);
+
+/// Prior-art layer partition (DarkneTZ-style): first REE stages, then TEE
+/// stages, strictly sequential, with a transfer at each boundary crossing.
+TimelineResult simulate_partition(const CostModel& model,
+                                  const std::vector<int64_t>& stage_macs,
+                                  const std::vector<int64_t>& stage_out_bytes,
+                                  int first_tee_stage, int64_t input_bytes);
+
+}  // namespace tbnet::tee

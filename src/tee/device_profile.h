@@ -1,0 +1,55 @@
+#pragma once
+// DeviceProfile — throughput/overhead coefficients of a simulated edge
+// device, calibrated to the paper's testbed class (Raspberry Pi 3 Model B,
+// Broadcom BCM2837 Cortex-A53 @ 1.2 GHz, 1 GB RAM, OP-TEE).
+//
+// Calibration rationale: the paper reports 2.3983 s for one full VGG18
+// inference inside the TEE (Tab. 3). A CIFAR-scale VGG18 forward is roughly
+// 0.35 GMAC, implying ~0.15 GMAC/s effective secure-world throughput for an
+// unoptimized single-thread float kernel. The normal world runs the same
+// kernels slightly faster (better cache behavior, no secure-memory
+// round-trips); OP-TEE world switches cost tens of microseconds and shared
+// memory copies move ~1 GB/s on this SoC.
+
+#include <cstdint>
+#include <string>
+
+namespace tbnet::tee {
+
+struct DeviceProfile {
+  std::string name = "generic";
+  /// Effective multiply-accumulates per second, normal world.
+  double ree_macs_per_s = 2.5e8;
+  /// Effective MACs per second inside the TEE (slower: secure-memory
+  /// latency, no big caches, conservative kernels).
+  double tee_macs_per_s = 1.5e8;
+  /// One REE<->TEE world switch (SMC + context save/restore), seconds.
+  double world_switch_s = 50e-6;
+  /// Shared-memory bandwidth for cross-world payloads, bytes/second.
+  double channel_bytes_per_s = 1.0e9;
+  /// Secure memory carve-out available to the trusted application, bytes.
+  int64_t secure_mem_budget = 16ll * 1024 * 1024;
+
+  /// Raspberry Pi 3 Model B + OP-TEE, the paper's testbed.
+  static DeviceProfile rpi3() {
+    DeviceProfile p;
+    p.name = "raspberry-pi-3b/op-tee";
+    p.ree_macs_per_s = 2.5e8;
+    p.tee_macs_per_s = 1.5e8;
+    p.world_switch_s = 50e-6;
+    p.channel_bytes_per_s = 1.0e9;
+    p.secure_mem_budget = 16ll * 1024 * 1024;
+    return p;
+  }
+
+  /// A faster REE (e.g. NEON-optimized kernels) — used by the discussion
+  /// §5.3 experiments about REE-side acceleration.
+  static DeviceProfile rpi3_accelerated_ree(double speedup) {
+    DeviceProfile p = rpi3();
+    p.name = "raspberry-pi-3b/op-tee (REE x" + std::to_string(speedup) + ")";
+    p.ree_macs_per_s *= speedup;
+    return p;
+  }
+};
+
+}  // namespace tbnet::tee

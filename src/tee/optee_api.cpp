@@ -1,0 +1,94 @@
+#include "tee/optee_api.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace tbnet::tee {
+
+void SecureWorld::install(const std::string& uuid,
+                          std::unique_ptr<TrustedApp> ta) {
+  if (!ta) throw std::invalid_argument("SecureWorld::install: null TA");
+  TaContext ctx{&memory_};
+  ta->on_install(ctx);
+  tas_[uuid] = std::move(ta);
+}
+
+TrustedApp* SecureWorld::lookup(const std::string& uuid) {
+  auto it = tas_.find(uuid);
+  if (it == tas_.end()) {
+    throw std::invalid_argument("SecureWorld: no TA installed as " + uuid);
+  }
+  return it->second.get();
+}
+
+TeeSession::TeeSession(SecureWorld& world, OneWayChannel& channel,
+                       const std::string& uuid, int64_t max_result_bytes)
+    : world_(world),
+      channel_(channel),
+      ta_(world.lookup(uuid)),
+      max_result_bytes_(max_result_bytes) {}
+
+uint32_t TeeSession::invoke(uint32_t command, const std::vector<uint8_t>& in,
+                            std::vector<uint8_t>* out) {
+  // Entry switch: parameters cross into the secure world.
+  channel_.push(World::kNormal, World::kSecure,
+                static_cast<int64_t>(in.size()));
+  ++switches_;
+
+  std::vector<uint8_t> result;
+  TaContext ctx{&world_.memory()};
+  const uint32_t status = ta_->invoke(command, in, result, ctx);
+
+  // Exit switch: only the (capped) result may leave.
+  if (static_cast<int64_t>(result.size()) > max_result_bytes_) {
+    throw SecurityViolation(
+        "TA attempted to return " + std::to_string(result.size()) +
+        " B (cap " + std::to_string(max_result_bytes_) +
+        " B) — intermediate data must not leave the TEE");
+  }
+  if (!result.empty()) {
+    // Returning the final result is the one sanctioned secure->normal flow;
+    // it bypasses the feature-map channel by construction (it is the
+    // API-level return value), so it is not pushed through `channel_`.
+    ++switches_;
+  }
+  if (out != nullptr) *out = std::move(result);
+  return status;
+}
+
+void pack_i64(std::vector<uint8_t>& buf, int64_t v) {
+  const size_t at = buf.size();
+  buf.resize(at + sizeof(v));
+  std::memcpy(buf.data() + at, &v, sizeof(v));
+}
+
+int64_t unpack_i64(const std::vector<uint8_t>& buf, size_t* offset) {
+  if (*offset + sizeof(int64_t) > buf.size()) {
+    throw std::out_of_range("unpack_i64: truncated payload");
+  }
+  int64_t v = 0;
+  std::memcpy(&v, buf.data() + *offset, sizeof(v));
+  *offset += sizeof(v);
+  return v;
+}
+
+void pack_floats(std::vector<uint8_t>& buf, const float* data, int64_t count) {
+  const size_t at = buf.size();
+  buf.resize(at + static_cast<size_t>(count) * sizeof(float));
+  std::memcpy(buf.data() + at, data,
+              static_cast<size_t>(count) * sizeof(float));
+}
+
+std::vector<float> unpack_floats(const std::vector<uint8_t>& buf,
+                                 size_t* offset, int64_t count) {
+  const size_t bytes = static_cast<size_t>(count) * sizeof(float);
+  if (*offset + bytes > buf.size()) {
+    throw std::out_of_range("unpack_floats: truncated payload");
+  }
+  std::vector<float> out(static_cast<size_t>(count));
+  std::memcpy(out.data(), buf.data() + *offset, bytes);
+  *offset += bytes;
+  return out;
+}
+
+}  // namespace tbnet::tee

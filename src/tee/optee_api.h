@@ -1,0 +1,128 @@
+#pragma once
+// A miniature OP-TEE-style client/TA interface.
+//
+// Mirrors the GlobalPlatform Client API surface that real OP-TEE deployments
+// use (contexts, sessions, command invocation with byte-buffer parameters),
+// backed by the simulated secure world. A real TrustZone backend could be
+// slotted behind the same interface; everything above it (runtime/, bench/)
+// would not change.
+//
+// Security semantics enforced here:
+//   * command inputs cross the channel normal->secure (always legal),
+//   * command outputs cross secure->normal and are capped at
+//     `max_result_bytes` — large enough for logits, far too small for
+//     feature maps. Oversized outputs throw SecurityViolation. This is the
+//     mechanical form of TBNet's one-way design: the TEE only ever releases
+//     final inference results.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tee/channel.h"
+#include "tee/secure_memory.h"
+#include "tee/world.h"
+
+namespace tbnet::tee {
+
+/// Facilities a trusted application sees inside the secure world.
+struct TaContext {
+  SecureMemoryPool* memory = nullptr;
+};
+
+/// Base class for simulated trusted applications.
+class TrustedApp {
+ public:
+  virtual ~TrustedApp() = default;
+
+  /// Called once when the TA is installed; the place to claim secure memory
+  /// for model weights and other resident state.
+  virtual void on_install(TaContext& ctx) { (void)ctx; }
+
+  /// Handles one command; writes the (small) result into `out`.
+  /// Returns a TEE-style status code (0 = TEE_SUCCESS).
+  virtual uint32_t invoke(uint32_t command, const std::vector<uint8_t>& in,
+                          std::vector<uint8_t>& out, TaContext& ctx) = 0;
+};
+
+/// The device's secure world: secure memory + installed TAs.
+class SecureWorld {
+ public:
+  explicit SecureWorld(int64_t secure_mem_budget = 0)
+      : memory_(secure_mem_budget) {}
+
+  /// Installs a TA under a UUID-like name.
+  void install(const std::string& uuid, std::unique_ptr<TrustedApp> ta);
+  bool has_ta(const std::string& uuid) const {
+    return tas_.count(uuid) != 0;
+  }
+
+  SecureMemoryPool& memory() { return memory_; }
+
+ private:
+  friend class TeeSession;
+  TrustedApp* lookup(const std::string& uuid);
+
+  SecureMemoryPool memory_;
+  std::unordered_map<std::string, std::unique_ptr<TrustedApp>> tas_;
+};
+
+inline constexpr uint32_t kTeeSuccess = 0;
+inline constexpr uint32_t kTeeErrorBadParameters = 0xFFFF0006;
+inline constexpr uint32_t kTeeErrorBadState = 0xFFFF0007;
+inline constexpr int64_t kDefaultMaxResultBytes = 4096;
+
+/// A session from normal-world client code to one TA.
+class TeeSession {
+ public:
+  TeeSession(SecureWorld& world, OneWayChannel& channel,
+             const std::string& uuid,
+             int64_t max_result_bytes = kDefaultMaxResultBytes);
+
+  /// Invokes a TA command. Input bytes are pushed normal->secure through the
+  /// channel; output bytes are checked against the result cap.
+  uint32_t invoke(uint32_t command, const std::vector<uint8_t>& in,
+                  std::vector<uint8_t>* out = nullptr);
+
+  int64_t world_switches() const { return switches_; }
+
+ private:
+  SecureWorld& world_;
+  OneWayChannel& channel_;
+  TrustedApp* ta_;
+  int64_t max_result_bytes_;
+  int64_t switches_ = 0;
+};
+
+/// Normal-world entry point, analogous to TEEC_Context.
+class TeeContext {
+ public:
+  explicit TeeContext(SecureWorld& world,
+                      OneWayChannel::Policy policy =
+                          OneWayChannel::Policy::kOneWayIntoTee)
+      : world_(world), channel_(policy) {}
+
+  TeeSession open_session(const std::string& uuid,
+                          int64_t max_result_bytes = kDefaultMaxResultBytes) {
+    return TeeSession(world_, channel_, uuid, max_result_bytes);
+  }
+
+  OneWayChannel& channel() { return channel_; }
+  SecureWorld& world() { return world_; }
+
+ private:
+  SecureWorld& world_;
+  OneWayChannel channel_;
+};
+
+/// Byte-packing helpers for command payloads.
+void pack_i64(std::vector<uint8_t>& buf, int64_t v);
+int64_t unpack_i64(const std::vector<uint8_t>& buf, size_t* offset);
+void pack_floats(std::vector<uint8_t>& buf, const float* data, int64_t count);
+std::vector<float> unpack_floats(const std::vector<uint8_t>& buf,
+                                 size_t* offset, int64_t count);
+
+}  // namespace tbnet::tee

@@ -1,0 +1,123 @@
+#include "tee/sealing.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace tbnet::tee {
+namespace {
+
+uint64_t splitmix(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Keyed keystream XOR over the buffer (in place).
+void keystream_xor(const DeviceKey& key, uint64_t nonce,
+                   std::vector<uint8_t>& data) {
+  uint64_t state = key.hi ^ (nonce * 0x9E3779B97F4A7C15ull);
+  uint64_t mix = key.lo;
+  size_t i = 0;
+  while (i < data.size()) {
+    const uint64_t word = splitmix(state) ^ mix;
+    mix = mix * 6364136223846793005ull + 1442695040888963407ull;
+    for (int b = 0; b < 8 && i < data.size(); ++b, ++i) {
+      data[i] ^= static_cast<uint8_t>(word >> (8 * b));
+    }
+  }
+}
+
+/// Keyed FNV-ish tag over nonce + ciphertext.
+uint64_t compute_tag(const DeviceKey& key, uint64_t nonce,
+                     const std::vector<uint8_t>& data) {
+  uint64_t h = 1469598103934665603ull ^ key.lo;
+  auto mix_byte = [&h](uint8_t c) {
+    h ^= c;
+    h *= 1099511628211ull;
+  };
+  for (int b = 0; b < 8; ++b) mix_byte(static_cast<uint8_t>(nonce >> (8 * b)));
+  for (uint8_t c : data) mix_byte(c);
+  for (int b = 0; b < 8; ++b) {
+    mix_byte(static_cast<uint8_t>(key.hi >> (8 * b)));
+  }
+  return h;
+}
+
+}  // namespace
+
+DeviceKey DeviceKey::derive(const std::string& seed_material) {
+  uint64_t state = 0xD0E5C0DE;
+  for (unsigned char c : seed_material) {
+    state = state * 1099511628211ull + c;
+  }
+  DeviceKey key;
+  key.hi = splitmix(state);
+  key.lo = splitmix(state);
+  return key;
+}
+
+std::vector<uint8_t> SealedBlob::serialize() const {
+  std::vector<uint8_t> wire;
+  wire.reserve(ciphertext.size() + 24);
+  auto put_u64 = [&wire](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      wire.push_back(static_cast<uint8_t>(v >> (8 * b)));
+    }
+  };
+  put_u64(version);
+  put_u64(nonce);
+  put_u64(tag);
+  put_u64(ciphertext.size());
+  wire.insert(wire.end(), ciphertext.begin(), ciphertext.end());
+  return wire;
+}
+
+SealedBlob SealedBlob::deserialize(const std::vector<uint8_t>& wire) {
+  if (wire.size() < 32) {
+    throw std::invalid_argument("SealedBlob: wire too short");
+  }
+  size_t off = 0;
+  auto get_u64 = [&wire, &off]() {
+    uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<uint64_t>(wire[off++]) << (8 * b);
+    }
+    return v;
+  };
+  SealedBlob blob;
+  blob.version = static_cast<uint32_t>(get_u64());
+  blob.nonce = get_u64();
+  blob.tag = get_u64();
+  const uint64_t len = get_u64();
+  if (off + len != wire.size()) {
+    throw std::invalid_argument("SealedBlob: length mismatch");
+  }
+  blob.ciphertext.assign(wire.begin() + static_cast<std::ptrdiff_t>(off),
+                         wire.end());
+  return blob;
+}
+
+SealedBlob seal(const DeviceKey& key, uint64_t nonce,
+                const std::vector<uint8_t>& plaintext) {
+  SealedBlob blob;
+  blob.nonce = nonce;
+  blob.ciphertext = plaintext;
+  keystream_xor(key, nonce, blob.ciphertext);
+  blob.tag = compute_tag(key, nonce, blob.ciphertext);
+  return blob;
+}
+
+std::vector<uint8_t> unseal(const DeviceKey& key, const SealedBlob& blob) {
+  if (compute_tag(key, blob.nonce, blob.ciphertext) != blob.tag) {
+    throw SecurityViolation(
+        "sealed TA image failed integrity verification (wrong device key or "
+        "tampered image)");
+  }
+  std::vector<uint8_t> plaintext = blob.ciphertext;
+  keystream_xor(key, blob.nonce, plaintext);
+  return plaintext;
+}
+
+}  // namespace tbnet::tee

@@ -1,0 +1,52 @@
+#pragma once
+// Sealed TA images — confidentiality & integrity for the model at rest.
+//
+// On a real device the secure branch must not sit in flash as plaintext:
+// OP-TEE ships trusted applications encrypted/signed and unseals them inside
+// the secure world. This module provides the simulation equivalent: a
+// stream-cipher seal (keyed keystream XOR) plus an integrity tag, with the
+// device key held by the SecureWorld only. The cipher is a SplitMix64
+// keystream — NOT production cryptography, but it exercises the exact
+// dataflow (seal at packaging time, unseal only inside the TEE, reject
+// tampering) that a real AES-GCM implementation would.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tee/world.h"
+
+namespace tbnet::tee {
+
+/// 128-bit device key (simulated hardware-unique key).
+struct DeviceKey {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const DeviceKey&) const = default;
+
+  /// Derives a key from a passphrase-like string (deterministic).
+  static DeviceKey derive(const std::string& seed_material);
+};
+
+/// A sealed blob: version, nonce, ciphertext and integrity tag.
+struct SealedBlob {
+  uint32_t version = 1;
+  uint64_t nonce = 0;
+  std::vector<uint8_t> ciphertext;
+  uint64_t tag = 0;
+
+  /// Flat wire format (for storing/shipping).
+  std::vector<uint8_t> serialize() const;
+  static SealedBlob deserialize(const std::vector<uint8_t>& wire);
+};
+
+/// Seals `plaintext` under `key` with the given nonce.
+SealedBlob seal(const DeviceKey& key, uint64_t nonce,
+                const std::vector<uint8_t>& plaintext);
+
+/// Unseals; throws SecurityViolation if the tag does not verify (wrong key
+/// or tampered ciphertext).
+std::vector<uint8_t> unseal(const DeviceKey& key, const SealedBlob& blob);
+
+}  // namespace tbnet::tee

@@ -1,0 +1,38 @@
+#include "tee/secure_memory.h"
+
+#include <stdexcept>
+
+namespace tbnet::tee {
+
+SecureMemoryPool::Allocation SecureMemoryPool::allocate(
+    int64_t bytes, const std::string& tag) {
+  if (bytes < 0) {
+    throw std::invalid_argument("SecureMemoryPool: negative allocation");
+  }
+  if (budget_ > 0 && live_ + bytes > budget_) {
+    throw SecurityViolation(
+        "secure memory exhausted: need " + std::to_string(bytes) +
+        " B for '" + tag + "', live " + std::to_string(live_) +
+        " B, budget " + std::to_string(budget_) + " B");
+  }
+  live_ += bytes;
+  if (live_ > peak_) peak_ = live_;
+  const int64_t id = next_id_++;
+  tags_[id] = tag;
+  return Allocation(this, id, bytes);
+}
+
+void SecureMemoryPool::free_allocation(int64_t id, int64_t bytes) {
+  live_ -= bytes;
+  tags_.erase(id);
+}
+
+void SecureMemoryPool::Allocation::release() {
+  if (pool_ != nullptr) {
+    pool_->free_allocation(id_, bytes_);
+    pool_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+}  // namespace tbnet::tee

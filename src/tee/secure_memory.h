@@ -1,0 +1,75 @@
+#pragma once
+// SecureMemoryPool — byte accounting for the TEE's dedicated secure memory.
+//
+// OP-TEE on a Raspberry Pi class device has a small, fixed carve-out of
+// secure DRAM (default 16-32 MiB, minus runtime overhead). The pool tracks
+// live and peak usage of the simulated trusted application and enforces the
+// budget, which is what makes "does the victim model even fit in the TEE?"
+// a measurable question (paper Fig. 3).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "tee/world.h"
+
+namespace tbnet::tee {
+
+class SecureMemoryPool {
+ public:
+  /// budget_bytes = 0 means unlimited (accounting only).
+  explicit SecureMemoryPool(int64_t budget_bytes = 0)
+      : budget_(budget_bytes) {}
+
+  /// RAII handle for one allocation.
+  class Allocation {
+   public:
+    Allocation() = default;
+    Allocation(SecureMemoryPool* pool, int64_t id, int64_t bytes)
+        : pool_(pool), id_(id), bytes_(bytes) {}
+    Allocation(Allocation&& other) noexcept { swap(other); }
+    Allocation& operator=(Allocation&& other) noexcept {
+      release();
+      swap(other);
+      return *this;
+    }
+    Allocation(const Allocation&) = delete;
+    Allocation& operator=(const Allocation&) = delete;
+    ~Allocation() { release(); }
+
+    int64_t bytes() const { return bytes_; }
+    bool valid() const { return pool_ != nullptr; }
+    void release();
+
+   private:
+    void swap(Allocation& other) {
+      std::swap(pool_, other.pool_);
+      std::swap(id_, other.id_);
+      std::swap(bytes_, other.bytes_);
+    }
+    SecureMemoryPool* pool_ = nullptr;
+    int64_t id_ = 0;
+    int64_t bytes_ = 0;
+  };
+
+  /// Reserves `bytes` of secure memory; throws SecurityViolation when the
+  /// budget would be exceeded.
+  Allocation allocate(int64_t bytes, const std::string& tag);
+
+  int64_t budget() const { return budget_; }
+  int64_t live_bytes() const { return live_; }
+  int64_t peak_bytes() const { return peak_; }
+  void reset_peak() { peak_ = live_; }
+
+ private:
+  friend class Allocation;
+  void free_allocation(int64_t id, int64_t bytes);
+
+  int64_t budget_ = 0;
+  int64_t live_ = 0;
+  int64_t peak_ = 0;
+  int64_t next_id_ = 1;
+  std::unordered_map<int64_t, std::string> tags_;
+};
+
+}  // namespace tbnet::tee

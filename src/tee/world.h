@@ -1,0 +1,30 @@
+#pragma once
+// World identifiers for the simulated ARM TrustZone device.
+
+#include <string>
+
+namespace tbnet::tee {
+
+/// TrustZone worlds: the Rich Execution Environment (normal world, attacker
+/// visible) and the Trusted Execution Environment (secure world).
+enum class World {
+  kNormal,  ///< REE
+  kSecure,  ///< TEE
+};
+
+inline std::string to_string(World w) {
+  return w == World::kNormal ? "REE" : "TEE";
+}
+
+/// Thrown whenever simulated code attempts something the TrustZone hardware
+/// would forbid (secure->normal data push, secure memory overflow, ...).
+class SecurityViolation : public std::exception {
+ public:
+  explicit SecurityViolation(std::string what) : what_(std::move(what)) {}
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+}  // namespace tbnet::tee

@@ -1,0 +1,93 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "tensor/threadpool.h"
+
+namespace tbnet {
+namespace {
+
+// Block sizes tuned for L1-resident inner tiles on typical x86/ARM cores.
+constexpr int64_t kBlockK = 256;
+constexpr int64_t kBlockN = 512;
+
+inline void scale_row(float* c, int64_t n, float beta) {
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<size_t>(n) * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (int64_t j = 0; j < n; ++j) c[j] *= beta;
+  }
+}
+
+}  // namespace
+
+void gemm_nn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+             const float* b, float beta, float* c) {
+  ThreadPool::global().parallel_for(m, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) scale_row(c + i * n, n, beta);
+    for (int64_t kk = 0; kk < k; kk += kBlockK) {
+      const int64_t k_end = std::min(k, kk + kBlockK);
+      for (int64_t jj = 0; jj < n; jj += kBlockN) {
+        const int64_t j_end = std::min(n, jj + kBlockN);
+        for (int64_t i = i0; i < i1; ++i) {
+          float* crow = c + i * n;
+          for (int64_t p = kk; p < k_end; ++p) {
+            const float av = alpha * a[i * k + p];
+            if (av == 0.0f) continue;
+            const float* brow = b + p * n;
+            for (int64_t j = jj; j < j_end; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+void gemm_nt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+             const float* b, float beta, float* c) {
+  ThreadPool::global().parallel_for(m, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
+      }
+    }
+  });
+}
+
+void gemm_tn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+             const float* b, float beta, float* c) {
+  // A is [k, m]; walk k in the outer loop for sequential access to both
+  // inputs, parallelizing over output rows (columns of A).
+  ThreadPool::global().parallel_for(m, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) scale_row(c + i * n, n, beta);
+    for (int64_t p = 0; p < k; ++p) {
+      const float* arow = a + p * m;
+      const float* brow = b + p * n;
+      for (int64_t i = i0; i < i1; ++i) {
+        const float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void gemv(int64_t m, int64_t n, float alpha, const float* a, const float* x,
+          float beta, float* y) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < n; ++j) acc += arow[j] * x[j];
+    y[i] = alpha * acc + (beta == 0.0f ? 0.0f : beta * y[i]);
+  }
+}
+
+}  // namespace tbnet

@@ -1,0 +1,30 @@
+#pragma once
+// Single-precision matrix multiplication kernels.
+//
+// These are the workhorses behind convolution (via im2col) and dense layers,
+// including their backward passes, which need the transposed variants.
+// The kernels are cache-blocked and parallelized over output rows with the
+// shared ThreadPool. Accumulation is float (inputs are small CIFAR-scale
+// nets; fp32 accumulation matches the reference frameworks).
+
+#include <cstdint>
+
+namespace tbnet {
+
+/// C[m,n] = alpha * A[m,k] * B[k,n] + beta * C[m,n]
+void gemm_nn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+             const float* b, float beta, float* c);
+
+/// C[m,n] = alpha * A[m,k] * B^T (B is [n,k]) + beta * C
+void gemm_nt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+             const float* b, float beta, float* c);
+
+/// C[m,n] = alpha * A^T (A is [k,m]) * B[k,n] + beta * C
+void gemm_tn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+             const float* b, float beta, float* c);
+
+/// y[m] = alpha * A[m,n] * x[n] + beta * y[m]
+void gemv(int64_t m, int64_t n, float alpha, const float* a, const float* x,
+          float beta, float* y);
+
+}  // namespace tbnet

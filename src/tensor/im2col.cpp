@@ -1,0 +1,56 @@
+#include "tensor/im2col.h"
+
+#include <cstring>
+
+namespace tbnet {
+
+void im2col(const Conv2dGeom& g, const float* image, float* cols) {
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t col_cols = oh * ow;
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_c; ++c) {
+    const float* plane = image + c * g.in_h * g.in_w;
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out = cols + row * col_cols;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * g.stride_h - g.pad_h + kh;
+          if (iy < 0 || iy >= g.in_h) {
+            std::memset(out + oy * ow, 0, static_cast<size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src = plane + iy * g.in_w;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * g.stride_w - g.pad_w + kw;
+            out[oy * ow + ox] = (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Conv2dGeom& g, const float* cols, float* image) {
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  const int64_t col_cols = oh * ow;
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_c; ++c) {
+    float* plane = image + c * g.in_h * g.in_w;
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src = cols + row * col_cols;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * g.stride_h - g.pad_h + kh;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst = plane + iy * g.in_w;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * g.stride_w - g.pad_w + kw;
+            if (ix >= 0 && ix < g.in_w) dst[ix] += src[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tbnet

@@ -1,0 +1,38 @@
+#pragma once
+// im2col / col2im lowering for 2-D convolution.
+//
+// Convolution forward is computed as  W[outC, inC*kh*kw] x cols[inC*kh*kw, oh*ow]
+// per image; backward-to-input uses col2im to scatter the column gradient back.
+
+#include <cstdint>
+
+namespace tbnet {
+
+/// Parameters of a 2-D convolution / pooling window over a CHW image.
+struct Conv2dGeom {
+  int64_t in_c = 0, in_h = 0, in_w = 0;
+  int64_t kernel_h = 1, kernel_w = 1;
+  int64_t stride_h = 1, stride_w = 1;
+  int64_t pad_h = 0, pad_w = 0;
+
+  int64_t out_h() const {
+    return (in_h + 2 * pad_h - kernel_h) / stride_h + 1;
+  }
+  int64_t out_w() const {
+    return (in_w + 2 * pad_w - kernel_w) / stride_w + 1;
+  }
+  /// Rows of the column matrix: in_c * kernel_h * kernel_w.
+  int64_t col_rows() const { return in_c * kernel_h * kernel_w; }
+  /// Columns of the column matrix: out_h * out_w.
+  int64_t col_cols() const { return out_h() * out_w(); }
+};
+
+/// Expands `image` (CHW, geom.in_c x geom.in_h x geom.in_w) into `cols`
+/// ([col_rows x col_cols], caller-allocated). Out-of-bounds taps read 0.
+void im2col(const Conv2dGeom& geom, const float* image, float* cols);
+
+/// Adjoint of im2col: accumulates `cols` back into `image` (caller must
+/// zero-init `image`).
+void col2im(const Conv2dGeom& geom, const float* cols, float* image);
+
+}  // namespace tbnet

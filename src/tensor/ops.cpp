@@ -1,0 +1,141 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tbnet {
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape().str() + " vs " + b.shape().str());
+  }
+}
+
+void check_2d(const Tensor& t, const char* op) {
+  if (t.shape().ndim() != 2) {
+    throw std::invalid_argument(std::string(op) + ": expected rank-2 tensor, got " +
+                                t.shape().str());
+  }
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out = a;
+  out.add_(b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a;
+  out.axpy_(-1.0f, b);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = a;
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Tensor softmax2d(const Tensor& logits) {
+  check_2d(logits, "softmax2d");
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor out(logits.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    float m = row[0];
+    for (int64_t j = 1; j < c; ++j) m = std::max(m, row[j]);
+    double z = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - m);
+      z += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (int64_t j = 0; j < c; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax2d(const Tensor& logits) {
+  check_2d(logits, "log_softmax2d");
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor out(logits.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    float m = row[0];
+    for (int64_t j = 1; j < c; ++j) m = std::max(m, row[j]);
+    double z = 0.0;
+    for (int64_t j = 0; j < c; ++j) z += std::exp(row[j] - m);
+    const float logz = m + static_cast<float>(std::log(z));
+    for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - logz;
+  }
+  return out;
+}
+
+std::vector<int64_t> argmax_rows(const Tensor& logits) {
+  check_2d(logits, "argmax_rows");
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    int64_t best = 0;
+    for (int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    idx[static_cast<size_t>(i)] = best;
+  }
+  return idx;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  const auto pred = argmax_rows(logits);
+  if (pred.size() != labels.size()) {
+    throw std::invalid_argument("accuracy: label count mismatch");
+  }
+  if (pred.empty()) return 0.0;
+  int64_t hits = 0;
+  for (size_t i = 0; i < pred.size(); ++i) hits += (pred[i] == labels[i]);
+  return static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<int64_t>& labels, Tensor* grad) {
+  check_2d(logits, "softmax_cross_entropy");
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  const Tensor logp = log_softmax2d(logits);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    if (y < 0 || y >= c) {
+      throw std::out_of_range("softmax_cross_entropy: label out of range");
+    }
+    loss -= logp[i * c + y];
+  }
+  loss /= static_cast<double>(n);
+  if (grad != nullptr) {
+    *grad = Tensor(logits.shape());
+    const float invn = 1.0f / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t y = labels[static_cast<size_t>(i)];
+      float* grow = grad->data() + i * c;
+      const float* lrow = logp.data() + i * c;
+      for (int64_t j = 0; j < c; ++j) {
+        grow[j] = (std::exp(lrow[j]) - (j == y ? 1.0f : 0.0f)) * invn;
+      }
+    }
+  }
+  return loss;
+}
+
+}  // namespace tbnet

@@ -1,0 +1,38 @@
+#pragma once
+// Elementwise and reduction kernels shared by layers and losses.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tbnet {
+
+/// out = a + b (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// out = a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// out = a * b elementwise.
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// Row-wise softmax over the last dimension of a [n, c] tensor.
+Tensor softmax2d(const Tensor& logits);
+
+/// log(softmax) row-wise; numerically stable (max-shifted).
+Tensor log_softmax2d(const Tensor& logits);
+
+/// Per-row argmax of a [n, c] tensor.
+std::vector<int64_t> argmax_rows(const Tensor& logits);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+/// Mean cross-entropy of [n, c] logits against integer labels; if `grad` is
+/// non-null it receives dLoss/dlogits (same shape, already divided by n).
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<int64_t>& labels,
+                             Tensor* grad = nullptr);
+
+}  // namespace tbnet

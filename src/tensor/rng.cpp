@@ -1,0 +1,52 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tbnet {
+
+uint64_t Rng::next_u64() {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  state_ += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  // Box-Muller; draw u in (0,1] to avoid log(0).
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  const double v = uniform();
+  return std::sqrt(-2.0 * std::log(u)) * std::cos(2.0 * M_PI * v);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+int64_t Rng::uniform_int(int64_t n) {
+  if (n <= 0) throw std::invalid_argument("Rng::uniform_int: n must be > 0");
+  // Rejection sampling to remove modulo bias.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  uint64_t x = 0;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return static_cast<int64_t>(x % un);
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace tbnet

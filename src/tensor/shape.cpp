@@ -1,0 +1,44 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tbnet {
+
+int64_t Shape::dim(int i) const {
+  const int n = ndim();
+  if (i < 0) i += n;
+  if (i < 0 || i >= n) {
+    throw std::out_of_range("Shape::dim index " + std::to_string(i) +
+                            " out of range for rank " + std::to_string(n));
+  }
+  return dims_[static_cast<size_t>(i)];
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::vector<int64_t> Shape::strides() const {
+  std::vector<int64_t> s(dims_.size(), 1);
+  for (int i = static_cast<int>(dims_.size()) - 2; i >= 0; --i) {
+    s[static_cast<size_t>(i)] =
+        s[static_cast<size_t>(i) + 1] * dims_[static_cast<size_t>(i) + 1];
+  }
+  return s;
+}
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace tbnet

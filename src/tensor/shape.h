@@ -1,0 +1,46 @@
+#pragma once
+// Shape: dimension vector for dense row-major tensors.
+//
+// A Shape is an ordered list of extents, e.g. {N, C, H, W} for an activation
+// batch. It is a small value type; all tensor code in tbnet passes it by
+// const reference or value.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tbnet {
+
+/// Dimension vector of a dense row-major tensor.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  /// Number of dimensions (rank).
+  int ndim() const { return static_cast<int>(dims_.size()); }
+
+  /// Extent of dimension `i`; negative `i` counts from the back.
+  int64_t dim(int i) const;
+
+  /// Total number of elements (product of extents; 1 for rank-0).
+  int64_t numel() const;
+
+  /// Row-major strides, in elements.
+  std::vector<int64_t> strides() const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Human readable form, e.g. "[2, 3, 32, 32]".
+  std::string str() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace tbnet

@@ -1,0 +1,75 @@
+#include "tensor/threadpool.h"
+
+#include <algorithm>
+
+namespace tbnet {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  // The calling thread acts as one worker; spawn the rest.
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = queue_.back();
+      queue_.pop_back();
+    }
+    (*task.fn)(task.begin, task.end);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int64_t n,
+                              const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int threads = num_threads();
+  const int64_t chunk = std::max<int64_t>(1, (n + threads - 1) / threads);
+  if (threads == 1 || n <= chunk) {
+    fn(0, n);
+    return;
+  }
+  // Enqueue all chunks except the first, which the caller runs itself.
+  std::vector<Task> tasks;
+  for (int64_t b = chunk; b < n; b += chunk) {
+    tasks.push_back(Task{&fn, b, std::min(n, b + chunk)});
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ += static_cast<int>(tasks.size());
+    for (const Task& t : tasks) queue_.push_back(t);
+  }
+  cv_.notify_all();
+  fn(0, std::min(n, chunk));
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace tbnet

@@ -1,0 +1,55 @@
+#pragma once
+// Minimal work-sharing thread pool used by the GEMM / convolution kernels.
+//
+// The pool exposes one primitive, parallel_for, which splits an index range
+// into contiguous chunks and executes them on worker threads. Determinism:
+// the chunking is a pure function of (range, worker count), and all kernels
+// write disjoint output ranges, so results do not depend on scheduling.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tbnet {
+
+/// Fixed-size thread pool with a blocking parallel_for.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (0 = hardware_concurrency, at least 1).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(begin, end) over [0, n) split into per-worker chunks; blocks
+  /// until all chunks complete. The calling thread participates.
+  void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    int64_t begin = 0;
+    int64_t end = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<Task> queue_;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace tbnet

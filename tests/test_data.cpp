@@ -1,0 +1,213 @@
+// Tests for the data module: synthetic dataset, subsets, loader, augment.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/augment.h"
+#include "data/dataloader.h"
+#include "data/synthetic_cifar.h"
+
+namespace tbnet::data {
+namespace {
+
+SyntheticCifar::Options small_opts() {
+  SyntheticCifar::Options opt;
+  opt.classes = 10;
+  opt.samples = 100;
+  opt.image_size = 16;
+  opt.seed = 5;
+  return opt;
+}
+
+TEST(SyntheticCifar, ShapesAndLabels) {
+  SyntheticCifar ds(small_opts());
+  EXPECT_EQ(ds.size(), 100);
+  EXPECT_EQ(ds.num_classes(), 10);
+  const Sample s = ds.get(13);
+  EXPECT_EQ(s.image.shape(), Shape({3, 16, 16}));
+  EXPECT_EQ(s.label, 3);  // balanced: label = index % classes
+}
+
+TEST(SyntheticCifar, DeterministicPerIndex) {
+  SyntheticCifar a(small_opts()), b(small_opts());
+  const Sample sa = a.get(7), sb = b.get(7);
+  EXPECT_TRUE(allclose(sa.image, sb.image, 0.0f, 0.0f));
+}
+
+TEST(SyntheticCifar, DifferentSeedsProduceDifferentImages) {
+  auto opt = small_opts();
+  SyntheticCifar a(opt);
+  opt.seed = 6;
+  SyntheticCifar b(opt);
+  EXPECT_FALSE(allclose(a.get(0).image, b.get(0).image));
+}
+
+TEST(SyntheticCifar, TrainAndTestSplitsDecorrelated) {
+  auto [train, test] = SyntheticCifar::make_split(10, 50, 50, 3, 16);
+  EXPECT_FALSE(allclose(train.get(0).image, test.get(0).image));
+  EXPECT_EQ(train.get(0).label, test.get(0).label);
+}
+
+TEST(SyntheticCifar, SameClassSharesStructure) {
+  // Images of the same class must be more similar (correlated) than images
+  // of different classes, otherwise nothing is learnable.
+  auto opt = small_opts();
+  opt.difficulty = 0.3;
+  SyntheticCifar ds(opt);
+  auto corr = [](const Tensor& a, const Tensor& b) {
+    double num = 0, da = 0, db = 0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      num += a[i] * b[i];
+      da += a[i] * a[i];
+      db += b[i] * b[i];
+    }
+    return num / std::sqrt(da * db + 1e-9);
+  };
+  // get(0) and get(10) are both class 0; get(5) is class 5.
+  const double same = corr(ds.get(0).image, ds.get(10).image);
+  const double diff = corr(ds.get(0).image, ds.get(5).image);
+  EXPECT_GT(same, diff);
+}
+
+TEST(SyntheticCifar, RejectsBadOptions) {
+  auto opt = small_opts();
+  opt.classes = 1;
+  EXPECT_THROW(SyntheticCifar{opt}, std::invalid_argument);
+  opt = small_opts();
+  opt.difficulty = 1.5;
+  EXPECT_THROW(SyntheticCifar{opt}, std::invalid_argument);
+  SyntheticCifar ds(small_opts());
+  EXPECT_THROW(ds.get(-1), std::out_of_range);
+  EXPECT_THROW(ds.get(100), std::out_of_range);
+}
+
+TEST(Subset, FractionOfSelectsExpectedCount) {
+  SyntheticCifar ds(small_opts());
+  const SubsetDataset half = fraction_of(ds, 0.5, 1);
+  EXPECT_EQ(half.size(), 50);
+  const SubsetDataset one = fraction_of(ds, 0.01, 1);
+  EXPECT_EQ(one.size(), 1);
+  const SubsetDataset all = fraction_of(ds, 1.0, 1);
+  EXPECT_EQ(all.size(), 100);
+  EXPECT_THROW(fraction_of(ds, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Subset, DeterministicBySeedAndDisjointOrderings) {
+  SyntheticCifar ds(small_opts());
+  const SubsetDataset a = fraction_of(ds, 0.3, 9);
+  const SubsetDataset b = fraction_of(ds, 0.3, 9);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.get(i).label, b.get(i).label);
+  }
+}
+
+TEST(DataLoader, CoversDatasetOnceWithoutShuffle) {
+  SyntheticCifar ds(small_opts());
+  DataLoader::Options lo;
+  lo.batch_size = 32;
+  lo.shuffle = false;
+  DataLoader loader(ds, lo);
+  loader.start_epoch(0);
+  Batch batch;
+  int64_t total = 0;
+  int batches = 0;
+  while (loader.next(batch)) {
+    total += batch.size();
+    ++batches;
+  }
+  EXPECT_EQ(total, 100);
+  EXPECT_EQ(batches, 4);  // 32+32+32+4
+  EXPECT_EQ(loader.batches_per_epoch(), 4);
+}
+
+TEST(DataLoader, DropLastSkipsPartialBatch) {
+  SyntheticCifar ds(small_opts());
+  DataLoader::Options lo;
+  lo.batch_size = 32;
+  lo.shuffle = false;
+  lo.drop_last = true;
+  DataLoader loader(ds, lo);
+  loader.start_epoch(0);
+  Batch batch;
+  int64_t total = 0;
+  while (loader.next(batch)) total += batch.size();
+  EXPECT_EQ(total, 96);
+}
+
+TEST(DataLoader, ShuffleChangesOrderButKeepsMultiset) {
+  SyntheticCifar ds(small_opts());
+  DataLoader::Options lo;
+  lo.batch_size = 100;
+  lo.shuffle = true;
+  DataLoader loader(ds, lo);
+  loader.start_epoch(0);
+  Batch b0;
+  ASSERT_TRUE(loader.next(b0));
+  loader.start_epoch(1);
+  Batch b1;
+  ASSERT_TRUE(loader.next(b1));
+  EXPECT_NE(b0.labels, b1.labels);  // different epoch, different deal
+  auto l0 = b0.labels, l1 = b1.labels;
+  std::sort(l0.begin(), l0.end());
+  std::sort(l1.begin(), l1.end());
+  EXPECT_EQ(l0, l1);
+}
+
+TEST(DataLoader, EpochsAreReproducible) {
+  SyntheticCifar ds(small_opts());
+  DataLoader::Options lo;
+  lo.batch_size = 16;
+  lo.shuffle = true;
+  lo.augment = true;
+  DataLoader a(ds, lo), b(ds, lo);
+  a.start_epoch(3);
+  b.start_epoch(3);
+  Batch ba, bb;
+  ASSERT_TRUE(a.next(ba));
+  ASSERT_TRUE(b.next(bb));
+  EXPECT_EQ(ba.labels, bb.labels);
+  EXPECT_TRUE(allclose(ba.images, bb.images, 0.0f, 0.0f));
+}
+
+TEST(CollectBatch, StacksRequestedIndices) {
+  SyntheticCifar ds(small_opts());
+  Batch b = collect_batch(ds, {3, 7});
+  EXPECT_EQ(b.size(), 2);
+  EXPECT_EQ(b.labels[0], 3);
+  EXPECT_EQ(b.labels[1], 7);
+  EXPECT_THROW(collect_batch(ds, {}), std::invalid_argument);
+}
+
+TEST(Augment, FlipIsInvolution) {
+  Rng rng(4);
+  Tensor img = Tensor::randn(Shape{3, 8, 8}, rng);
+  EXPECT_TRUE(allclose(flip_horizontal(flip_horizontal(img)), img, 0.0f, 0.0f));
+}
+
+TEST(Augment, FlipMirrorsColumns) {
+  Tensor img = Tensor::from({1, 2, 3, 4}).reshaped(Shape{1, 1, 4});
+  Tensor f = flip_horizontal(img);
+  EXPECT_FLOAT_EQ(f[0], 4.0f);
+  EXPECT_FLOAT_EQ(f[3], 1.0f);
+}
+
+TEST(Augment, PadCropPreservesShapeAndShifts) {
+  Rng rng(5);
+  Tensor img = Tensor::randn(Shape{1, 6, 6}, rng);
+  Tensor out = random_pad_crop(img, 2, rng);
+  EXPECT_EQ(out.shape(), img.shape());
+  EXPECT_TRUE(allclose(random_pad_crop(img, 0, rng), img, 0.0f, 0.0f));
+}
+
+TEST(Augment, StandardRecipeIsDeterministicGivenRng) {
+  Rng r1(6), r2(6);
+  Rng img_rng(7);
+  Tensor img = Tensor::randn(Shape{3, 8, 8}, img_rng);
+  EXPECT_TRUE(allclose(augment_standard(img, r1), augment_standard(img, r2),
+                       0.0f, 0.0f));
+}
+
+}  // namespace
+}  // namespace tbnet::data

@@ -1,0 +1,670 @@
+// Unit tests for the nn layer zoo: forward values, numerical gradient checks
+// for every backward pass, pruning edits, optimizer and serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/init.h"
+#include "nn/optimizer.h"
+#include "nn/pool.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace tbnet::nn {
+namespace {
+
+/// loss(x) = sum(w .* layer(x)); returns analytic dloss/dx and compares a
+/// sampled subset of entries against central differences. Also checks the
+/// parameter gradients when `check_params` is set.
+void check_gradients(Layer& layer, const Tensor& input, uint64_t seed,
+                     bool check_params = true, float tol = 2e-2f) {
+  Rng rng(seed);
+  Tensor x = input;
+  Tensor y = layer.forward(x, /*train=*/true);
+  const Tensor w = Tensor::randn(y.shape(), rng);
+
+  layer.zero_grad();
+  Tensor dx = layer.backward(w);
+  ASSERT_EQ(dx.shape().dims(), x.shape().dims());
+
+  auto loss_at = [&](const Tensor& xx) -> double {
+    Tensor yy = layer.forward(xx, /*train=*/true);
+    double s = 0;
+    for (int64_t i = 0; i < yy.numel(); ++i) s += w[i] * yy[i];
+    return s;
+  };
+
+  // Save parameter gradients before the finite-difference passes clobber the
+  // layer's forward cache (they do not touch grads, but forward(train) does
+  // recompute caches, which is fine).
+  std::vector<Tensor> param_grads;
+  for (ParamRef p : layer.params()) param_grads.push_back(*p.grad);
+
+  // The loss is piecewise-linear in ReLU nets, so a finite difference across
+  // a kink is garbage. Compare the one-sided slopes on each flank; if they
+  // disagree, a ReLU boundary sits inside (or at) the interval — skip the
+  // sample. Where they agree the function is locally smooth and the central
+  // difference is reliable.
+  const float eps = 1e-2f;
+  auto fd_or_skip = [&](const std::function<double(float)>& loss_shift,
+                        double* fd) -> bool {
+    const double l0 = loss_shift(0.0f);
+    const double fp = (loss_shift(eps) - l0) / eps;
+    const double fm = (l0 - loss_shift(-eps)) / eps;
+    if (std::fabs(fp - fm) > 0.02 * std::max(1.0, std::fabs(fp + fm) / 2)) {
+      return false;
+    }
+    *fd = (fp + fm) / 2.0;
+    return true;
+  };
+
+  Rng pick(seed ^ 0xABCD);
+  const int64_t samples = std::min<int64_t>(x.numel(), 24);
+  for (int64_t s = 0; s < samples; ++s) {
+    const int64_t i = pick.uniform_int(x.numel());
+    double fd = 0.0;
+    const bool ok = fd_or_skip(
+        [&](float d) {
+          Tensor xs = x;
+          xs[i] += d;
+          return loss_at(xs);
+        },
+        &fd);
+    if (!ok) continue;
+    const double scale = std::max(1.0, std::fabs(fd));
+    EXPECT_NEAR(dx[i], fd, tol * scale) << "input grad at " << i;
+  }
+
+  if (!check_params) return;
+  auto params = layer.params();
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& value = *params[pi].value;
+    const Tensor& analytic = param_grads[pi];
+    const int64_t psamples = std::min<int64_t>(value.numel(), 12);
+    for (int64_t s = 0; s < psamples; ++s) {
+      const int64_t i = pick.uniform_int(value.numel());
+      const float orig = value[i];
+      double fd = 0.0;
+      const bool ok = fd_or_skip(
+          [&](float d) {
+            value[i] = orig + d;
+            const double l = loss_at(x);
+            value[i] = orig;
+            return l;
+          },
+          &fd);
+      if (!ok) continue;
+      const double scale = std::max(1.0, std::fabs(fd));
+      EXPECT_NEAR(analytic[i], fd, tol * scale)
+          << "param " << params[pi].name << " grad at " << i;
+    }
+  }
+}
+
+// --------------------------------------------------------------- Conv2d ----
+
+TEST(Conv2d, OutShapeAndMacs) {
+  Rng rng(1);
+  Conv2d conv(3, 8, {.kernel = 3, .stride = 1, .pad = 1, .bias = false}, rng);
+  const Shape in{2, 3, 16, 16};
+  EXPECT_EQ(conv.out_shape(in), Shape({2, 8, 16, 16}));
+  EXPECT_EQ(conv.macs(in), 2 * 8 * 16 * 16 * 3 * 3 * 3);
+}
+
+TEST(Conv2d, StrideAndPaddingGeometry) {
+  Rng rng(2);
+  Conv2d conv(1, 1, {.kernel = 3, .stride = 2, .pad = 0, .bias = false}, rng);
+  EXPECT_EQ(conv.out_shape(Shape{1, 1, 7, 9}), Shape({1, 1, 3, 4}));
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Rng rng(3);
+  Conv2d conv(1, 1, {.kernel = 1, .stride = 1, .pad = 0, .bias = false}, rng);
+  conv.weight().fill(1.0f);
+  Tensor x = Tensor::randn(Shape{1, 1, 4, 4}, rng);
+  Tensor y = conv.forward(x, false);
+  EXPECT_TRUE(allclose(y, x));
+}
+
+TEST(Conv2d, KnownConvolutionValue) {
+  Rng rng(4);
+  Conv2d conv(1, 1, {.kernel = 3, .stride = 1, .pad = 1, .bias = false}, rng);
+  conv.weight().fill(1.0f);  // 3x3 box filter
+  Tensor x = Tensor::ones(Shape{1, 1, 3, 3});
+  Tensor y = conv.forward(x, false);
+  // Center sees 9 ones; corners see 4.
+  EXPECT_FLOAT_EQ(y.at({0, 0, 1, 1}), 9.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 1}), 6.0f);
+}
+
+TEST(Conv2d, BiasIsAdded) {
+  Rng rng(5);
+  Conv2d conv(1, 2, {.kernel = 1, .stride = 1, .pad = 0, .bias = true}, rng);
+  conv.weight().zero();
+  conv.bias()[0] = 1.5f;
+  conv.bias()[1] = -2.0f;
+  Tensor y = conv.forward(Tensor::ones(Shape{1, 1, 2, 2}), false);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 1.5f);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 1, 1}), -2.0f);
+}
+
+TEST(Conv2d, GradientCheck) {
+  Rng rng(6);
+  Conv2d conv(2, 3, {.kernel = 3, .stride = 1, .pad = 1, .bias = true}, rng);
+  check_gradients(conv, Tensor::randn(Shape{2, 2, 5, 5}, rng), 61);
+}
+
+TEST(Conv2d, GradientCheckStrided) {
+  Rng rng(7);
+  Conv2d conv(3, 4, {.kernel = 3, .stride = 2, .pad = 1, .bias = false}, rng);
+  check_gradients(conv, Tensor::randn(Shape{2, 3, 8, 8}, rng), 71);
+}
+
+TEST(Conv2d, PruneOutputChannels) {
+  Rng rng(8);
+  Conv2d conv(2, 4, {.kernel = 3, .stride = 1, .pad = 1, .bias = true}, rng);
+  Tensor x = Tensor::randn(Shape{1, 2, 6, 6}, rng);
+  Tensor y_full = conv.forward(x, false);
+  conv.select_out_channels({1, 3});
+  EXPECT_EQ(conv.out_channels(), 2);
+  Tensor y = conv.forward(x, false);
+  for (int64_t p = 0; p < 36; ++p) {
+    EXPECT_FLOAT_EQ(y[p], y_full[1 * 36 + p]);
+    EXPECT_FLOAT_EQ(y[36 + p], y_full[3 * 36 + p]);
+  }
+}
+
+TEST(Conv2d, PruneInputChannelsMatchesReducedInput) {
+  Rng rng(9);
+  Conv2d conv(3, 2, {.kernel = 3, .stride = 1, .pad = 1, .bias = false}, rng);
+  Tensor x = Tensor::randn(Shape{1, 3, 5, 5}, rng);
+  // Zero channel 1 of the input; then pruning channel 1 must be equivalent.
+  Tensor x_zeroed = x;
+  for (int64_t p = 0; p < 25; ++p) x_zeroed[25 + p] = 0.0f;
+  Tensor y_ref = conv.forward(x_zeroed, false);
+  conv.select_in_channels({0, 2});
+  Tensor x_small(Shape{1, 2, 5, 5});
+  for (int64_t p = 0; p < 25; ++p) {
+    x_small[p] = x[p];
+    x_small[25 + p] = x[2 * 25 + p];
+  }
+  Tensor y = conv.forward(x_small, false);
+  EXPECT_TRUE(allclose(y, y_ref, 1e-4f, 1e-5f));
+}
+
+TEST(Conv2d, PruneAllChannelsThrows) {
+  Rng rng(10);
+  Conv2d conv(2, 2, {.kernel = 1, .stride = 1, .pad = 0, .bias = false}, rng);
+  EXPECT_THROW(conv.select_out_channels({}), std::invalid_argument);
+  EXPECT_THROW(conv.select_in_channels({}), std::invalid_argument);
+  EXPECT_THROW(conv.select_out_channels({5}), std::out_of_range);
+}
+
+TEST(Conv2d, RejectsWrongInput) {
+  Rng rng(11);
+  Conv2d conv(3, 4, {.kernel = 3, .stride = 1, .pad = 1, .bias = false}, rng);
+  EXPECT_THROW(conv.forward(Tensor(Shape{1, 2, 8, 8}), false),
+               std::invalid_argument);
+  EXPECT_THROW(conv.backward(Tensor(Shape{1, 4, 8, 8})), std::logic_error);
+}
+
+// ---------------------------------------------------------- BatchNorm2d ----
+
+TEST(BatchNorm2d, NormalizesBatchStatistics) {
+  BatchNorm2d bn(2);
+  Rng rng(12);
+  Tensor x = Tensor::randn(Shape{4, 2, 6, 6}, rng, 3.0f, 2.0f);
+  Tensor y = bn.forward(x, /*train=*/true);
+  // Per-channel mean ~0, var ~1 after normalization with gamma=1, beta=0.
+  for (int64_t c = 0; c < 2; ++c) {
+    double mean = 0, var = 0;
+    int64_t count = 0;
+    for (int64_t n = 0; n < 4; ++n) {
+      for (int64_t p = 0; p < 36; ++p) {
+        const float v = y[(n * 2 + c) * 36 + p];
+        mean += v;
+        ++count;
+      }
+    }
+    mean /= count;
+    for (int64_t n = 0; n < 4; ++n) {
+      for (int64_t p = 0; p < 36; ++p) {
+        const double d = y[(n * 2 + c) * 36 + p] - mean;
+        var += d * d;
+      }
+    }
+    var /= count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, RunningStatsConvergeToBatchStats) {
+  BatchNorm2d bn(1, 1e-5f, /*momentum=*/0.5f);
+  Rng rng(13);
+  Tensor x = Tensor::randn(Shape{8, 1, 4, 4}, rng, -1.0f, 0.5f);
+  for (int i = 0; i < 20; ++i) bn.forward(x, true);
+  EXPECT_NEAR(bn.running_mean()[0], -1.0f, 0.1f);
+  EXPECT_NEAR(bn.running_var()[0], 0.25f, 0.05f);
+}
+
+TEST(BatchNorm2d, EvalModeUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.running_mean()[0] = 2.0f;
+  bn.running_var()[0] = 4.0f;
+  bn.gamma()[0] = 3.0f;
+  bn.beta()[0] = 1.0f;
+  Tensor x = Tensor::full(Shape{1, 1, 1, 1}, 4.0f);
+  Tensor y = bn.forward(x, false);
+  // (4-2)/2 * 3 + 1 = 4 (up to eps).
+  EXPECT_NEAR(y[0], 4.0f, 1e-3f);
+}
+
+TEST(BatchNorm2d, GradientCheck) {
+  BatchNorm2d bn(3);
+  Rng rng(14);
+  bn.gamma() = Tensor::randn(Shape{3}, rng, 1.0f, 0.2f);
+  bn.beta() = Tensor::randn(Shape{3}, rng, 0.0f, 0.2f);
+  check_gradients(bn, Tensor::randn(Shape{3, 3, 4, 4}, rng), 141);
+}
+
+TEST(BatchNorm2d, SelectChannels) {
+  BatchNorm2d bn(4);
+  for (int64_t c = 0; c < 4; ++c) {
+    bn.gamma()[c] = static_cast<float>(c);
+    bn.running_mean()[c] = 10.0f + static_cast<float>(c);
+  }
+  bn.select_channels({2, 3});
+  EXPECT_EQ(bn.channels(), 2);
+  EXPECT_FLOAT_EQ(bn.gamma()[0], 2.0f);
+  EXPECT_FLOAT_EQ(bn.running_mean()[1], 13.0f);
+  EXPECT_THROW(bn.select_channels({}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- ReLU ----
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  Tensor x = Tensor::from({-1.0f, 0.0f, 2.0f});
+  Tensor y = relu.forward(x, false);
+  EXPECT_TRUE(allclose(y, Tensor::from({0.0f, 0.0f, 2.0f})));
+}
+
+TEST(ReLU, BackwardMasks) {
+  ReLU relu;
+  Tensor x = Tensor::from({-1.0f, 3.0f});
+  relu.forward(x, true);
+  Tensor dx = relu.backward(Tensor::from({5.0f, 7.0f}));
+  EXPECT_TRUE(allclose(dx, Tensor::from({0.0f, 7.0f})));
+}
+
+// ----------------------------------------------------------------- Pool ----
+
+TEST(MaxPool2d, ForwardPicksMaxima) {
+  MaxPool2d pool(2);
+  Tensor x = Tensor::from({1, 2, 3, 4,
+                           5, 6, 7, 8,
+                           9, 10, 11, 12,
+                           13, 14, 15, 16})
+                 .reshaped(Shape{1, 1, 4, 4});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[3], 16.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x = Tensor::from({1, 2, 3, 4}).reshaped(Shape{1, 1, 2, 2});
+  pool.forward(x, true);
+  Tensor dx = pool.backward(Tensor::from({10.0f}).reshaped(Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(dx[3], 10.0f);
+  EXPECT_FLOAT_EQ(dx[0] + dx[1] + dx[2], 0.0f);
+}
+
+TEST(MaxPool2d, GradientCheck) {
+  Rng rng(15);
+  MaxPool2d pool(2);
+  check_gradients(pool, Tensor::randn(Shape{2, 2, 6, 6}, rng), 151, false);
+}
+
+TEST(GlobalAvgPool2d, ForwardAveragesAndShapes) {
+  GlobalAvgPool2d gap;
+  Tensor x = Tensor::from({1, 2, 3, 4, 10, 20, 30, 40})
+                 .reshaped(Shape{1, 2, 2, 2});
+  Tensor y = gap.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 25.0f);
+}
+
+TEST(GlobalAvgPool2d, GradientCheck) {
+  Rng rng(16);
+  GlobalAvgPool2d gap;
+  check_gradients(gap, Tensor::randn(Shape{2, 3, 4, 4}, rng), 161, false);
+}
+
+// ---------------------------------------------------------------- Dense ----
+
+TEST(Dense, ForwardKnownValues) {
+  Rng rng(17);
+  Dense dense(2, 2, rng, true);
+  dense.weight() = Tensor(Shape{2, 2}, {1, 2, 3, 4});
+  dense.bias() = Tensor(Shape{2}, {0.5f, -0.5f});
+  Tensor x = Tensor(Shape{1, 2}, {1, 1});
+  Tensor y = dense.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 3.5f);   // 1+2+0.5
+  EXPECT_FLOAT_EQ(y[1], 6.5f);   // 3+4-0.5
+}
+
+TEST(Dense, GradientCheck) {
+  Rng rng(18);
+  Dense dense(5, 3, rng, true);
+  check_gradients(dense, Tensor::randn(Shape{4, 5}, rng), 181);
+}
+
+TEST(Dense, SelectInFeatures) {
+  Rng rng(19);
+  Dense dense(4, 2, rng, false);
+  dense.weight() = Tensor(Shape{2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  dense.select_in_features({0, 3});
+  EXPECT_EQ(dense.in_features(), 2);
+  EXPECT_FLOAT_EQ(dense.weight()[0], 1.0f);
+  EXPECT_FLOAT_EQ(dense.weight()[1], 4.0f);
+  EXPECT_FLOAT_EQ(dense.weight()[2], 5.0f);
+  EXPECT_FLOAT_EQ(dense.weight()[3], 8.0f);
+}
+
+TEST(Dense, SelectInChannelsSpansFeatureBlocks) {
+  Rng rng(20);
+  Dense dense(6, 1, rng, false);  // 3 channels x 2 features
+  dense.weight() = Tensor(Shape{1, 6}, {1, 2, 3, 4, 5, 6});
+  dense.select_in_channels({0, 2}, 2);
+  EXPECT_EQ(dense.in_features(), 4);
+  EXPECT_FLOAT_EQ(dense.weight()[2], 5.0f);
+  EXPECT_THROW(dense.select_in_channels({0}, 5), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Flatten ----
+
+TEST(Flatten, RoundTripsThroughBackward) {
+  Flatten flat;
+  Rng rng(21);
+  Tensor x = Tensor::randn(Shape{2, 3, 2, 2}, rng);
+  Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({2, 12}));
+  Tensor dx = flat.backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+  EXPECT_TRUE(allclose(dx, x));
+}
+
+// -------------------------------------------------------- ResidualBlock ----
+
+TEST(ResidualBlock, IdentitySkipShape) {
+  Rng rng(22);
+  ResidualBlock block(4, 4, 1, rng);
+  EXPECT_FALSE(block.has_downsample());
+  EXPECT_EQ(block.out_shape(Shape{1, 4, 8, 8}), Shape({1, 4, 8, 8}));
+}
+
+TEST(ResidualBlock, DownsampleSkipShape) {
+  Rng rng(23);
+  ResidualBlock block(4, 8, 2, rng);
+  EXPECT_TRUE(block.has_downsample());
+  EXPECT_EQ(block.out_shape(Shape{1, 4, 8, 8}), Shape({1, 8, 4, 4}));
+}
+
+TEST(ResidualBlock, GradientCheckIdentity) {
+  Rng rng(24);
+  ResidualBlock block(3, 3, 1, rng);
+  check_gradients(block, Tensor::randn(Shape{2, 3, 5, 5}, rng), 241);
+}
+
+TEST(ResidualBlock, GradientCheckDownsample) {
+  Rng rng(25);
+  ResidualBlock block(3, 5, 2, rng);
+  check_gradients(block, Tensor::randn(Shape{2, 3, 6, 6}, rng), 251);
+}
+
+TEST(ResidualBlock, PruneInternalKeepsInterface) {
+  Rng rng(26);
+  ResidualBlock block(4, 4, 1, rng);
+  block.prune_internal({0, 2});
+  EXPECT_EQ(block.internal_channels(), 2);
+  EXPECT_EQ(block.in_channels(), 4);
+  EXPECT_EQ(block.out_channels(), 4);
+  Tensor x = Tensor::randn(Shape{1, 4, 6, 6}, rng);
+  EXPECT_EQ(block.forward(x, false).shape(), Shape({1, 4, 6, 6}));
+}
+
+TEST(ResidualBlock, PlainBlockMirrorsMainBranch) {
+  Rng rng(27);
+  ResidualBlock block(3, 3, 1, rng);
+  Sequential plain = plain_block_like(block, rng);
+  copy_main_branch(block, plain);
+  // With the skip removed the outputs differ, but the plain block must be a
+  // valid network with the same interface.
+  Tensor x = Tensor::randn(Shape{1, 3, 5, 5}, rng);
+  EXPECT_EQ(plain.out_shape(x.shape()), block.out_shape(x.shape()));
+  // The copied conv weights must be identical.
+  auto* c1 = plain.find_nth<Conv2d>(0);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_TRUE(allclose(c1->weight(), block.conv1().weight(), 0.0f, 0.0f));
+}
+
+// ----------------------------------------------------------- Sequential ----
+
+TEST(Sequential, ComposesForward) {
+  Rng rng(28);
+  Sequential seq;
+  seq.emplace<Dense>(3, 4, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Dense>(4, 2, rng);
+  Tensor y = seq.forward(Tensor::randn(Shape{5, 3}, rng), false);
+  EXPECT_EQ(y.shape(), Shape({5, 2}));
+}
+
+TEST(Sequential, GradientCheck) {
+  Rng rng(29);
+  Sequential seq;
+  seq.emplace<Conv2d>(2, 3, Conv2d::Options{.kernel = 3, .stride = 1, .pad = 1,
+                                            .bias = false},
+                      rng);
+  seq.emplace<BatchNorm2d>(3);
+  seq.emplace<ReLU>();
+  seq.emplace<GlobalAvgPool2d>();
+  seq.emplace<Flatten>();
+  seq.emplace<Dense>(3, 2, rng);
+  check_gradients(seq, Tensor::randn(Shape{2, 2, 6, 6}, rng), 291);
+}
+
+TEST(Sequential, CloneIsDeepCopy) {
+  Rng rng(30);
+  Sequential seq;
+  seq.emplace<Dense>(2, 2, rng);
+  auto copy = seq.clone();
+  auto* orig = seq.find_nth<Dense>(0);
+  auto* cloned = dynamic_cast<Sequential*>(copy.get())->find_nth<Dense>(0);
+  ASSERT_NE(cloned, nullptr);
+  EXPECT_TRUE(allclose(orig->weight(), cloned->weight(), 0.0f, 0.0f));
+  orig->weight().fill(99.0f);
+  EXPECT_FALSE(allclose(orig->weight(), cloned->weight()));
+}
+
+TEST(Sequential, ParamNamesArePrefixed) {
+  Rng rng(31);
+  Sequential seq;
+  seq.emplace<Conv2d>(1, 1, Conv2d::Options{.kernel = 1, .pad = 0}, rng);
+  seq.emplace<BatchNorm2d>(1);
+  auto params = seq.params();
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0].name, "0.Conv2d.weight");
+  EXPECT_EQ(params[1].name, "1.BatchNorm2d.gamma");
+}
+
+TEST(Sequential, MacsAccumulateWithShapePropagation) {
+  Rng rng(32);
+  Sequential seq;
+  seq.emplace<Conv2d>(1, 2, Conv2d::Options{.kernel = 3, .stride = 1, .pad = 1,
+                                            .bias = false},
+                      rng);
+  seq.emplace<MaxPool2d>(2);
+  seq.emplace<Conv2d>(2, 4, Conv2d::Options{.kernel = 3, .stride = 1, .pad = 1,
+                                            .bias = false},
+                      rng);
+  const Shape in{1, 1, 8, 8};
+  const int64_t conv1 = 2 * 8 * 8 * 9;
+  const int64_t pool = 2 * 4 * 4 * 4;
+  const int64_t conv2 = 4 * 4 * 4 * 2 * 9;
+  EXPECT_EQ(seq.macs(in), conv1 + pool + conv2);
+}
+
+// -------------------------------------------------------------- SGD/LR -----
+
+TEST(SGD, PlainStepMovesAgainstGradient) {
+  Rng rng(33);
+  Tensor w = Tensor::from({1.0f});
+  Tensor g = Tensor::from({0.5f});
+  std::vector<ParamRef> params{{"w", &w, &g, false}};
+  SGD sgd(0.1, /*momentum=*/0.0, /*weight_decay=*/0.0);
+  sgd.step(params);
+  EXPECT_NEAR(w[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(SGD, MomentumAccumulates) {
+  Tensor w = Tensor::from({0.0f});
+  Tensor g = Tensor::from({1.0f});
+  std::vector<ParamRef> params{{"w", &w, &g, false}};
+  SGD sgd(0.1, 0.9, 0.0);
+  sgd.step(params);  // v = -0.1, w = -0.1
+  sgd.step(params);  // v = -0.19, w = -0.29
+  EXPECT_NEAR(w[0], -0.29f, 1e-5f);
+}
+
+TEST(SGD, WeightDecayOnlyWhereFlagged) {
+  Tensor w1 = Tensor::from({1.0f}), g1 = Tensor::from({0.0f});
+  Tensor w2 = Tensor::from({1.0f}), g2 = Tensor::from({0.0f});
+  std::vector<ParamRef> params{{"a", &w1, &g1, true}, {"b", &w2, &g2, false}};
+  SGD sgd(0.1, 0.0, 0.5);
+  sgd.step(params);
+  EXPECT_NEAR(w1[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+  EXPECT_FLOAT_EQ(w2[0], 1.0f);
+}
+
+TEST(SGD, VelocityResetsWhenShapeChanges) {
+  Tensor w = Tensor::from({0.0f, 0.0f});
+  Tensor g = Tensor::from({1.0f, 1.0f});
+  std::vector<ParamRef> params{{"w", &w, &g, false}};
+  SGD sgd(0.1, 0.9, 0.0);
+  sgd.step(params);
+  // Simulate pruning: same tensor object, new shape.
+  w = Tensor::from({0.0f});
+  g = Tensor::from({1.0f});
+  sgd.step(params);  // must not crash; velocity reinitialized
+  EXPECT_NEAR(w[0], -0.1f, 1e-6f);
+}
+
+TEST(StepLR, DropsEveryStep) {
+  StepLR lr(0.1, 100, 0.1);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0), 0.1);
+  EXPECT_DOUBLE_EQ(lr.lr_at(99), 0.1);
+  EXPECT_NEAR(lr.lr_at(100), 0.01, 1e-12);
+  EXPECT_NEAR(lr.lr_at(250), 0.001, 1e-12);
+}
+
+// ---------------------------------------------------------- Serialization --
+
+TEST(Serialize, RoundTripsPlainStack) {
+  Rng rng(34);
+  Sequential seq;
+  seq.emplace<Conv2d>(3, 4, Conv2d::Options{.kernel = 3, .stride = 1, .pad = 1,
+                                            .bias = true},
+                      rng);
+  seq.emplace<BatchNorm2d>(4);
+  seq.emplace<ReLU>();
+  seq.emplace<MaxPool2d>(2);
+  seq.emplace<GlobalAvgPool2d>();
+  seq.emplace<Flatten>();
+  seq.emplace<Dense>(4, 10, rng);
+
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_model(ss, seq);
+  auto loaded = load_model(ss);
+
+  Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+  EXPECT_TRUE(allclose(seq.forward(x, false), loaded->forward(x, false),
+                       0.0f, 0.0f));
+}
+
+TEST(Serialize, RoundTripsResidualBlock) {
+  Rng rng(35);
+  ResidualBlock block(3, 6, 2, rng);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_model(ss, block);
+  auto loaded = load_model(ss);
+  Tensor x = Tensor::randn(Shape{1, 3, 8, 8}, rng);
+  EXPECT_TRUE(allclose(block.forward(x, false), loaded->forward(x, false),
+                       0.0f, 0.0f));
+}
+
+TEST(Serialize, RoundTripsPrunedResidualBlock) {
+  Rng rng(36);
+  ResidualBlock block(4, 4, 1, rng);
+  block.prune_internal({1, 3});
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_model(ss, block);
+  auto loaded = load_model(ss);
+  Tensor x = Tensor::randn(Shape{1, 4, 6, 6}, rng);
+  EXPECT_TRUE(allclose(block.forward(x, false), loaded->forward(x, false),
+                       0.0f, 0.0f));
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ss << "not a model";
+  EXPECT_THROW(load_model(ss), std::runtime_error);
+}
+
+TEST(Serialize, SerializedSizeMatchesStream) {
+  Rng rng(37);
+  Sequential seq;
+  seq.emplace<Dense>(8, 4, rng);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_model(ss, seq);
+  EXPECT_EQ(serialized_size(seq), static_cast<int64_t>(ss.str().size()));
+}
+
+// ------------------------------------------------------------------ init ---
+
+TEST(Init, KaimingVarianceMatchesFanIn) {
+  Rng rng(38);
+  Tensor w(Shape{20000});
+  kaiming_normal(w, 50, rng);
+  double var = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) var += w[i] * w[i];
+  var /= static_cast<double>(w.numel());
+  EXPECT_NEAR(var, 2.0 / 50.0, 0.005);
+}
+
+TEST(Init, XavierBounds) {
+  Rng rng(39);
+  Tensor w(Shape{1000});
+  xavier_uniform(w, 10, 10, rng);
+  const float a = std::sqrt(6.0f / 20.0f);
+  EXPECT_GE(w.min(), -a);
+  EXPECT_LE(w.max(), a);
+}
+
+}  // namespace
+}  // namespace tbnet::nn

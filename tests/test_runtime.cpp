@@ -1,0 +1,239 @@
+// Tests for the deployment runtime: footprint measurement, the TBNet TA,
+// the full-TEE and partition baselines, and the security invariants they
+// must satisfy inside the simulated device.
+
+#include <gtest/gtest.h>
+
+#include "core/knowledge_transfer.h"
+#include "core/pruner.h"
+#include "core/rollback.h"
+#include "models/model_zoo.h"
+#include "runtime/deployed.h"
+#include "runtime/measurements.h"
+#include "tee/cost_model.h"
+
+namespace tbnet::runtime {
+namespace {
+
+models::ModelConfig tiny_vgg_cfg() {
+  models::ModelConfig cfg;
+  cfg.family = models::Family::kVgg;
+  cfg.depth = 11;
+  cfg.classes = 10;
+  cfg.width_mult = 0.125;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(Measurements, VictimFootprintConsistency) {
+  nn::Sequential victim = models::build_victim(tiny_vgg_cfg());
+  const VictimFootprint fp = measure_victim(victim, Shape{3, 32, 32});
+  EXPECT_EQ(fp.model_bytes, victim.param_bytes());
+  EXPECT_EQ(fp.stage_macs.size(), static_cast<size_t>(victim.size()));
+  EXPECT_EQ(fp.input_bytes, 3 * 32 * 32 * 4);
+  int64_t total_macs = 0;
+  for (int64_t m : fp.stage_macs) total_macs += m;
+  EXPECT_EQ(total_macs, victim.macs(Shape{1, 3, 32, 32}));
+  EXPECT_GT(fp.activation_peak, 0);
+  EXPECT_EQ(fp.total_bytes, fp.model_bytes + fp.activation_peak);
+}
+
+TEST(Measurements, TwoBranchFootprintConsistency) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  const TwoBranchFootprint fp = measure_two_branch(tb, Shape{3, 32, 32});
+  EXPECT_EQ(fp.stages.size(), static_cast<size_t>(tb.num_stages()));
+  EXPECT_EQ(fp.secure_model_bytes, tb.secure_param_bytes());
+  EXPECT_EQ(fp.exposed_model_bytes, tb.exposed_param_bytes());
+  // Transfers: one feature map per fused stage; the head stage is not fused
+  // (no REE execution, no transfer) — the TBNet output comes from M_T alone.
+  int64_t sum = 0;
+  for (size_t i = 0; i < fp.stages.size(); ++i) {
+    const auto& s = fp.stages[i];
+    EXPECT_GT(s.secure_macs, 0);
+    if (tb.stage(static_cast<int>(i)).fused) {
+      EXPECT_GT(s.transfer_bytes, 0);
+      EXPECT_GT(s.exposed_macs, 0);
+    } else {
+      EXPECT_EQ(s.transfer_bytes, 0);
+      EXPECT_EQ(s.exposed_macs, 0);
+    }
+    sum += s.transfer_bytes;
+  }
+  EXPECT_FALSE(tb.stage(tb.num_stages() - 1).fused);
+  EXPECT_EQ(sum, fp.total_transfer_bytes);
+  EXPECT_EQ(fp.secure_total_bytes,
+            fp.secure_model_bytes + fp.secure_activation_peak);
+}
+
+TEST(Measurements, PrunedSecureBranchShrinksFootprint) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  const int64_t before =
+      measure_two_branch(tb, Shape{3, 32, 32}).secure_total_bytes;
+  // Halve every interface.
+  for (const auto& point : models::prune_points(cfg)) {
+    const core::ResolvedPoint rp = core::resolve_point(tb, point);
+    std::vector<int64_t> keep;
+    for (int64_t c = 0; c < rp.bn_secure->channels(); c += 2) keep.push_back(c);
+    core::apply_channel_keep(tb, point, keep);
+  }
+  const int64_t after =
+      measure_two_branch(tb, Shape{3, 32, 32}).secure_total_bytes;
+  EXPECT_LT(after, before);
+}
+
+TEST(DeployedTBNet, MatchesInProcessInferenceBitForBit) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+
+  Rng rng(5);
+  for (int i = 0; i < 3; ++i) {
+    Tensor img = Tensor::randn(Shape{3, 32, 32}, rng);
+    Tensor want = tb.forward(img.reshaped(Shape{1, 3, 32, 32}), false);
+    Tensor got = deployed.infer(img);
+    EXPECT_TRUE(allclose(got, want, 0.0f, 0.0f)) << "inference " << i;
+    EXPECT_EQ(deployed.predict(img), want.argmax());
+  }
+}
+
+TEST(DeployedTBNet, WorksAfterPruneAndRollback) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  const auto points = models::prune_points(cfg);
+
+  // Prune every interface to 3/4 width, snapshot, prune again, rollback —
+  // giving non-identity channel maps without any training.
+  core::TwoBranchModel snapshot = tb.clone();
+  std::vector<std::vector<int64_t>> last_keep;
+  for (const auto& point : points) {
+    const core::ResolvedPoint rp = core::resolve_point(tb, point);
+    std::vector<int64_t> keep;
+    for (int64_t c = 0; c < rp.bn_secure->channels(); ++c) {
+      if (c % 4 != 1) keep.push_back(c);
+    }
+    core::apply_channel_keep(tb, point, keep);
+    last_keep.push_back(keep);
+  }
+  core::rollback_finalize(tb, std::move(snapshot), points, last_keep);
+
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+  Rng rng(6);
+  Tensor img = Tensor::randn(Shape{3, 32, 32}, rng);
+  Tensor want = tb.forward(img.reshaped(Shape{1, 3, 32, 32}), false);
+  EXPECT_TRUE(allclose(deployed.infer(img), want, 0.0f, 0.0f));
+}
+
+TEST(DeployedTBNet, ChannelAccountingAndOneWayHold) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  const TwoBranchFootprint fp = measure_two_branch(tb, Shape{3, 32, 32});
+
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+  Rng rng(7);
+  deployed.infer(Tensor::randn(Shape{3, 32, 32}, rng));
+
+  // All pushes went into the TEE; nothing leaked out.
+  EXPECT_EQ(ctx.channel().leaked_bytes(), 0);
+  EXPECT_GT(ctx.channel().bytes_into_tee(), 0);
+  // Feature-map payloads dominate; the channel must carry at least the raw
+  // feature bytes (headers add a little).
+  EXPECT_GE(ctx.channel().bytes_into_tee(),
+            fp.total_transfer_bytes + fp.input_bytes);
+  // The secure model is resident in TEE memory.
+  EXPECT_GE(world.memory().live_bytes(), tb.secure_param_bytes());
+  EXPECT_GT(world.memory().peak_bytes(), world.memory().live_bytes());
+}
+
+TEST(DeployedTBNet, ModelTooBigForSecureMemoryFailsLoudly) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  tee::SecureWorld world(/*budget=*/1024);  // 1 KiB: nothing fits
+  tee::TeeContext ctx(world);
+  EXPECT_THROW(DeployedTBNet(tb, ctx), tee::SecurityViolation);
+}
+
+TEST(FullTeeDeployment, MatchesVictimForward) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  FullTeeDeployment deployed(victim, ctx);
+  Rng rng(8);
+  Tensor img = Tensor::randn(Shape{3, 32, 32}, rng);
+  Tensor want = victim.forward(img.reshaped(Shape{1, 3, 32, 32}), false);
+  EXPECT_TRUE(allclose(deployed.infer(img), want, 0.0f, 0.0f));
+  EXPECT_EQ(deployed.predict(img), want.argmax());
+  // The whole victim is resident in secure memory.
+  EXPECT_GE(world.memory().live_bytes(), victim.param_bytes());
+}
+
+TEST(PartitionDeployment, SplitsComputationCorrectly) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  PartitionDeployment deployed(victim, /*first_tee_stage=*/3, ctx);
+  Rng rng(9);
+  Tensor img = Tensor::randn(Shape{3, 32, 32}, rng);
+  Tensor want = victim.forward(img.reshaped(Shape{1, 3, 32, 32}), false);
+  EXPECT_TRUE(allclose(deployed.infer(img), want, 0.0f, 0.0f));
+
+  // What the attacker observes entering the TEE equals the output of the
+  // first 3 stages — plaintext feature maps (DarkneTZ's weakness).
+  Tensor x = img.reshaped(Shape{1, 3, 32, 32});
+  for (int i = 0; i < 3; ++i) x = victim.layer(i).forward(x, false);
+  EXPECT_TRUE(allclose(deployed.observable_tee_input(img), x, 0.0f, 0.0f));
+}
+
+TEST(PartitionDeployment, RejectsDegeneratePartitions) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  EXPECT_THROW(PartitionDeployment(victim, 0, ctx), std::invalid_argument);
+  EXPECT_THROW(PartitionDeployment(victim, victim.size(), ctx),
+               std::invalid_argument);
+}
+
+TEST(Latency, TbnetFootprintDrivesTimelineReduction) {
+  // End-to-end: pruned two-branch footprint + RPi3 cost model must yield a
+  // latency reduction vs. the all-in-TEE victim in the paper's 1.0-1.5x band.
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  for (const auto& point : models::prune_points(cfg)) {
+    const core::ResolvedPoint rp = core::resolve_point(tb, point);
+    std::vector<int64_t> keep;
+    for (int64_t c = 0; c < rp.bn_secure->channels(); ++c) {
+      if (c % 2 == 0) keep.push_back(c);  // 50% pruned
+    }
+    core::apply_channel_keep(tb, point, keep);
+  }
+  const tee::CostModel cm(tee::DeviceProfile::rpi3());
+  const VictimFootprint vfp = measure_victim(victim, Shape{3, 32, 32});
+  const TwoBranchFootprint tfp = measure_two_branch(tb, Shape{3, 32, 32});
+  const double baseline =
+      simulate_full_tee(cm, vfp.stage_macs, vfp.input_bytes).makespan_s;
+  const double split = simulate_two_branch(cm, tfp.stages).makespan_s;
+  EXPECT_LT(split, baseline);
+  EXPECT_GT(baseline / split, 1.02);
+  EXPECT_LT(baseline / split, 6.0);
+}
+
+}  // namespace
+}  // namespace tbnet::runtime
