@@ -1,0 +1,207 @@
+// bench_serving — batched serving throughput of the deployed TBNet engine.
+//
+// Sweeps the inference batch size over the ResNet-style zoo model and emits
+// one JSON document with throughput (imgs/s), per-batch latency percentiles,
+// and world-switch counts, plus an InferenceServer section exercising
+// request coalescing with concurrent submitters.
+//
+// Timing model: compute runs at host speed; the REE<->TEE world-switch and
+// shared-memory transfer latencies of the paper's testbed (DeviceProfile
+// rpi3, 50us/switch, 1GB/s channel) are injected into every TA invocation by
+// TeeSession::simulate_timing. That is the overhead axis batching amortizes:
+// a batch of N crosses the world O(stages) times instead of O(N * stages).
+// Pass --no-device-timing for raw host numbers (pure simulator cost).
+//
+// The sweep runs single-threaded (TBNET_THREADS=1 unless the caller already
+// pinned it) so the batch-16 vs batch-1 ratio isolates batching itself.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/model_zoo.h"
+#include "runtime/deployed.h"
+#include "runtime/measurements.h"
+#include "runtime/server.h"
+#include "tee/device_profile.h"
+#include "tee/optee_api.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace tbnet;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct SweepPoint {
+  int64_t batch = 0;
+  int64_t images = 0;
+  int64_t batches = 0;
+  double imgs_per_s = 0.0;
+  double batch_p50_ms = 0.0;
+  double batch_p99_ms = 0.0;
+  double switches_per_image = 0.0;
+  double overhead_ms_per_image = 0.0;  ///< injected switch/transfer stall
+};
+
+SweepPoint run_sweep_point(runtime::DeployedTBNet& engine, int64_t batch,
+                           int64_t target_images, Rng& rng) {
+  const Tensor input = Tensor::randn(Shape{batch, 3, 32, 32}, rng);
+  engine.infer_batch(input);  // warmup: arena growth, TA state, page faults
+
+  SweepPoint p;
+  p.batch = batch;
+  const int64_t switches_before = engine.world_switches();
+  const double overhead_before = engine.session().simulated_overhead_s();
+  runtime::LatencyRecorder rec;
+  const auto t0 = Clock::now();
+  while (p.images < target_images) {
+    const auto b0 = Clock::now();
+    engine.infer_batch(input);
+    rec.record(seconds_since(b0));
+    p.images += batch;
+    ++p.batches;
+  }
+  const double total_s = seconds_since(t0);
+  p.imgs_per_s = static_cast<double>(p.images) / total_s;
+  p.batch_p50_ms = rec.percentile(50.0) * 1e3;
+  p.batch_p99_ms = rec.percentile(99.0) * 1e3;
+  p.switches_per_image =
+      static_cast<double>(engine.world_switches() - switches_before) /
+      static_cast<double>(p.images);
+  p.overhead_ms_per_image =
+      (engine.session().simulated_overhead_s() - overhead_before) * 1e3 /
+      static_cast<double>(p.images);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Single-thread by default so the sweep isolates batching, not the pool.
+  setenv("TBNET_THREADS", "1", /*overwrite=*/0);
+
+  bool device_timing = true;
+  double width = 0.125;
+  int64_t target_images = 192;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-device-timing") == 0) {
+      device_timing = false;
+    } else if (std::strncmp(argv[i], "--width=", 8) == 0) {
+      width = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--images=", 9) == 0) {
+      target_images = std::atoll(argv[i] + 9);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--no-device-timing] [--width=W] [--images=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  models::ModelConfig cfg;
+  cfg.family = models::Family::kResNet;
+  cfg.depth = 20;
+  cfg.classes = 10;
+  cfg.width_mult = width;
+  cfg.seed = 17;
+
+  const nn::Sequential victim = models::build_victim(cfg);
+  const core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  const tee::DeviceProfile profile = tee::DeviceProfile::rpi3();
+
+  tee::SecureWorld world(profile.secure_mem_budget);
+  tee::TeeContext ctx(world);
+  runtime::DeployedTBNet engine(tb, ctx, "tbnet-serving",
+                                runtime::DeployedTBNet::Options{.max_batch = 64});
+  if (device_timing) engine.session().simulate_timing(profile);
+
+  Rng rng(23);
+  const std::vector<int64_t> batches = {1, 2, 4, 8, 16, 32};
+  std::vector<SweepPoint> sweep;
+  for (int64_t b : batches) {
+    sweep.push_back(run_sweep_point(engine, b, target_images, rng));
+  }
+
+  double tput1 = 0.0, tput16 = 0.0;
+  for (const SweepPoint& p : sweep) {
+    if (p.batch == 1) tput1 = p.imgs_per_s;
+    if (p.batch == 16) tput16 = p.imgs_per_s;
+  }
+
+  // Server section: concurrent single-image submitters riding coalesced
+  // batches through the same engine.
+  runtime::InferenceServer::Config scfg;
+  scfg.max_batch = 16;
+  scfg.max_queue_delay = std::chrono::microseconds(2000);
+  runtime::ServingStats server_stats;
+  {
+    runtime::InferenceServer server(
+        [&engine](const Tensor& nchw) { return engine.infer_batch(nchw); },
+        scfg);
+    const int64_t per_thread = 48;
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&server, per_thread, t] {
+        Rng trng(100 + static_cast<uint64_t>(t));
+        std::vector<std::future<runtime::InferenceResult>> futures;
+        for (int64_t i = 0; i < per_thread; ++i) {
+          futures.push_back(
+              server.submit(Tensor::randn(Shape{3, 32, 32}, trng)));
+        }
+        for (auto& f : futures) f.get();
+      });
+    }
+    for (auto& th : submitters) th.join();
+    server.drain();
+    server_stats = server.stats();
+  }
+
+  // ---- JSON ----------------------------------------------------------
+  std::printf("{\n");
+  std::printf("  \"model\": \"%s\",\n", cfg.name().c_str());
+  std::printf("  \"stages\": %d,\n", engine.num_stages());
+  std::printf("  \"device_timing\": %s,\n",
+              device_timing ? "\"raspberry-pi-3b/op-tee\"" : "null");
+  std::printf("  \"threads\": %s,\n", std::getenv("TBNET_THREADS"));
+  std::printf("  \"sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    std::printf(
+        "    {\"batch\": %lld, \"images\": %lld, \"imgs_per_s\": %.2f, "
+        "\"batch_p50_ms\": %.3f, \"batch_p99_ms\": %.3f, "
+        "\"world_switches_per_image\": %.3f, "
+        "\"injected_overhead_ms_per_image\": %.4f}%s\n",
+        static_cast<long long>(p.batch), static_cast<long long>(p.images),
+        p.imgs_per_s, p.batch_p50_ms, p.batch_p99_ms, p.switches_per_image,
+        p.overhead_ms_per_image, i + 1 < sweep.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"speedup_batch16_vs_batch1\": %.3f,\n",
+              tput1 > 0.0 ? tput16 / tput1 : 0.0);
+  std::printf("  \"server\": {\n");
+  std::printf("    \"requests\": %lld,\n",
+              static_cast<long long>(server_stats.requests));
+  std::printf("    \"batches\": %lld,\n",
+              static_cast<long long>(server_stats.batches));
+  std::printf("    \"mean_batch_size\": %.2f,\n",
+              server_stats.mean_batch_size());
+  std::printf("    \"request_p50_ms\": %.3f,\n",
+              server_stats.request_latency.percentile(50.0) * 1e3);
+  std::printf("    \"request_p99_ms\": %.3f,\n",
+              server_stats.request_latency.percentile(99.0) * 1e3);
+  std::printf("    \"batch_p50_ms\": %.3f,\n",
+              server_stats.batch_latency.percentile(50.0) * 1e3);
+  std::printf("    \"batch_p99_ms\": %.3f\n",
+              server_stats.batch_latency.percentile(99.0) * 1e3);
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

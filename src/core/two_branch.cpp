@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/serialize.h"
+#include "tensor/ops.h"
 
 namespace tbnet::core {
 namespace {
@@ -92,21 +93,26 @@ void TwoBranchModel::add_stage(std::unique_ptr<nn::Layer> exposed,
 
 Tensor TwoBranchModel::forward(const Tensor& input, bool train,
                                bool train_exposed) {
+  return forward(default_execution_context(), input, train, train_exposed);
+}
+
+Tensor TwoBranchModel::forward(ExecutionContext& ctx, const Tensor& input,
+                               bool train, bool train_exposed) {
   if (stages_.empty()) throw std::logic_error("TwoBranchModel: no stages");
   exposed_out_shapes_.clear();
   Tensor out_r = input;
   Tensor fused = input;
   for (FusionStage& s : stages_) {
-    Tensor out_t = s.secure->forward(fused, train);
+    Tensor out_t = s.secure->forward(ctx, fused, train);
     if (s.fused) {
-      out_r = s.exposed->forward(out_r, train && train_exposed);
+      out_r = s.exposed->forward(ctx, out_r, train && train_exposed);
       Tensor aligned = gather_channels(out_r, s.channel_map);
       if (aligned.shape() != out_t.shape()) {
         throw std::logic_error(
             "TwoBranchModel: fusion shape mismatch (exposed " +
             aligned.shape().str() + " vs secure " + out_t.shape().str() + ")");
       }
-      out_t.add_(aligned);
+      add(ctx, out_t, aligned, out_t);
       exposed_out_shapes_.push_back(out_r.shape());
     } else {
       // Non-fused stage (the classifier head): the exposed block is not
@@ -121,22 +127,37 @@ Tensor TwoBranchModel::forward(const Tensor& input, bool train,
 }
 
 Tensor TwoBranchModel::forward_secure_only(const Tensor& input, bool train) {
+  return forward_secure_only(default_execution_context(), input, train);
+}
+
+Tensor TwoBranchModel::forward_secure_only(ExecutionContext& ctx,
+                                           const Tensor& input, bool train) {
   if (stages_.empty()) throw std::logic_error("TwoBranchModel: no stages");
   Tensor x = input;
-  for (FusionStage& s : stages_) x = s.secure->forward(x, train);
+  for (FusionStage& s : stages_) x = s.secure->forward(ctx, x, train);
   last_mode_ = train ? ForwardMode::kSecureOnly : ForwardMode::kNone;
   return x;
 }
 
 Tensor TwoBranchModel::forward_exposed_only(const Tensor& input, bool train) {
+  return forward_exposed_only(default_execution_context(), input, train);
+}
+
+Tensor TwoBranchModel::forward_exposed_only(ExecutionContext& ctx,
+                                            const Tensor& input, bool train) {
   if (stages_.empty()) throw std::logic_error("TwoBranchModel: no stages");
   Tensor x = input;
-  for (FusionStage& s : stages_) x = s.exposed->forward(x, train);
+  for (FusionStage& s : stages_) x = s.exposed->forward(ctx, x, train);
   last_mode_ = train ? ForwardMode::kExposedOnly : ForwardMode::kNone;
   return x;
 }
 
 void TwoBranchModel::backward(const Tensor& grad_logits, bool freeze_exposed) {
+  backward(default_execution_context(), grad_logits, freeze_exposed);
+}
+
+void TwoBranchModel::backward(ExecutionContext& ctx, const Tensor& grad_logits,
+                              bool freeze_exposed) {
   const int n = num_stages();
   switch (last_mode_) {
     case ForwardMode::kFused: {
@@ -150,14 +171,14 @@ void TwoBranchModel::backward(const Tensor& grad_logits, bool freeze_exposed) {
       for (int i = n - 1; i >= 0; --i) {
         FusionStage& s = stages_[static_cast<size_t>(i)];
         Tensor g_out_t = g_fused;  // fused = out_T (+ gather(out_R) if fused)
-        Tensor g_fused_prev = s.secure->backward(g_out_t);
+        Tensor g_fused_prev = s.secure->backward(ctx, g_out_t);
         if (!freeze_exposed) {
           if (s.fused) {
             Tensor g_out_r =
                 scatter_channels(g_fused, s.channel_map,
                                  exposed_out_shapes_[static_cast<size_t>(i)]);
             if (!g_r_carry.empty()) g_out_r.add_(g_r_carry);
-            g_r_carry = s.exposed->backward(g_out_r);
+            g_r_carry = s.exposed->backward(ctx, g_out_r);
           } else if (!g_r_carry.empty()) {
             // Non-fused stages form a suffix (the head); nothing upstream of
             // them can have produced a carry.
@@ -172,14 +193,14 @@ void TwoBranchModel::backward(const Tensor& grad_logits, bool freeze_exposed) {
     case ForwardMode::kSecureOnly: {
       Tensor g = grad_logits;
       for (int i = n - 1; i >= 0; --i) {
-        g = stages_[static_cast<size_t>(i)].secure->backward(g);
+        g = stages_[static_cast<size_t>(i)].secure->backward(ctx, g);
       }
       break;
     }
     case ForwardMode::kExposedOnly: {
       Tensor g = grad_logits;
       for (int i = n - 1; i >= 0; --i) {
-        g = stages_[static_cast<size_t>(i)].exposed->backward(g);
+        g = stages_[static_cast<size_t>(i)].exposed->backward(ctx, g);
       }
       break;
     }

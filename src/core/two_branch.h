@@ -71,19 +71,29 @@ class TwoBranchModel {
   /// TBNet inference/training pass: returns fused logits (the TEE output).
   /// When `train_exposed` is false the REE branch runs in eval mode and its
   /// activations are not cached (used for the post-rollback fine-tune where
-  /// M_R is frozen).
+  /// M_R is frozen). The context-taking forms thread `ctx` through every
+  /// stage block (arena scratch + pool); the others run on the calling
+  /// thread's default context.
+  Tensor forward(ExecutionContext& ctx, const Tensor& input, bool train,
+                 bool train_exposed = true);
   Tensor forward(const Tensor& input, bool train, bool train_exposed = true);
 
   /// Runs only the secure chain (in_T[i+1] = out_T[i], no fusion).
+  Tensor forward_secure_only(ExecutionContext& ctx, const Tensor& input,
+                             bool train);
   Tensor forward_secure_only(const Tensor& input, bool train);
 
   /// Runs only the exposed chain — exactly what an attacker who extracted
   /// M_R from REE memory can execute.
+  Tensor forward_exposed_only(ExecutionContext& ctx, const Tensor& input,
+                              bool train);
   Tensor forward_exposed_only(const Tensor& input, bool train);
 
   /// Back-propagates dLoss/dlogits through whatever the last forward ran.
   /// With `freeze_exposed` (fused mode only) gradients are not propagated
   /// into the REE branch.
+  void backward(ExecutionContext& ctx, const Tensor& grad_logits,
+                bool freeze_exposed = false);
   void backward(const Tensor& grad_logits, bool freeze_exposed = false);
 
   /// All parameters / per-branch parameter views (names are stage-prefixed).

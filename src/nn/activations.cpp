@@ -5,7 +5,7 @@
 
 namespace tbnet::nn {
 
-Tensor ReLU::forward(const Tensor& input, bool train) {
+Tensor ReLU::forward(ExecutionContext&, const Tensor& input, bool train) {
   Tensor out = input;
   if (train) {
     mask_.assign(static_cast<size_t>(input.numel()), 0);
@@ -21,7 +21,7 @@ Tensor ReLU::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor ReLU::backward(const Tensor& grad_output) {
+Tensor ReLU::backward(ExecutionContext&, const Tensor& grad_output) {
   if (mask_.empty() || grad_output.shape() != cached_shape_) {
     throw std::logic_error("ReLU::backward without matching forward(train)");
   }
@@ -42,7 +42,7 @@ LeakyReLU::LeakyReLU(float alpha) : alpha_(alpha) {
   }
 }
 
-Tensor LeakyReLU::forward(const Tensor& input, bool train) {
+Tensor LeakyReLU::forward(ExecutionContext&, const Tensor& input, bool train) {
   Tensor out = input;
   if (train) {
     mask_.assign(static_cast<size_t>(input.numel()), 0);
@@ -58,7 +58,7 @@ Tensor LeakyReLU::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor LeakyReLU::backward(const Tensor& grad_output) {
+Tensor LeakyReLU::backward(ExecutionContext&, const Tensor& grad_output) {
   if (mask_.empty() || grad_output.shape() != cached_shape_) {
     throw std::logic_error("LeakyReLU::backward without forward(train)");
   }
@@ -73,14 +73,14 @@ std::unique_ptr<Layer> LeakyReLU::clone() const {
   return std::make_unique<LeakyReLU>(alpha_);
 }
 
-Tensor Tanh::forward(const Tensor& input, bool train) {
+Tensor Tanh::forward(ExecutionContext&, const Tensor& input, bool train) {
   Tensor out = input;
   for (int64_t i = 0; i < out.numel(); ++i) out[i] = std::tanh(out[i]);
   if (train) cached_output_ = out;
   return out;
 }
 
-Tensor Tanh::backward(const Tensor& grad_output) {
+Tensor Tanh::backward(ExecutionContext&, const Tensor& grad_output) {
   if (cached_output_.empty() ||
       grad_output.shape() != cached_output_.shape()) {
     throw std::logic_error("Tanh::backward without forward(train)");
@@ -95,7 +95,7 @@ Tensor Tanh::backward(const Tensor& grad_output) {
 
 std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(); }
 
-Tensor Sigmoid::forward(const Tensor& input, bool train) {
+Tensor Sigmoid::forward(ExecutionContext&, const Tensor& input, bool train) {
   Tensor out = input;
   for (int64_t i = 0; i < out.numel(); ++i) {
     out[i] = 1.0f / (1.0f + std::exp(-out[i]));
@@ -104,7 +104,7 @@ Tensor Sigmoid::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor Sigmoid::backward(const Tensor& grad_output) {
+Tensor Sigmoid::backward(ExecutionContext&, const Tensor& grad_output) {
   if (cached_output_.empty() ||
       grad_output.shape() != cached_output_.shape()) {
     throw std::logic_error("Sigmoid::backward without forward(train)");

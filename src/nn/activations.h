@@ -8,8 +8,11 @@ namespace tbnet::nn {
 /// Rectified linear unit. Works on any rank; caches the sign mask.
 class ReLU : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::string kind() const override { return "ReLU"; }
   std::unique_ptr<Layer> clone() const override;
   Shape out_shape(const Shape& in) const override { return in; }
@@ -25,8 +28,11 @@ class LeakyReLU : public Layer {
  public:
   explicit LeakyReLU(float alpha = 0.01f);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::string kind() const override { return "LeakyReLU"; }
   std::unique_ptr<Layer> clone() const override;
   Shape out_shape(const Shape& in) const override { return in; }
@@ -43,8 +49,11 @@ class LeakyReLU : public Layer {
 /// Hyperbolic tangent.
 class Tanh : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::string kind() const override { return "Tanh"; }
   std::unique_ptr<Layer> clone() const override;
   Shape out_shape(const Shape& in) const override { return in; }
@@ -57,8 +66,11 @@ class Tanh : public Layer {
 /// Logistic sigmoid.
 class Sigmoid : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::string kind() const override { return "Sigmoid"; }
   std::unique_ptr<Layer> clone() const override;
   Shape out_shape(const Shape& in) const override { return in; }

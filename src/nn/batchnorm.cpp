@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/threadpool.h"
+
 namespace tbnet::nn {
 
 BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
@@ -36,7 +38,8 @@ int64_t BatchNorm2d::param_bytes() const {
   return 4 * channels_ * static_cast<int64_t>(sizeof(float));
 }
 
-Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+Tensor BatchNorm2d::forward(ExecutionContext& ctx, const Tensor& input,
+                            bool train) {
   out_shape(input.shape());  // validates
   const int64_t n = input.dim(0), c = channels_, h = input.dim(2),
                 w = input.dim(3);
@@ -83,22 +86,26 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
                          momentum_ * static_cast<float>(var);
     }
   } else {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float inv_std = 1.0f / std::sqrt(running_var_[ch] + eps_);
-      const float g = gamma_[ch], b = beta_[ch], m = running_mean_[ch];
-      for (int64_t i = 0; i < n; ++i) {
-        const float* src = input.data() + (i * c + ch) * spatial;
-        float* dst = out.data() + (i * c + ch) * spatial;
-        for (int64_t p = 0; p < spatial; ++p) {
-          dst[p] = g * (src[p] - m) * inv_std + b;
+    // Eval mode is the deployed hot path: channels are independent, shard
+    // them on the context pool (disjoint writes; per-element math unchanged).
+    ctx.pool().parallel_for(c, [&](int64_t c0, int64_t c1) {
+      for (int64_t ch = c0; ch < c1; ++ch) {
+        const float inv_std = 1.0f / std::sqrt(running_var_[ch] + eps_);
+        const float g = gamma_[ch], b = beta_[ch], m = running_mean_[ch];
+        for (int64_t i = 0; i < n; ++i) {
+          const float* src = input.data() + (i * c + ch) * spatial;
+          float* dst = out.data() + (i * c + ch) * spatial;
+          for (int64_t p = 0; p < spatial; ++p) {
+            dst[p] = g * (src[p] - m) * inv_std + b;
+          }
         }
       }
-    }
+    });
   }
   return out;
 }
 
-Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+Tensor BatchNorm2d::backward(ExecutionContext&, const Tensor& grad_output) {
   if (cached_xhat_.empty()) {
     throw std::logic_error("BatchNorm2d::backward before forward(train)");
   }

@@ -18,8 +18,11 @@ class BatchNorm2d : public Layer {
   explicit BatchNorm2d(int64_t channels, float eps = 1e-5f,
                        float momentum = 0.1f);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::string kind() const override { return "BatchNorm2d"; }
   std::unique_ptr<Layer> clone() const override;

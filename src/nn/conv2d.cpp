@@ -53,17 +53,22 @@ int64_t Conv2d::macs(const Shape& in) const {
   return in.dim(0) * out_c_ * g.col_cols() * g.col_rows();
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool train) {
+Tensor Conv2d::forward(ExecutionContext& ctx, const Tensor& input,
+                       bool train) {
   const Conv2dGeom g = geom_for(input.shape());
   const int64_t n = input.dim(0);
   const int64_t rows = g.col_rows(), cols = g.col_cols();
   Tensor out(out_shape(input.shape()));
-  std::vector<float> colbuf(static_cast<size_t>(rows * cols));
+  // The column buffer is the conv hot path's only big scratch; taking it
+  // from the arena makes steady-state inference allocation-free. The
+  // per-image loop keeps batched output bit-identical to per-image calls.
+  ArenaScope scope(ctx.arena());
+  float* colbuf = ctx.arena().alloc(rows * cols);
   const int64_t in_stride = in_c_ * g.in_h * g.in_w;
   const int64_t out_stride = out_c_ * cols;
   for (int64_t i = 0; i < n; ++i) {
-    im2col(g, input.data() + i * in_stride, colbuf.data());
-    gemm_nn(out_c_, cols, rows, 1.0f, weight_.data(), colbuf.data(), 0.0f,
+    im2col(ctx, g, input.data() + i * in_stride, colbuf);
+    gemm_nn(ctx, out_c_, cols, rows, 1.0f, weight_.data(), colbuf, 0.0f,
             out.data() + i * out_stride);
   }
   if (opt_.bias) {
@@ -79,7 +84,7 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_output) {
+Tensor Conv2d::backward(ExecutionContext& ctx, const Tensor& grad_output) {
   if (cached_input_.empty()) {
     throw std::logic_error("Conv2d::backward called before forward(train)");
   }
@@ -92,20 +97,21 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   }
 
   Tensor grad_input(x.shape());
-  std::vector<float> colbuf(static_cast<size_t>(rows * cols));
-  std::vector<float> dcol(static_cast<size_t>(rows * cols));
+  ArenaScope scope(ctx.arena());
+  float* colbuf = ctx.arena().alloc(rows * cols);
+  float* dcol = ctx.arena().alloc(rows * cols);
   const int64_t in_stride = in_c_ * g.in_h * g.in_w;
   const int64_t out_stride = out_c_ * cols;
 
   for (int64_t i = 0; i < n; ++i) {
     const float* dy = grad_output.data() + i * out_stride;
     // dW += dy * cols^T       [out_c, rows]
-    im2col(g, x.data() + i * in_stride, colbuf.data());
-    gemm_nt(out_c_, rows, cols, 1.0f, dy, colbuf.data(), 1.0f,
+    im2col(ctx, g, x.data() + i * in_stride, colbuf);
+    gemm_nt(ctx, out_c_, rows, cols, 1.0f, dy, colbuf, 1.0f,
             weight_grad_.data());
     // dcols = W^T * dy        [rows, cols]
-    gemm_tn(rows, cols, out_c_, 1.0f, weight_.data(), dy, 0.0f, dcol.data());
-    col2im(g, dcol.data(), grad_input.data() + i * in_stride);
+    gemm_tn(ctx, rows, cols, out_c_, 1.0f, weight_.data(), dy, 0.0f, dcol);
+    col2im(g, dcol, grad_input.data() + i * in_stride);
   }
   if (opt_.bias) {
     for (int64_t i = 0; i < n; ++i) {

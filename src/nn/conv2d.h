@@ -26,8 +26,11 @@ class Conv2d : public Layer {
 
   Conv2d(int64_t in_c, int64_t out_c, const Options& opt, Rng& rng);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::string kind() const override { return "Conv2d"; }
   std::unique_ptr<Layer> clone() const override;

@@ -35,12 +35,12 @@ int64_t Dense::macs(const Shape& in) const {
   return out_shape(in).dim(0) * out_f_ * in_f_;
 }
 
-Tensor Dense::forward(const Tensor& input, bool train) {
+Tensor Dense::forward(ExecutionContext& ctx, const Tensor& input, bool train) {
   const Shape os = out_shape(input.shape());
   const int64_t n = input.dim(0);
   Tensor out(os);
   // out[n, out_f] = x[n, in_f] * W^T (W is [out_f, in_f])
-  gemm_nt(n, out_f_, in_f_, 1.0f, input.data(), weight_.data(), 0.0f,
+  gemm_nt(ctx, n, out_f_, in_f_, 1.0f, input.data(), weight_.data(), 0.0f,
           out.data());
   if (has_bias_) {
     for (int64_t i = 0; i < n; ++i) {
@@ -52,7 +52,7 @@ Tensor Dense::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor Dense::backward(const Tensor& grad_output) {
+Tensor Dense::backward(ExecutionContext& ctx, const Tensor& grad_output) {
   if (cached_input_.empty()) {
     throw std::logic_error("Dense::backward before forward(train)");
   }
@@ -62,7 +62,7 @@ Tensor Dense::backward(const Tensor& grad_output) {
     throw std::invalid_argument("Dense::backward: grad shape mismatch");
   }
   // dW[out_f, in_f] += dy^T[out_f, n] * x[n, in_f]
-  gemm_tn(out_f_, in_f_, n, 1.0f, grad_output.data(), x.data(), 1.0f,
+  gemm_tn(ctx, out_f_, in_f_, n, 1.0f, grad_output.data(), x.data(), 1.0f,
           weight_grad_.data());
   if (has_bias_) {
     for (int64_t i = 0; i < n; ++i) {
@@ -72,8 +72,8 @@ Tensor Dense::backward(const Tensor& grad_output) {
   }
   // dx[n, in_f] = dy[n, out_f] * W[out_f, in_f]
   Tensor grad_input(x.shape());
-  gemm_nn(n, in_f_, out_f_, 1.0f, grad_output.data(), weight_.data(), 0.0f,
-          grad_input.data());
+  gemm_nn(ctx, n, in_f_, out_f_, 1.0f, grad_output.data(), weight_.data(),
+          0.0f, grad_input.data());
   return grad_input;
 }
 

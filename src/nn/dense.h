@@ -14,8 +14,11 @@ class Dense : public Layer {
  public:
   Dense(int64_t in_features, int64_t out_features, Rng& rng, bool bias = true);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::string kind() const override { return "Dense"; }
   std::unique_ptr<Layer> clone() const override;

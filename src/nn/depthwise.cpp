@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nn/init.h"
+#include "tensor/threadpool.h"
 
 namespace tbnet::nn {
 
@@ -34,16 +35,20 @@ int64_t DepthwiseConv2d::macs(const Shape& in) const {
   return out_shape(in).numel() * opt_.kernel * opt_.kernel;
 }
 
-Tensor DepthwiseConv2d::forward(const Tensor& input, bool train) {
+Tensor DepthwiseConv2d::forward(ExecutionContext& ctx, const Tensor& input,
+                                bool train) {
   const Shape os = out_shape(input.shape());
   const int64_t n = input.dim(0), ih = input.dim(2), iw = input.dim(3);
   const int64_t oh = os.dim(2), ow = os.dim(3);
   Tensor out(os);
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t c = 0; c < channels_; ++c) {
-      const float* plane = input.data() + (i * channels_ + c) * ih * iw;
+  // One task per (image, channel) plane; writes are disjoint, so the shard
+  // layout cannot change results.
+  ctx.pool().parallel_for(n * channels_, [&](int64_t p0, int64_t p1) {
+    for (int64_t pc = p0; pc < p1; ++pc) {
+      const int64_t c = pc % channels_;
+      const float* plane = input.data() + pc * ih * iw;
       const float* k = weight_.data() + c * opt_.kernel * opt_.kernel;
-      float* dst = out.data() + (i * channels_ + c) * oh * ow;
+      float* dst = out.data() + pc * oh * ow;
       for (int64_t oy = 0; oy < oh; ++oy) {
         for (int64_t ox = 0; ox < ow; ++ox) {
           float acc = 0.0f;
@@ -60,12 +65,13 @@ Tensor DepthwiseConv2d::forward(const Tensor& input, bool train) {
         }
       }
     }
-  }
+  });
   if (train) cached_input_ = input;
   return out;
 }
 
-Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {
+Tensor DepthwiseConv2d::backward(ExecutionContext& ctx,
+                                 const Tensor& grad_output) {
   if (cached_input_.empty()) {
     throw std::logic_error("DepthwiseConv2d::backward before forward(train)");
   }
@@ -76,31 +82,36 @@ Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {
   const int64_t n = x.dim(0), ih = x.dim(2), iw = x.dim(3);
   const int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
   Tensor grad_input(x.shape());
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t c = 0; c < channels_; ++c) {
-      const float* plane = x.data() + (i * channels_ + c) * ih * iw;
-      const float* dy = grad_output.data() + (i * channels_ + c) * oh * ow;
+  // Sharded over channels only: dk[c] accumulates across the batch, so the
+  // image loop must stay serial per channel to keep the accumulation order
+  // (and hence the bits) identical to the serial kernel.
+  ctx.pool().parallel_for(channels_, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
       const float* k = weight_.data() + c * opt_.kernel * opt_.kernel;
       float* dk = weight_grad_.data() + c * opt_.kernel * opt_.kernel;
-      float* dx = grad_input.data() + (i * channels_ + c) * ih * iw;
-      for (int64_t oy = 0; oy < oh; ++oy) {
-        for (int64_t ox = 0; ox < ow; ++ox) {
-          const float g = dy[oy * ow + ox];
-          if (g == 0.0f) continue;
-          for (int64_t ky = 0; ky < opt_.kernel; ++ky) {
-            const int64_t iy = oy * opt_.stride - opt_.pad + ky;
-            if (iy < 0 || iy >= ih) continue;
-            for (int64_t kx = 0; kx < opt_.kernel; ++kx) {
-              const int64_t ix = ox * opt_.stride - opt_.pad + kx;
-              if (ix < 0 || ix >= iw) continue;
-              dk[ky * opt_.kernel + kx] += g * plane[iy * iw + ix];
-              dx[iy * iw + ix] += g * k[ky * opt_.kernel + kx];
+      for (int64_t i = 0; i < n; ++i) {
+        const float* plane = x.data() + (i * channels_ + c) * ih * iw;
+        const float* dy = grad_output.data() + (i * channels_ + c) * oh * ow;
+        float* dx = grad_input.data() + (i * channels_ + c) * ih * iw;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const float g = dy[oy * ow + ox];
+            if (g == 0.0f) continue;
+            for (int64_t ky = 0; ky < opt_.kernel; ++ky) {
+              const int64_t iy = oy * opt_.stride - opt_.pad + ky;
+              if (iy < 0 || iy >= ih) continue;
+              for (int64_t kx = 0; kx < opt_.kernel; ++kx) {
+                const int64_t ix = ox * opt_.stride - opt_.pad + kx;
+                if (ix < 0 || ix >= iw) continue;
+                dk[ky * opt_.kernel + kx] += g * plane[iy * iw + ix];
+                dx[iy * iw + ix] += g * k[ky * opt_.kernel + kx];
+              }
             }
           }
         }
       }
     }
-  }
+  });
   return grad_input;
 }
 

@@ -25,8 +25,11 @@ class DepthwiseConv2d : public Layer {
 
   DepthwiseConv2d(int64_t channels, const Options& opt, Rng& rng);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::string kind() const override { return "DepthwiseConv2d"; }
   std::unique_ptr<Layer> clone() const override;

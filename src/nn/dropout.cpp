@@ -10,7 +10,7 @@ Dropout::Dropout(double p, uint64_t seed) : p_(p), seed_(seed), rng_(seed) {
   }
 }
 
-Tensor Dropout::forward(const Tensor& input, bool train) {
+Tensor Dropout::forward(ExecutionContext&, const Tensor& input, bool train) {
   if (!train || p_ == 0.0) return input;
   Tensor out = input;
   keep_mask_.assign(static_cast<size_t>(input.numel()), 0);
@@ -27,7 +27,7 @@ Tensor Dropout::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor Dropout::backward(const Tensor& grad_output) {
+Tensor Dropout::backward(ExecutionContext&, const Tensor& grad_output) {
   if (p_ == 0.0) return grad_output;
   if (keep_mask_.empty() || grad_output.shape() != cached_shape_) {
     throw std::logic_error("Dropout::backward without matching forward(train)");

@@ -15,8 +15,11 @@ class Dropout : public Layer {
   /// `p` = drop probability in [0, 1). Seed fixes the mask stream.
   explicit Dropout(double p = 0.5, uint64_t seed = 0x0D07);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::string kind() const override { return "Dropout"; }
   std::unique_ptr<Layer> clone() const override;
   Shape out_shape(const Shape& in) const override { return in; }

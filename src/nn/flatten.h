@@ -7,12 +7,14 @@ namespace tbnet::nn {
 
 class Flatten : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool train) override {
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext&, const Tensor& input, bool train) override {
     if (train) cached_in_shape_ = input.shape();
     return input.reshaped(out_shape(input.shape()));
   }
 
-  Tensor backward(const Tensor& grad_output) override {
+  Tensor backward(ExecutionContext&, const Tensor& grad_output) override {
     return grad_output.reshaped(cached_in_shape_);
   }
 

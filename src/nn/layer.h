@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/execution_context.h"
 #include "tensor/shape.h"
 #include "tensor/tensor.h"
 
@@ -29,19 +30,36 @@ struct ParamRef {
 /// Abstract network layer operating on float tensors.
 ///
 /// Convolutional layers use NCHW batches; Dense/Flatten use [N, features].
+///
+/// The virtual interface is context-aware: forward/backward take the
+/// ExecutionContext whose arena provides scratch and whose pool shards the
+/// kernels. The context-free overloads are thin non-virtual shims that run
+/// on the calling thread's default context, so pre-context call sites
+/// (trainers, tests, examples) keep working unchanged. Subclasses must pull
+/// the shims back into scope with `using Layer::forward; using
+/// Layer::backward;`.
 class Layer {
  public:
   virtual ~Layer() = default;
 
   /// Computes the layer output. When `train` is true the layer caches the
   /// activations it needs for backward() and (for BatchNorm) updates running
-  /// statistics.
-  virtual Tensor forward(const Tensor& input, bool train) = 0;
+  /// statistics. Arena allocations made from `ctx` do not outlive the call.
+  virtual Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                         bool train) = 0;
 
   /// Back-propagates `grad_output` (dLoss/dOutput of the *last* forward call
   /// with train=true), accumulating parameter gradients and returning
   /// dLoss/dInput.
-  virtual Tensor backward(const Tensor& grad_output) = 0;
+  virtual Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) = 0;
+
+  /// Compatibility shims: run on the calling thread's default context.
+  Tensor forward(const Tensor& input, bool train) {
+    return forward(default_execution_context(), input, train);
+  }
+  Tensor backward(const Tensor& grad_output) {
+    return backward(default_execution_context(), grad_output);
+  }
 
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<ParamRef> params() { return {}; }

@@ -31,7 +31,7 @@ int64_t MaxPool2d::macs(const Shape& in) const {
   return out_shape(in).numel() * kernel_ * kernel_;
 }
 
-Tensor MaxPool2d::forward(const Tensor& input, bool train) {
+Tensor MaxPool2d::forward(ExecutionContext&, const Tensor& input, bool train) {
   const Shape os = out_shape(input.shape());
   const int64_t n = input.dim(0), c = input.dim(1), ih = input.dim(2),
                 iw = input.dim(3);
@@ -69,7 +69,7 @@ Tensor MaxPool2d::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_output) {
+Tensor MaxPool2d::backward(ExecutionContext&, const Tensor& grad_output) {
   if (argmax_.empty()) {
     throw std::logic_error("MaxPool2d::backward before forward(train)");
   }
@@ -113,7 +113,7 @@ int64_t AvgPool2d::macs(const Shape& in) const {
   return out_shape(in).numel() * kernel_ * kernel_;
 }
 
-Tensor AvgPool2d::forward(const Tensor& input, bool train) {
+Tensor AvgPool2d::forward(ExecutionContext&, const Tensor& input, bool train) {
   const Shape os = out_shape(input.shape());
   const int64_t n = input.dim(0), c = input.dim(1), ih = input.dim(2),
                 iw = input.dim(3);
@@ -138,7 +138,7 @@ Tensor AvgPool2d::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor AvgPool2d::backward(const Tensor& grad_output) {
+Tensor AvgPool2d::backward(ExecutionContext&, const Tensor& grad_output) {
   if (cached_in_shape_.ndim() != 4) {
     throw std::logic_error("AvgPool2d::backward before forward(train)");
   }
@@ -177,7 +177,7 @@ Shape GlobalAvgPool2d::out_shape(const Shape& in) const {
   return Shape{in.dim(0), in.dim(1), 1, 1};
 }
 
-Tensor GlobalAvgPool2d::forward(const Tensor& input, bool train) {
+Tensor GlobalAvgPool2d::forward(ExecutionContext&, const Tensor& input, bool train) {
   const int64_t n = input.dim(0), c = input.dim(1);
   const int64_t spatial = input.dim(2) * input.dim(3);
   Tensor out(out_shape(input.shape()));
@@ -191,7 +191,7 @@ Tensor GlobalAvgPool2d::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor GlobalAvgPool2d::backward(const Tensor& grad_output) {
+Tensor GlobalAvgPool2d::backward(ExecutionContext&, const Tensor& grad_output) {
   if (cached_in_shape_.ndim() != 4) {
     throw std::logic_error("GlobalAvgPool2d::backward before forward(train)");
   }

@@ -13,8 +13,11 @@ class MaxPool2d : public Layer {
  public:
   explicit MaxPool2d(int64_t kernel = 2, int64_t stride = 0 /*=kernel*/);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::string kind() const override { return "MaxPool2d"; }
   std::unique_ptr<Layer> clone() const override;
   Shape out_shape(const Shape& in) const override;
@@ -34,8 +37,11 @@ class AvgPool2d : public Layer {
  public:
   explicit AvgPool2d(int64_t kernel = 2, int64_t stride = 0 /*=kernel*/);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::string kind() const override { return "AvgPool2d"; }
   std::unique_ptr<Layer> clone() const override;
   Shape out_shape(const Shape& in) const override;
@@ -52,8 +58,11 @@ class AvgPool2d : public Layer {
 /// Global average pooling: [N,C,H,W] -> [N,C,1,1].
 class GlobalAvgPool2d : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::string kind() const override { return "GlobalAvgPool2d"; }
   std::unique_ptr<Layer> clone() const override;
   Shape out_shape(const Shape& in) const override;

@@ -45,9 +45,10 @@ int64_t ResidualBlock::param_bytes() const {
   return total;
 }
 
-Tensor ResidualBlock::forward(const Tensor& input, bool train) {
+Tensor ResidualBlock::forward(ExecutionContext& ctx, const Tensor& input,
+                              bool train) {
   if (train) cached_input_ = input;
-  Tensor mid = bn1_->forward(conv1_->forward(input, train), train);
+  Tensor mid = bn1_->forward(ctx, conv1_->forward(ctx, input, train), train);
   if (train) {
     relu1_mask_.assign(static_cast<size_t>(mid.numel()), 0);
     mid_shape_ = mid.shape();
@@ -59,10 +60,11 @@ Tensor ResidualBlock::forward(const Tensor& input, bool train) {
       mid[i] = 0.0f;
     }
   }
-  Tensor main = bn2_->forward(conv2_->forward(mid, train), train);
-  Tensor skip =
-      down_conv_ ? down_bn_->forward(down_conv_->forward(input, train), train)
-                 : input;
+  Tensor main = bn2_->forward(ctx, conv2_->forward(ctx, mid, train), train);
+  Tensor skip = down_conv_
+                    ? down_bn_->forward(
+                          ctx, down_conv_->forward(ctx, input, train), train)
+                    : input;
   if (skip.shape() != main.shape()) {
     throw std::logic_error("ResidualBlock: skip/main shape mismatch");
   }
@@ -81,7 +83,8 @@ Tensor ResidualBlock::forward(const Tensor& input, bool train) {
   return main;
 }
 
-Tensor ResidualBlock::backward(const Tensor& grad_output) {
+Tensor ResidualBlock::backward(ExecutionContext& ctx,
+                               const Tensor& grad_output) {
   if (relu_out_mask_.empty()) {
     throw std::logic_error("ResidualBlock::backward before forward(train)");
   }
@@ -95,13 +98,13 @@ Tensor ResidualBlock::backward(const Tensor& grad_output) {
   }
   // Skip path.
   Tensor grad_input_skip =
-      down_conv_ ? down_conv_->backward(down_bn_->backward(g)) : g;
+      down_conv_ ? down_conv_->backward(ctx, down_bn_->backward(ctx, g)) : g;
   // Main path: bn2 <- conv2 <- relu1 <- bn1 <- conv1.
-  Tensor gm = conv2_->backward(bn2_->backward(g));
+  Tensor gm = conv2_->backward(ctx, bn2_->backward(ctx, g));
   for (int64_t i = 0; i < gm.numel(); ++i) {
     if (!relu1_mask_[static_cast<size_t>(i)]) gm[i] = 0.0f;
   }
-  Tensor grad_input = conv1_->backward(bn1_->backward(gm));
+  Tensor grad_input = conv1_->backward(ctx, bn1_->backward(ctx, gm));
   grad_input.add_(grad_input_skip);
   return grad_input;
 }

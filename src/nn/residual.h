@@ -21,8 +21,11 @@ class ResidualBlock : public Layer {
  public:
   ResidualBlock(int64_t in_c, int64_t out_c, int64_t stride, Rng& rng);
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::string kind() const override { return "ResidualBlock"; }
   std::unique_ptr<Layer> clone() const override;

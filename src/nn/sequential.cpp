@@ -20,16 +20,17 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
-Tensor Sequential::forward(const Tensor& input, bool train) {
+Tensor Sequential::forward(ExecutionContext& ctx, const Tensor& input,
+                           bool train) {
   Tensor x = input;
-  for (auto& l : layers_) x = l->forward(x, train);
+  for (auto& l : layers_) x = l->forward(ctx, x, train);
   return x;
 }
 
-Tensor Sequential::backward(const Tensor& grad_output) {
+Tensor Sequential::backward(ExecutionContext& ctx, const Tensor& grad_output) {
   Tensor g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+    g = (*it)->backward(ctx, g);
   }
   return g;
 }

@@ -45,8 +45,11 @@ class Sequential : public Layer {
     return nullptr;
   }
 
-  Tensor forward(const Tensor& input, bool train) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::forward;
+  using Layer::backward;
+  Tensor forward(ExecutionContext& ctx, const Tensor& input,
+                 bool train) override;
+  Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::string kind() const override { return "Sequential"; }
   std::unique_ptr<Layer> clone() const override;

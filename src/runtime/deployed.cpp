@@ -50,7 +50,8 @@ constexpr int64_t kFloat = static_cast<int64_t>(sizeof(float));
 class TbnetTA : public tee::TrustedApp {
  public:
   /// `image`: stage count, per stage (channel map, fused flag, block blob).
-  explicit TbnetTA(const std::vector<uint8_t>& image) {
+  explicit TbnetTA(const std::vector<uint8_t>& image)
+      : exec_ctx_(tee::World::kSecure) {
     size_t off = 0;
     const int64_t stages = unpack_i64(image, &off);
     if (stages <= 0 || stages > 4096) {
@@ -109,16 +110,16 @@ class TbnetTA : public tee::TrustedApp {
         // live alongside the stored fused input during the stage.
         auto incoming_alloc = ctx.memory->allocate(r_out.numel() * kFloat,
                                                    "tbnet-ta/incoming");
-        Tensor out_t =
-            blocks_[static_cast<size_t>(stage)]->forward(acc_, false);
+        Tensor out_t = blocks_[static_cast<size_t>(stage)]->forward(
+            exec_ctx_, acc_, false);
         auto out_alloc =
             ctx.memory->allocate(out_t.numel() * kFloat, "tbnet-ta/out");
         // Fusion: select the REE channels aligned with our retained ones
-        // (paper §3.5), then element-wise add.
+        // (paper §3.5), then element-wise add (sharded on the TA context).
         Tensor aligned =
             core::gather_channels(r_out, maps_[static_cast<size_t>(stage)]);
         if (aligned.shape() != out_t.shape()) return kTeeErrorBadParameters;
-        out_t.add_(aligned);
+        add(exec_ctx_, out_t, aligned, out_t);
         // The new fused map replaces the previous one.
         acc_ = std::move(out_t);
         acc_alloc_ = std::move(out_alloc);
@@ -138,6 +139,14 @@ class TbnetTA : public tee::TrustedApp {
         return kTeeSuccess;
       }
 
+      case kCmdPredictBatch: {
+        if (!run_tail(ctx)) return kTeeErrorBadState;
+        const std::vector<int64_t> labels = argmax_rows(acc_);
+        pack_i64(out, static_cast<int64_t>(labels.size()));
+        for (int64_t label : labels) pack_i64(out, label);
+        return kTeeSuccess;
+      }
+
       default:
         return kTeeErrorBadParameters;
     }
@@ -151,8 +160,8 @@ class TbnetTA : public tee::TrustedApp {
     while (next_stage_ >= 0 &&
            next_stage_ < static_cast<int>(blocks_.size()) &&
            !fused_flags_[static_cast<size_t>(next_stage_)]) {
-      Tensor out =
-          blocks_[static_cast<size_t>(next_stage_)]->forward(acc_, false);
+      Tensor out = blocks_[static_cast<size_t>(next_stage_)]->forward(
+          exec_ctx_, acc_, false);
       auto alloc = ctx.memory->allocate(out.numel() * kFloat, "tbnet-ta/out");
       acc_ = std::move(out);
       acc_alloc_ = std::move(alloc);
@@ -164,6 +173,7 @@ class TbnetTA : public tee::TrustedApp {
   std::vector<std::unique_ptr<nn::Layer>> blocks_;
   std::vector<std::vector<int64_t>> maps_;
   std::vector<bool> fused_flags_;
+  ExecutionContext exec_ctx_;  ///< secure-world context; arena persists
   Tensor acc_;
   int next_stage_ = -1;
   tee::SecureMemoryPool::Allocation model_alloc_, acc_alloc_;
@@ -300,11 +310,23 @@ std::vector<uint8_t> build_tbnet_ta_image(const core::TwoBranchModel& model) {
 // --------------------------------------------------------- DeployedTBNet --
 
 DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
-                             tee::TeeContext& ctx, std::string uuid) {
+                             tee::TeeContext& ctx, std::string uuid)
+    : DeployedTBNet(model, ctx, std::move(uuid), Options{}) {}
+
+DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
+                             tee::TeeContext& ctx, std::string uuid,
+                             Options opt)
+    : opt_(opt), exec_ctx_(tee::World::kNormal) {
+  if (opt_.max_batch <= 0) {
+    throw std::invalid_argument("DeployedTBNet: max_batch must be positive");
+  }
   const std::vector<uint8_t> image = build_tbnet_ta_image(model);
   ta_image_bytes_ = static_cast<int64_t>(image.size());
   ctx.world().install(uuid, std::make_unique<TbnetTA>(image));
-  session_ = std::make_unique<tee::TeeSession>(ctx.open_session(uuid));
+  // The result cap scales with the batch so [N, classes] logits may leave;
+  // the per-image budget is the single-image default.
+  session_ = std::make_unique<tee::TeeSession>(ctx.open_session(
+      uuid, opt_.max_batch * tee::kDefaultMaxResultBytes));
   for (int i = 0; i < model.num_stages(); ++i) {
     // Only fused stages execute REE-side; non-fused (head) stages live
     // solely in the TA.
@@ -314,45 +336,65 @@ DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
   }
 }
 
-Tensor DeployedTBNet::infer(const Tensor& image_chw) {
-  Tensor x = to_batch1(image_chw);
+int64_t DeployedTBNet::world_switches() const {
+  return session_->world_switches();
+}
+
+void DeployedTBNet::run_stages(const Tensor& batch_nchw) {
+  if (batch_nchw.shape().ndim() != 4) {
+    throw std::invalid_argument("infer_batch: expected NCHW, got " +
+                                batch_nchw.shape().str());
+  }
+  if (batch_nchw.dim(0) > opt_.max_batch) {
+    throw std::invalid_argument(
+        "infer_batch: batch " + std::to_string(batch_nchw.dim(0)) +
+        " exceeds max_batch " + std::to_string(opt_.max_batch));
+  }
+  Tensor x = batch_nchw;
   std::vector<uint8_t> payload;
   pack_tensor(payload, x);
   ta_check(session_->invoke(kCmdSetInput, payload), "SetInput");
   for (size_t i = 0; i < exposed_.size(); ++i) {
-    x = exposed_[i]->forward(x, false);
+    x = exposed_[i]->forward(exec_ctx_, x, false);
     payload.clear();
     pack_i64(payload, static_cast<int64_t>(i));
     pack_tensor(payload, x);
     ta_check(session_->invoke(kCmdPushStage, payload), "PushStage");
   }
+}
+
+Tensor DeployedTBNet::infer_batch(const Tensor& batch_nchw) {
+  run_stages(batch_nchw);
   std::vector<uint8_t> result;
   ta_check(session_->invoke(kCmdGetLogits, {}, &result), "GetLogits");
   size_t off = 0;
   return unpack_tensor(result, &off);
 }
 
+Tensor DeployedTBNet::infer(const Tensor& image_chw) {
+  return infer_batch(to_batch1(image_chw));
+}
+
 int64_t DeployedTBNet::predict(const Tensor& image_chw) {
+  run_stages(to_batch1(image_chw));
   std::vector<uint8_t> result;
-  infer_to(image_chw, &result);
+  ta_check(session_->invoke(kCmdPredict, {}, &result), "Predict");
   size_t off = 0;
   return unpack_i64(result, &off);
 }
 
-void DeployedTBNet::infer_to(const Tensor& image_chw,
-                             std::vector<uint8_t>* result) {
-  Tensor x = to_batch1(image_chw);
-  std::vector<uint8_t> payload;
-  pack_tensor(payload, x);
-  ta_check(session_->invoke(kCmdSetInput, payload), "SetInput");
-  for (size_t i = 0; i < exposed_.size(); ++i) {
-    x = exposed_[i]->forward(x, false);
-    payload.clear();
-    pack_i64(payload, static_cast<int64_t>(i));
-    pack_tensor(payload, x);
-    ta_check(session_->invoke(kCmdPushStage, payload), "PushStage");
+std::vector<int64_t> DeployedTBNet::predict_batch(const Tensor& batch_nchw) {
+  run_stages(batch_nchw);
+  std::vector<uint8_t> result;
+  ta_check(session_->invoke(kCmdPredictBatch, {}, &result), "PredictBatch");
+  size_t off = 0;
+  const int64_t count = unpack_i64(result, &off);
+  if (count != batch_nchw.dim(0)) {
+    throw std::runtime_error("predict_batch: label count mismatch");
   }
-  ta_check(session_->invoke(kCmdPredict, {}, result), "Predict");
+  std::vector<int64_t> labels(static_cast<size_t>(count));
+  for (int64_t& label : labels) label = unpack_i64(result, &off);
+  return labels;
 }
 
 // ------------------------------------------------------ FullTeeDeployment --

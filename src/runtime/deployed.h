@@ -21,6 +21,7 @@
 #include "core/two_branch.h"
 #include "nn/sequential.h"
 #include "tee/optee_api.h"
+#include "tensor/execution_context.h"
 
 namespace tbnet::runtime {
 
@@ -30,30 +31,66 @@ inline constexpr uint32_t kCmdPushStage = 2;
 inline constexpr uint32_t kCmdGetLogits = 3;
 inline constexpr uint32_t kCmdPredict = 4;
 inline constexpr uint32_t kCmdReset = 5;
+inline constexpr uint32_t kCmdPredictBatch = 6;
 
 /// Splits a finalized TwoBranchModel into an REE half and an installed TA.
+///
+/// The engine is batch-oriented: infer_batch pushes a whole NCHW batch per
+/// stage through ONE TA invocation, so the per-inference world-switch and
+/// channel-invocation count drops from O(stages) per image to O(stages) per
+/// batch. Batched results are bit-identical to per-image calls (every kernel
+/// under it processes batch elements independently in index order). Not
+/// thread-safe: one engine per serving thread (InferenceServer serializes).
 class DeployedTBNet {
  public:
+  struct Options {
+    /// Largest accepted batch; sizes the session's result cap so batched
+    /// logits may leave the TEE while the per-image release budget is
+    /// unchanged (max_batch * kDefaultMaxResultBytes total).
+    int64_t max_batch = 64;
+  };
+
   /// Clones M_R into normal-world memory, serializes M_T + channel maps into
   /// a TA image and installs it in `ctx`'s secure world under `uuid`.
   DeployedTBNet(const core::TwoBranchModel& model, tee::TeeContext& ctx,
                 std::string uuid = "tbnet-secure-branch");
+  DeployedTBNet(const core::TwoBranchModel& model, tee::TeeContext& ctx,
+                std::string uuid, Options opt);
 
   /// Runs one inference (CHW image), returning the logits the TEE releases.
   Tensor infer(const Tensor& image_chw);
+
+  /// Runs a whole NCHW batch (N <= Options::max_batch) through every stage
+  /// with one TA invocation per stage; returns the [N, classes] logits.
+  Tensor infer_batch(const Tensor& batch_nchw);
 
   /// Runs one inference and returns only the predicted label (the strictly
   /// minimal output a hardened deployment would release).
   int64_t predict(const Tensor& image_chw);
 
+  /// Batched predict: one label per image, nothing else leaves the TEE.
+  std::vector<int64_t> predict_batch(const Tensor& batch_nchw);
+
   int num_stages() const { return static_cast<int>(exposed_.size()); }
   int64_t ta_image_bytes() const { return ta_image_bytes_; }
+  int64_t max_batch() const { return opt_.max_batch; }
+
+  /// World switches this engine's session has performed (amortization
+  /// observable: batch N costs the same count as a single image).
+  int64_t world_switches() const;
+
+  /// The session, for enabling device-timing simulation in benches.
+  tee::TeeSession& session() { return *session_; }
 
  private:
-  void infer_to(const Tensor& image_chw, std::vector<uint8_t>* result);
+  /// Pushes `batch` through the REE stages + TA, leaving the TA ready for a
+  /// final GetLogits/Predict command.
+  void run_stages(const Tensor& batch_nchw);
 
   std::vector<std::unique_ptr<nn::Layer>> exposed_;
   std::unique_ptr<tee::TeeSession> session_;
+  Options opt_;
+  ExecutionContext exec_ctx_;  ///< REE-world context (arena + pool)
   int64_t ta_image_bytes_ = 0;
 };
 

@@ -1,6 +1,46 @@
 #include "runtime/measurements.h"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
 namespace tbnet::runtime {
+
+double LatencyRecorder::total() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double LatencyRecorder::mean() const {
+  return samples_.empty() ? 0.0
+                          : total() / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::min() const {
+  return samples_.empty()
+             ? 0.0
+             : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double LatencyRecorder::max() const {
+  return samples_.empty()
+             ? 0.0
+             : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double LatencyRecorder::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("LatencyRecorder: percentile out of range");
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: smallest sample with at least p% of the mass below-or-at.
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
 namespace {
 
 constexpr int64_t kFloat = static_cast<int64_t>(sizeof(float));

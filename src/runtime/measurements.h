@@ -12,6 +12,44 @@
 
 namespace tbnet::runtime {
 
+/// Accumulates latency samples and answers percentile queries. Used for the
+/// serving path's per-request and per-batch numbers (p50/p99 in Tab. style
+/// reports and bench_serving's JSON).
+class LatencyRecorder {
+ public:
+  void record(double seconds) { samples_.push_back(seconds); }
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  double total() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Nearest-rank percentile, p in [0, 100]. Returns 0 with no samples.
+  double percentile(double p) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Aggregate serving statistics reported by runtime::InferenceServer.
+struct ServingStats {
+  int64_t requests = 0;        ///< images submitted and answered
+  int64_t batches = 0;         ///< engine invocations
+  int64_t coalesced_images = 0;///< images that shared a batch with others
+  int64_t max_batch_observed = 0;
+  LatencyRecorder request_latency;  ///< submit -> result, per request
+  LatencyRecorder batch_latency;    ///< engine call, per batch
+
+  double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests) /
+                              static_cast<double>(batches);
+  }
+};
+
 /// Static footprint of a two-branch deployment (batch size 1).
 struct TwoBranchFootprint {
   std::vector<tee::StageCost> stages;

@@ -1,0 +1,184 @@
+#include "runtime/server.h"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace tbnet::runtime {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+InferenceServer::InferenceServer(BatchFn engine, Config cfg)
+    : engine_(std::move(engine)), cfg_(cfg) {
+  if (!engine_) {
+    throw std::invalid_argument("InferenceServer: null engine function");
+  }
+  if (cfg_.max_batch <= 0) {
+    throw std::invalid_argument("InferenceServer: max_batch must be positive");
+  }
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<InferenceResult> InferenceServer::submit(Tensor image_chw) {
+  if (image_chw.shape().ndim() != 3) {
+    throw std::invalid_argument("InferenceServer::submit: expected CHW, got " +
+                                image_chw.shape().str());
+  }
+  Pending p;
+  p.image = std::move(image_chw);
+  p.enqueued = Clock::now();
+  std::future<InferenceResult> fut = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      throw std::logic_error("InferenceServer::submit after shutdown");
+    }
+    queue_.push_back(std::move(p));
+    ++in_flight_;
+  }
+  queue_cv_.notify_one();
+  return fut;
+}
+
+void InferenceServer::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void InferenceServer::shutdown() {
+  // Claim the worker handle under the lock so concurrent shutdown() calls
+  // (or shutdown racing the destructor) never join the same thread twice.
+  std::thread claimed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    if (worker_.joinable()) claimed = std::move(worker_);
+  }
+  queue_cv_.notify_all();
+  if (claimed.joinable()) claimed.join();
+}
+
+ServingStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void InferenceServer::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      // Coalesce: wait (bounded by the oldest request's flush deadline) for
+      // the queue to fill up to max_batch, then take up to max_batch.
+      const auto deadline = queue_.front().enqueued + cfg_.max_queue_delay;
+      queue_cv_.wait_until(lock, deadline, [this] {
+        return stop_ ||
+               static_cast<int64_t>(queue_.size()) >= cfg_.max_batch;
+      });
+      const size_t take =
+          std::min(queue_.size(), static_cast<size_t>(cfg_.max_batch));
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.begin() +
+                                           static_cast<std::ptrdiff_t>(take)));
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    run_batch(std::move(batch));
+    bool done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done = stop_ && queue_.empty();
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+    if (done) return;
+  }
+}
+
+void InferenceServer::run_batch(std::vector<Pending> batch) {
+  const int64_t n = static_cast<int64_t>(batch.size());
+  const auto batch_start = Clock::now();
+
+  Tensor logits;
+  std::exception_ptr failure;
+  try {
+    // Stack the CHW images into one NCHW batch (shapes must agree).
+    const Shape& chw = batch.front().image.shape();
+    Shape batched{n, chw.dim(0), chw.dim(1), chw.dim(2)};
+    Tensor input(batched);
+    const int64_t stride = chw.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      if (batch[static_cast<size_t>(i)].image.shape() != chw) {
+        throw std::invalid_argument(
+            "InferenceServer: mixed image shapes in one batch (" +
+            batch[static_cast<size_t>(i)].image.shape().str() + " vs " +
+            chw.str() + ")");
+      }
+      const float* src = batch[static_cast<size_t>(i)].image.data();
+      std::copy(src, src + stride, input.data() + i * stride);
+    }
+    logits = engine_(input);
+    if (logits.shape().ndim() != 2 || logits.dim(0) != n) {
+      throw std::runtime_error("InferenceServer: engine returned " +
+                               logits.shape().str() + " for batch of " +
+                               std::to_string(n));
+    }
+  } catch (...) {
+    failure = std::current_exception();
+  }
+  const auto batch_end = Clock::now();
+
+  // Stats first, promises second: anyone who has observed a request's
+  // future resolve must also see it in stats().
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.requests += n;
+    stats_.batches += 1;
+    if (n > 1) stats_.coalesced_images += n;
+    stats_.max_batch_observed = std::max(stats_.max_batch_observed, n);
+    stats_.batch_latency.record(seconds_between(batch_start, batch_end));
+    for (const Pending& p : batch) {
+      stats_.request_latency.record(seconds_between(p.enqueued, batch_end));
+    }
+  }
+
+  for (int64_t i = 0; i < n; ++i) {
+    Pending& p = batch[static_cast<size_t>(i)];
+    if (failure) {
+      p.promise.set_exception(failure);
+      continue;
+    }
+    InferenceResult r;
+    const int64_t classes = logits.dim(1);
+    r.logits = Tensor(Shape{classes});
+    const float* row = logits.data() + i * classes;
+    std::copy(row, row + classes, r.logits.data());
+    r.label = 0;
+    for (int64_t j = 1; j < classes; ++j) {
+      if (row[j] > row[r.label]) r.label = j;
+    }
+    r.batch_size = n;
+    r.queue_s = seconds_between(p.enqueued, batch_start);
+    r.total_s = seconds_between(p.enqueued, batch_end);
+    p.promise.set_value(std::move(r));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  in_flight_ -= n;
+  if (in_flight_ == 0) idle_cv_.notify_all();
+}
+
+}  // namespace tbnet::runtime

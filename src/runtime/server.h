@@ -1,0 +1,108 @@
+#pragma once
+// InferenceServer — multi-session request coalescing over a batched engine.
+//
+// Production serving rarely sees one request at a time: many clients submit
+// single images concurrently, and the per-batch costs of the deployed TEE
+// engine (world switches, TA invocations, channel traffic bookkeeping) make
+// it much cheaper to push one batch of N than N batches of one. The server
+// accepts concurrent submit() calls, coalesces queued requests into batches
+// (up to `max_batch`, flushing a partial batch once the oldest queued
+// request has waited `max_queue_delay`), runs them through a caller-provided
+// batch function on a single worker thread, and fans the per-image results
+// back out through futures. Per-request and per-batch latency land in
+// runtime::ServingStats.
+//
+// The engine function runs on the worker thread only, so a non-thread-safe
+// engine (DeployedTBNet, FullTeeDeployment, a bare Sequential) is fine.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/measurements.h"
+#include "tensor/tensor.h"
+
+namespace tbnet::runtime {
+
+/// One answered request.
+struct InferenceResult {
+  Tensor logits;          ///< [classes] row for this image
+  int64_t label = 0;      ///< argmax of the row
+  int64_t batch_size = 0; ///< size of the batch this request rode in
+  double queue_s = 0.0;   ///< submit -> batch start
+  double total_s = 0.0;   ///< submit -> result ready
+};
+
+class InferenceServer {
+ public:
+  /// Maps an NCHW batch to [N, classes] logits (e.g. wraps
+  /// DeployedTBNet::infer_batch). Invoked from the worker thread only.
+  using BatchFn = std::function<Tensor(const Tensor& nchw)>;
+
+  struct Config {
+    /// Largest coalesced batch handed to the engine. Must not exceed what
+    /// the engine accepts (e.g. DeployedTBNet::Options::max_batch) — the
+    /// engine's rejection would fail every request in a full batch.
+    int64_t max_batch = 16;
+    /// How long the oldest queued request may wait for company before a
+    /// partial batch is flushed.
+    std::chrono::microseconds max_queue_delay{2000};
+  };
+
+  InferenceServer(BatchFn engine, Config cfg);
+  explicit InferenceServer(BatchFn engine)
+      : InferenceServer(std::move(engine), Config{}) {}
+
+  /// Drains the queue and joins the worker.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one CHW image; thread-safe. The future resolves once the
+  /// request's batch has run (with the engine's exception on failure).
+  std::future<InferenceResult> submit(Tensor image_chw);
+
+  /// Blocks until every request submitted so far has been answered.
+  void drain();
+
+  /// Stops accepting work, drains, joins. Idempotent and safe to race: the
+  /// first caller joins the worker; a concurrent caller may return before
+  /// that drain completes.
+  void shutdown();
+
+  /// Snapshot of the serving statistics (thread-safe).
+  ServingStats stats() const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  struct Pending {
+    Tensor image;
+    std::promise<InferenceResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void run_batch(std::vector<Pending> batch);
+
+  BatchFn engine_;
+  Config cfg_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // worker wakes on arrivals/shutdown
+  std::condition_variable idle_cv_;   // drain() waits for in-flight == 0
+  std::vector<Pending> queue_;
+  int64_t in_flight_ = 0;  // submitted, not yet answered
+  bool stop_ = false;
+  ServingStats stats_;
+
+  std::thread worker_;
+};
+
+}  // namespace tbnet::runtime

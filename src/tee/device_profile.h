@@ -25,6 +25,14 @@ struct DeviceProfile {
   double tee_macs_per_s = 1.5e8;
   /// One REE<->TEE world switch (SMC + context save/restore), seconds.
   double world_switch_s = 50e-6;
+  /// Fixed cost of one TEEC_InvokeCommand round trip on top of the bare
+  /// switches: client-API dispatch, parameter/shared-memory registration,
+  /// and the cache maintenance both worlds perform per call (no cross-world
+  /// cache coherency on this SoC class). Published OP-TEE client-API
+  /// latencies on Armv8 boards sit in the hundreds of microseconds; this is
+  /// the per-invocation overhead TBNet's one-invoke-per-stage design (and
+  /// batching, which amortizes it over N images) attacks.
+  double invoke_overhead_s = 300e-6;
   /// Shared-memory bandwidth for cross-world payloads, bytes/second.
   double channel_bytes_per_s = 1.0e9;
   /// Secure memory carve-out available to the trusted application, bytes.
@@ -37,6 +45,7 @@ struct DeviceProfile {
     p.ree_macs_per_s = 2.5e8;
     p.tee_macs_per_s = 1.5e8;
     p.world_switch_s = 50e-6;
+    p.invoke_overhead_s = 300e-6;
     p.channel_bytes_per_s = 1.0e9;
     p.secure_mem_budget = 16ll * 1024 * 1024;
     return p;

@@ -1,9 +1,25 @@
 #include "tee/optee_api.h"
 
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
 namespace tbnet::tee {
+namespace {
+
+/// Busy-waits for `seconds` on the steady clock. OP-TEE world switches are
+/// tens of microseconds — far below sleep granularity — so the stall spins;
+/// it models the CPU being unavailable during SMC + context save/restore.
+void spin_for(double seconds) {
+  if (seconds <= 0.0) return;
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::duration<double>(seconds));
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+}  // namespace
 
 void SecureWorld::install(const std::string& uuid,
                           std::unique_ptr<TrustedApp> ta) {
@@ -34,6 +50,14 @@ uint32_t TeeSession::invoke(uint32_t command, const std::vector<uint8_t>& in,
   channel_.push(World::kNormal, World::kSecure,
                 static_cast<int64_t>(in.size()));
   ++switches_;
+  if (timing_) {
+    // Entry: client-API invoke overhead + SMC switch + payload transfer.
+    const double stall =
+        timing_->invoke_overhead_s + timing_->world_switch_s +
+        static_cast<double>(in.size()) / timing_->channel_bytes_per_s;
+    spin_for(stall);
+    simulated_overhead_s_ += stall;
+  }
 
   std::vector<uint8_t> result;
   TaContext ctx{&world_.memory()};
@@ -51,6 +75,17 @@ uint32_t TeeSession::invoke(uint32_t command, const std::vector<uint8_t>& in,
     // it bypasses the feature-map channel by construction (it is the
     // API-level return value), so it is not pushed through `channel_`.
     ++switches_;
+  }
+  if (timing_) {
+    // Control always returns to the normal world after an invoke (the SMC
+    // return path), so the exit switch is stalled for even when no result
+    // bytes cross. `switches_` keeps the result-bearing counting convention
+    // used by the experiment reports.
+    const double stall =
+        timing_->world_switch_s +
+        static_cast<double>(result.size()) / timing_->channel_bytes_per_s;
+    spin_for(stall);
+    simulated_overhead_s_ += stall;
   }
   if (out != nullptr) *out = std::move(result);
   return status;

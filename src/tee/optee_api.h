@@ -18,11 +18,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "tee/channel.h"
+#include "tee/device_profile.h"
 #include "tee/secure_memory.h"
 #include "tee/world.h"
 
@@ -89,12 +91,24 @@ class TeeSession {
 
   int64_t world_switches() const { return switches_; }
 
+  /// Device-faithful timing: when set, every invoke stalls the caller for
+  /// the profile's world-switch latency (entry, plus exit when a result
+  /// crosses back) and the payload's shared-memory transfer time. TA compute
+  /// still runs at host speed; only the cross-world overheads the paper's
+  /// Tables 1-3 attribute to TrustZone are injected. Used by the serving
+  /// bench; off by default (invoke costs nothing but the simulation itself).
+  void simulate_timing(const DeviceProfile& profile) { timing_ = profile; }
+  /// Wall-clock seconds spent in injected switch/transfer stalls.
+  double simulated_overhead_s() const { return simulated_overhead_s_; }
+
  private:
   SecureWorld& world_;
   OneWayChannel& channel_;
   TrustedApp* ta_;
   int64_t max_result_bytes_;
   int64_t switches_ = 0;
+  std::optional<DeviceProfile> timing_;
+  double simulated_overhead_s_ = 0.0;
 };
 
 /// Normal-world entry point, analogous to TEEC_Context.

@@ -1,0 +1,73 @@
+#include "tensor/execution_context.h"
+
+#include <algorithm>
+
+#include "tensor/threadpool.h"
+
+namespace tbnet {
+
+namespace {
+// First block size; small enough not to matter for tiny models, large
+// enough that CIFAR-scale im2col buffers fit in one or two blocks.
+constexpr int64_t kMinBlockFloats = 1 << 14;  // 64 KiB
+}  // namespace
+
+float* WorkspaceArena::alloc(int64_t n) {
+  if (n <= 0) n = 1;
+  // Advance the frontier until a block with room is found.
+  while (active_ < blocks_.size()) {
+    Block& b = blocks_[active_];
+    if (b.size - b.used >= n) {
+      float* p = b.data.get() + b.used;
+      b.used += n;
+      return p;
+    }
+    if (active_ + 1 == blocks_.size()) break;
+    ++active_;
+  }
+  // Grow: geometric so the block count stays O(log total). The new block
+  // goes at the end and becomes the frontier.
+  const int64_t last = blocks_.empty() ? 0 : blocks_.back().size;
+  const int64_t size = std::max({n, kMinBlockFloats, 2 * last});
+  blocks_.push_back(Block{std::make_unique<float[]>(static_cast<size_t>(size)),
+                          size, n});
+  active_ = blocks_.size() - 1;
+  return blocks_.back().data.get();
+}
+
+WorkspaceArena::Mark WorkspaceArena::mark() const {
+  if (blocks_.empty()) return Mark{0, 0};
+  return Mark{active_, blocks_[active_].used};
+}
+
+void WorkspaceArena::rewind(const Mark& m) {
+  if (blocks_.empty()) return;
+  for (size_t i = std::min(m.block, blocks_.size() - 1) + 1;
+       i < blocks_.size(); ++i) {
+    blocks_[i].used = 0;
+  }
+  active_ = std::min(m.block, blocks_.size() - 1);
+  blocks_[active_].used = std::min(m.used, blocks_[active_].size);
+}
+
+void WorkspaceArena::reset() { rewind(Mark{0, 0}); }
+
+int64_t WorkspaceArena::capacity_floats() const {
+  int64_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+ThreadPool& ExecutionContext::pool() const {
+  return pool_ != nullptr ? *pool_ : ThreadPool::global();
+}
+
+ExecutionContext& default_execution_context() {
+  // One per thread: concurrent trainer / server / TA code each get their own
+  // arena, so the shims stay safe without locking. Construction is cheap
+  // (no blocks until first alloc).
+  thread_local ExecutionContext ctx;
+  return ctx;
+}
+
+}  // namespace tbnet

@@ -1,0 +1,132 @@
+#pragma once
+// ExecutionContext — per-thread execution state for the forward/backward path.
+//
+// The hot inference path used to allocate fresh std::vector scratch (im2col
+// column buffers, gradient columns, ...) on every layer call, so serving
+// throughput was dominated by malloc + page-zeroing rather than arithmetic.
+// An ExecutionContext bundles:
+//   * a WorkspaceArena — a growable bump allocator whose blocks are retained
+//     across calls, so steady-state inference performs no heap allocation
+//     for scratch;
+//   * a ThreadPool handle — which pool the kernels (gemm, im2col) shard on;
+//   * a tee::World tag — labels whether this context executes normal-world
+//     (REE) or secure-world (TEE) code. The runtime sets it (engine contexts
+//     are kNormal, TA-owned contexts kSecure); it is a diagnostic label, not
+//     an enforcement mechanism.
+//
+// Contexts are NOT thread-safe: one context per executing thread. Legacy
+// call sites that do not thread a context explicitly get the calling
+// thread's default context (default_execution_context()), which preserves
+// the old API while still reusing scratch across calls.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tee/world.h"
+
+namespace tbnet {
+
+class ThreadPool;
+
+/// Growable bump allocator for float scratch. Blocks are never freed by
+/// rewinding, so after a warm-up call the same workload allocates no new
+/// memory ("no growth after warmup" is test-enforced). Not thread-safe.
+class WorkspaceArena {
+ public:
+  WorkspaceArena() = default;
+  WorkspaceArena(const WorkspaceArena&) = delete;
+  WorkspaceArena& operator=(const WorkspaceArena&) = delete;
+
+  /// Position checkpoint; see mark()/rewind().
+  struct Mark {
+    size_t block = 0;
+    int64_t used = 0;
+  };
+
+  /// Returns `n` floats of uninitialized scratch, valid until the enclosing
+  /// rewind()/reset(). Alignment is that of `new float[]` (>= 16 bytes).
+  float* alloc(int64_t n);
+
+  std::span<float> alloc_span(int64_t n) {
+    return std::span<float>(alloc(n), static_cast<size_t>(n));
+  }
+
+  /// Snapshot of the current bump position.
+  Mark mark() const;
+
+  /// Returns the arena to a previous mark(); everything allocated after the
+  /// mark becomes invalid. Blocks are retained for reuse.
+  void rewind(const Mark& m);
+
+  /// Rewinds to empty (blocks retained).
+  void reset();
+
+  /// Total floats of backing storage across all blocks.
+  int64_t capacity_floats() const;
+  int64_t capacity_bytes() const {
+    return capacity_floats() * static_cast<int64_t>(sizeof(float));
+  }
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<float[]> data;
+    int64_t size = 0;
+    int64_t used = 0;
+  };
+
+  // blocks_[active_] is the bump frontier; earlier blocks are frozen (their
+  // `used` stands), later blocks are empty spares awaiting reuse.
+  std::vector<Block> blocks_;
+  size_t active_ = 0;
+};
+
+/// RAII arena checkpoint: rewinds on scope exit so sibling layer calls reuse
+/// the same scratch bytes. Every layer forward/backward opens one.
+class ArenaScope {
+ public:
+  explicit ArenaScope(WorkspaceArena& arena)
+      : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  WorkspaceArena& arena_;
+  WorkspaceArena::Mark mark_;
+};
+
+/// Execution state threaded through tensor kernels, nn layers, the
+/// two-branch forward and the deployed runtime. One per thread.
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+  explicit ExecutionContext(tee::World world, ThreadPool* pool = nullptr)
+      : world_(world), pool_(pool) {}
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  WorkspaceArena& arena() { return arena_; }
+  const WorkspaceArena& arena() const { return arena_; }
+
+  /// The pool kernels shard on; falls back to ThreadPool::global().
+  ThreadPool& pool() const;
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+  tee::World world() const { return world_; }
+  void set_world(tee::World world) { world_ = world; }
+
+ private:
+  WorkspaceArena arena_;
+  tee::World world_ = tee::World::kNormal;
+  ThreadPool* pool_ = nullptr;  // nullptr = ThreadPool::global()
+};
+
+/// The calling thread's fallback context (normal world, global pool). Used
+/// by the no-context compatibility shims; lives until thread exit.
+ExecutionContext& default_execution_context();
+
+}  // namespace tbnet

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
 #include "tensor/threadpool.h"
 
@@ -21,21 +20,89 @@ inline void scale_row(float* c, int64_t n, float beta) {
   }
 }
 
-}  // namespace
-
-void gemm_nn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-             const float* b, float beta, float* c) {
-  ThreadPool::global().parallel_for(m, [&](int64_t i0, int64_t i1) {
+void gemm_nn_on(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
+                const float* a, const float* b, float beta, float* c) {
+  pool.parallel_for(m, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) scale_row(c + i * n, n, beta);
     for (int64_t kk = 0; kk < k; kk += kBlockK) {
       const int64_t k_end = std::min(k, kk + kBlockK);
       for (int64_t jj = 0; jj < n; jj += kBlockN) {
         const int64_t j_end = std::min(n, jj + kBlockN);
-        for (int64_t i = i0; i < i1; ++i) {
+        // Register-block 2 (rows of C) x 4 (k-taps): each C row is streamed
+        // once per 4 taps instead of once per tap, and each B row feeds two
+        // C rows per load (C and B traffic are the bottleneck for the
+        // small-m GEMMs im2col convolution produces). The per-element
+        // accumulation order over p is unchanged, so results stay
+        // bit-identical across shapes and blockings.
+        int64_t i = i0;
+        for (; i + 2 <= i1; i += 2) {
+          float* crow0 = c + i * n;
+          float* crow1 = crow0 + n;
+          const float* arow0 = a + i * k;
+          const float* arow1 = arow0 + k;
+          int64_t p = kk;
+          for (; p + 4 <= k_end; p += 4) {
+            const float a00 = alpha * arow0[p], a01 = alpha * arow0[p + 1];
+            const float a02 = alpha * arow0[p + 2], a03 = alpha * arow0[p + 3];
+            const float a10 = alpha * arow1[p], a11 = alpha * arow1[p + 1];
+            const float a12 = alpha * arow1[p + 2], a13 = alpha * arow1[p + 3];
+            const float* b0 = b + p * n;
+            const float* b1 = b0 + n;
+            const float* b2 = b1 + n;
+            const float* b3 = b2 + n;
+            for (int64_t j = jj; j < j_end; ++j) {
+              const float b0j = b0[j], b1j = b1[j], b2j = b2[j], b3j = b3[j];
+              float v0 = crow0[j];
+              v0 += a00 * b0j;
+              v0 += a01 * b1j;
+              v0 += a02 * b2j;
+              v0 += a03 * b3j;
+              crow0[j] = v0;
+              float v1 = crow1[j];
+              v1 += a10 * b0j;
+              v1 += a11 * b1j;
+              v1 += a12 * b2j;
+              v1 += a13 * b3j;
+              crow1[j] = v1;
+            }
+          }
+          for (; p < k_end; ++p) {
+            const float av0 = alpha * arow0[p];
+            const float av1 = alpha * arow1[p];
+            const float* brow = b + p * n;
+            for (int64_t j = jj; j < j_end; ++j) {
+              crow0[j] += av0 * brow[j];
+              crow1[j] += av1 * brow[j];
+            }
+          }
+        }
+        for (; i < i1; ++i) {
           float* crow = c + i * n;
-          for (int64_t p = kk; p < k_end; ++p) {
-            const float av = alpha * a[i * k + p];
-            if (av == 0.0f) continue;
+          const float* arow = a + i * k;
+          int64_t p = kk;
+          for (; p + 4 <= k_end; p += 4) {
+            const float av0 = alpha * arow[p];
+            const float av1 = alpha * arow[p + 1];
+            const float av2 = alpha * arow[p + 2];
+            const float av3 = alpha * arow[p + 3];
+            const float* b0 = b + p * n;
+            const float* b1 = b0 + n;
+            const float* b2 = b1 + n;
+            const float* b3 = b2 + n;
+            for (int64_t j = jj; j < j_end; ++j) {
+              float v = crow[j];
+              v += av0 * b0[j];
+              v += av1 * b1[j];
+              v += av2 * b2[j];
+              v += av3 * b3[j];
+              crow[j] = v;
+            }
+          }
+          // No av == 0 skip here: the blocked paths above always perform
+          // the multiply-add, and skipping only in this tail would make a
+          // row's bits depend on which path the pool partitioning gave it.
+          for (; p < k_end; ++p) {
+            const float av = alpha * arow[p];
             const float* brow = b + p * n;
             for (int64_t j = jj; j < j_end; ++j) crow[j] += av * brow[j];
           }
@@ -45,9 +112,9 @@ void gemm_nn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
   });
 }
 
-void gemm_nt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-             const float* b, float beta, float* c) {
-  ThreadPool::global().parallel_for(m, [&](int64_t i0, int64_t i1) {
+void gemm_nt_on(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
+                const float* a, const float* b, float beta, float* c) {
+  pool.parallel_for(m, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const float* arow = a + i * k;
       float* crow = c + i * n;
@@ -61,11 +128,11 @@ void gemm_nt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
   });
 }
 
-void gemm_tn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-             const float* b, float beta, float* c) {
+void gemm_tn_on(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
+                const float* a, const float* b, float beta, float* c) {
   // A is [k, m]; walk k in the outer loop for sequential access to both
   // inputs, parallelizing over output rows (columns of A).
-  ThreadPool::global().parallel_for(m, [&](int64_t i0, int64_t i1) {
+  pool.parallel_for(m, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) scale_row(c + i * n, n, beta);
     for (int64_t p = 0; p < k; ++p) {
       const float* arow = a + p * m;
@@ -78,6 +145,41 @@ void gemm_tn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
       }
     }
   });
+}
+
+}  // namespace
+
+void gemm_nn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta,
+             float* c) {
+  gemm_nn_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+}
+
+void gemm_nn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+             const float* b, float beta, float* c) {
+  gemm_nn_on(ThreadPool::global(), m, n, k, alpha, a, b, beta, c);
+}
+
+void gemm_nt(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta,
+             float* c) {
+  gemm_nt_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+}
+
+void gemm_nt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+             const float* b, float beta, float* c) {
+  gemm_nt_on(ThreadPool::global(), m, n, k, alpha, a, b, beta, c);
+}
+
+void gemm_tn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta,
+             float* c) {
+  gemm_tn_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+}
+
+void gemm_tn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+             const float* b, float beta, float* c) {
+  gemm_tn_on(ThreadPool::global(), m, n, k, alpha, a, b, beta, c);
 }
 
 void gemv(int64_t m, int64_t n, float alpha, const float* a, const float* x,

@@ -9,17 +9,33 @@
 
 #include <cstdint>
 
+#include "tensor/execution_context.h"
+
 namespace tbnet {
 
+// Each kernel has a context-taking form (shards on ctx.pool()) and a legacy
+// form that runs on the global pool. Results are bit-identical across pool
+// sizes and batch shapes: the per-element accumulation order depends only on
+// k, never on the row/column partitioning.
+
 /// C[m,n] = alpha * A[m,k] * B[k,n] + beta * C[m,n]
+void gemm_nn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta,
+             float* c);
 void gemm_nn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c);
 
 /// C[m,n] = alpha * A[m,k] * B^T (B is [n,k]) + beta * C
+void gemm_nt(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta,
+             float* c);
 void gemm_nt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c);
 
 /// C[m,n] = alpha * A^T (A is [k,m]) * B[k,n] + beta * C
+void gemm_tn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta,
+             float* c);
 void gemm_tn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c);
 

@@ -2,32 +2,52 @@
 
 #include <cstring>
 
-namespace tbnet {
+#include "tensor/threadpool.h"
 
-void im2col(const Conv2dGeom& g, const float* image, float* cols) {
+namespace tbnet {
+namespace {
+
+/// Fills one row of the column matrix: the (c, kh, kw) tap across all output
+/// positions. Rows are independent, which is what lets the context form
+/// shard them.
+inline void im2col_row(const Conv2dGeom& g, const float* image, int64_t row,
+                       float* out) {
   const int64_t oh = g.out_h(), ow = g.out_w();
-  const int64_t col_cols = oh * ow;
-  int64_t row = 0;
-  for (int64_t c = 0; c < g.in_c; ++c) {
-    const float* plane = image + c * g.in_h * g.in_w;
-    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
-      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        float* out = cols + row * col_cols;
-        for (int64_t oy = 0; oy < oh; ++oy) {
-          const int64_t iy = oy * g.stride_h - g.pad_h + kh;
-          if (iy < 0 || iy >= g.in_h) {
-            std::memset(out + oy * ow, 0, static_cast<size_t>(ow) * sizeof(float));
-            continue;
-          }
-          const float* src = plane + iy * g.in_w;
-          for (int64_t ox = 0; ox < ow; ++ox) {
-            const int64_t ix = ox * g.stride_w - g.pad_w + kw;
-            out[oy * ow + ox] = (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
-          }
-        }
-      }
+  const int64_t kw = row % g.kernel_w;
+  const int64_t kh = (row / g.kernel_w) % g.kernel_h;
+  const int64_t c = row / (g.kernel_w * g.kernel_h);
+  const float* plane = image + c * g.in_h * g.in_w;
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    const int64_t iy = oy * g.stride_h - g.pad_h + kh;
+    if (iy < 0 || iy >= g.in_h) {
+      std::memset(out + oy * ow, 0, static_cast<size_t>(ow) * sizeof(float));
+      continue;
+    }
+    const float* src = plane + iy * g.in_w;
+    for (int64_t ox = 0; ox < ow; ++ox) {
+      const int64_t ix = ox * g.stride_w - g.pad_w + kw;
+      out[oy * ow + ox] = (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
     }
   }
+}
+
+}  // namespace
+
+void im2col(const Conv2dGeom& g, const float* image, float* cols) {
+  const int64_t col_cols = g.col_cols();
+  for (int64_t row = 0; row < g.col_rows(); ++row) {
+    im2col_row(g, image, row, cols + row * col_cols);
+  }
+}
+
+void im2col(const ExecutionContext& ctx, const Conv2dGeom& g,
+            const float* image, float* cols) {
+  const int64_t col_cols = g.col_cols();
+  ctx.pool().parallel_for(g.col_rows(), [&](int64_t r0, int64_t r1) {
+    for (int64_t row = r0; row < r1; ++row) {
+      im2col_row(g, image, row, cols + row * col_cols);
+    }
+  });
 }
 
 void col2im(const Conv2dGeom& g, const float* cols, float* image) {

@@ -6,6 +6,8 @@
 
 #include <cstdint>
 
+#include "tensor/execution_context.h"
+
 namespace tbnet {
 
 /// Parameters of a 2-D convolution / pooling window over a CHW image.
@@ -29,6 +31,10 @@ struct Conv2dGeom {
 
 /// Expands `image` (CHW, geom.in_c x geom.in_h x geom.in_w) into `cols`
 /// ([col_rows x col_cols], caller-allocated). Out-of-bounds taps read 0.
+/// The context form shards the (independent) column-matrix rows on
+/// ctx.pool(); output is identical to the serial form.
+void im2col(const ExecutionContext& ctx, const Conv2dGeom& geom,
+            const float* image, float* cols);
 void im2col(const Conv2dGeom& geom, const float* image, float* cols);
 
 /// Adjoint of im2col: accumulates `cols` back into `image` (caller must

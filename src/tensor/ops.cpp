@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/threadpool.h"
+
 namespace tbnet {
 namespace {
 
@@ -41,6 +43,42 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   Tensor out = a;
   for (int64_t i = 0; i < out.numel(); ++i) out[i] *= b[i];
   return out;
+}
+
+namespace {
+
+template <typename BinOp>
+void elementwise_into(const ExecutionContext& ctx, const Tensor& a,
+                      const Tensor& b, Tensor& out, const char* name,
+                      BinOp op) {
+  check_same_shape(a, b, name);
+  if (out.shape() != a.shape()) out = Tensor(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ctx.pool().parallel_for(a.numel(), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) po[i] = op(pa[i], pb[i]);
+  });
+}
+
+}  // namespace
+
+void add(const ExecutionContext& ctx, const Tensor& a, const Tensor& b,
+         Tensor& out) {
+  elementwise_into(ctx, a, b, out, "add",
+                   [](float x, float y) { return x + y; });
+}
+
+void sub(const ExecutionContext& ctx, const Tensor& a, const Tensor& b,
+         Tensor& out) {
+  elementwise_into(ctx, a, b, out, "sub",
+                   [](float x, float y) { return x - y; });
+}
+
+void mul(const ExecutionContext& ctx, const Tensor& a, const Tensor& b,
+         Tensor& out) {
+  elementwise_into(ctx, a, b, out, "mul",
+                   [](float x, float y) { return x * y; });
 }
 
 Tensor softmax2d(const Tensor& logits) {

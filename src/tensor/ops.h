@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/execution_context.h"
 #include "tensor/tensor.h"
 
 namespace tbnet {
@@ -16,6 +17,16 @@ Tensor sub(const Tensor& a, const Tensor& b);
 
 /// out = a * b elementwise.
 Tensor mul(const Tensor& a, const Tensor& b);
+
+// Context forms: write into caller-provided `out` (resized/reshaped to match
+// `a`), sharding the elementwise loop on ctx.pool(). Reusing `out` across
+// calls keeps the serving hot path allocation-free.
+void add(const ExecutionContext& ctx, const Tensor& a, const Tensor& b,
+         Tensor& out);
+void sub(const ExecutionContext& ctx, const Tensor& a, const Tensor& b,
+         Tensor& out);
+void mul(const ExecutionContext& ctx, const Tensor& a, const Tensor& b,
+         Tensor& out);
 
 /// Row-wise softmax over the last dimension of a [n, c] tensor.
 Tensor softmax2d(const Tensor& logits);

@@ -1,6 +1,7 @@
 #include "tensor/threadpool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace tbnet {
 
@@ -34,16 +35,18 @@ void ThreadPool::worker_loop() {
       task = queue_.back();
       queue_.pop_back();
     }
-    (*task.fn)(task.begin, task.end);
+    (*task.job->fn)(task.begin, task.end);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_cv_.notify_all();
+      if (--task.job->pending == 0) done_cv_.notify_all();
     }
   }
 }
 
 void ThreadPool::parallel_for(int64_t n,
                               const std::function<void(int64_t, int64_t)>& fn) {
+  // Empty ranges (n == 0, or negative from a degenerate shape) are complete
+  // by definition: fn is never invoked and no pool state is touched.
   if (n <= 0) return;
   const int threads = num_threads();
   const int64_t chunk = std::max<int64_t>(1, (n + threads - 1) / threads);
@@ -51,25 +54,40 @@ void ThreadPool::parallel_for(int64_t n,
     fn(0, n);
     return;
   }
-  // Enqueue all chunks except the first, which the caller runs itself.
+  // Enqueue all chunks except the first, which the caller runs itself. The
+  // job lives on this stack frame; the final wait below keeps it alive until
+  // every worker chunk has completed.
+  Job job{&fn, 0};
   std::vector<Task> tasks;
   for (int64_t b = chunk; b < n; b += chunk) {
-    tasks.push_back(Task{&fn, b, std::min(n, b + chunk)});
+    tasks.push_back(Task{&job, b, std::min(n, b + chunk)});
   }
+  job.pending = static_cast<int>(tasks.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
-    pending_ += static_cast<int>(tasks.size());
     for (const Task& t : tasks) queue_.push_back(t);
   }
   cv_.notify_all();
   fn(0, std::min(n, chunk));
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  done_cv_.wait(lock, [&job] { return job.pending == 0; });
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  // Magic-static init is thread-safe for concurrent first use; racing
+  // callers block until one constructor finishes. The instance is leaked on
+  // purpose (see header): joining workers from a static destructor while
+  // other static destructors may still run kernels is the order fiasco this
+  // avoids, and the OS reclaims the threads at process exit anyway.
+  static ThreadPool* pool = [] {
+    int threads = 0;
+    if (const char* env = std::getenv("TBNET_THREADS")) {
+      threads = std::atoi(env);
+      if (threads < 1) threads = 0;  // malformed -> hardware_concurrency
+    }
+    return new ThreadPool(threads);
+  }();
+  return *pool;
 }
 
 }  // namespace tbnet

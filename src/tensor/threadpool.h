@@ -28,15 +28,36 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
   /// Runs fn(begin, end) over [0, n) split into per-worker chunks; blocks
-  /// until all chunks complete. The calling thread participates.
+  /// until all chunks complete. The calling thread participates. A call with
+  /// n <= 0 is a no-op that touches no pool state. Safe to call from several
+  /// non-worker threads at once: completion is tracked per call, so a caller
+  /// only waits for its own chunks (workers may still be busy with another
+  /// caller's chunks, which bounds speedup, not correctness). Must NOT be
+  /// called from inside a task running on this pool: the nested call would
+  /// block a worker that outer chunks may be queued behind.
   void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
 
-  /// Process-wide shared pool (lazily constructed).
+  /// Process-wide shared pool. Lazy initialization is thread-safe against
+  /// concurrent first use (C++11 magic static over a leaked instance).
+  /// Lifetime: the pool is intentionally leaked and its workers run until
+  /// process exit, so kernels invoked from static destructors or detached
+  /// threads during shutdown never touch a destroyed pool (the classic
+  /// static-destruction-order fiasco). Worker count comes from the
+  /// TBNET_THREADS environment variable when set (>= 1), else
+  /// hardware_concurrency.
   static ThreadPool& global();
 
  private:
-  struct Task {
+  /// Per-parallel_for completion state, owned by the caller's stack frame;
+  /// tasks hold a pointer so concurrent callers never wait on each other's
+  /// counters.
+  struct Job {
     const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    int pending = 0;
+  };
+
+  struct Task {
+    Job* job = nullptr;
     int64_t begin = 0;
     int64_t end = 0;
   };
@@ -48,7 +69,6 @@ class ThreadPool {
   std::condition_variable cv_;
   std::condition_variable done_cv_;
   std::vector<Task> queue_;
-  int pending_ = 0;
   bool stop_ = false;
 };
 

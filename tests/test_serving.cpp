@@ -1,0 +1,448 @@
+// Tests for the batched serving path: ExecutionContext / WorkspaceArena,
+// batched DeployedTBNet parity with per-image inference (including
+// non-identity channel maps), InferenceServer request coalescing, and the
+// ThreadPool edge cases the serving path leans on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/pruner.h"
+#include "core/rollback.h"
+#include "models/model_zoo.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/sequential.h"
+#include "runtime/deployed.h"
+#include "runtime/server.h"
+#include "tee/optee_api.h"
+#include "tensor/execution_context.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/threadpool.h"
+
+namespace tbnet::runtime {
+namespace {
+
+models::ModelConfig tiny_vgg_cfg() {
+  models::ModelConfig cfg;
+  cfg.family = models::Family::kVgg;
+  cfg.depth = 11;
+  cfg.classes = 10;
+  cfg.width_mult = 0.125;
+  cfg.seed = 9;
+  return cfg;
+}
+
+models::ModelConfig tiny_resnet_cfg() {
+  models::ModelConfig cfg;
+  cfg.family = models::Family::kResNet;
+  cfg.depth = 20;
+  cfg.classes = 10;
+  cfg.width_mult = 0.25;
+  cfg.seed = 21;
+  return cfg;
+}
+
+/// Prunes every interface to give the model non-identity channel maps, the
+/// shape-aligning machinery the batched TA path must also get right.
+core::TwoBranchModel pruned_two_branch(const models::ModelConfig& cfg) {
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  const auto points = models::prune_points(cfg);
+  core::TwoBranchModel snapshot = tb.clone();
+  std::vector<std::vector<int64_t>> last_keep;
+  for (const auto& point : points) {
+    const core::ResolvedPoint rp = core::resolve_point(tb, point);
+    std::vector<int64_t> keep;
+    for (int64_t c = 0; c < rp.bn_secure->channels(); ++c) {
+      if (c % 4 != 1) keep.push_back(c);
+    }
+    core::apply_channel_keep(tb, point, keep);
+    last_keep.push_back(keep);
+  }
+  core::rollback_finalize(tb, std::move(snapshot), points, last_keep);
+  return tb;
+}
+
+Tensor random_batch(int64_t n, Rng& rng) {
+  return Tensor::randn(Shape{n, 3, 32, 32}, rng);
+}
+
+Tensor slice_image(const Tensor& batch, int64_t i) {
+  const int64_t stride = batch.numel() / batch.dim(0);
+  Tensor img(Shape{batch.dim(1), batch.dim(2), batch.dim(3)});
+  const float* src = batch.data() + i * stride;
+  std::copy(src, src + stride, img.data());
+  return img;
+}
+
+// ------------------------------------------------- WorkspaceArena ----------
+
+TEST(WorkspaceArena, RewindReusesStorage) {
+  WorkspaceArena arena;
+  const auto mark = arena.mark();
+  float* a = arena.alloc(1000);
+  arena.rewind(mark);
+  float* b = arena.alloc(1000);
+  EXPECT_EQ(a, b);  // same bytes handed out again
+  EXPECT_EQ(arena.block_count(), 1u);
+}
+
+TEST(WorkspaceArena, ScopeRestoresAcrossGrowth) {
+  WorkspaceArena arena;
+  {
+    ArenaScope scope(arena);
+    arena.alloc(10);
+    arena.alloc(1 << 20);  // forces a second block
+  }
+  const int64_t capacity = arena.capacity_bytes();
+  {
+    ArenaScope scope(arena);
+    arena.alloc(10);
+    arena.alloc(1 << 20);
+  }
+  EXPECT_EQ(arena.capacity_bytes(), capacity);  // no growth on repeat
+}
+
+TEST(WorkspaceArena, NoGrowthAfterForwardWarmup) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  ExecutionContext ctx;
+  Rng rng(3);
+  const Tensor batch = random_batch(4, rng);
+  victim.forward(ctx, batch, false);  // warmup populates the arena
+  const int64_t capacity = ctx.arena().capacity_bytes();
+  const size_t blocks = ctx.arena().block_count();
+  EXPECT_GT(capacity, 0);
+  for (int i = 0; i < 5; ++i) victim.forward(ctx, batch, false);
+  EXPECT_EQ(ctx.arena().capacity_bytes(), capacity);
+  EXPECT_EQ(ctx.arena().block_count(), blocks);
+}
+
+// ------------------------------------------- context kernel overloads ------
+
+TEST(ExecutionContext, ContextGemmMatchesLegacy) {
+  Rng rng(11);
+  const Tensor a = Tensor::randn(Shape{7, 13}, rng);
+  const Tensor b = Tensor::randn(Shape{13, 9}, rng);
+  Tensor c_legacy(Shape{7, 9}), c_ctx(Shape{7, 9});
+  gemm_nn(7, 9, 13, 1.0f, a.data(), b.data(), 0.0f, c_legacy.data());
+  ExecutionContext ctx;
+  gemm_nn(ctx, 7, 9, 13, 1.0f, a.data(), b.data(), 0.0f, c_ctx.data());
+  EXPECT_TRUE(allclose(c_legacy, c_ctx, 0.0f, 0.0f));
+}
+
+TEST(ExecutionContext, ContextOpsWriteIntoOut) {
+  Rng rng(12);
+  const Tensor a = Tensor::randn(Shape{5, 6}, rng);
+  const Tensor b = Tensor::randn(Shape{5, 6}, rng);
+  ExecutionContext ctx;
+  Tensor out;
+  add(ctx, a, b, out);
+  EXPECT_TRUE(allclose(out, add(a, b), 0.0f, 0.0f));
+  mul(ctx, a, b, out);  // reuses the existing buffer
+  EXPECT_TRUE(allclose(out, mul(a, b), 0.0f, 0.0f));
+}
+
+// ---------------------------------------------------- batched engine -------
+
+TEST(DeployedTBNetBatch, BatchedMatchesPerImageBitForBit) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+
+  Rng rng(5);
+  const int64_t n = 6;
+  const Tensor batch = random_batch(n, rng);
+  const Tensor batched = deployed.infer_batch(batch);
+  ASSERT_EQ(batched.shape(), (Shape{n, 10}));
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor single = deployed.infer(slice_image(batch, i));
+    for (int64_t j = 0; j < 10; ++j) {
+      EXPECT_EQ(batched[i * 10 + j], single[j]) << "image " << i;
+    }
+  }
+  // And both match the in-process fused forward on the whole batch.
+  const Tensor want = tb.forward(batch, false);
+  EXPECT_TRUE(allclose(batched, want, 0.0f, 0.0f));
+}
+
+TEST(DeployedTBNetBatch, BatchedMatchesPerImageWithChannelMaps) {
+  const auto cfg = tiny_vgg_cfg();
+  core::TwoBranchModel tb = pruned_two_branch(cfg);
+  // The rollback finalization must have produced real channel maps,
+  // otherwise this test would not cover the alignment path.
+  bool has_map = false;
+  for (int i = 0; i < tb.num_stages(); ++i) {
+    has_map = has_map || !tb.stage(i).channel_map.empty();
+  }
+  ASSERT_TRUE(has_map);
+
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+
+  Rng rng(6);
+  const int64_t n = 5;
+  const Tensor batch = random_batch(n, rng);
+  const Tensor batched = deployed.infer_batch(batch);
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor single = deployed.infer(slice_image(batch, i));
+    for (int64_t j = 0; j < 10; ++j) {
+      EXPECT_EQ(batched[i * 10 + j], single[j]) << "image " << i;
+    }
+  }
+  EXPECT_TRUE(allclose(batched, tb.forward(batch, false), 0.0f, 0.0f));
+}
+
+TEST(DeployedTBNetBatch, ResNetBatchedMatchesPerImage) {
+  const auto cfg = tiny_resnet_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+  Rng rng(7);
+  const int64_t n = 4;
+  const Tensor batch = random_batch(n, rng);
+  const Tensor batched = deployed.infer_batch(batch);
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor single = deployed.infer(slice_image(batch, i));
+    for (int64_t j = 0; j < 10; ++j) {
+      EXPECT_EQ(batched[i * 10 + j], single[j]) << "image " << i;
+    }
+  }
+}
+
+TEST(DeployedTBNetBatch, WorldSwitchesAmortizeAcrossTheBatch) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+  Rng rng(8);
+
+  deployed.infer_batch(random_batch(1, rng));
+  const int64_t per_image = deployed.world_switches();
+  deployed.infer_batch(random_batch(16, rng));
+  const int64_t per_batch16 = deployed.world_switches() - per_image;
+  // A batch of 16 costs exactly the same number of switches as one image.
+  EXPECT_EQ(per_batch16, per_image);
+}
+
+TEST(DeployedTBNetBatch, PredictBatchReleasesOnlyLabels) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+  Rng rng(9);
+  const int64_t n = 5;
+  const Tensor batch = random_batch(n, rng);
+  const Tensor logits = deployed.infer_batch(batch);
+  const std::vector<int64_t> labels = deployed.predict_batch(batch);
+  ASSERT_EQ(labels.size(), static_cast<size_t>(n));
+  const std::vector<int64_t> want = argmax_rows(logits);
+  EXPECT_EQ(labels, want);
+  EXPECT_EQ(ctx.channel().leaked_bytes(), 0);
+}
+
+TEST(DeployedTBNetBatch, RejectsOversizedBatch) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx, "tbnet-small-batch",
+                         DeployedTBNet::Options{.max_batch = 2});
+  Rng rng(10);
+  EXPECT_THROW(deployed.infer_batch(random_batch(3, rng)),
+               std::invalid_argument);
+}
+
+TEST(TeeSessionTiming, SimulatedOverheadAccumulates) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+  deployed.session().simulate_timing(tee::DeviceProfile::rpi3());
+  Rng rng(11);
+  const auto t0 = std::chrono::steady_clock::now();
+  deployed.infer_batch(random_batch(2, rng));
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  const double overhead = deployed.session().simulated_overhead_s();
+  EXPECT_GT(overhead, 0.0);
+  EXPECT_GE(wall, overhead * 0.9);  // the stall really happened
+}
+
+// ------------------------------------------------- InferenceServer ---------
+
+TEST(InferenceServer, CoalescesConcurrentSubmitters) {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+
+  InferenceServer::Config scfg;
+  scfg.max_batch = 8;
+  scfg.max_queue_delay = std::chrono::microseconds(50000);  // plenty of time
+  InferenceServer server(
+      [&deployed](const Tensor& nchw) { return deployed.infer_batch(nchw); },
+      scfg);
+
+  Rng rng(12);
+  const int64_t total = 24;
+  const Tensor batch = random_batch(total, rng);
+  const Tensor want = tb.forward(batch, false);
+
+  // Concurrent submitters, one image each.
+  std::vector<std::future<InferenceResult>> results(
+      static_cast<size_t>(total));
+  {
+    std::vector<std::thread> submitters;
+    std::atomic<int64_t> next{0};
+    for (int t = 0; t < 6; ++t) {
+      submitters.emplace_back([&] {
+        for (;;) {
+          const int64_t i = next.fetch_add(1);
+          if (i >= total) return;
+          results[static_cast<size_t>(i)] =
+              server.submit(slice_image(batch, i));
+        }
+      });
+    }
+    for (auto& th : submitters) th.join();
+  }
+
+  for (int64_t i = 0; i < total; ++i) {
+    InferenceResult r = results[static_cast<size_t>(i)].get();
+    ASSERT_EQ(r.logits.numel(), 10);
+    for (int64_t j = 0; j < 10; ++j) {
+      EXPECT_EQ(r.logits[j], want[i * 10 + j]) << "request " << i;
+    }
+    EXPECT_GE(r.batch_size, 1);
+    EXPECT_LE(r.batch_size, scfg.max_batch);
+    EXPECT_GE(r.total_s, 0.0);
+    EXPECT_GE(r.total_s, r.queue_s);
+  }
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests, total);
+  EXPECT_GT(stats.batches, 0);
+  EXPECT_LT(stats.batches, total);  // coalescing actually happened
+  EXPECT_GT(stats.coalesced_images, 0);
+  EXPECT_GT(stats.mean_batch_size(), 1.0);
+  EXPECT_LE(stats.max_batch_observed, scfg.max_batch);
+  EXPECT_EQ(stats.request_latency.count(), total);
+  EXPECT_EQ(stats.batch_latency.count(), stats.batches);
+  EXPECT_GE(stats.request_latency.percentile(99.0),
+            stats.request_latency.percentile(50.0));
+}
+
+TEST(InferenceServer, DrainWaitsForAllRequests) {
+  Rng rng(13);
+  nn::Sequential model;
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Dense>(3 * 8 * 8, 4, rng);
+  InferenceServer server(
+      [&model](const Tensor& nchw) { return model.forward(nchw, false); });
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(server.submit(Tensor::randn(Shape{3, 8, 8}, rng)));
+  }
+  server.drain();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+  EXPECT_EQ(server.stats().requests, 10);
+}
+
+TEST(InferenceServer, PropagatesEngineFailure) {
+  InferenceServer server([](const Tensor&) -> Tensor {
+    throw std::runtime_error("engine down");
+  });
+  Rng rng(14);
+  auto fut = server.submit(Tensor::randn(Shape{1, 2, 2}, rng));
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  server.shutdown();
+  EXPECT_THROW(server.submit(Tensor::randn(Shape{1, 2, 2}, rng)),
+               std::logic_error);
+}
+
+TEST(InferenceServer, ShutdownDrainsOutstandingWork) {
+  Rng rng(15);
+  nn::Sequential model;
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Dense>(12, 3, rng);
+  std::vector<std::future<InferenceResult>> futures;
+  {
+    InferenceServer::Config scfg;
+    scfg.max_batch = 4;
+    scfg.max_queue_delay = std::chrono::microseconds(20000);
+    InferenceServer server(
+        [&model](const Tensor& nchw) { return model.forward(nchw, false); },
+        scfg);
+    for (int i = 0; i < 7; ++i) {
+      futures.push_back(server.submit(Tensor::randn(Shape{3, 2, 2}, rng)));
+    }
+  }  // destructor = shutdown: must answer everything first
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_NO_THROW(f.get());
+  }
+}
+
+// ------------------------------------------------------- ThreadPool --------
+
+TEST(ThreadPoolEdge, ParallelForZeroIsANoOp) {
+  std::atomic<int> calls{0};
+  ThreadPool::global().parallel_for(
+      0, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  ThreadPool::global().parallel_for(
+      -3, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolEdge, GlobalPoolSafeUnderConcurrentUse) {
+  // Hammer the shared pool from several threads at once; each caller must
+  // see exactly its own full range covered.
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&failures] {
+      for (int rep = 0; rep < 50; ++rep) {
+        std::atomic<int64_t> covered{0};
+        ThreadPool::global().parallel_for(1000, [&](int64_t b, int64_t e) {
+          covered.fetch_add(e - b);
+        });
+        if (covered.load() != 1000) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace tbnet::runtime
