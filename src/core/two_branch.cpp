@@ -4,6 +4,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "nn/fuse.h"
+#include "nn/sequential.h"
 #include "nn/serialize.h"
 #include "tensor/ops.h"
 
@@ -320,6 +322,19 @@ int64_t TwoBranchModel::secure_bn_channels() {
     }
   }
   return total;
+}
+
+int TwoBranchModel::fold_batchnorm() {
+  int folds = 0;
+  for (FusionStage& stage : stages_) {
+    if (auto* seq = dynamic_cast<nn::Sequential*>(stage.exposed.get())) {
+      folds += nn::fold_batchnorm_inference(*seq);
+    }
+    if (auto* seq = dynamic_cast<nn::Sequential*>(stage.secure.get())) {
+      folds += nn::fold_batchnorm_inference(*seq);
+    }
+  }
+  return folds;
 }
 
 }  // namespace tbnet::core

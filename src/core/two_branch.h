@@ -110,6 +110,13 @@ class TwoBranchModel {
   /// Total channels over the secure branch's BN layers (pruning bookkeeping).
   int64_t secure_bn_channels();
 
+  /// Deploy-time finalization: folds inference-mode BatchNorm into adjacent
+  /// conv weights in every stage block of both branches (see nn/fuse.h).
+  /// Returns the number of folds. Destructive for further training/pruning —
+  /// call it on a clone() kept for serving, as DeployedTBNet does
+  /// automatically when building its engine-side copies.
+  int fold_batchnorm();
+
  private:
   std::vector<FusionStage> stages_;
 

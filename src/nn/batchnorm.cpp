@@ -163,6 +163,14 @@ std::unique_ptr<Layer> BatchNorm2d::clone() const {
   return copy;
 }
 
+void BatchNorm2d::inference_scale_shift(float* scale, float* shift) const {
+  for (int64_t c = 0; c < channels_; ++c) {
+    const float s = gamma_[c] / std::sqrt(running_var_[c] + eps_);
+    scale[c] = s;
+    shift[c] = beta_[c] - running_mean_[c] * s;
+  }
+}
+
 void BatchNorm2d::select_channels(const std::vector<int64_t>& keep) {
   if (keep.empty()) {
     throw std::invalid_argument("BatchNorm2d: cannot prune all channels");

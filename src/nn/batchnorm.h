@@ -47,6 +47,11 @@ class BatchNorm2d : public Layer {
   /// Keeps only the listed channels (gamma/beta/running stats).
   void select_channels(const std::vector<int64_t>& keep);
 
+  /// Writes eval-mode BN as an affine map: y = x * scale[c] + shift[c] with
+  /// scale = gamma / sqrt(running_var + eps), shift = beta - mean * scale.
+  /// This is what the fused conv epilogue and deploy-time folding consume.
+  void inference_scale_shift(float* scale, float* shift) const;
+
  private:
   int64_t channels_;
   float eps_, momentum_;

@@ -55,6 +55,23 @@ int64_t Conv2d::macs(const Shape& in) const {
 
 Tensor Conv2d::forward(ExecutionContext& ctx, const Tensor& input,
                        bool train) {
+  GemmEpilogue ep;
+  if (opt_.bias) ep.row_shift = bias_.data();
+  return forward_impl(ctx, input, train, ep);
+}
+
+Tensor Conv2d::forward_fused(ExecutionContext& ctx, const Tensor& input,
+                             const float* scale, const float* shift,
+                             simd::Act act) {
+  GemmEpilogue ep;
+  ep.row_scale = scale;
+  ep.row_shift = shift;
+  ep.act = act;
+  return forward_impl(ctx, input, /*train=*/false, ep);
+}
+
+Tensor Conv2d::forward_impl(ExecutionContext& ctx, const Tensor& input,
+                            bool train, const GemmEpilogue& ep) {
   const Conv2dGeom g = geom_for(input.shape());
   const int64_t n = input.dim(0);
   const int64_t rows = g.col_rows(), cols = g.col_cols();
@@ -66,18 +83,32 @@ Tensor Conv2d::forward(ExecutionContext& ctx, const Tensor& input,
   float* colbuf = ctx.arena().alloc(rows * cols);
   const int64_t in_stride = in_c_ * g.in_h * g.in_w;
   const int64_t out_stride = out_c_ * cols;
-  for (int64_t i = 0; i < n; ++i) {
-    im2col(ctx, g, input.data() + i * in_stride, colbuf);
-    gemm_nn(ctx, out_c_, cols, rows, 1.0f, weight_.data(), colbuf, 0.0f,
-            out.data() + i * out_stride);
-  }
-  if (opt_.bias) {
+  if (simd::fast_kernels_enabled()) {
+    // Packed path: the weight packs once per call (or never, when
+    // prepare_inference cached it); the im2col column buffer is consumed in
+    // place by the microkernel — no per-image repack. Bias/BN/activation
+    // ride the GEMM epilogue — one pass over the output.
+    const float* apack = nullptr;
+    if (!train && !packed_.empty()) {
+      apack = packed_.data();
+    } else {
+      float* ap = ctx.arena().alloc(packdetail::packed_a_floats(out_c_, rows));
+      packdetail::pack_a_rowmajor(out_c_, rows, weight_.data(), rows, ap);
+      apack = ap;
+    }
     for (int64_t i = 0; i < n; ++i) {
-      float* dst = out.data() + i * out_stride;
-      for (int64_t c = 0; c < out_c_; ++c) {
-        const float b = bias_[c];
-        for (int64_t p = 0; p < cols; ++p) dst[c * cols + p] += b;
-      }
+      im2col(ctx, g, input.data() + i * in_stride, colbuf);
+      packdetail::run_packed_b_rowmajor(ctx.pool(), out_c_, cols, rows, 1.0f,
+                                        apack, colbuf, cols, 0.0f,
+                                        out.data() + i * out_stride, cols, ep);
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      im2col(ctx, g, input.data() + i * in_stride, colbuf);
+      gemm_nn(ctx, out_c_, cols, rows, 1.0f, weight_.data(), colbuf, 0.0f,
+              out.data() + i * out_stride);
+      apply_epilogue_reference(out_c_, cols, out.data() + i * out_stride, cols,
+                               ep);
     }
   }
   if (train) cached_input_ = input;
@@ -170,8 +201,32 @@ Tensor gather_dim(const Tensor& src, int dim, const std::vector<int64_t>& keep) 
 
 }  // namespace
 
+void Conv2d::fuse_scale_shift(const float* scale, const float* shift) {
+  const int64_t per_out = in_c_ * opt_.kernel * opt_.kernel;
+  for (int64_t o = 0; o < out_c_; ++o) {
+    float* w = weight_.data() + o * per_out;
+    for (int64_t j = 0; j < per_out; ++j) w[j] *= scale[o];
+  }
+  if (!opt_.bias) {
+    opt_.bias = true;
+    bias_ = Tensor(Shape{out_c_});
+    bias_grad_ = Tensor(Shape{out_c_});
+  }
+  for (int64_t o = 0; o < out_c_; ++o) {
+    bias_[o] = bias_[o] * scale[o] + shift[o];
+  }
+  packed_.clear();
+}
+
+void Conv2d::prepare_inference(ExecutionContext& ctx) {
+  if (!simd::fast_kernels_enabled()) return;
+  packed_.pack_a(out_c_, in_c_ * opt_.kernel * opt_.kernel, weight_.data(),
+                 &ctx.arena());
+}
+
 void Conv2d::select_out_channels(const std::vector<int64_t>& keep) {
   if (keep.empty()) throw std::invalid_argument("Conv2d: cannot prune all output channels");
+  packed_.clear();
   weight_ = gather_dim(weight_, 0, keep);
   weight_grad_ = Tensor(weight_.shape());
   if (opt_.bias) {
@@ -186,6 +241,7 @@ void Conv2d::select_out_channels(const std::vector<int64_t>& keep) {
 
 void Conv2d::select_in_channels(const std::vector<int64_t>& keep) {
   if (keep.empty()) throw std::invalid_argument("Conv2d: cannot prune all input channels");
+  packed_.clear();
   weight_ = gather_dim(weight_, 1, keep);
   weight_grad_ = Tensor(weight_.shape());
   in_c_ = static_cast<int64_t>(keep.size());

@@ -6,6 +6,7 @@
 
 #include "nn/layer.h"
 #include "tensor/im2col.h"
+#include "tensor/pack.h"
 #include "tensor/rng.h"
 
 namespace tbnet::nn {
@@ -30,6 +31,15 @@ class Conv2d : public Layer {
   using Layer::backward;
   Tensor forward(ExecutionContext& ctx, const Tensor& input,
                  bool train) override;
+
+  /// Eval-only fused forward: applies y = act(conv(x) * scale[c] + shift[c])
+  /// per output channel in the GEMM epilogue (one pass over the feature map).
+  /// `scale`/`shift` must already compose this layer's own bias if any —
+  /// Sequential's fusion plan and ResidualBlock build them from the adjacent
+  /// BatchNorm. nullptr scale/shift mean identity.
+  Tensor forward_fused(ExecutionContext& ctx, const Tensor& input,
+                       const float* scale, const float* shift, simd::Act act);
+
   Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::string kind() const override { return "Conv2d"; }
@@ -54,14 +64,26 @@ class Conv2d : public Layer {
   /// channels are pruned.
   void select_in_channels(const std::vector<int64_t>& keep);
 
+  /// Deploy-time BN folding: scales each output-channel's weights by
+  /// scale[o] and adds shift[o] into the bias (creating the bias if absent),
+  /// so a following eval-mode BatchNorm can be removed.
+  void fuse_scale_shift(const float* scale, const float* shift);
+
+  /// Packs the weight into microkernel panels (cached; see Layer).
+  void prepare_inference(ExecutionContext& ctx) override;
+
  private:
   Conv2dGeom geom_for(const Shape& in) const;
+
+  Tensor forward_impl(ExecutionContext& ctx, const Tensor& input, bool train,
+                      const GemmEpilogue& ep);
 
   int64_t in_c_, out_c_;
   Options opt_;
   Tensor weight_, weight_grad_;
   Tensor bias_, bias_grad_;
   Tensor cached_input_;  ///< set by forward(train=true)
+  PackedGemm packed_;    ///< weight panels; empty until prepare_inference
 };
 
 }  // namespace tbnet::nn

@@ -36,20 +36,41 @@ int64_t Dense::macs(const Shape& in) const {
 }
 
 Tensor Dense::forward(ExecutionContext& ctx, const Tensor& input, bool train) {
+  return forward_impl(ctx, input, train, simd::Act::kNone);
+}
+
+Tensor Dense::forward_fused(ExecutionContext& ctx, const Tensor& input,
+                            simd::Act act) {
+  return forward_impl(ctx, input, /*train=*/false, act);
+}
+
+Tensor Dense::forward_impl(ExecutionContext& ctx, const Tensor& input,
+                           bool train, simd::Act act) {
   const Shape os = out_shape(input.shape());
   const int64_t n = input.dim(0);
   Tensor out(os);
-  // out[n, out_f] = x[n, in_f] * W^T (W is [out_f, in_f])
-  gemm_nt(ctx, n, out_f_, in_f_, 1.0f, input.data(), weight_.data(), 0.0f,
-          out.data());
-  if (has_bias_) {
-    for (int64_t i = 0; i < n; ++i) {
-      float* row = out.data() + i * out_f_;
-      for (int64_t j = 0; j < out_f_; ++j) row[j] += bias_[j];
-    }
+  // out[n, out_f] = x[n, in_f] * W^T (W is [out_f, in_f]). Bias and the
+  // fused activation are per output feature, i.e. per column of out.
+  GemmEpilogue ep;
+  if (has_bias_) ep.col_shift = bias_.data();
+  ep.act = act;
+  if (!train && !packed_.empty() && simd::fast_kernels_enabled()) {
+    packed_.run_with_a(ctx, n, 1.0f, input.data(), 0.0f, out.data(), ep);
+  } else {
+    gemm_nt(ctx, n, out_f_, in_f_, 1.0f, input.data(), weight_.data(), 0.0f,
+            out.data(), ep);
   }
   if (train) cached_input_ = input;
   return out;
+}
+
+void Dense::prepare_inference(ExecutionContext& ctx) {
+  if (!simd::fast_kernels_enabled()) return;
+  // Heads narrower than one vector tile (e.g. 10-class logits) are better
+  // served by the streaming reference kernel gemm_nt falls back to for
+  // n < kNR; packing would force them through the mostly-padding tile path.
+  if (out_f_ < simd::kNR) return;
+  packed_.pack_b_transposed(out_f_, in_f_, weight_.data(), &ctx.arena());
 }
 
 Tensor Dense::backward(ExecutionContext& ctx, const Tensor& grad_output) {
@@ -94,6 +115,7 @@ void Dense::select_in_features(const std::vector<int64_t>& keep) {
   if (keep.empty()) {
     throw std::invalid_argument("Dense: cannot prune all input features");
   }
+  packed_.clear();
   const int64_t k = static_cast<int64_t>(keep.size());
   Tensor w(Shape{out_f_, k});
   for (int64_t o = 0; o < out_f_; ++o) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "tensor/pack.h"
 #include "tensor/rng.h"
 
 namespace tbnet::nn {
@@ -18,6 +19,13 @@ class Dense : public Layer {
   using Layer::backward;
   Tensor forward(ExecutionContext& ctx, const Tensor& input,
                  bool train) override;
+
+  /// Eval-only fused forward: y = act(x * W^T + b) with the bias and the
+  /// activation applied in the GEMM epilogue (per output feature = per C
+  /// column). Used by Sequential's fusion plan for Dense -> ReLU pairs.
+  Tensor forward_fused(ExecutionContext& ctx, const Tensor& input,
+                       simd::Act act);
+
   Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::string kind() const override { return "Dense"; }
@@ -41,12 +49,19 @@ class Dense : public Layer {
   void select_in_channels(const std::vector<int64_t>& keep,
                           int64_t features_per_channel);
 
+  /// Packs W^T into right-operand panels (cached; see Layer).
+  void prepare_inference(ExecutionContext& ctx) override;
+
  private:
+  Tensor forward_impl(ExecutionContext& ctx, const Tensor& input, bool train,
+                      simd::Act act);
+
   int64_t in_f_, out_f_;
   bool has_bias_;
   Tensor weight_, weight_grad_;
   Tensor bias_, bias_grad_;
   Tensor cached_input_;
+  PackedGemm packed_;  ///< W^T panels; empty until prepare_inference
 };
 
 }  // namespace tbnet::nn

@@ -37,6 +37,19 @@ int64_t DepthwiseConv2d::macs(const Shape& in) const {
 
 Tensor DepthwiseConv2d::forward(ExecutionContext& ctx, const Tensor& input,
                                 bool train) {
+  return forward_impl(ctx, input, train, nullptr, nullptr, simd::Act::kNone);
+}
+
+Tensor DepthwiseConv2d::forward_fused(ExecutionContext& ctx,
+                                      const Tensor& input, const float* scale,
+                                      const float* shift, simd::Act act) {
+  return forward_impl(ctx, input, /*train=*/false, scale, shift, act);
+}
+
+Tensor DepthwiseConv2d::forward_impl(ExecutionContext& ctx,
+                                     const Tensor& input, bool train,
+                                     const float* scale, const float* shift,
+                                     simd::Act act) {
   const Shape os = out_shape(input.shape());
   const int64_t n = input.dim(0), ih = input.dim(2), iw = input.dim(3);
   const int64_t oh = os.dim(2), ow = os.dim(3);
@@ -48,6 +61,9 @@ Tensor DepthwiseConv2d::forward(ExecutionContext& ctx, const Tensor& input,
       const int64_t c = pc % channels_;
       const float* plane = input.data() + pc * ih * iw;
       const float* k = weight_.data() + c * opt_.kernel * opt_.kernel;
+      const float cscale = scale != nullptr ? scale[c] : 1.0f;
+      const float cshift = shift != nullptr ? shift[c] : 0.0f;
+      const bool affine = scale != nullptr || shift != nullptr;
       float* dst = out.data() + pc * oh * ow;
       for (int64_t oy = 0; oy < oh; ++oy) {
         for (int64_t ox = 0; ox < ow; ++ox) {
@@ -60,6 +76,11 @@ Tensor DepthwiseConv2d::forward(ExecutionContext& ctx, const Tensor& input,
               if (ix < 0 || ix >= iw) continue;
               acc += plane[iy * iw + ix] * k[ky * opt_.kernel + kx];
             }
+          }
+          if (affine) acc = acc * cscale + cshift;
+          if (act != simd::Act::kNone) {
+            acc = acc > 0.0f ? acc : 0.0f;
+            if (act == simd::Act::kReLU6 && acc > 6.0f) acc = 6.0f;
           }
           dst[oy * ow + ox] = acc;
         }

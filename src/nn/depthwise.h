@@ -12,6 +12,7 @@
 
 #include "nn/layer.h"
 #include "tensor/rng.h"
+#include "tensor/simd.h"
 
 namespace tbnet::nn {
 
@@ -29,6 +30,14 @@ class DepthwiseConv2d : public Layer {
   using Layer::backward;
   Tensor forward(ExecutionContext& ctx, const Tensor& input,
                  bool train) override;
+
+  /// Eval-only fused forward: y = act(dw(x) * scale[c] + shift[c]) applied
+  /// inside the accumulation loop — a depthwise layer is one pass already,
+  /// so fusing the following BN/ReLU removes two full passes over the map.
+  /// A depthwise layer has no bias of its own; nullptr means identity.
+  Tensor forward_fused(ExecutionContext& ctx, const Tensor& input,
+                       const float* scale, const float* shift, simd::Act act);
+
   Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
   std::string kind() const override { return "DepthwiseConv2d"; }
@@ -45,6 +54,9 @@ class DepthwiseConv2d : public Layer {
   void select_channels(const std::vector<int64_t>& keep);
 
  private:
+  Tensor forward_impl(ExecutionContext& ctx, const Tensor& input, bool train,
+                      const float* scale, const float* shift, simd::Act act);
+
   int64_t out_hw(int64_t in, int64_t pad, int64_t k, int64_t s) const {
     return (in + 2 * pad - k) / s + 1;
   }

@@ -83,6 +83,15 @@ class Layer {
 
   /// Bytes of learnable + buffer state that must live in device memory.
   virtual int64_t param_bytes() const;
+
+  /// Deploy-time hook: pre-packs weight panels for the packed GEMM fast path
+  /// and (for containers) builds the conv+BN+activation fusion plan, using
+  /// `ctx`'s arena for long-lived packed storage. Call only on a model that
+  /// will no longer be trained, pruned, or have weights edited — a layer
+  /// whose weights change after prepare_inference must be re-prepared
+  /// (clone() resets to unprepared). No-op by default and under
+  /// TBNET_DETERMINISTIC=1.
+  virtual void prepare_inference(ExecutionContext& ctx) { (void)ctx; }
 };
 
 }  // namespace tbnet::nn

@@ -45,8 +45,50 @@ int64_t ResidualBlock::param_bytes() const {
   return total;
 }
 
+void ResidualBlock::prepare_inference(ExecutionContext& ctx) {
+  if (!simd::fast_kernels_enabled()) return;
+  conv1_->prepare_inference(ctx);
+  conv2_->prepare_inference(ctx);
+  if (down_conv_) down_conv_->prepare_inference(ctx);
+  prepared_ = true;
+}
+
+Tensor ResidualBlock::forward_fused_eval(ExecutionContext& ctx,
+                                         const Tensor& input) {
+  ArenaScope scope(ctx.arena());
+  const int64_t mid_c = conv1_->out_channels();
+  float* s1 = ctx.arena().alloc(mid_c);
+  float* t1 = ctx.arena().alloc(mid_c);
+  bn1_->inference_scale_shift(s1, t1);
+  Tensor mid = conv1_->forward_fused(ctx, input, s1, t1, simd::Act::kReLU);
+
+  float* s2 = ctx.arena().alloc(out_c_);
+  float* t2 = ctx.arena().alloc(out_c_);
+  bn2_->inference_scale_shift(s2, t2);
+  Tensor main = conv2_->forward_fused(ctx, mid, s2, t2, simd::Act::kNone);
+
+  Tensor skip = input;
+  if (down_conv_) {
+    float* sd = ctx.arena().alloc(out_c_);
+    float* td = ctx.arena().alloc(out_c_);
+    down_bn_->inference_scale_shift(sd, td);
+    skip = down_conv_->forward_fused(ctx, input, sd, td, simd::Act::kNone);
+  }
+  if (skip.shape() != main.shape()) {
+    throw std::logic_error("ResidualBlock: skip/main shape mismatch");
+  }
+  main.add_(skip);
+  for (int64_t i = 0; i < main.numel(); ++i) {
+    if (main[i] < 0.0f) main[i] = 0.0f;
+  }
+  return main;
+}
+
 Tensor ResidualBlock::forward(ExecutionContext& ctx, const Tensor& input,
                               bool train) {
+  if (!train && prepared_ && simd::fast_kernels_enabled()) {
+    return forward_fused_eval(ctx, input);
+  }
   if (train) cached_input_ = input;
   Tensor mid = bn1_->forward(ctx, conv1_->forward(ctx, input, train), train);
   if (train) {
@@ -129,7 +171,8 @@ std::vector<ParamRef> ResidualBlock::params() {
 }
 
 std::unique_ptr<Layer> ResidualBlock::clone() const {
-  // Clone via the layer clones to avoid copying forward caches.
+  // Clone via the layer clones to avoid copying forward caches. The clone is
+  // un-prepared (fresh packed caches) by construction.
   Rng dummy(0);
   auto copy = std::make_unique<ResidualBlock>(in_c_, out_c_, stride_, dummy);
   copy->conv1_.reset(static_cast<Conv2d*>(conv1_->clone().release()));

@@ -52,7 +52,16 @@ class ResidualBlock : public Layer {
   /// the skip path and the fusion interface intact.
   void prune_internal(const std::vector<int64_t>& keep);
 
+  /// Packs the conv weights and switches eval-mode forward to the fused
+  /// path: conv1+BN1+ReLU and conv2+BN2 (and the downsample conv+BN) each
+  /// run as a single GEMM with the BN affine in the epilogue. The block's
+  /// structure (and thus serialization) is unchanged; clone() resets to the
+  /// unfused path. See Layer::prepare_inference for the contract.
+  void prepare_inference(ExecutionContext& ctx) override;
+
  private:
+  Tensor forward_fused_eval(ExecutionContext& ctx, const Tensor& input);
+
   int64_t in_c_, out_c_, stride_;
   std::unique_ptr<Conv2d> conv1_;
   std::unique_ptr<BatchNorm2d> bn1_;
@@ -65,6 +74,7 @@ class ResidualBlock : public Layer {
   std::vector<uint8_t> relu1_mask_, relu_out_mask_;
   Tensor cached_input_;
   Shape mid_shape_, out_shape_cache_;
+  bool prepared_ = false;  ///< set by prepare_inference
 };
 
 /// Builds the skip-free ("plain") Sequential version of a residual block:

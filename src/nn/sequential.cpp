@@ -1,5 +1,13 @@
 #include "nn/sequential.h"
 
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/depthwise.h"
+
 namespace tbnet::nn {
 
 Sequential::Sequential(const Sequential& other) {
@@ -12,16 +20,140 @@ Sequential& Sequential::operator=(const Sequential& other) {
   layers_.clear();
   layers_.reserve(other.layers_.size());
   for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  plan_.clear();
+  prepared_ = false;
   return *this;
 }
 
 Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
+  plan_.clear();
+  prepared_ = false;
   return *this;
+}
+
+void Sequential::remove_layer(int i) {
+  if (i < 0 || i >= size()) {
+    throw std::out_of_range("Sequential::remove_layer: index out of range");
+  }
+  layers_.erase(layers_.begin() + i);
+  plan_.clear();
+  prepared_ = false;
+}
+
+void Sequential::prepare_inference(ExecutionContext& ctx) {
+  plan_.clear();
+  if (simd::fast_kernels_enabled()) {
+    const int n = size();
+    int i = 0;
+    while (i < n) {
+      FusedStep step;
+      step.layer = i;
+      int j = i + 1;
+      if (auto* conv = dynamic_cast<Conv2d*>(layers_[static_cast<size_t>(i)].get())) {
+        if (j < n) {
+          if (auto* bn = dynamic_cast<BatchNorm2d*>(
+                  layers_[static_cast<size_t>(j)].get());
+              bn != nullptr && bn->channels() == conv->out_channels()) {
+            step.bn = j;
+            ++j;
+          }
+        }
+        if (j < n && dynamic_cast<ReLU*>(layers_[static_cast<size_t>(j)].get())) {
+          step.act = simd::Act::kReLU;
+          ++j;
+        }
+      } else if (auto* dw = dynamic_cast<DepthwiseConv2d*>(
+                     layers_[static_cast<size_t>(i)].get())) {
+        if (j < n) {
+          if (auto* bn = dynamic_cast<BatchNorm2d*>(
+                  layers_[static_cast<size_t>(j)].get());
+              bn != nullptr && bn->channels() == dw->channels()) {
+            step.bn = j;
+            ++j;
+          }
+        }
+        if (j < n && dynamic_cast<ReLU*>(layers_[static_cast<size_t>(j)].get())) {
+          step.act = simd::Act::kReLU;
+          ++j;
+        }
+      } else if (dynamic_cast<Dense*>(layers_[static_cast<size_t>(i)].get())) {
+        if (j < n && dynamic_cast<ReLU*>(layers_[static_cast<size_t>(j)].get())) {
+          step.act = simd::Act::kReLU;
+          ++j;
+        }
+      }
+      step.consumed = j - i;
+      plan_.push_back(step);
+      i = j;
+    }
+    prepared_ = true;
+  }
+  for (auto& l : layers_) l->prepare_inference(ctx);
+}
+
+Tensor Sequential::forward_prepared(ExecutionContext& ctx,
+                                    const Tensor& input) {
+  // Scratch for the composed BN scale/shift vectors; sized by the widest
+  // fused layer, so steady-state serving allocates nothing here either.
+  ArenaScope scope(ctx.arena());
+  Tensor x = input;
+  for (const FusedStep& step : plan_) {
+    Layer* layer = layers_[static_cast<size_t>(step.layer)].get();
+    if (step.consumed == 1) {
+      // Eval forward already runs any pre-packed fast path a single layer
+      // has; only multi-layer steps need the fused entry points below.
+      x = layer->forward(ctx, x, false);
+      continue;
+    }
+    if (auto* conv = dynamic_cast<Conv2d*>(layer)) {
+      const float* scale = nullptr;
+      const float* shift = conv->has_bias() ? conv->bias().data() : nullptr;
+      float* s = nullptr;
+      float* t = nullptr;
+      if (step.bn >= 0) {
+        auto* bn = static_cast<BatchNorm2d*>(
+            layers_[static_cast<size_t>(step.bn)].get());
+        const int64_t c = bn->channels();
+        s = ctx.arena().alloc(c);
+        t = ctx.arena().alloc(c);
+        bn->inference_scale_shift(s, t);
+        if (conv->has_bias()) {
+          // y = (conv + b) * s + t  =>  shift = b * s + t
+          for (int64_t o = 0; o < c; ++o) t[o] += conv->bias()[o] * s[o];
+        }
+        scale = s;
+        shift = t;
+      }
+      x = conv->forward_fused(ctx, x, scale, shift, step.act);
+    } else if (auto* dw = dynamic_cast<DepthwiseConv2d*>(layer)) {
+      const float* scale = nullptr;
+      const float* shift = nullptr;
+      if (step.bn >= 0) {
+        auto* bn = static_cast<BatchNorm2d*>(
+            layers_[static_cast<size_t>(step.bn)].get());
+        const int64_t c = bn->channels();
+        float* s = ctx.arena().alloc(c);
+        float* t = ctx.arena().alloc(c);
+        bn->inference_scale_shift(s, t);
+        scale = s;
+        shift = t;
+      }
+      x = dw->forward_fused(ctx, x, scale, shift, step.act);
+    } else {
+      // The planner only folds layers behind Conv2d/DepthwiseConv2d/Dense,
+      // so a multi-layer step's head is one of the three.
+      x = static_cast<Dense*>(layer)->forward_fused(ctx, x, step.act);
+    }
+  }
+  return x;
 }
 
 Tensor Sequential::forward(ExecutionContext& ctx, const Tensor& input,
                            bool train) {
+  if (!train && prepared_ && simd::fast_kernels_enabled()) {
+    return forward_prepared(ctx, input);
+  }
   Tensor x = input;
   for (auto& l : layers_) x = l->forward(ctx, x, train);
   return x;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "tensor/simd.h"
 
 namespace tbnet::nn {
 
@@ -45,6 +46,9 @@ class Sequential : public Layer {
     return nullptr;
   }
 
+  /// Removes the i-th layer (used by the deploy-time BN folding pass).
+  void remove_layer(int i);
+
   using Layer::forward;
   using Layer::backward;
   Tensor forward(ExecutionContext& ctx, const Tensor& input,
@@ -57,8 +61,28 @@ class Sequential : public Layer {
   int64_t macs(const Shape& in) const override;
   int64_t param_bytes() const override;
 
+  /// Builds the fusion plan — [Conv2d|DepthwiseConv2d] (+BatchNorm2d)
+  /// (+ReLU) and Dense (+ReLU) runs collapse into one fused step — then
+  /// recurses so children pack their weights. Eval-mode forward follows the
+  /// plan; train-mode forward and un-prepared Sequentials are unchanged.
+  /// Mutating the container (add) or copying/cloning it drops the plan.
+  void prepare_inference(ExecutionContext& ctx) override;
+
  private:
+  /// One step of the fusion plan: run layers_[layer] with `consumed`
+  /// following layers folded into its epilogue.
+  struct FusedStep {
+    int layer = 0;
+    int consumed = 1;    ///< total layers this step advances past
+    int bn = -1;         ///< index of the folded BatchNorm2d, -1 = none
+    simd::Act act = simd::Act::kNone;
+  };
+
+  Tensor forward_prepared(ExecutionContext& ctx, const Tensor& input);
+
   std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<FusedStep> plan_;
+  bool prepared_ = false;
 };
 
 }  // namespace tbnet::nn

@@ -3,8 +3,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/fuse.h"
 #include "nn/serialize.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 
 namespace tbnet::runtime {
 namespace {
@@ -71,6 +73,11 @@ class TbnetTA : public tee::TrustedApp {
       blocks_.push_back(nn::load_model(is));
       maps_.push_back(std::move(map));
     }
+    // The image ships pre-folded (build_tbnet_ta_image); what remains is to
+    // pre-pack weight panels and build each block's fusion plan. Packs are
+    // allocated from the TA's own context arena before any forward runs, so
+    // they survive every per-call rewind.
+    for (auto& block : blocks_) block->prepare_inference(exec_ctx_);
   }
 
   void on_install(tee::TaContext& ctx) override {
@@ -289,7 +296,10 @@ void ta_check(uint32_t status, const char* what) {
 }
 
 /// Builds the TBNet TA image: stage count, then per stage the channel map
-/// and the serialized secure block.
+/// and the serialized secure block. Blocks are serialized from deployment
+/// clones with inference-mode BatchNorm folded into the adjacent convs
+/// (nn/fuse.h), so the TA ships fewer layers and fewer parameter bytes;
+/// under TBNET_DETERMINISTIC=1 the blocks ship unmodified.
 std::vector<uint8_t> build_tbnet_ta_image(const core::TwoBranchModel& model) {
   std::vector<uint8_t> image;
   pack_i64(image, model.num_stages());
@@ -298,7 +308,13 @@ std::vector<uint8_t> build_tbnet_ta_image(const core::TwoBranchModel& model) {
     pack_i64(image, static_cast<int64_t>(s.channel_map.size()));
     for (int64_t v : s.channel_map) pack_i64(image, v);
     pack_i64(image, s.fused ? 1 : 0);
-    const std::vector<uint8_t> blob = serialize_blob(*s.secure);
+    std::unique_ptr<nn::Layer> secure = s.secure->clone();
+    if (simd::fast_kernels_enabled()) {
+      if (auto* seq = dynamic_cast<nn::Sequential*>(secure.get())) {
+        nn::fold_batchnorm_inference(*seq);
+      }
+    }
+    const std::vector<uint8_t> blob = serialize_blob(*secure);
     pack_i64(image, static_cast<int64_t>(blob.size()));
     image.insert(image.end(), blob.begin(), blob.end());
   }
@@ -332,6 +348,15 @@ DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
     // solely in the TA.
     if (model.stage(i).fused) {
       exposed_.push_back(model.stage(i).exposed->clone());
+      // Deployment clones are frozen: fold BN into the convs and pre-pack
+      // the weight panels into this engine's long-lived arena, so the
+      // serving hot path runs folded, fused, and pack-free.
+      if (simd::fast_kernels_enabled()) {
+        if (auto* seq = dynamic_cast<nn::Sequential*>(exposed_.back().get())) {
+          nn::fold_batchnorm_inference(*seq);
+        }
+        exposed_.back()->prepare_inference(exec_ctx_);
+      }
     }
   }
 }

@@ -41,6 +41,15 @@ inline constexpr uint32_t kCmdPredictBatch = 6;
 /// batch. Batched results are bit-identical to per-image calls (every kernel
 /// under it processes batch elements independently in index order). Not
 /// thread-safe: one engine per serving thread (InferenceServer serializes).
+///
+/// Deployment is also where the compute graph freezes: both branches' blocks
+/// are cloned, inference-mode BatchNorm is folded into the adjacent conv
+/// weights (nn/fuse.h), remaining conv/dense+activation runs fuse into GEMM
+/// epilogues, and weights are pre-packed into microkernel panels
+/// (Layer::prepare_inference). The engine therefore matches the in-process
+/// TwoBranchModel::forward to ~1e-6 relative error, not bitwise; set
+/// TBNET_DETERMINISTIC=1 to deploy unfolded on the scalar reference kernels
+/// for bit-reproducibility runs.
 class DeployedTBNet {
  public:
   struct Options {

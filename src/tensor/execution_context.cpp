@@ -1,7 +1,9 @@
 #include "tensor/execution_context.h"
 
 #include <algorithm>
+#include <new>
 
+#include "tensor/simd.h"
 #include "tensor/threadpool.h"
 
 namespace tbnet {
@@ -10,10 +12,25 @@ namespace {
 // First block size; small enough not to matter for tiny models, large
 // enough that CIFAR-scale im2col buffers fit in one or two blocks.
 constexpr int64_t kMinBlockFloats = 1 << 14;  // 64 KiB
+
+// Alignment unit in floats. Block bases are allocated 64-byte aligned and
+// the bump position only ever advances in whole units, so every pointer
+// alloc() hands out stays 64-byte aligned — including after ArenaScope
+// rewinds, which restore a position that was itself unit-rounded.
+constexpr int64_t kAlignFloats = simd::kAlign / static_cast<int64_t>(sizeof(float));
+
+int64_t round_up_align(int64_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
 }  // namespace
+
+void WorkspaceArena::AlignedDeleter::operator()(float* p) const {
+  ::operator delete[](p, std::align_val_t(simd::kAlign));
+}
 
 float* WorkspaceArena::alloc(int64_t n) {
   if (n <= 0) n = 1;
+  n = round_up_align(n);
   // Advance the frontier until a block with room is found.
   while (active_ < blocks_.size()) {
     Block& b = blocks_[active_];
@@ -29,8 +46,10 @@ float* WorkspaceArena::alloc(int64_t n) {
   // goes at the end and becomes the frontier.
   const int64_t last = blocks_.empty() ? 0 : blocks_.back().size;
   const int64_t size = std::max({n, kMinBlockFloats, 2 * last});
-  blocks_.push_back(Block{std::make_unique<float[]>(static_cast<size_t>(size)),
-                          size, n});
+  float* raw = new (std::align_val_t(simd::kAlign))
+      float[static_cast<size_t>(size)];
+  blocks_.push_back(
+      Block{std::unique_ptr<float[], AlignedDeleter>(raw), size, n});
   active_ = blocks_.size() - 1;
   return blocks_.back().data.get();
 }

@@ -46,7 +46,9 @@ class WorkspaceArena {
   };
 
   /// Returns `n` floats of uninitialized scratch, valid until the enclosing
-  /// rewind()/reset(). Alignment is that of `new float[]` (>= 16 bytes).
+  /// rewind()/reset(). Always 64-byte aligned (simd::kAlign): block storage
+  /// is over-aligned and the bump position rounds up to a cache line, so
+  /// packed GEMM panels can use aligned vector loads.
   float* alloc(int64_t n);
 
   std::span<float> alloc_span(int64_t n) {
@@ -71,8 +73,13 @@ class WorkspaceArena {
   size_t block_count() const { return blocks_.size(); }
 
  private:
+  /// Frees storage obtained with the align_val_t form of operator new[].
+  struct AlignedDeleter {
+    void operator()(float* p) const;
+  };
+
   struct Block {
-    std::unique_ptr<float[]> data;
+    std::unique_ptr<float[], AlignedDeleter> data;
     int64_t size = 0;
     int64_t used = 0;
   };
@@ -109,8 +116,10 @@ class ExecutionContext {
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
 
-  WorkspaceArena& arena() { return arena_; }
-  const WorkspaceArena& arena() const { return arena_; }
+  /// The workspace is usable through a const context: kernels take
+  /// `const ExecutionContext&` (they do not change pool/world) but still bump
+  /// scratch, so the arena member is mutable.
+  WorkspaceArena& arena() const { return arena_; }
 
   /// The pool kernels shard on; falls back to ThreadPool::global().
   ThreadPool& pool() const;
@@ -120,7 +129,7 @@ class ExecutionContext {
   void set_world(tee::World world) { world_ = world; }
 
  private:
-  WorkspaceArena arena_;
+  mutable WorkspaceArena arena_;
   tee::World world_ = tee::World::kNormal;
   ThreadPool* pool_ = nullptr;  // nullptr = ThreadPool::global()
 };

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cstring>
 
+#include "tensor/simd.h"
 #include "tensor/threadpool.h"
 
 namespace tbnet {
 namespace {
 
-// Block sizes tuned for L1-resident inner tiles on typical x86/ARM cores.
+// Block sizes tuned for L1-resident inner tiles on typical x86/ARM cores
+// (scalar reference kernels; the packed driver carries its own kBlockK).
 constexpr int64_t kBlockK = 256;
 constexpr int64_t kBlockN = 512;
 
@@ -20,8 +22,9 @@ inline void scale_row(float* c, int64_t n, float beta) {
   }
 }
 
-void gemm_nn_on(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
-                const float* a, const float* b, float beta, float* c) {
+void gemm_nn_ref_on(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
+                    float alpha, const float* a, const float* b, float beta,
+                    float* c) {
   pool.parallel_for(m, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) scale_row(c + i * n, n, beta);
     for (int64_t kk = 0; kk < k; kk += kBlockK) {
@@ -112,8 +115,9 @@ void gemm_nn_on(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
   });
 }
 
-void gemm_nt_on(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
-                const float* a, const float* b, float beta, float* c) {
+void gemm_nt_ref_on(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
+                    float alpha, const float* a, const float* b, float beta,
+                    float* c) {
   pool.parallel_for(m, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const float* arow = a + i * k;
@@ -147,28 +151,118 @@ void gemm_tn_on(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
   });
 }
 
+/// Packed fast path shared by nn/nt: packs the A operand into ctx scratch
+/// and runs the microkernel driver. Row-major B is consumed in place;
+/// transposed B (gemm_nt) must be packed.
+void gemm_packed(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
+                 float alpha, const float* a, const float* b,
+                 bool b_is_transposed, float beta, float* c,
+                 const GemmEpilogue& ep) {
+  if (n < simd::kNR) {
+    // Narrower than one vector tile (e.g. a 10-class logit head): the tile
+    // kernel would compute mostly padding, and the streaming reference
+    // kernel is already at its roofline for such shapes. The choice depends
+    // only on n, so per-row bits remain independent of the batch size.
+    if (b_is_transposed) {
+      gemm_nt_ref_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+    } else {
+      gemm_nn_ref_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+    }
+    apply_epilogue_reference(m, n, c, n, ep);
+    return;
+  }
+  ArenaScope scope(ctx.arena());
+  float* ap = ctx.arena().alloc(packdetail::packed_a_floats(m, k));
+  packdetail::pack_a_rowmajor(m, k, a, k, ap);
+  if (b_is_transposed) {
+    float* bp = ctx.arena().alloc(packdetail::packed_b_floats(k, n));
+    packdetail::pack_b_from_bt(n, k, b, k, bp);
+    packdetail::run_packed(ctx.pool(), m, n, k, alpha, ap, bp, beta, c, n, ep);
+  } else {
+    packdetail::run_packed_b_rowmajor(ctx.pool(), m, n, k, alpha, ap, b, n,
+                                      beta, c, n, ep);
+  }
+}
+
 }  // namespace
+
+void apply_epilogue_reference(int64_t m, int64_t n, float* c, int64_t ldc,
+                              const GemmEpilogue& ep) {
+  if (ep.empty()) return;
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    const float rs = ep.row_scale != nullptr ? ep.row_scale[i] : 1.0f;
+    const float rh = ep.row_shift != nullptr ? ep.row_shift[i] : 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      float v = crow[j];
+      if (ep.row_scale != nullptr || ep.row_shift != nullptr) v = v * rs + rh;
+      if (ep.col_scale != nullptr) v *= ep.col_scale[j];
+      if (ep.col_shift != nullptr) v += ep.col_shift[j];
+      if (ep.act != simd::Act::kNone) {
+        v = v > 0.0f ? v : 0.0f;
+        if (ep.act == simd::Act::kReLU6 && v > 6.0f) v = 6.0f;
+      }
+      crow[j] = v;
+    }
+  }
+}
+
+void gemm_nn_reference(const ExecutionContext& ctx, int64_t m, int64_t n,
+                       int64_t k, float alpha, const float* a, const float* b,
+                       float beta, float* c) {
+  gemm_nn_ref_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+}
+
+void gemm_nt_reference(const ExecutionContext& ctx, int64_t m, int64_t n,
+                       int64_t k, float alpha, const float* a, const float* b,
+                       float beta, float* c) {
+  gemm_nt_ref_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+}
+
+void gemm_nn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta, float* c,
+             const GemmEpilogue& ep) {
+  if (!simd::fast_kernels_enabled()) {
+    gemm_nn_ref_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+    apply_epilogue_reference(m, n, c, n, ep);
+    return;
+  }
+  gemm_packed(ctx, m, n, k, alpha, a, b, /*b_is_transposed=*/false, beta, c,
+              ep);
+}
 
 void gemm_nn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
              float alpha, const float* a, const float* b, float beta,
              float* c) {
-  gemm_nn_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+  gemm_nn(ctx, m, n, k, alpha, a, b, beta, c, GemmEpilogue{});
 }
 
 void gemm_nn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c) {
-  gemm_nn_on(ThreadPool::global(), m, n, k, alpha, a, b, beta, c);
+  gemm_nn(default_execution_context(), m, n, k, alpha, a, b, beta, c);
+}
+
+void gemm_nt(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta, float* c,
+             const GemmEpilogue& ep) {
+  if (!simd::fast_kernels_enabled()) {
+    gemm_nt_ref_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+    apply_epilogue_reference(m, n, c, n, ep);
+    return;
+  }
+  gemm_packed(ctx, m, n, k, alpha, a, b, /*b_is_transposed=*/true, beta, c,
+              ep);
 }
 
 void gemm_nt(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
              float alpha, const float* a, const float* b, float beta,
              float* c) {
-  gemm_nt_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+  gemm_nt(ctx, m, n, k, alpha, a, b, beta, c, GemmEpilogue{});
 }
 
 void gemm_nt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c) {
-  gemm_nt_on(ThreadPool::global(), m, n, k, alpha, a, b, beta, c);
+  gemm_nt(default_execution_context(), m, n, k, alpha, a, b, beta, c);
 }
 
 void gemm_tn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
@@ -182,14 +276,33 @@ void gemm_tn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
   gemm_tn_on(ThreadPool::global(), m, n, k, alpha, a, b, beta, c);
 }
 
-void gemv(int64_t m, int64_t n, float alpha, const float* a, const float* x,
-          float beta, float* y) {
+void gemv_reference(int64_t m, int64_t n, float alpha, const float* a,
+                    const float* x, float beta, float* y) {
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = a + i * n;
     float acc = 0.0f;
     for (int64_t j = 0; j < n; ++j) acc += arow[j] * x[j];
     y[i] = alpha * acc + (beta == 0.0f ? 0.0f : beta * y[i]);
   }
+}
+
+void gemv(const ExecutionContext& ctx, int64_t m, int64_t n, float alpha,
+          const float* a, const float* x, float beta, float* y) {
+  if (!simd::fast_kernels_enabled()) {
+    gemv_reference(m, n, alpha, a, x, beta, y);
+    return;
+  }
+  ctx.pool().parallel_for(m, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float acc = simd::dot(a + i * n, x, n);
+      y[i] = alpha * acc + (beta == 0.0f ? 0.0f : beta * y[i]);
+    }
+  });
+}
+
+void gemv(int64_t m, int64_t n, float alpha, const float* a, const float* x,
+          float beta, float* y) {
+  gemv(default_execution_context(), m, n, alpha, a, x, beta, y);
 }
 
 }  // namespace tbnet

@@ -3,25 +3,41 @@
 //
 // These are the workhorses behind convolution (via im2col) and dense layers,
 // including their backward passes, which need the transposed variants.
-// The kernels are cache-blocked and parallelized over output rows with the
-// shared ThreadPool. Accumulation is float (inputs are small CIFAR-scale
-// nets; fp32 accumulation matches the reference frameworks).
+//
+// Two implementations live behind each entry point:
+//   * packed SIMD (default): operands are packed into microkernel panels
+//     (pack.h) and driven through the 6x16 FMA microkernel (simd.h), with an
+//     optional fused per-row/per-column epilogue (bias, BN scale/shift,
+//     ReLU/ReLU6) so conv -> BN -> activation is one pass over C;
+//   * scalar reference: the register-blocked PR-1 kernels, kept verbatim and
+//     selected by TBNET_DETERMINISTIC=1 (or exposed directly as
+//     gemm_*_reference for parity tests and benchmarks).
+//
+// Determinism: within either implementation, the per-element accumulation
+// order depends only on k — never on row/column partitioning, pool size, or
+// batch shape — so batched results stay bit-identical to per-image calls.
+// Across the two implementations (and across fused vs. unfused epilogues)
+// results agree to tight relative tolerance (~1e-6 for CIFAR-scale shapes;
+// tests enforce 1e-4), not bitwise.
 
 #include <cstdint>
 
 #include "tensor/execution_context.h"
+#include "tensor/pack.h"
 
 namespace tbnet {
 
-// Each kernel has a context-taking form (shards on ctx.pool()) and a legacy
-// form that runs on the global pool. Results are bit-identical across pool
-// sizes and batch shapes: the per-element accumulation order depends only on
-// k, never on the row/column partitioning.
+// Each kernel has a context-taking form (shards on ctx.pool(), packs scratch
+// into ctx's arena) and a legacy form that runs on the calling thread's
+// default context.
 
 /// C[m,n] = alpha * A[m,k] * B[k,n] + beta * C[m,n]
 void gemm_nn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
              float alpha, const float* a, const float* b, float beta,
              float* c);
+void gemm_nn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta, float* c,
+             const GemmEpilogue& ep);
 void gemm_nn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c);
 
@@ -29,18 +45,44 @@ void gemm_nn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
 void gemm_nt(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
              float alpha, const float* a, const float* b, float beta,
              float* c);
+void gemm_nt(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
+             float alpha, const float* a, const float* b, float beta, float* c,
+             const GemmEpilogue& ep);
 void gemm_nt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c);
 
 /// C[m,n] = alpha * A^T (A is [k,m]) * B[k,n] + beta * C
+/// Backward-only (weight-gradient accumulation); stays on the scalar
+/// reference kernel — its k extent is the batch/spatial axis, which the
+/// packed layout does not cover profitably at these shapes.
 void gemm_tn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
              float alpha, const float* a, const float* b, float beta,
              float* c);
 void gemm_tn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c);
 
-/// y[m] = alpha * A[m,n] * x[n] + beta * y[m]
+/// y[m] = alpha * A[m,n] * x[n] + beta * y[m]. SIMD dot-product rows
+/// (parallelized on the context pool); scalar under TBNET_DETERMINISTIC=1.
+void gemv(const ExecutionContext& ctx, int64_t m, int64_t n, float alpha,
+          const float* a, const float* x, float beta, float* y);
 void gemv(int64_t m, int64_t n, float alpha, const float* a, const float* x,
           float beta, float* y);
+
+/// The PR-1 scalar blocked kernels, bit-stable across releases. These are
+/// what TBNET_DETERMINISTIC=1 routes to; exported so parity tests and
+/// benchmarks can compare the fast path against them in-process.
+void gemm_nn_reference(const ExecutionContext& ctx, int64_t m, int64_t n,
+                       int64_t k, float alpha, const float* a, const float* b,
+                       float beta, float* c);
+void gemm_nt_reference(const ExecutionContext& ctx, int64_t m, int64_t n,
+                       int64_t k, float alpha, const float* a, const float* b,
+                       float beta, float* c);
+void gemv_reference(int64_t m, int64_t n, float alpha, const float* a,
+                    const float* x, float beta, float* y);
+
+/// Separate-pass epilogue over C[m,n] (row stride ldc) — the unfused
+/// reference for GemmEpilogue, also used by the deterministic fallback.
+void apply_epilogue_reference(int64_t m, int64_t n, float* c, int64_t ldc,
+                              const GemmEpilogue& ep);
 
 }  // namespace tbnet

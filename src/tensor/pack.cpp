@@ -1,0 +1,274 @@
+#include "tensor/pack.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#include "tensor/threadpool.h"
+
+namespace tbnet {
+namespace packdetail {
+namespace {
+
+using simd::kMR;
+using simd::kNR;
+
+// k-slice depth. The A panel slice (kMR * kBlockK floats = 15 KiB) stays
+// L1-resident while a tile accumulates; 640 covers every CIFAR-scale im2col
+// depth (<= 576) in one slice, so C tiles accumulate entirely in registers
+// for the serving shapes.
+constexpr int64_t kBlockK = 640;
+
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+int64_t packed_a_floats(int64_t m, int64_t k) {
+  return ceil_div(m, kMR) * kMR * std::max<int64_t>(k, 1);
+}
+
+int64_t packed_b_floats(int64_t k, int64_t n) {
+  return ceil_div(n, kNR) * kNR * std::max<int64_t>(k, 1);
+}
+
+void pack_a_rowmajor(int64_t m, int64_t k, const float* a, int64_t lda,
+                     float* dst) {
+  const int64_t m_round = ceil_div(m, kMR) * kMR;
+  for (int64_t kk = 0; kk < k; kk += kBlockK) {
+    const int64_t kc = std::min(kBlockK, k - kk);
+    float* block = dst + m_round * kk;
+    for (int64_t i0 = 0; i0 < m_round; i0 += kMR) {
+      float* panel = block + i0 * kc;
+      for (int64_t p = 0; p < kc; ++p) {
+        float* col = panel + p * kMR;
+        for (int64_t r = 0; r < kMR; ++r) {
+          const int64_t row = i0 + r;
+          col[r] = row < m ? a[row * lda + kk + p] : 0.0f;
+        }
+      }
+    }
+  }
+}
+
+void pack_b_from_bt(int64_t n, int64_t k, const float* bt, int64_t ldbt,
+                    float* dst) {
+  const int64_t n_round = ceil_div(n, kNR) * kNR;
+  for (int64_t kk = 0; kk < k; kk += kBlockK) {
+    const int64_t kc = std::min(kBlockK, k - kk);
+    float* block = dst + n_round * kk;
+    for (int64_t j0 = 0; j0 < n_round; j0 += kNR) {
+      float* panel = block + j0 * kc;
+      // Walk source rows (columns of B) so each bt row streams sequentially.
+      for (int64_t c = 0; c < kNR; ++c) {
+        const int64_t col = j0 + c;
+        if (col < n) {
+          const float* src = bt + col * ldbt + kk;
+          for (int64_t p = 0; p < kc; ++p) panel[p * kNR + c] = src[p];
+        } else {
+          for (int64_t p = 0; p < kc; ++p) panel[p * kNR + c] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+void run_packed(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
+                const float* apack, const float* bpack, float beta, float* c,
+                int64_t ldc, const GemmEpilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  const simd::MicroKernelFn micro = simd::micro_kernel();
+  const simd::MicroKernelFn micro1 = simd::micro_kernel_mr1();
+  const int64_t mpan = ceil_div(m, kMR);
+  const int64_t npan = ceil_div(n, kNR);
+  const int64_t m_round = mpan * kMR;
+  const int64_t n_round = npan * kNR;
+  // k == 0 still runs one zero-depth slice so beta scaling and the epilogue
+  // are applied.
+  const int64_t kblocks = std::max<int64_t>(1, ceil_div(k, kBlockK));
+  pool.parallel_for(npan, [&](int64_t jp0, int64_t jp1) {
+    for (int64_t jp = jp0; jp < jp1; ++jp) {
+      const int64_t j0 = jp * kNR;
+      const int nr = static_cast<int>(std::min<int64_t>(kNR, n - j0));
+      for (int64_t kb = 0; kb < kblocks; ++kb) {
+        const int64_t kk = kb * kBlockK;
+        const int64_t kc = std::max<int64_t>(0, std::min(kBlockK, k - kk));
+        const float* ablock = apack + m_round * kk;
+        const float* bpanel = bpack + n_round * kk + j0 * kc;
+        const bool last = kb + 1 == kblocks;
+        const float beta_eff = kb == 0 ? beta : 1.0f;
+        for (int64_t ip = 0; ip < mpan; ++ip) {
+          const int64_t i0 = ip * kMR;
+          const int mr = static_cast<int>(std::min<int64_t>(kMR, m - i0));
+          simd::TileEpilogue te;
+          const simd::TileEpilogue* tep = nullptr;
+          if (last && !ep.empty()) {
+            te.row_scale = ep.row_scale != nullptr ? ep.row_scale + i0 : nullptr;
+            te.row_shift = ep.row_shift != nullptr ? ep.row_shift + i0 : nullptr;
+            te.col_scale = ep.col_scale != nullptr ? ep.col_scale + j0 : nullptr;
+            te.col_shift = ep.col_shift != nullptr ? ep.col_shift + j0 : nullptr;
+            te.act = ep.act;
+            tep = &te;
+          }
+          (mr == 1 ? micro1 : micro)(kc, ablock + i0 * kc, bpanel, kNR,
+                                     c + i0 * ldc + j0, ldc, mr, nr, alpha,
+                                     beta_eff, tep);
+        }
+      }
+    }
+  });
+}
+
+void run_packed_b_rowmajor(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
+                           float alpha, const float* apack, const float* b,
+                           int64_t ldb, float beta, float* c, int64_t ldc,
+                           const GemmEpilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  const simd::MicroKernelFn micro = simd::micro_kernel();
+  const simd::MicroKernelFn micro1 = simd::micro_kernel_mr1();
+  const int64_t mpan = ceil_div(m, kMR);
+  const int64_t npan = ceil_div(n, kNR);
+  const int64_t m_round = mpan * kMR;
+  const int64_t kblocks = std::max<int64_t>(1, ceil_div(k, kBlockK));
+  pool.parallel_for(npan, [&](int64_t jp0, int64_t jp1) {
+    // Scratch for the single ragged column panel (zero-padded); lives on the
+    // worker's stack so tasks never contend.
+    alignas(simd::kAlign) float edge[kBlockK * kNR];
+    for (int64_t jp = jp0; jp < jp1; ++jp) {
+      const int64_t j0 = jp * kNR;
+      const int nr = static_cast<int>(std::min<int64_t>(kNR, n - j0));
+      for (int64_t kb = 0; kb < kblocks; ++kb) {
+        const int64_t kk = kb * kBlockK;
+        const int64_t kc = std::max<int64_t>(0, std::min(kBlockK, k - kk));
+        const float* ablock = apack + m_round * kk;
+        const float* bpanel;
+        int64_t bstride;
+        if (nr == kNR) {
+          bpanel = b + kk * ldb + j0;  // in place: 16 floats per row
+          bstride = ldb;
+        } else {
+          for (int64_t p = 0; p < kc; ++p) {
+            const float* src = b + (kk + p) * ldb + j0;
+            for (int j = 0; j < nr; ++j) edge[p * kNR + j] = src[j];
+            for (int j = nr; j < kNR; ++j) edge[p * kNR + j] = 0.0f;
+          }
+          bpanel = edge;
+          bstride = kNR;
+        }
+        const bool last = kb + 1 == kblocks;
+        const float beta_eff = kb == 0 ? beta : 1.0f;
+        for (int64_t ip = 0; ip < mpan; ++ip) {
+          const int64_t i0 = ip * kMR;
+          const int mr = static_cast<int>(std::min<int64_t>(kMR, m - i0));
+          simd::TileEpilogue te;
+          const simd::TileEpilogue* tep = nullptr;
+          if (last && !ep.empty()) {
+            te.row_scale = ep.row_scale != nullptr ? ep.row_scale + i0 : nullptr;
+            te.row_shift = ep.row_shift != nullptr ? ep.row_shift + i0 : nullptr;
+            te.col_scale = ep.col_scale != nullptr ? ep.col_scale + j0 : nullptr;
+            te.col_shift = ep.col_shift != nullptr ? ep.col_shift + j0 : nullptr;
+            te.act = ep.act;
+            tep = &te;
+          }
+          (mr == 1 ? micro1 : micro)(kc, ablock + i0 * kc, bpanel, bstride,
+                                     c + i0 * ldc + j0, ldc, mr, nr, alpha,
+                                     beta_eff, tep);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace packdetail
+
+// -------------------------------------------------------------- PackedGemm --
+
+void PackedGemm::AlignedDeleter::operator()(float* p) const {
+  ::operator delete[](p, std::align_val_t(simd::kAlign));
+}
+
+float* PackedGemm::reserve(int64_t floats, WorkspaceArena* arena) {
+  // Re-preparing a layer (same or smaller shape, same backing source)
+  // re-packs into the storage already held: arena-backed packs sit below
+  // every ArenaScope mark and can never be rewound, so allocating again
+  // would orphan the old panels. Reuse requires the SAME arena — storage
+  // from a different (possibly destroyed) context's arena must not be
+  // written through.
+  if (store_ != nullptr && floats <= capacity_ && arena == arena_) {
+    return store_;
+  }
+  if (arena != nullptr) {
+    owned_.reset();
+    store_ = arena->alloc(floats);
+  } else {
+    float* p = new (std::align_val_t(simd::kAlign))
+        float[static_cast<size_t>(floats)];
+    owned_.reset(p);
+    store_ = p;
+  }
+  arena_ = arena;
+  capacity_ = floats;
+  return store_;
+}
+
+void PackedGemm::clear() {
+  if (owned_ != nullptr) {
+    owned_.reset();
+    store_ = nullptr;
+    arena_ = nullptr;
+    capacity_ = 0;
+  }
+  // An arena-backed store_ cannot be returned to its arena; it is retained
+  // (with its arena tag) so a re-pack after clear() — pruning invalidation —
+  // against the same context reuses the same bytes.
+  data_ = nullptr;
+  side_ = Side::kNone;
+  m_ = n_ = k_ = 0;
+}
+
+void PackedGemm::pack_a(int64_t m, int64_t k, const float* a,
+                        WorkspaceArena* arena) {
+  float* dst = reserve(packdetail::packed_a_floats(m, k), arena);
+  packdetail::pack_a_rowmajor(m, k, a, k, dst);
+  data_ = dst;
+  side_ = Side::kA;
+  m_ = m;
+  n_ = 0;
+  k_ = k;
+}
+
+void PackedGemm::pack_b_transposed(int64_t n, int64_t k, const float* bt,
+                                   WorkspaceArena* arena) {
+  float* dst = reserve(packdetail::packed_b_floats(k, n), arena);
+  packdetail::pack_b_from_bt(n, k, bt, k, dst);
+  data_ = dst;
+  side_ = Side::kB;
+  m_ = 0;
+  n_ = n;
+  k_ = k;
+}
+
+void PackedGemm::run(const ExecutionContext& ctx, int64_t n, float alpha,
+                     const float* b, float beta, float* c,
+                     const GemmEpilogue& ep) const {
+  if (side_ != Side::kA) {
+    throw std::logic_error("PackedGemm::run: operand not packed as A");
+  }
+  packdetail::run_packed_b_rowmajor(ctx.pool(), m_, n, k_, alpha, data_, b, n,
+                                    beta, c, n, ep);
+}
+
+void PackedGemm::run_with_a(const ExecutionContext& ctx, int64_t m,
+                            float alpha, const float* a, float beta, float* c,
+                            const GemmEpilogue& ep) const {
+  if (side_ != Side::kB) {
+    throw std::logic_error("PackedGemm::run_with_a: operand not packed as B");
+  }
+  ArenaScope scope(ctx.arena());
+  float* ap = ctx.arena().alloc(packdetail::packed_a_floats(m, k_));
+  packdetail::pack_a_rowmajor(m, k_, a, k_, ap);
+  packdetail::run_packed(ctx.pool(), m, n_, k_, alpha, ap, data_, beta, c, n_,
+                         ep);
+}
+
+}  // namespace tbnet

@@ -1,0 +1,152 @@
+#pragma once
+// pack.h — panel packing and the packed GEMM driver.
+//
+// The microkernel (simd.h) wants both operands as contiguous panels:
+//   A panels: kMR C-rows wide, laid out [kc][kMR] per k-block;
+//   B panels: kNR C-columns wide, laid out [kc][kNR] per k-block.
+// This header provides the pack routines, the blocked driver that walks
+// panels through the microkernel, and PackedGemm — a per-layer cache of
+// packed weight panels so deployed models never repack on the hot path.
+//
+// Layout of a packed operand (shared by pack_* and run_packed): k is split
+// into kBlockK slices; slice kb starts at float offset round_up(m,kMR) * kk
+// (A side) or round_up(n,kNR) * kk (B side), and stores its panels
+// back-to-back. Edge panels are zero-padded to full width, so the microkernel
+// never branches on the k loop.
+
+#include <cstdint>
+#include <memory>
+
+#include "tensor/execution_context.h"
+#include "tensor/simd.h"
+
+namespace tbnet {
+
+class ThreadPool;
+
+/// Optional fused per-row / per-column epilogue for a GEMM call, applied to
+/// each C element after the alpha/beta update (see simd::TileEpilogue for the
+/// exact formula). Row arrays have length m, column arrays length n.
+struct GemmEpilogue {
+  const float* row_scale = nullptr;
+  const float* row_shift = nullptr;
+  const float* col_scale = nullptr;
+  const float* col_shift = nullptr;
+  simd::Act act = simd::Act::kNone;
+
+  bool empty() const {
+    return row_scale == nullptr && row_shift == nullptr &&
+           col_scale == nullptr && col_shift == nullptr &&
+           act == simd::Act::kNone;
+  }
+};
+
+namespace packdetail {
+
+/// Floats needed to pack an A operand [m, k] / a B operand [k, n].
+int64_t packed_a_floats(int64_t m, int64_t k);
+int64_t packed_b_floats(int64_t k, int64_t n);
+
+/// Packs row-major A [m, k] (row stride lda) into A panels at `dst`.
+void pack_a_rowmajor(int64_t m, int64_t k, const float* a, int64_t lda,
+                     float* dst);
+
+/// Packs B panels from B^T: `bt` is [n, k] row-major (row stride ldbt), the
+/// natural layout of a Dense weight used as the right operand. (Row-major B
+/// never packs — run_packed_b_rowmajor consumes it in place.)
+void pack_b_from_bt(int64_t n, int64_t k, const float* bt, int64_t ldbt,
+                    float* dst);
+
+/// C[m, n] (row stride ldc) = ep(alpha * A * B + beta * C) from packed
+/// operands. Parallelizes over column panels on `pool`; per-element bits are
+/// independent of the pool size and of m/n partitioning (see simd.h).
+void run_packed(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
+                const float* apack, const float* bpack, float beta, float* c,
+                int64_t ldc, const GemmEpilogue& ep);
+
+/// Same contract, but the right operand is a row-major B [k, n] (row stride
+/// ldb) read IN PLACE: a full column panel of row-major B is already kNR
+/// contiguous floats per row, so only the ragged final panel (n % kNR != 0)
+/// is packed — into a small per-task scratch — and the im2col/colbuf B of
+/// the conv hot path never gets copied at all. Bit-identical to packing B
+/// first (same loads, same FMA order).
+void run_packed_b_rowmajor(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
+                           float alpha, const float* apack, const float* b,
+                           int64_t ldb, float beta, float* c, int64_t ldc,
+                           const GemmEpilogue& ep);
+
+}  // namespace packdetail
+
+/// Cached packed panels of one GEMM operand — in practice a layer's weight,
+/// packed once at deploy time (Layer::prepare_inference) so the serving hot
+/// path skips per-call packing of the stationary side.
+///
+/// Storage comes from the caller's long-lived ExecutionContext arena when one
+/// is supplied (allocations made before any ArenaScope mark survive every
+/// rewind), else from an internally owned 64-byte-aligned buffer. Copying a
+/// PackedGemm yields an EMPTY cache: packs are host/layout-specific and a
+/// cloned layer must re-prepare — this is what makes Layer::clone() safe by
+/// construction.
+class PackedGemm {
+ public:
+  enum class Side { kNone, kA, kB };
+
+  PackedGemm() = default;
+  PackedGemm(const PackedGemm&) {}
+  PackedGemm& operator=(const PackedGemm&) {
+    clear();
+    return *this;
+  }
+
+  /// Packs `a` [m, k] row-major as the left operand (conv weights).
+  void pack_a(int64_t m, int64_t k, const float* a,
+              WorkspaceArena* arena = nullptr);
+
+  /// Packs `bt` [n, k] row-major (= B^T) as the right operand (dense
+  /// weights: C = X * W^T with W stored [out, in]).
+  void pack_b_transposed(int64_t n, int64_t k, const float* bt,
+                         WorkspaceArena* arena = nullptr);
+
+  bool empty() const { return data_ == nullptr; }
+  void clear();
+
+  Side side() const { return side_; }
+  int64_t depth() const { return k_; }  ///< shared k extent
+  int64_t rows() const { return m_; }   ///< C rows when side == kA
+  int64_t cols() const { return n_; }   ///< C cols when side == kB
+
+  /// side kA: C[rows(), n] = ep(alpha * A * b + beta * C); `b` is [k, n]
+  /// row-major and is consumed IN PLACE by the microkernel (only ragged edge
+  /// panels copy to per-task stack scratch) — `b` must stay valid for the
+  /// whole call and its full-width rows in bounds, and ctx's arena is not
+  /// touched.
+  void run(const ExecutionContext& ctx, int64_t n, float alpha, const float* b,
+           float beta, float* c, const GemmEpilogue& ep = {}) const;
+
+  /// side kB: C[m, cols()] = ep(alpha * a * B + beta * C); `a` is [m, k]
+  /// row-major and is packed per call into ctx's arena.
+  void run_with_a(const ExecutionContext& ctx, int64_t m, float alpha,
+                  const float* a, float beta, float* c,
+                  const GemmEpilogue& ep = {}) const;
+
+  /// Raw packed panels (run_packed layout); for callers that drive the
+  /// packed driver themselves (Conv2d loops images around one packed weight).
+  const float* data() const { return data_; }
+
+ private:
+  float* reserve(int64_t floats, WorkspaceArena* arena);
+
+  struct AlignedDeleter {
+    void operator()(float* p) const;
+  };
+
+  const float* data_ = nullptr;  ///< valid packed panels (null when empty)
+  float* store_ = nullptr;       ///< backing storage, reused across re-packs
+  WorkspaceArena* arena_ = nullptr;  ///< arena store_ came from (null = owned)
+  int64_t capacity_ = 0;         ///< floats store_ can hold
+  std::unique_ptr<float[], AlignedDeleter> owned_;
+  Side side_ = Side::kNone;
+  int64_t m_ = 0, n_ = 0, k_ = 0;
+};
+
+}  // namespace tbnet

@@ -1,0 +1,471 @@
+#include "tensor/simd.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define TBNET_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define TBNET_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace tbnet::simd {
+namespace {
+
+// ---------------------------------------------------------------- scalar --
+
+/// Portable fallback. Plain multiply-add (no forced FMA: on hosts without
+/// hardware FMA std::fmaf is a libm call per element). All tiles go through
+/// the same code, so the path is internally batch-invariant even though its
+/// bits differ from the FMA ISAs'.
+void micro_scalar(int64_t kc, const float* a_panel, const float* b_panel,
+                  int64_t bstride, float* c, int64_t ldc, int mr, int nr,
+                  float alpha, float beta, const TileEpilogue* ep) {
+  float acc[kMR][kNR] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* ap = a_panel + p * kMR;
+    const float* bp = b_panel + p * bstride;
+    for (int i = 0; i < kMR; ++i) {
+      const float a = ap[i];
+      for (int j = 0; j < kNR; ++j) acc[i][j] += a * bp[j];
+    }
+  }
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const float rs = ep != nullptr && ep->row_scale != nullptr
+                         ? ep->row_scale[i] : 1.0f;
+    const float rh = ep != nullptr && ep->row_shift != nullptr
+                         ? ep->row_shift[i] : 0.0f;
+    for (int j = 0; j < nr; ++j) {
+      float v = alpha * acc[i][j];
+      if (beta != 0.0f) v += beta * crow[j];
+      if (ep != nullptr) {
+        v = v * rs + rh;
+        if (ep->col_scale != nullptr) v *= ep->col_scale[j];
+        if (ep->col_shift != nullptr) v += ep->col_shift[j];
+        if (ep->act != Act::kNone) {
+          v = v > 0.0f ? v : 0.0f;
+          if (ep->act == Act::kReLU6 && v > 6.0f) v = 6.0f;
+        }
+      }
+      crow[j] = v;
+    }
+  }
+}
+
+float dot_scalar(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// ------------------------------------------------------------------ AVX2 --
+
+#if TBNET_SIMD_X86 && (defined(__GNUC__) || defined(__clang__))
+#define TBNET_SIMD_HAVE_AVX2 1
+
+/// 6x16 FMA microkernel: 12 ymm accumulators + 2 B vectors + 1 A broadcast.
+/// Compiled for avx2+fma via target attribute; only dispatched after a
+/// runtime __builtin_cpu_supports check.
+__attribute__((target("avx2,fma"))) void micro_avx2(
+    int64_t kc, const float* a_panel, const float* b_panel, int64_t bstride,
+    float* c, int64_t ldc, int mr, int nr, float alpha, float beta,
+    const TileEpilogue* ep) {
+  // Named accumulators: an acc[6][2] array here makes GCC keep the array
+  // live on the stack and store every accumulator once per k iteration
+  // (12 extra stores per tap — enough to halve throughput). With scalars the
+  // hot loop is exactly 12 FMAs + 2 loads + 6 broadcasts.
+  __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+  __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+  __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+  __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+  __m256 a40 = _mm256_setzero_ps(), a41 = _mm256_setzero_ps();
+  __m256 a50 = _mm256_setzero_ps(), a51 = _mm256_setzero_ps();
+  for (int64_t p = 0; p < kc; ++p) {
+    // B rows may be strided (in-place row-major B); prefetch a few rows
+    // ahead so the L2 latency of large-ldb strides hides under the FMAs.
+    _mm_prefetch(reinterpret_cast<const char*>(b_panel + (p + 8) * bstride),
+                 _MM_HINT_T0);
+    const __m256 b0 = _mm256_loadu_ps(b_panel + p * bstride);
+    const __m256 b1 = _mm256_loadu_ps(b_panel + p * bstride + 8);
+    const float* ap = a_panel + p * kMR;
+    __m256 a;
+    a = _mm256_broadcast_ss(ap + 0);
+    a00 = _mm256_fmadd_ps(a, b0, a00);
+    a01 = _mm256_fmadd_ps(a, b1, a01);
+    a = _mm256_broadcast_ss(ap + 1);
+    a10 = _mm256_fmadd_ps(a, b0, a10);
+    a11 = _mm256_fmadd_ps(a, b1, a11);
+    a = _mm256_broadcast_ss(ap + 2);
+    a20 = _mm256_fmadd_ps(a, b0, a20);
+    a21 = _mm256_fmadd_ps(a, b1, a21);
+    a = _mm256_broadcast_ss(ap + 3);
+    a30 = _mm256_fmadd_ps(a, b0, a30);
+    a31 = _mm256_fmadd_ps(a, b1, a31);
+    a = _mm256_broadcast_ss(ap + 4);
+    a40 = _mm256_fmadd_ps(a, b0, a40);
+    a41 = _mm256_fmadd_ps(a, b1, a41);
+    a = _mm256_broadcast_ss(ap + 5);
+    a50 = _mm256_fmadd_ps(a, b0, a50);
+    a51 = _mm256_fmadd_ps(a, b1, a51);
+  }
+  const __m256 acc[kMR][2] = {{a00, a01}, {a10, a11}, {a20, a21},
+                              {a30, a31}, {a40, a41}, {a50, a51}};
+
+  const __m256 valpha = _mm256_set1_ps(alpha);
+  if (mr == kMR && nr == kNR) {
+    // Full tile: vector alpha/beta update + epilogue straight from registers.
+    for (int i = 0; i < kMR; ++i) {
+      float* crow = c + i * ldc;
+      __m256 v0 = _mm256_mul_ps(valpha, acc[i][0]);
+      __m256 v1 = _mm256_mul_ps(valpha, acc[i][1]);
+      if (beta != 0.0f) {
+        const __m256 vbeta = _mm256_set1_ps(beta);
+        v0 = _mm256_fmadd_ps(vbeta, _mm256_loadu_ps(crow), v0);
+        v1 = _mm256_fmadd_ps(vbeta, _mm256_loadu_ps(crow + 8), v1);
+      }
+      if (ep != nullptr) {
+        if (ep->row_scale != nullptr || ep->row_shift != nullptr) {
+          const __m256 rs = _mm256_set1_ps(
+              ep->row_scale != nullptr ? ep->row_scale[i] : 1.0f);
+          const __m256 rh = _mm256_set1_ps(
+              ep->row_shift != nullptr ? ep->row_shift[i] : 0.0f);
+          v0 = _mm256_fmadd_ps(rs, v0, rh);
+          v1 = _mm256_fmadd_ps(rs, v1, rh);
+        }
+        if (ep->col_scale != nullptr) {
+          v0 = _mm256_mul_ps(v0, _mm256_loadu_ps(ep->col_scale));
+          v1 = _mm256_mul_ps(v1, _mm256_loadu_ps(ep->col_scale + 8));
+        }
+        if (ep->col_shift != nullptr) {
+          v0 = _mm256_add_ps(v0, _mm256_loadu_ps(ep->col_shift));
+          v1 = _mm256_add_ps(v1, _mm256_loadu_ps(ep->col_shift + 8));
+        }
+        if (ep->act != Act::kNone) {
+          const __m256 zero = _mm256_setzero_ps();
+          v0 = _mm256_max_ps(v0, zero);
+          v1 = _mm256_max_ps(v1, zero);
+          if (ep->act == Act::kReLU6) {
+            const __m256 six = _mm256_set1_ps(6.0f);
+            v0 = _mm256_min_ps(v0, six);
+            v1 = _mm256_min_ps(v1, six);
+          }
+        }
+      }
+      _mm256_storeu_ps(crow, v0);
+      _mm256_storeu_ps(crow + 8, v1);
+    }
+    return;
+  }
+
+  // Edge tile: spill the (zero-padded) accumulators and finalize the valid
+  // sub-tile scalar-side. std::fmaf compiles to a scalar vfmadd here (the
+  // function is FMA-targeted), so the rounding matches the vector path and an
+  // element's bits do not depend on which tile shape covered it.
+  alignas(32) float tmp[kMR][kNR];
+  for (int i = 0; i < kMR; ++i) {
+    _mm256_store_ps(tmp[i], acc[i][0]);
+    _mm256_store_ps(tmp[i] + 8, acc[i][1]);
+  }
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const float rs = ep != nullptr && ep->row_scale != nullptr
+                         ? ep->row_scale[i] : 1.0f;
+    const float rh = ep != nullptr && ep->row_shift != nullptr
+                         ? ep->row_shift[i] : 0.0f;
+    for (int j = 0; j < nr; ++j) {
+      float v = alpha * tmp[i][j];
+      if (beta != 0.0f) v = std::fmaf(beta, crow[j], v);
+      if (ep != nullptr) {
+        if (ep->row_scale != nullptr || ep->row_shift != nullptr) {
+          v = std::fmaf(rs, v, rh);
+        }
+        if (ep->col_scale != nullptr) v *= ep->col_scale[j];
+        if (ep->col_shift != nullptr) v += ep->col_shift[j];
+        if (ep->act != Act::kNone) {
+          v = v > 0.0f ? v : 0.0f;
+          if (ep->act == Act::kReLU6 && v > 6.0f) v = 6.0f;
+        }
+      }
+      crow[j] = v;
+    }
+  }
+}
+
+/// mr == 1 tile: two accumulators, no padded-row work. The per-lane FMA
+/// chain over p is identical to the general kernel's row 0, so results are
+/// bit-identical — only faster.
+__attribute__((target("avx2,fma"))) void micro_avx2_mr1(
+    int64_t kc, const float* a_panel, const float* b_panel, int64_t bstride,
+    float* c, int64_t ldc, int mr, int nr, float alpha, float beta,
+    const TileEpilogue* ep) {
+  (void)ldc;
+  (void)mr;
+  __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+  for (int64_t p = 0; p < kc; ++p) {
+    const __m256 a = _mm256_broadcast_ss(a_panel + p * kMR);
+    a0 = _mm256_fmadd_ps(a, _mm256_loadu_ps(b_panel + p * bstride), a0);
+    a1 = _mm256_fmadd_ps(a, _mm256_loadu_ps(b_panel + p * bstride + 8), a1);
+  }
+  if (nr == kNR) {
+    __m256 v0 = _mm256_mul_ps(_mm256_set1_ps(alpha), a0);
+    __m256 v1 = _mm256_mul_ps(_mm256_set1_ps(alpha), a1);
+    if (beta != 0.0f) {
+      const __m256 vbeta = _mm256_set1_ps(beta);
+      v0 = _mm256_fmadd_ps(vbeta, _mm256_loadu_ps(c), v0);
+      v1 = _mm256_fmadd_ps(vbeta, _mm256_loadu_ps(c + 8), v1);
+    }
+    if (ep != nullptr) {
+      if (ep->row_scale != nullptr || ep->row_shift != nullptr) {
+        const __m256 rs = _mm256_set1_ps(
+            ep->row_scale != nullptr ? ep->row_scale[0] : 1.0f);
+        const __m256 rh = _mm256_set1_ps(
+            ep->row_shift != nullptr ? ep->row_shift[0] : 0.0f);
+        v0 = _mm256_fmadd_ps(rs, v0, rh);
+        v1 = _mm256_fmadd_ps(rs, v1, rh);
+      }
+      if (ep->col_scale != nullptr) {
+        v0 = _mm256_mul_ps(v0, _mm256_loadu_ps(ep->col_scale));
+        v1 = _mm256_mul_ps(v1, _mm256_loadu_ps(ep->col_scale + 8));
+      }
+      if (ep->col_shift != nullptr) {
+        v0 = _mm256_add_ps(v0, _mm256_loadu_ps(ep->col_shift));
+        v1 = _mm256_add_ps(v1, _mm256_loadu_ps(ep->col_shift + 8));
+      }
+      if (ep->act != Act::kNone) {
+        const __m256 zero = _mm256_setzero_ps();
+        v0 = _mm256_max_ps(v0, zero);
+        v1 = _mm256_max_ps(v1, zero);
+        if (ep->act == Act::kReLU6) {
+          const __m256 six = _mm256_set1_ps(6.0f);
+          v0 = _mm256_min_ps(v0, six);
+          v1 = _mm256_min_ps(v1, six);
+        }
+      }
+    }
+    _mm256_storeu_ps(c, v0);
+    _mm256_storeu_ps(c + 8, v1);
+    return;
+  }
+  alignas(32) float tmp[kNR];
+  _mm256_store_ps(tmp, a0);
+  _mm256_store_ps(tmp + 8, a1);
+  const float rs = ep != nullptr && ep->row_scale != nullptr
+                       ? ep->row_scale[0] : 1.0f;
+  const float rh = ep != nullptr && ep->row_shift != nullptr
+                       ? ep->row_shift[0] : 0.0f;
+  for (int j = 0; j < nr; ++j) {
+    float v = alpha * tmp[j];
+    if (beta != 0.0f) v = std::fmaf(beta, c[j], v);
+    if (ep != nullptr) {
+      if (ep->row_scale != nullptr || ep->row_shift != nullptr) {
+        v = std::fmaf(rs, v, rh);
+      }
+      if (ep->col_scale != nullptr) v *= ep->col_scale[j];
+      if (ep->col_shift != nullptr) v += ep->col_shift[j];
+      if (ep->act != Act::kNone) {
+        v = v > 0.0f ? v : 0.0f;
+        if (ep->act == Act::kReLU6 && v > 6.0f) v = 6.0f;
+      }
+    }
+    c[j] = v;
+  }
+}
+
+__attribute__((target("avx2,fma"))) float dot_avx2(const float* a,
+                                                   const float* b, int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  acc0 = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc0);
+  float total = ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5])) +
+                ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]));
+  for (; i < n; ++i) total = std::fmaf(a[i], b[i], total);
+  return total;
+}
+#endif  // TBNET_SIMD_HAVE_AVX2
+
+// ------------------------------------------------------------------ NEON --
+
+#if TBNET_SIMD_NEON
+#define TBNET_SIMD_HAVE_NEON 1
+
+/// 6x16 as 6 rows x 4 q-registers (24 accumulators; aarch64 has 32).
+void micro_neon(int64_t kc, const float* a_panel, const float* b_panel,
+                int64_t bstride, float* c, int64_t ldc, int mr, int nr,
+                float alpha, float beta, const TileEpilogue* ep) {
+  float32x4_t acc[kMR][4];
+  for (int i = 0; i < kMR; ++i) {
+    for (int q = 0; q < 4; ++q) acc[i][q] = vdupq_n_f32(0.0f);
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    float32x4_t bq[4];
+    for (int q = 0; q < 4; ++q) bq[q] = vld1q_f32(b_panel + p * bstride + 4 * q);
+    const float* ap = a_panel + p * kMR;
+    for (int i = 0; i < kMR; ++i) {
+      const float32x4_t a = vdupq_n_f32(ap[i]);
+      for (int q = 0; q < 4; ++q) acc[i][q] = vfmaq_f32(acc[i][q], a, bq[q]);
+    }
+  }
+
+  if (mr == kMR && nr == kNR) {
+    const float32x4_t valpha = vdupq_n_f32(alpha);
+    for (int i = 0; i < kMR; ++i) {
+      float* crow = c + i * ldc;
+      for (int q = 0; q < 4; ++q) {
+        float32x4_t v = vmulq_f32(valpha, acc[i][q]);
+        if (beta != 0.0f) {
+          v = vfmaq_f32(v, vdupq_n_f32(beta), vld1q_f32(crow + 4 * q));
+        }
+        if (ep != nullptr) {
+          if (ep->row_scale != nullptr || ep->row_shift != nullptr) {
+            const float rs =
+                ep->row_scale != nullptr ? ep->row_scale[i] : 1.0f;
+            const float rh =
+                ep->row_shift != nullptr ? ep->row_shift[i] : 0.0f;
+            v = vfmaq_f32(vdupq_n_f32(rh), vdupq_n_f32(rs), v);
+          }
+          if (ep->col_scale != nullptr) {
+            v = vmulq_f32(v, vld1q_f32(ep->col_scale + 4 * q));
+          }
+          if (ep->col_shift != nullptr) {
+            v = vaddq_f32(v, vld1q_f32(ep->col_shift + 4 * q));
+          }
+          if (ep->act != Act::kNone) {
+            v = vmaxq_f32(v, vdupq_n_f32(0.0f));
+            if (ep->act == Act::kReLU6) v = vminq_f32(v, vdupq_n_f32(6.0f));
+          }
+        }
+        vst1q_f32(crow + 4 * q, v);
+      }
+    }
+    return;
+  }
+
+  alignas(16) float tmp[kMR][kNR];
+  for (int i = 0; i < kMR; ++i) {
+    for (int q = 0; q < 4; ++q) vst1q_f32(tmp[i] + 4 * q, acc[i][q]);
+  }
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const float rs = ep != nullptr && ep->row_scale != nullptr
+                         ? ep->row_scale[i] : 1.0f;
+    const float rh = ep != nullptr && ep->row_shift != nullptr
+                         ? ep->row_shift[i] : 0.0f;
+    for (int j = 0; j < nr; ++j) {
+      float v = alpha * tmp[i][j];
+      if (beta != 0.0f) v = std::fmaf(beta, crow[j], v);
+      if (ep != nullptr) {
+        if (ep->row_scale != nullptr || ep->row_shift != nullptr) {
+          v = std::fmaf(rs, v, rh);
+        }
+        if (ep->col_scale != nullptr) v *= ep->col_scale[j];
+        if (ep->col_shift != nullptr) v += ep->col_shift[j];
+        if (ep->act != Act::kNone) {
+          v = v > 0.0f ? v : 0.0f;
+          if (ep->act == Act::kReLU6 && v > 6.0f) v = 6.0f;
+        }
+      }
+      crow[j] = v;
+    }
+  }
+}
+
+float dot_neon(const float* a, const float* b, int64_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+  }
+  float total = vaddvq_f32(vaddq_f32(acc0, acc1));
+  for (; i < n; ++i) total = std::fmaf(a[i], b[i], total);
+  return total;
+}
+#endif  // TBNET_SIMD_NEON
+
+// -------------------------------------------------------------- dispatch --
+
+struct Kernels {
+  Isa isa = Isa::kScalar;
+  const char* name = "scalar";
+  MicroKernelFn micro = &micro_scalar;
+  MicroKernelFn micro1 = &micro_scalar;
+  float (*dot)(const float*, const float*, int64_t) = &dot_scalar;
+};
+
+Kernels select_kernels() {
+  Kernels k;
+#if defined(TBNET_SIMD_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    k.isa = Isa::kAvx2;
+    k.name = "avx2-fma";
+    k.micro = &micro_avx2;
+    k.micro1 = &micro_avx2_mr1;
+    k.dot = &dot_avx2;
+    return k;
+  }
+#endif
+#if defined(TBNET_SIMD_HAVE_NEON)
+  k.isa = Isa::kNeon;
+  k.name = "neon";
+  k.micro = &micro_neon;
+  k.micro1 = &micro_neon;
+  k.dot = &dot_neon;
+  return k;
+#endif
+  return k;
+}
+
+const Kernels& kernels() {
+  static const Kernels k = select_kernels();
+  return k;
+}
+
+}  // namespace
+
+Isa active_isa() { return kernels().isa; }
+const char* isa_name() { return kernels().name; }
+MicroKernelFn micro_kernel() { return kernels().micro; }
+MicroKernelFn micro_kernel_mr1() { return kernels().micro1; }
+
+float dot(const float* a, const float* b, int64_t n) {
+  return kernels().dot(a, b, n);
+}
+
+bool fast_kernels_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("TBNET_DETERMINISTIC");
+    return env == nullptr || std::strcmp(env, "1") != 0;
+  }();
+  return enabled;
+}
+
+}  // namespace tbnet::simd

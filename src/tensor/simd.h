@@ -1,0 +1,98 @@
+#pragma once
+// simd.h — the CPU microkernel layer under the packed GEMM.
+//
+// One 6x16 register-tiled microkernel, three implementations:
+//   * AVX2+FMA  — compiled with a function target attribute so the library
+//     still builds with baseline -O2 flags; selected at runtime only when
+//     __builtin_cpu_supports confirms the host has both extensions.
+//   * NEON      — aarch64 builds (NEON is architecturally guaranteed there).
+//   * scalar    — portable fallback, also the shape every other kernel's
+//     numerics are documented against.
+//
+// The tile is MR=6 rows x NR=16 columns: on AVX2 that is 12 ymm accumulators
+// plus two B vectors and one A broadcast, which exactly fits the 16-register
+// file with no spills. Panels are packed (pack.h) so the p-loop reads both
+// operands contiguously.
+//
+// Determinism contract: for a given element C[i,j] the accumulation is a
+// single FMA chain in k order, independent of how the driver partitions rows,
+// columns, or threads. Edge tiles (mr < MR, nr < NR) run the same vector
+// accumulation over zero-padded panels and finalize scalar-side with
+// std::fmaf, which rounds identically to the vector FMA — so a row's bits do
+// not depend on the batch size that surrounded it (the serving tests assert
+// batched == per-image bit-for-bit).
+//
+// TBNET_DETERMINISTIC=1 disables this layer entirely: gemm falls back to the
+// PR-1 scalar blocked kernels and the nn layers skip epilogue fusion, giving
+// bit-reproducibility with older runs.
+
+#include <cstdint>
+
+namespace tbnet::simd {
+
+/// Microkernel tile: MR rows of C by NR columns.
+inline constexpr int kMR = 6;
+inline constexpr int kNR = 16;
+
+/// Alignment (bytes) of packed panels and arena scratch: one cache line,
+/// enough for any current vector ISA.
+inline constexpr int64_t kAlign = 64;
+
+enum class Isa { kScalar, kAvx2, kNeon };
+
+/// The instruction set the runtime dispatch selected (decided once).
+Isa active_isa();
+const char* isa_name();
+
+/// False when TBNET_DETERMINISTIC=1: callers must use the scalar reference
+/// kernels and keep bias/BN/activation as separate passes. Latched on first
+/// use.
+bool fast_kernels_enabled();
+
+/// Fused activation applied as the last step of a GEMM epilogue.
+enum class Act : uint8_t { kNone = 0, kReLU = 1, kReLU6 = 2 };
+
+/// Per-tile epilogue view. Pointers are pre-offset to the tile origin by the
+/// driver; nullptr means identity (scale 1 / shift 0). Applied as
+///   v = v * row_scale[i] + row_shift[i]
+///   v = v * col_scale[j] + col_shift[j]
+///   v = act(v)
+/// after the alpha/beta update. Row epilogues serve conv (C rows = output
+/// channels); column epilogues serve dense (C columns = output features).
+struct TileEpilogue {
+  const float* row_scale = nullptr;
+  const float* row_shift = nullptr;
+  const float* col_scale = nullptr;
+  const float* col_shift = nullptr;
+  Act act = Act::kNone;
+};
+
+/// Computes one C tile from an A panel and a B slab:
+///   C[i,j] = ep(alpha * sum_p A[p][i] * B[p][j] + beta * C[i,j])
+/// A panel layout: [kc][kMR] (column i = C row), zero-padded to full width.
+/// The B operand is kNR consecutive floats per k row with row stride
+/// `bstride` — either a packed zero-padded panel (bstride == kNR) or, for
+/// full tiles, a row-major B matrix read in place (bstride == ldb), which is
+/// what lets gemm_nn and the conv hot path skip packing the im2col buffer
+/// entirely. Full-width reads must be in bounds for all kc rows. `beta == 0`
+/// must not read C. `ep` may be nullptr (no epilogue; used for all but the
+/// last k-block).
+using MicroKernelFn = void (*)(int64_t kc, const float* a_panel,
+                               const float* b_panel, int64_t bstride, float* c,
+                               int64_t ldc, int mr, int nr, float alpha,
+                               float beta, const TileEpilogue* ep);
+
+/// The dispatched microkernel for this host.
+MicroKernelFn micro_kernel();
+
+/// Specialization for single-row tiles (mr == 1): computes only C row 0 with
+/// the identical per-lane FMA chain, so its bits match the general kernel's
+/// row 0 exactly while skipping the 5 padded rows' work. Drivers use it for
+/// m == 1 GEMMs (single-image dense heads). Falls back to the general kernel
+/// on ISAs without a dedicated variant.
+MicroKernelFn micro_kernel_mr1();
+
+/// SIMD dot product (FMA chains; lane order fixed per ISA). Backs gemv.
+float dot(const float* a, const float* b, int64_t n);
+
+}  // namespace tbnet::simd

@@ -188,7 +188,8 @@ TEST(MobileNet, FullPipelineAndDeployment) {
   const data::Sample s = test.get(0);
   const Tensor want =
       model.forward(s.image.reshaped(Shape{1, 3, 32, 32}), false);
-  EXPECT_TRUE(allclose(deployed.infer(s.image), want, 0.0f, 0.0f));
+  // Folded/fused engine: tight relative tolerance, not bitwise.
+  EXPECT_TRUE(allclose(deployed.infer(s.image), want, 1e-4f, 1e-5f));
 }
 
 }  // namespace

@@ -85,7 +85,7 @@ TEST(Measurements, PrunedSecureBranchShrinksFootprint) {
   EXPECT_LT(after, before);
 }
 
-TEST(DeployedTBNet, MatchesInProcessInferenceBitForBit) {
+TEST(DeployedTBNet, MatchesInProcessInference) {
   const auto cfg = tiny_vgg_cfg();
   nn::Sequential victim = models::build_victim(cfg);
   core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
@@ -94,12 +94,16 @@ TEST(DeployedTBNet, MatchesInProcessInferenceBitForBit) {
   tee::TeeContext ctx(world);
   DeployedTBNet deployed(tb, ctx);
 
+  // The engine deploys with BN folded into the conv weights and fused GEMM
+  // epilogues, so it matches the in-process forward to tight relative
+  // tolerance rather than bitwise (run with TBNET_DETERMINISTIC=1 for
+  // bit-identical deployment on the scalar reference kernels).
   Rng rng(5);
   for (int i = 0; i < 3; ++i) {
     Tensor img = Tensor::randn(Shape{3, 32, 32}, rng);
     Tensor want = tb.forward(img.reshaped(Shape{1, 3, 32, 32}), false);
     Tensor got = deployed.infer(img);
-    EXPECT_TRUE(allclose(got, want, 0.0f, 0.0f)) << "inference " << i;
+    EXPECT_TRUE(allclose(got, want, 1e-4f, 1e-5f)) << "inference " << i;
     EXPECT_EQ(deployed.predict(img), want.argmax());
   }
 }
@@ -131,7 +135,7 @@ TEST(DeployedTBNet, WorksAfterPruneAndRollback) {
   Rng rng(6);
   Tensor img = Tensor::randn(Shape{3, 32, 32}, rng);
   Tensor want = tb.forward(img.reshaped(Shape{1, 3, 32, 32}), false);
-  EXPECT_TRUE(allclose(deployed.infer(img), want, 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(deployed.infer(img), want, 1e-4f, 1e-5f));
 }
 
 TEST(DeployedTBNet, ChannelAccountingAndOneWayHold) {
@@ -153,8 +157,12 @@ TEST(DeployedTBNet, ChannelAccountingAndOneWayHold) {
   // feature bytes (headers add a little).
   EXPECT_GE(ctx.channel().bytes_into_tee(),
             fp.total_transfer_bytes + fp.input_bytes);
-  // The secure model is resident in TEE memory.
-  EXPECT_GE(world.memory().live_bytes(), tb.secure_param_bytes());
+  // The secure model is resident in TEE memory. The TA ships with
+  // inference-mode BN folded into the convs, so its resident size is the
+  // folded model's parameter bytes (slightly below the training model's).
+  core::TwoBranchModel folded = tb.clone();
+  folded.fold_batchnorm();
+  EXPECT_GE(world.memory().live_bytes(), folded.secure_param_bytes());
   EXPECT_GT(world.memory().peak_bytes(), world.memory().live_bytes());
 }
 

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <future>
 #include <thread>
 #include <vector>
@@ -94,6 +96,26 @@ TEST(WorkspaceArena, RewindReusesStorage) {
   EXPECT_EQ(arena.block_count(), 1u);
 }
 
+TEST(WorkspaceArena, AllocationsAre64ByteAligned) {
+  // The packed GEMM panels assume cache-line alignment (simd::kAlign);
+  // alignment must hold for every allocation, including odd sizes and
+  // across ArenaScope rewind/reuse cycles.
+  WorkspaceArena arena;
+  const auto aligned = [](const float* p) {
+    return reinterpret_cast<uintptr_t>(p) % 64 == 0;
+  };
+  EXPECT_TRUE(aligned(arena.alloc(1)));
+  EXPECT_TRUE(aligned(arena.alloc(3)));       // odd size must not skew the next
+  EXPECT_TRUE(aligned(arena.alloc(1000)));
+  EXPECT_TRUE(aligned(arena.alloc(1 << 20)));  // forces a fresh block
+  for (int rep = 0; rep < 3; ++rep) {
+    ArenaScope scope(arena);
+    EXPECT_TRUE(aligned(arena.alloc(7)));
+    EXPECT_TRUE(aligned(arena.alloc(129)));
+    EXPECT_TRUE(aligned(arena.alloc(1 << 19)));
+  }
+}
+
 TEST(WorkspaceArena, ScopeRestoresAcrossGrowth) {
   WorkspaceArena arena;
   {
@@ -172,9 +194,11 @@ TEST(DeployedTBNetBatch, BatchedMatchesPerImageBitForBit) {
       EXPECT_EQ(batched[i * 10 + j], single[j]) << "image " << i;
     }
   }
-  // And both match the in-process fused forward on the whole batch.
+  // And both match the in-process fused forward on the whole batch — to
+  // tight relative tolerance: the engine deploys with BN folded and fused
+  // GEMM epilogues (bitwise only under TBNET_DETERMINISTIC=1).
   const Tensor want = tb.forward(batch, false);
-  EXPECT_TRUE(allclose(batched, want, 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(batched, want, 1e-4f, 1e-5f));
 }
 
 TEST(DeployedTBNetBatch, BatchedMatchesPerImageWithChannelMaps) {
@@ -202,7 +226,7 @@ TEST(DeployedTBNetBatch, BatchedMatchesPerImageWithChannelMaps) {
       EXPECT_EQ(batched[i * 10 + j], single[j]) << "image " << i;
     }
   }
-  EXPECT_TRUE(allclose(batched, tb.forward(batch, false), 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(batched, tb.forward(batch, false), 1e-4f, 1e-5f));
 }
 
 TEST(DeployedTBNetBatch, ResNetBatchedMatchesPerImage) {
@@ -335,8 +359,12 @@ TEST(InferenceServer, CoalescesConcurrentSubmitters) {
   for (int64_t i = 0; i < total; ++i) {
     InferenceResult r = results[static_cast<size_t>(i)].get();
     ASSERT_EQ(r.logits.numel(), 10);
+    // Tolerance vs the in-process model (the engine is folded/fused); which
+    // coalesced batch served a request still cannot change its bits.
     for (int64_t j = 0; j < 10; ++j) {
-      EXPECT_EQ(r.logits[j], want[i * 10 + j]) << "request " << i;
+      const float w = want[i * 10 + j];
+      EXPECT_NEAR(r.logits[j], w, 1e-5f + 1e-4f * std::fabs(w))
+          << "request " << i;
     }
     EXPECT_GE(r.batch_size, 1);
     EXPECT_LE(r.batch_size, scfg.max_batch);
