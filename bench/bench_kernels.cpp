@@ -2,10 +2,12 @@
 // hot path. Emits one JSON document (BENCH_kernels.json in CI) with
 // single-thread GFLOP/s per GEMM shape for the scalar reference kernel
 // ("before": the PR-1 register-blocked kernel, still selectable at runtime
-// via TBNET_DETERMINISTIC=1) and the packed SIMD kernel ("after"), plus
-// fused-epilogue conv timings. The shape list is the im2col GEMMs a
-// CIFAR-scale ResNet victim actually produces, so the speedup column tracks
-// the serving-relevant sizes rather than only square LINPACK-style GEMMs.
+// via TBNET_DETERMINISTIC=1) and the packed SIMD kernel ("after"), a
+// 1/2/4-thread scaling sweep on large shapes, fused-lowering vs materialized
+// conv timings (with arena footprints), and fused-epilogue conv timings. The
+// shape list is the im2col GEMMs a CIFAR-scale ResNet victim actually
+// produces, so the speedup column tracks the serving-relevant sizes rather
+// than only square LINPACK-style GEMMs.
 //
 // Usage: bench_kernels [--quick]
 //   --quick  small shapes / fewer reps; the CI smoke configuration.
@@ -19,13 +21,18 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/sequential.h"
 #include "nn/activations.h"
 #include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/pack.h"
 #include "tensor/rng.h"
 #include "tensor/simd.h"
+#include "tensor/threadpool.h"
 
 namespace {
 
@@ -107,6 +114,113 @@ double micro_roofline_gflops(int reps) {
     best = std::max(best, flops * inner / seconds_since(t0) / 1e9);
   }
   return best;
+}
+
+// Shapes big enough that the column-panel sharding has work to distribute;
+// scaling numbers are only meaningful when the host actually has the cores
+// (the emitted hardware_threads field says whether it does).
+struct MtShape {
+  const char* name;
+  int64_t m, n, k;
+  bool quick;
+};
+
+const MtShape kMtShapes[] = {
+    {"mt_conv_64x4096x576", 64, 4096, 576, true},  // batch-4 8x8 conv GEMM
+    {"mt_square_512", 512, 512, 512, false},
+};
+
+/// Packed-GEMM GFLOP/s on a dedicated pool of `threads` workers.
+double bench_gemm_threads(const MtShape& s, int threads, const Tensor& a,
+                          const Tensor& b, Tensor& c, int reps) {
+  ThreadPool pool(threads);
+  ExecutionContext ctx;
+  ctx.set_pool(&pool);
+  GemmShape gs{s.name, s.m, s.n, s.k, s.quick};
+  return bench_gemm(&gemm_packed_entry, ctx, gs, a, b, c, reps);
+}
+
+struct LowerShape {
+  const char* name;
+  int64_t in_c, out_c, hw, kernel, stride, pad;
+  bool quick;
+};
+
+const LowerShape kLowerShapes[] = {
+    {"lower_conv3x3_16c_32x32", 16, 16, 32, 3, 1, 1, true},
+    {"lower_conv3x3_64c_8x8", 64, 64, 8, 3, 1, 1, false},
+    {"lower_stem_3to16_32x32", 3, 16, 32, 3, 1, 1, false},
+    {"lower_pw1x1_64c_16x16", 64, 64, 16, 1, 1, 0, true},  // direct path
+};
+
+struct LowerPoint {
+  const char* name;
+  double fused_ms = 0.0;
+  double materialized_ms = 0.0;
+  int64_t fused_arena_kb = 0;
+  int64_t materialized_arena_kb = 0;
+};
+
+/// Fused im2col→panel lowering (the Conv2d forward path) vs the PR-2
+/// materializing path (full im2col into an arena column buffer, consumed in
+/// place). Both run with a pre-packed weight, so the delta is pure lowering;
+/// the arena columns record the per-call scratch each path needs.
+LowerPoint bench_lowering(const LowerShape& ls, int reps) {
+  Rng rng(55);
+  nn::Conv2d conv(ls.in_c, ls.out_c,
+                  nn::Conv2d::Options{.kernel = ls.kernel, .stride = ls.stride,
+                                      .pad = ls.pad, .bias = false},
+                  rng);
+  const Tensor x = Tensor::randn(Shape{1, ls.in_c, ls.hw, ls.hw}, rng);
+  Conv2dGeom g;
+  g.in_c = ls.in_c;
+  g.in_h = g.in_w = ls.hw;
+  g.kernel_h = g.kernel_w = ls.kernel;
+  g.stride_h = g.stride_w = ls.stride;
+  g.pad_h = g.pad_w = ls.pad;
+  const int64_t rows = g.col_rows(), cols = g.col_cols();
+
+  LowerPoint p;
+  p.name = ls.name;
+  auto best_ms = [&](auto&& fn) {
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = Clock::now();
+      for (int i = 0; i < 8; ++i) fn();
+      best = std::min(best, seconds_since(t0) / 8.0 * 1e3);
+    }
+    return best;
+  };
+  {
+    // Weight panels live in their own context (a deployed engine's arena);
+    // the scratch context then shows the pure per-call footprint.
+    ExecutionContext weights_ctx;
+    conv.prepare_inference(weights_ctx);
+    ExecutionContext ctx;
+    conv.forward(ctx, x, false);  // warmup (scratch growth)
+    p.fused_arena_kb = ctx.arena().capacity_bytes() / 1024;
+    p.fused_ms = best_ms([&] { conv.forward(ctx, x, false); });
+  }
+  {
+    ExecutionContext ctx;
+    std::vector<float> apack(
+        static_cast<size_t>(packdetail::packed_a_floats(ls.out_c, rows)));
+    packdetail::pack_a_rowmajor(ls.out_c, rows, conv.weight().data(), rows,
+                                apack.data());
+    Tensor out(Shape{1, ls.out_c, g.out_h(), g.out_w()});
+    auto run_once = [&] {
+      ArenaScope scope(ctx.arena());
+      float* colbuf = ctx.arena().alloc(rows * cols);
+      im2col(ctx, g, x.data(), colbuf);
+      packdetail::run_packed_b_rowmajor(ctx.pool(), ls.out_c, cols, rows, 1.0f,
+                                        apack.data(), colbuf, cols, 0.0f,
+                                        out.data(), cols, GemmEpilogue{});
+    };
+    run_once();  // warmup
+    p.materialized_arena_kb = ctx.arena().capacity_bytes() / 1024;
+    p.materialized_ms = best_ms(run_once);
+  }
+  return p;
 }
 
 struct ConvPoint {
@@ -217,6 +331,49 @@ int main(int argc, char** argv) {
               resnet_count > 0 ? min_resnet_speedup : 0.0);
   std::printf("  \"micro_roofline_gflops\": %.2f,\n",
               micro_roofline_gflops(reps));
+
+  // 1/2/4-thread scaling on dedicated pools. hardware_threads is emitted so
+  // the numbers are interpretable: oversubscribed pools on a small builder
+  // legitimately scale at ~1.0x.
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"thread_scaling\": [\n");
+  first = true;
+  for (const MtShape& s : kMtShapes) {
+    if (quick && !s.quick) continue;
+    const Tensor a = Tensor::randn(Shape{s.m, s.k}, rng);
+    const Tensor b = Tensor::randn(Shape{s.k, s.n}, rng);
+    Tensor c(Shape{s.m, s.n});
+    const double t1 = bench_gemm_threads(s, 1, a, b, c, reps);
+    const double t2 = bench_gemm_threads(s, 2, a, b, c, reps);
+    const double t4 = bench_gemm_threads(s, 4, a, b, c, reps);
+    std::printf(
+        "%s    {\"name\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
+        "\"gflops_1t\": %.2f, \"gflops_2t\": %.2f, \"gflops_4t\": %.2f, "
+        "\"scaling_2t\": %.2f, \"scaling_4t\": %.2f}",
+        first ? "" : ",\n", s.name, static_cast<long long>(s.m),
+        static_cast<long long>(s.n), static_cast<long long>(s.k), t1, t2, t4,
+        t2 / t1, t4 / t1);
+    first = false;
+  }
+  std::printf("\n  ],\n");
+
+  std::printf("  \"conv_lowering\": [\n");
+  first = true;
+  for (const LowerShape& ls : kLowerShapes) {
+    if (quick && !ls.quick) continue;
+    const LowerPoint p = bench_lowering(ls, reps);
+    std::printf(
+        "%s    {\"name\": \"%s\", \"fused_ms\": %.4f, "
+        "\"materialized_ms\": %.4f, \"speedup\": %.2f, "
+        "\"fused_arena_kb\": %lld, \"materialized_arena_kb\": %lld}",
+        first ? "" : ",\n", p.name, p.fused_ms, p.materialized_ms,
+        p.materialized_ms / p.fused_ms,
+        static_cast<long long>(p.fused_arena_kb),
+        static_cast<long long>(p.materialized_arena_kb));
+    first = false;
+  }
+  std::printf("\n  ],\n");
 
   std::printf("  \"fused_conv\": [\n");
   std::vector<ConvPoint> convs;

@@ -176,6 +176,10 @@ int main(int argc, char** argv) {
   std::printf("  \"device_timing\": %s,\n",
               device_timing ? "\"raspberry-pi-3b/op-tee\"" : "null");
   std::printf("  \"threads\": %s,\n", std::getenv("TBNET_THREADS"));
+  // REE-side scratch high-water mark (packed weights + per-call workspace);
+  // with fused im2col→panel lowering this excludes any column matrices.
+  std::printf("  \"workspace_bytes\": %lld,\n",
+              static_cast<long long>(engine.workspace_bytes()));
   std::printf("  \"sweep\": [\n");
   for (size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];

@@ -267,7 +267,21 @@ int64_t TwoBranchModel::exposed_param_bytes() const {
   return total;
 }
 
+namespace {
+// Two-branch streams were historically unversioned, starting directly with
+// the i64 stage count (validated to [1, 4096] on load). Newer streams lead
+// with an impossible stage count as a sentinel followed by the
+// nn/serialize.h model-format version, so the nested layer records can
+// evolve (DepthwiseConv2d bias, format v2) without breaking files written
+// by older builds — those parse as format v1.
+constexpr int64_t kTwoBranchVersionSentinel = -2;
+}  // namespace
+
 void save_two_branch(std::ostream& os, const TwoBranchModel& model) {
+  const int64_t sentinel = kTwoBranchVersionSentinel;
+  os.write(reinterpret_cast<const char*>(&sentinel), sizeof(sentinel));
+  const int64_t version = nn::kModelFormatVersion;
+  os.write(reinterpret_cast<const char*>(&version), sizeof(version));
   const int64_t stages = model.num_stages();
   os.write(reinterpret_cast<const char*>(&stages), sizeof(stages));
   for (int i = 0; i < stages; ++i) {
@@ -287,6 +301,17 @@ void save_two_branch(std::ostream& os, const TwoBranchModel& model) {
 TwoBranchModel load_two_branch(std::istream& is) {
   int64_t stages = 0;
   is.read(reinterpret_cast<char*>(&stages), sizeof(stages));
+  uint32_t version = 1;  // unversioned streams predate model format v2
+  if (is && stages == kTwoBranchVersionSentinel) {
+    int64_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!is || v < 1 || v > nn::kModelFormatVersion) {
+      throw std::runtime_error("load_two_branch: unsupported version " +
+                               std::to_string(v));
+    }
+    version = static_cast<uint32_t>(v);
+    is.read(reinterpret_cast<char*>(&stages), sizeof(stages));
+  }
   if (!is || stages <= 0 || stages > 4096) {
     throw std::runtime_error("load_two_branch: corrupt stage count");
   }
@@ -304,8 +329,8 @@ TwoBranchModel load_two_branch(std::istream& is) {
     int64_t fused = 1;
     is.read(reinterpret_cast<char*>(&fused), sizeof(fused));
     if (!is) throw std::runtime_error("load_two_branch: truncated stage");
-    auto exposed = nn::load_layer(is);
-    auto secure = nn::load_layer(is);
+    auto exposed = nn::load_layer(is, version);
+    auto secure = nn::load_layer(is, version);
     model.add_stage(std::move(exposed), std::move(secure));
     model.stage(static_cast<int>(i)).channel_map = std::move(map);
     model.stage(static_cast<int>(i)).fused = (fused != 0);

@@ -126,7 +126,9 @@ class TwoBranchModel {
   std::vector<Shape> exposed_out_shapes_;
 };
 
-/// Serializes a two-branch model (both branches + channel maps).
+/// Serializes a two-branch model (both branches + channel maps). Streams
+/// carry the nn/serialize.h model-format version (sentinel-prefixed);
+/// unversioned streams from older builds load as format v1.
 void save_two_branch(std::ostream& os, const TwoBranchModel& model);
 TwoBranchModel load_two_branch(std::istream& is);
 

@@ -17,6 +17,10 @@ DepthwiseConv2d::DepthwiseConv2d(int64_t channels, const Options& opt,
     throw std::invalid_argument("DepthwiseConv2d: channels must be positive");
   }
   kaiming_normal(weight_, opt.kernel * opt.kernel, rng);
+  if (opt_.bias) {
+    bias_ = Tensor(Shape{channels});
+    bias_grad_ = Tensor(Shape{channels});
+  }
 }
 
 Shape DepthwiseConv2d::out_shape(const Shape& in) const {
@@ -37,7 +41,9 @@ int64_t DepthwiseConv2d::macs(const Shape& in) const {
 
 Tensor DepthwiseConv2d::forward(ExecutionContext& ctx, const Tensor& input,
                                 bool train) {
-  return forward_impl(ctx, input, train, nullptr, nullptr, simd::Act::kNone);
+  // The bias rides the fused per-channel affine (scale 1, shift b[c]).
+  return forward_impl(ctx, input, train, nullptr,
+                      opt_.bias ? bias_.data() : nullptr, simd::Act::kNone);
 }
 
 Tensor DepthwiseConv2d::forward_fused(ExecutionContext& ctx,
@@ -103,13 +109,16 @@ Tensor DepthwiseConv2d::backward(ExecutionContext& ctx,
   const int64_t n = x.dim(0), ih = x.dim(2), iw = x.dim(3);
   const int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
   Tensor grad_input(x.shape());
-  // Sharded over channels only: dk[c] accumulates across the batch, so the
-  // image loop must stay serial per channel to keep the accumulation order
-  // (and hence the bits) identical to the serial kernel.
+  // Sharded over channels only: dk[c] (and db[c]) accumulate across the
+  // batch, so the image loop must stay serial per channel to keep the
+  // accumulation order (and hence the bits) identical to the serial kernel.
   ctx.pool().parallel_for(channels_, [&](int64_t c0, int64_t c1) {
     for (int64_t c = c0; c < c1; ++c) {
       const float* k = weight_.data() + c * opt_.kernel * opt_.kernel;
       float* dk = weight_grad_.data() + c * opt_.kernel * opt_.kernel;
+      // db[c] rides the same pass as dk/dx (accumulated before the g == 0
+      // skip, in the identical image/pixel order).
+      float db = 0.0f;
       for (int64_t i = 0; i < n; ++i) {
         const float* plane = x.data() + (i * channels_ + c) * ih * iw;
         const float* dy = grad_output.data() + (i * channels_ + c) * oh * ow;
@@ -117,6 +126,7 @@ Tensor DepthwiseConv2d::backward(ExecutionContext& ctx,
         for (int64_t oy = 0; oy < oh; ++oy) {
           for (int64_t ox = 0; ox < ow; ++ox) {
             const float g = dy[oy * ow + ox];
+            db += g;
             if (g == 0.0f) continue;
             for (int64_t ky = 0; ky < opt_.kernel; ++ky) {
               const int64_t iy = oy * opt_.stride - opt_.pad + ky;
@@ -131,13 +141,33 @@ Tensor DepthwiseConv2d::backward(ExecutionContext& ctx,
           }
         }
       }
+      if (opt_.bias) bias_grad_[c] += db;
     }
   });
   return grad_input;
 }
 
 std::vector<ParamRef> DepthwiseConv2d::params() {
-  return {{"weight", &weight_, &weight_grad_, /*decay=*/true}};
+  std::vector<ParamRef> ps;
+  ps.push_back({"weight", &weight_, &weight_grad_, /*decay=*/true});
+  if (opt_.bias) ps.push_back({"bias", &bias_, &bias_grad_, /*decay=*/false});
+  return ps;
+}
+
+void DepthwiseConv2d::fuse_scale_shift(const float* scale, const float* shift) {
+  const int64_t kk = opt_.kernel * opt_.kernel;
+  for (int64_t c = 0; c < channels_; ++c) {
+    float* w = weight_.data() + c * kk;
+    for (int64_t j = 0; j < kk; ++j) w[j] *= scale[c];
+  }
+  if (!opt_.bias) {
+    opt_.bias = true;
+    bias_ = Tensor(Shape{channels_});
+    bias_grad_ = Tensor(Shape{channels_});
+  }
+  for (int64_t c = 0; c < channels_; ++c) {
+    bias_[c] = bias_[c] * scale[c] + shift[c];
+  }
 }
 
 std::unique_ptr<Layer> DepthwiseConv2d::clone() const {
@@ -160,6 +190,14 @@ void DepthwiseConv2d::select_channels(const std::vector<int64_t>& keep) {
     for (int64_t j = 0; j < kk; ++j) {
       w[static_cast<int64_t>(i) * kk + j] = weight_[c * kk + j];
     }
+  }
+  if (opt_.bias) {
+    Tensor nb(Shape{static_cast<int64_t>(keep.size())});
+    for (size_t i = 0; i < keep.size(); ++i) {
+      nb[static_cast<int64_t>(i)] = bias_[keep[i]];
+    }
+    bias_ = std::move(nb);
+    bias_grad_ = Tensor(bias_.shape());
   }
   weight_ = std::move(w);
   weight_grad_ = Tensor(weight_.shape());

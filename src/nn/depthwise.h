@@ -22,6 +22,7 @@ class DepthwiseConv2d : public Layer {
     int64_t kernel = 3;
     int64_t stride = 1;
     int64_t pad = 1;
+    bool bias = false;  ///< usually false: BatchNorm follows.
   };
 
   DepthwiseConv2d(int64_t channels, const Options& opt, Rng& rng);
@@ -34,7 +35,9 @@ class DepthwiseConv2d : public Layer {
   /// Eval-only fused forward: y = act(dw(x) * scale[c] + shift[c]) applied
   /// inside the accumulation loop — a depthwise layer is one pass already,
   /// so fusing the following BN/ReLU removes two full passes over the map.
-  /// A depthwise layer has no bias of its own; nullptr means identity.
+  /// `scale`/`shift` must already compose this layer's own bias if any
+  /// (shift[c] = bias[c] * scale[c] + bn_shift[c]); Sequential's fusion plan
+  /// builds them that way. nullptr means identity.
   Tensor forward_fused(ExecutionContext& ctx, const Tensor& input,
                        const float* scale, const float* shift, simd::Act act);
 
@@ -49,9 +52,18 @@ class DepthwiseConv2d : public Layer {
   const Options& options() const { return opt_; }
   Tensor& weight() { return weight_; }
   const Tensor& weight() const { return weight_; }
+  Tensor& bias() { return bias_; }
+  bool has_bias() const { return opt_.bias; }
 
   /// Keeps only the listed channels (input and output are the same set).
   void select_channels(const std::vector<int64_t>& keep);
+
+  /// Deploy-time BN folding: scales each channel's taps by scale[c] and adds
+  /// shift[c] into the bias (creating the bias if absent), so a following
+  /// eval-mode BatchNorm can be removed — the depthwise analogue of
+  /// Conv2d::fuse_scale_shift, which is what lets MobileNet-style TA images
+  /// ship without their depthwise BN layers.
+  void fuse_scale_shift(const float* scale, const float* shift);
 
  private:
   Tensor forward_impl(ExecutionContext& ctx, const Tensor& input, bool train,
@@ -64,6 +76,7 @@ class DepthwiseConv2d : public Layer {
   int64_t channels_;
   Options opt_;
   Tensor weight_, weight_grad_;  ///< [channels, kernel, kernel]
+  Tensor bias_, bias_grad_;      ///< [channels]; empty unless opt_.bias
   Tensor cached_input_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
+#include "nn/depthwise.h"
 
 namespace tbnet::nn {
 
@@ -14,14 +15,23 @@ int fold_batchnorm_inference(Sequential& seq) {
       folds += fold_batchnorm_inference(*inner);
       continue;
     }
+    if (i + 1 >= seq.size()) continue;
     auto* conv = dynamic_cast<Conv2d*>(&seq.layer(i));
-    if (conv == nullptr || i + 1 >= seq.size()) continue;
+    auto* dw = dynamic_cast<DepthwiseConv2d*>(&seq.layer(i));
+    const int64_t channels = conv != nullptr ? conv->out_channels()
+                             : dw != nullptr ? dw->channels()
+                                             : -1;
+    if (channels < 0) continue;
     auto* bn = dynamic_cast<BatchNorm2d*>(&seq.layer(i + 1));
-    if (bn == nullptr || bn->channels() != conv->out_channels()) continue;
-    std::vector<float> scale(static_cast<size_t>(bn->channels()));
-    std::vector<float> shift(static_cast<size_t>(bn->channels()));
+    if (bn == nullptr || bn->channels() != channels) continue;
+    std::vector<float> scale(static_cast<size_t>(channels));
+    std::vector<float> shift(static_cast<size_t>(channels));
     bn->inference_scale_shift(scale.data(), shift.data());
-    conv->fuse_scale_shift(scale.data(), shift.data());
+    if (conv != nullptr) {
+      conv->fuse_scale_shift(scale.data(), shift.data());
+    } else {
+      dw->fuse_scale_shift(scale.data(), shift.data());
+    }
     seq.remove_layer(i + 1);
     ++folds;
   }

@@ -10,9 +10,10 @@
 //
 // so the deployed model ships without the BN layer at all — no extra pass
 // over the feature map, a smaller TA image, and one fewer layer of secure
-// memory accounting. Depthwise convolutions keep their BN structurally (they
-// have no bias parameter to absorb the shift); Sequential's fusion plan
-// still executes dw+BN+ReLU as a single pass at runtime.
+// memory accounting. Depthwise convolutions fold the same way since they
+// grew an optional bias (model format v2), so MobileNet-style TA images
+// shrink like the conv ones; Sequential's fusion plan still executes any
+// remaining dw+BN+ReLU run as a single pass at runtime.
 //
 // Folding is destructive for training: the folded conv can no longer be
 // fine-tuned as conv+BN. Apply it only to deployment clones — DeployedTBNet
@@ -23,10 +24,11 @@
 
 namespace tbnet::nn {
 
-/// Folds every [Conv2d -> BatchNorm2d] pair in `seq` (recursing into nested
-/// Sequentials) into the conv, removing the BN layers. Returns the number of
-/// folds performed. ResidualBlock members are left intact (their fused eval
-/// path handles BN in the epilogue); see the header comment for depthwise.
+/// Folds every [Conv2d -> BatchNorm2d] and [DepthwiseConv2d -> BatchNorm2d]
+/// pair in `seq` (recursing into nested Sequentials) into the conv, removing
+/// the BN layers. Returns the number of folds performed. ResidualBlock
+/// members are left intact (their fused eval path handles BN in the
+/// epilogue).
 int fold_batchnorm_inference(Sequential& seq);
 
 }  // namespace tbnet::nn

@@ -50,29 +50,34 @@ void ResidualBlock::prepare_inference(ExecutionContext& ctx) {
   conv1_->prepare_inference(ctx);
   conv2_->prepare_inference(ctx);
   if (down_conv_) down_conv_->prepare_inference(ctx);
+  // The block is frozen once prepared, so the BN scale/shift composition is
+  // hoisted here instead of being rebuilt on every fused eval call.
+  const int64_t mid_c = conv1_->out_channels();
+  fused_s1_.resize(static_cast<size_t>(mid_c));
+  fused_t1_.resize(static_cast<size_t>(mid_c));
+  bn1_->inference_scale_shift(fused_s1_.data(), fused_t1_.data());
+  fused_s2_.resize(static_cast<size_t>(out_c_));
+  fused_t2_.resize(static_cast<size_t>(out_c_));
+  bn2_->inference_scale_shift(fused_s2_.data(), fused_t2_.data());
+  if (down_conv_) {
+    fused_sd_.resize(static_cast<size_t>(out_c_));
+    fused_td_.resize(static_cast<size_t>(out_c_));
+    down_bn_->inference_scale_shift(fused_sd_.data(), fused_td_.data());
+  }
   prepared_ = true;
 }
 
 Tensor ResidualBlock::forward_fused_eval(ExecutionContext& ctx,
                                          const Tensor& input) {
-  ArenaScope scope(ctx.arena());
-  const int64_t mid_c = conv1_->out_channels();
-  float* s1 = ctx.arena().alloc(mid_c);
-  float* t1 = ctx.arena().alloc(mid_c);
-  bn1_->inference_scale_shift(s1, t1);
-  Tensor mid = conv1_->forward_fused(ctx, input, s1, t1, simd::Act::kReLU);
-
-  float* s2 = ctx.arena().alloc(out_c_);
-  float* t2 = ctx.arena().alloc(out_c_);
-  bn2_->inference_scale_shift(s2, t2);
-  Tensor main = conv2_->forward_fused(ctx, mid, s2, t2, simd::Act::kNone);
+  Tensor mid = conv1_->forward_fused(ctx, input, fused_s1_.data(),
+                                     fused_t1_.data(), simd::Act::kReLU);
+  Tensor main = conv2_->forward_fused(ctx, mid, fused_s2_.data(),
+                                      fused_t2_.data(), simd::Act::kNone);
 
   Tensor skip = input;
   if (down_conv_) {
-    float* sd = ctx.arena().alloc(out_c_);
-    float* td = ctx.arena().alloc(out_c_);
-    down_bn_->inference_scale_shift(sd, td);
-    skip = down_conv_->forward_fused(ctx, input, sd, td, simd::Act::kNone);
+    skip = down_conv_->forward_fused(ctx, input, fused_sd_.data(),
+                                     fused_td_.data(), simd::Act::kNone);
   }
   if (skip.shape() != main.shape()) {
     throw std::logic_error("ResidualBlock: skip/main shape mismatch");

@@ -75,6 +75,10 @@ class ResidualBlock : public Layer {
   Tensor cached_input_;
   Shape mid_shape_, out_shape_cache_;
   bool prepared_ = false;  ///< set by prepare_inference
+  // Composed BN scale/shift for the fused eval path, cached by
+  // prepare_inference (the block is frozen once prepared).
+  std::vector<float> fused_s1_, fused_t1_, fused_s2_, fused_t2_;
+  std::vector<float> fused_sd_, fused_td_;  ///< downsample; empty without one
 };
 
 /// Builds the skip-free ("plain") Sequential version of a residual block:

@@ -87,6 +87,32 @@ void Sequential::prepare_inference(ExecutionContext& ctx) {
       plan_.push_back(step);
       i = j;
     }
+    // Hoist the BN scale/shift composition out of the per-call path: the
+    // model is frozen once prepared, so the composed vectors (including the
+    // head layer's own bias) are computed once here and reused by every
+    // fused eval.
+    for (FusedStep& step : plan_) {
+      if (step.bn < 0) continue;
+      auto* bn = static_cast<BatchNorm2d*>(
+          layers_[static_cast<size_t>(step.bn)].get());
+      const int64_t c = bn->channels();
+      step.scale.resize(static_cast<size_t>(c));
+      step.shift.resize(static_cast<size_t>(c));
+      bn->inference_scale_shift(step.scale.data(), step.shift.data());
+      Layer* head = layers_[static_cast<size_t>(step.layer)].get();
+      const float* bias = nullptr;
+      if (auto* conv = dynamic_cast<Conv2d*>(head)) {
+        if (conv->has_bias()) bias = conv->bias().data();
+      } else if (auto* dw = dynamic_cast<DepthwiseConv2d*>(head)) {
+        if (dw->has_bias()) bias = dw->bias().data();
+      }
+      if (bias != nullptr) {
+        // y = (head(x) + b) * s + t  =>  shift = b * s + t
+        for (int64_t o = 0; o < c; ++o) {
+          step.shift[static_cast<size_t>(o)] += bias[o] * step.scale[static_cast<size_t>(o)];
+        }
+      }
+    }
     prepared_ = true;
   }
   for (auto& l : layers_) l->prepare_inference(ctx);
@@ -94,9 +120,6 @@ void Sequential::prepare_inference(ExecutionContext& ctx) {
 
 Tensor Sequential::forward_prepared(ExecutionContext& ctx,
                                     const Tensor& input) {
-  // Scratch for the composed BN scale/shift vectors; sized by the widest
-  // fused layer, so steady-state serving allocates nothing here either.
-  ArenaScope scope(ctx.arena());
   Tensor x = input;
   for (const FusedStep& step : plan_) {
     Layer* layer = layers_[static_cast<size_t>(step.layer)].get();
@@ -106,39 +129,15 @@ Tensor Sequential::forward_prepared(ExecutionContext& ctx,
       x = layer->forward(ctx, x, false);
       continue;
     }
+    // The composed BN affine was cached at prepare time (step.scale/shift);
+    // without a BN the head's own bias rides the shift slot unscaled.
+    const float* scale = step.bn >= 0 ? step.scale.data() : nullptr;
+    const float* shift = step.bn >= 0 ? step.shift.data() : nullptr;
     if (auto* conv = dynamic_cast<Conv2d*>(layer)) {
-      const float* scale = nullptr;
-      const float* shift = conv->has_bias() ? conv->bias().data() : nullptr;
-      float* s = nullptr;
-      float* t = nullptr;
-      if (step.bn >= 0) {
-        auto* bn = static_cast<BatchNorm2d*>(
-            layers_[static_cast<size_t>(step.bn)].get());
-        const int64_t c = bn->channels();
-        s = ctx.arena().alloc(c);
-        t = ctx.arena().alloc(c);
-        bn->inference_scale_shift(s, t);
-        if (conv->has_bias()) {
-          // y = (conv + b) * s + t  =>  shift = b * s + t
-          for (int64_t o = 0; o < c; ++o) t[o] += conv->bias()[o] * s[o];
-        }
-        scale = s;
-        shift = t;
-      }
+      if (shift == nullptr && conv->has_bias()) shift = conv->bias().data();
       x = conv->forward_fused(ctx, x, scale, shift, step.act);
     } else if (auto* dw = dynamic_cast<DepthwiseConv2d*>(layer)) {
-      const float* scale = nullptr;
-      const float* shift = nullptr;
-      if (step.bn >= 0) {
-        auto* bn = static_cast<BatchNorm2d*>(
-            layers_[static_cast<size_t>(step.bn)].get());
-        const int64_t c = bn->channels();
-        float* s = ctx.arena().alloc(c);
-        float* t = ctx.arena().alloc(c);
-        bn->inference_scale_shift(s, t);
-        scale = s;
-        shift = t;
-      }
+      if (shift == nullptr && dw->has_bias()) shift = dw->bias().data();
       x = dw->forward_fused(ctx, x, scale, shift, step.act);
     } else {
       // The planner only folds layers behind Conv2d/DepthwiseConv2d/Dense,

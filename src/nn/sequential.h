@@ -76,6 +76,12 @@ class Sequential : public Layer {
     int consumed = 1;    ///< total layers this step advances past
     int bn = -1;         ///< index of the folded BatchNorm2d, -1 = none
     simd::Act act = simd::Act::kNone;
+    /// Composed per-channel epilogue affine, cached at prepare time when a
+    /// BN is folded in: scale = gamma / sqrt(var + eps), shift = the BN
+    /// shift with the head layer's own bias pre-composed. The model is
+    /// frozen after prepare_inference (see Layer), so recomputing these per
+    /// eval call would be pure waste; empty when bn < 0.
+    std::vector<float> scale, shift;
   };
 
   Tensor forward_prepared(ExecutionContext& ctx, const Tensor& input);

@@ -126,7 +126,11 @@ void save_layer(std::ostream& os, const Layer& layer) {
     write_i64(os, dw->options().kernel);
     write_i64(os, dw->options().stride);
     write_i64(os, dw->options().pad);
+    write_u32(os, dw->has_bias() ? 1 : 0);  // format v2
     write_tensor(os, dw->weight());
+    if (dw->has_bias()) {
+      write_tensor(os, const_cast<DepthwiseConv2d*>(dw)->bias());
+    }
   } else if (const auto* bn = dynamic_cast<const BatchNorm2d*>(&layer)) {
     write_i64(os, bn->channels());
     write_f32(os, bn->eps());
@@ -185,7 +189,7 @@ void save_layer(std::ostream& os, const Layer& layer) {
   }
 }
 
-std::unique_ptr<Layer> load_layer(std::istream& is) {
+std::unique_ptr<Layer> load_layer(std::istream& is, uint32_t version) {
   const std::string kind = read_string(is);
   Rng rng(0);  // weights are overwritten right after construction
   if (kind == "Conv2d") {
@@ -210,11 +214,14 @@ std::unique_ptr<Layer> load_layer(std::istream& is) {
     opt.kernel = read_i64(is);
     opt.stride = read_i64(is);
     opt.pad = read_i64(is);
+    // v1 depthwise layers had no bias parameter (and no flag in the stream).
+    opt.bias = version >= 2 && read_u32(is) != 0;
     auto dw = std::make_unique<DepthwiseConv2d>(channels, opt, rng);
     dw->weight() = read_tensor(is);
     if (dw->weight().shape() != Shape{channels, opt.kernel, opt.kernel}) {
       throw std::runtime_error("load_layer: DepthwiseConv2d shape mismatch");
     }
+    if (opt.bias) dw->bias() = read_tensor(is);
     return dw;
   }
   if (kind == "BatchNorm2d") {
@@ -270,7 +277,7 @@ std::unique_ptr<Layer> load_layer(std::istream& is) {
   if (kind == "Sequential") {
     const uint32_t n = read_u32(is);
     auto seq = std::make_unique<Sequential>();
-    for (uint32_t i = 0; i < n; ++i) seq->add(load_layer(is));
+    for (uint32_t i = 0; i < n; ++i) seq->add(load_layer(is, version));
     return seq;
   }
   if (kind == "ResidualBlock") {
@@ -285,9 +292,9 @@ std::unique_ptr<Layer> load_layer(std::istream& is) {
       for (int64_t i = 0; i < internal; ++i) keep[static_cast<size_t>(i)] = i;
       block->prune_internal(keep);
     }
-    auto copy_into = [&is](Conv2d& conv, BatchNorm2d& bn) {
-      auto loaded_conv = load_layer(is);
-      auto loaded_bn = load_layer(is);
+    auto copy_into = [&is, version](Conv2d& conv, BatchNorm2d& bn) {
+      auto loaded_conv = load_layer(is, version);
+      auto loaded_bn = load_layer(is, version);
       auto* c = dynamic_cast<Conv2d*>(loaded_conv.get());
       auto* b = dynamic_cast<BatchNorm2d*>(loaded_bn.get());
       if (!c || !b) {
@@ -322,11 +329,11 @@ std::unique_ptr<Layer> load_model(std::istream& is) {
     throw std::runtime_error("load_model: bad magic");
   }
   const uint32_t version = read_u32(is);
-  if (version != kModelFormatVersion) {
+  if (version < 1 || version > kModelFormatVersion) {
     throw std::runtime_error("load_model: unsupported version " +
                              std::to_string(version));
   }
-  return load_layer(is);
+  return load_layer(is, version);
 }
 
 void save_model_file(const std::string& path, const Layer& model) {

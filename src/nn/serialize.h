@@ -18,13 +18,22 @@
 
 namespace tbnet::nn {
 
-inline constexpr uint32_t kModelFormatVersion = 1;
+/// Version history:
+///   1 — initial format.
+///   2 — DepthwiseConv2d gains an optional bias (has_bias flag + tensor),
+///       so deploy-time BN folding can absorb into depthwise stages too.
+/// Writers always emit the current version; load_model accepts any version
+/// back to 1 (a v1 DepthwiseConv2d loads bias-free).
+inline constexpr uint32_t kModelFormatVersion = 2;
 
 /// Serializes a layer tree (any Layer produced by this library).
 void save_layer(std::ostream& os, const Layer& layer);
 
 /// Reconstructs a layer tree; throws std::runtime_error on malformed input.
-std::unique_ptr<Layer> load_layer(std::istream& is);
+/// `version` is the enclosing stream's format version (load_model passes it
+/// through; bare-layer callers get the current format).
+std::unique_ptr<Layer> load_layer(std::istream& is,
+                                  uint32_t version = kModelFormatVersion);
 
 /// Whole-model wrappers with magic/version framing.
 void save_model(std::ostream& os, const Layer& model);

@@ -297,8 +297,9 @@ void ta_check(uint32_t status, const char* what) {
 
 /// Builds the TBNet TA image: stage count, then per stage the channel map
 /// and the serialized secure block. Blocks are serialized from deployment
-/// clones with inference-mode BatchNorm folded into the adjacent convs
-/// (nn/fuse.h), so the TA ships fewer layers and fewer parameter bytes;
+/// clones with inference-mode BatchNorm folded into the adjacent convs —
+/// including depthwise convs since the model format grew a depthwise bias
+/// (nn/fuse.h) — so the TA ships fewer layers and fewer parameter bytes;
 /// under TBNET_DETERMINISTIC=1 the blocks ship unmodified.
 std::vector<uint8_t> build_tbnet_ta_image(const core::TwoBranchModel& model) {
   std::vector<uint8_t> image;

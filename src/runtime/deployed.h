@@ -84,6 +84,12 @@ class DeployedTBNet {
   int64_t ta_image_bytes() const { return ta_image_bytes_; }
   int64_t max_batch() const { return opt_.max_batch; }
 
+  /// High-water mark of the REE-side scratch arena (packed weight panels +
+  /// per-call workspace). With fused im2col→panel lowering the conv stages
+  /// allocate no column matrices, so this tracks the serving working set
+  /// rather than the sum of per-layer lowering buffers.
+  int64_t workspace_bytes() const { return exec_ctx_.arena().capacity_bytes(); }
+
   /// World switches this engine's session has performed (amortization
   /// observable: batch N costs the same count as a single image).
   int64_t world_switches() const;

@@ -173,10 +173,10 @@ void gemm_packed(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
   }
   ArenaScope scope(ctx.arena());
   float* ap = ctx.arena().alloc(packdetail::packed_a_floats(m, k));
-  packdetail::pack_a_rowmajor(m, k, a, k, ap);
+  packdetail::pack_a_rowmajor(ctx.pool(), m, k, a, k, ap);
   if (b_is_transposed) {
     float* bp = ctx.arena().alloc(packdetail::packed_b_floats(k, n));
-    packdetail::pack_b_from_bt(n, k, b, k, bp);
+    packdetail::pack_b_from_bt(ctx.pool(), n, k, b, k, bp);
     packdetail::run_packed(ctx.pool(), m, n, k, alpha, ap, bp, beta, c, n, ep);
   } else {
     packdetail::run_packed_b_rowmajor(ctx.pool(), m, n, k, alpha, ap, b, n,
@@ -265,15 +265,36 @@ void gemm_nt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
   gemm_nt(default_execution_context(), m, n, k, alpha, a, b, beta, c);
 }
 
+void gemm_tn_reference(const ExecutionContext& ctx, int64_t m, int64_t n,
+                       int64_t k, float alpha, const float* a, const float* b,
+                       float beta, float* c) {
+  gemm_tn_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+}
+
 void gemm_tn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
              float alpha, const float* a, const float* b, float beta,
              float* c) {
-  gemm_tn_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+  if (!simd::fast_kernels_enabled() || n < simd::kNR) {
+    gemm_tn_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+    return;
+  }
+  // Packed path for the backward GEMMs (dcols = W^T dy, dW = dy^T x): pack
+  // the transposed A into microkernel panels — byte-identical panels to the
+  // un-transposed pack, so the result matches gemm_nn on A bitwise — and
+  // consume the row-major B in place. The k axis (output channels for
+  // dcols, batch*spatial for weight gradients) is sliced by the driver's
+  // kBlockK blocking; beta accumulation chains across slices in k order, so
+  // the determinism contract (k-ordered per-element accumulation) holds.
+  ArenaScope scope(ctx.arena());
+  float* ap = ctx.arena().alloc(packdetail::packed_a_floats(m, k));
+  packdetail::pack_a_from_at(ctx.pool(), m, k, a, m, ap);
+  packdetail::run_packed_b_rowmajor(ctx.pool(), m, n, k, alpha, ap, b, n, beta,
+                                    c, n, GemmEpilogue{});
 }
 
 void gemm_tn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c) {
-  gemm_tn_on(ThreadPool::global(), m, n, k, alpha, a, b, beta, c);
+  gemm_tn(default_execution_context(), m, n, k, alpha, a, b, beta, c);
 }
 
 void gemv_reference(int64_t m, int64_t n, float alpha, const float* a,

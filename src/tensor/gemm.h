@@ -52,9 +52,12 @@ void gemm_nt(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
              const float* b, float beta, float* c);
 
 /// C[m,n] = alpha * A^T (A is [k,m]) * B[k,n] + beta * C
-/// Backward-only (weight-gradient accumulation); stays on the scalar
-/// reference kernel — its k extent is the batch/spatial axis, which the
-/// packed layout does not cover profitably at these shapes.
+/// Backward-only (weight-gradient accumulation and dcols). Runs the packed
+/// microkernel path — A^T packs into the same panels the un-transposed
+/// matrix would, B is consumed in place, and k (the batch*spatial axis for
+/// weight gradients) is sliced by the driver's k-blocking — except for
+/// n < kNR heads and under TBNET_DETERMINISTIC=1, which keep the scalar
+/// reference kernel.
 void gemm_tn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
              float alpha, const float* a, const float* b, float beta,
              float* c);
@@ -75,6 +78,9 @@ void gemm_nn_reference(const ExecutionContext& ctx, int64_t m, int64_t n,
                        int64_t k, float alpha, const float* a, const float* b,
                        float beta, float* c);
 void gemm_nt_reference(const ExecutionContext& ctx, int64_t m, int64_t n,
+                       int64_t k, float alpha, const float* a, const float* b,
+                       float beta, float* c);
+void gemm_tn_reference(const ExecutionContext& ctx, int64_t m, int64_t n,
                        int64_t k, float alpha, const float* a, const float* b,
                        float beta, float* c);
 void gemv_reference(int64_t m, int64_t n, float alpha, const float* a,

@@ -1,7 +1,9 @@
 #include "tensor/im2col.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "tensor/simd.h"
 #include "tensor/threadpool.h"
 
 namespace tbnet {
@@ -48,6 +50,80 @@ void im2col(const ExecutionContext& ctx, const Conv2dGeom& g,
       im2col_row(g, image, row, cols + row * col_cols);
     }
   });
+}
+
+void im2col_pack_panel(const Conv2dGeom& g, const float* image, int64_t kk,
+                       int64_t kc, int64_t j0, int nr, int64_t panel_stride,
+                       float* panel) {
+  const int64_t ow = g.out_w();
+  const int64_t khw = g.kernel_h * g.kernel_w;
+  // The column range [j0, j0+nr) decomposes into runs within single output
+  // rows. The decomposition (and each run's base input row/column before the
+  // kernel-tap offset) is shared by every tap row of the panel, so it is
+  // computed once here instead of kc times in the tap loop. A panel is at
+  // most panel_stride columns, so `nr` bounds the segment count.
+  struct Seg {
+    int64_t j;    ///< first panel column of the run
+    int64_t len;  ///< run length
+    int64_t iy0;  ///< oy * stride_h - pad_h (add kh for the tap's input row)
+    int64_t ix0;  ///< ox0 * stride_w - pad_w (add kw; stride-1 run base)
+  };
+  Seg segs[simd::kNR];
+  int nsegs = 0;
+  for (int64_t j = 0, col = j0; j < nr; ++nsegs) {
+    const int64_t oy = col / ow;
+    const int64_t ox0 = col - oy * ow;
+    segs[nsegs] = Seg{j, std::min<int64_t>(nr - j, ow - ox0),
+                      oy * g.stride_h - g.pad_h, ox0 * g.stride_w - g.pad_w};
+    j += segs[nsegs].len;
+    col += segs[nsegs].len;
+  }
+  // Tap coordinates advance incrementally over the panel's rows — no
+  // division in the kc loop.
+  int64_t kw = (kk % khw) % g.kernel_w;
+  int64_t kh = (kk % khw) / g.kernel_w;
+  int64_t c = kk / khw;
+  const float* plane = image + c * g.in_h * g.in_w;
+  for (int64_t p = 0; p < kc; ++p) {
+    float* out = panel + p * panel_stride;
+    for (int s = 0; s < nsegs; ++s) {
+      const Seg& seg = segs[s];
+      const int64_t iy = seg.iy0 + kh;
+      if (iy < 0 || iy >= g.in_h) {
+        std::memset(out + seg.j, 0,
+                    static_cast<size_t>(seg.len) * sizeof(float));
+        continue;
+      }
+      const float* src = plane + iy * g.in_w;
+      const int64_t ix0 = seg.ix0 + kw;
+      if (g.stride_w == 1) {
+        // In-bounds interior of the run is a straight copy.
+        const int64_t lo = std::clamp<int64_t>(-ix0, 0, seg.len);
+        const int64_t hi = std::clamp<int64_t>(g.in_w - ix0, lo, seg.len);
+        for (int64_t t = 0; t < lo; ++t) out[seg.j + t] = 0.0f;
+        if (hi > lo) {
+          std::memcpy(out + seg.j + lo, src + ix0 + lo,
+                      static_cast<size_t>(hi - lo) * sizeof(float));
+        }
+        for (int64_t t = hi; t < seg.len; ++t) out[seg.j + t] = 0.0f;
+      } else {
+        for (int64_t t = 0; t < seg.len; ++t) {
+          const int64_t ix = ix0 + t * g.stride_w;
+          out[seg.j + t] = (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
+        }
+      }
+    }
+    for (int64_t j = nr; j < panel_stride; ++j) out[j] = 0.0f;
+    // Advance (c, kh, kw) to the next column-matrix row.
+    if (++kw == g.kernel_w) {
+      kw = 0;
+      if (++kh == g.kernel_h) {
+        kh = 0;
+        ++c;
+        plane += g.in_h * g.in_w;
+      }
+    }
+  }
 }
 
 void col2im(const Conv2dGeom& g, const float* cols, float* image) {

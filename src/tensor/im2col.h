@@ -41,4 +41,19 @@ void im2col(const Conv2dGeom& geom, const float* image, float* cols);
 /// zero-init `image`).
 void col2im(const Conv2dGeom& geom, const float* cols, float* image);
 
+/// Fused im2col → panel lowering: writes the [kc x nr] slab of the column
+/// matrix covering rows [kk, kk+kc) and columns [j0, j0+nr) straight from
+/// the CHW `image` into `panel` (layout [kc][panel_stride], columns
+/// [nr, panel_stride) zero-filled). Feeding these panels to the packed GEMM
+/// driver (packdetail::run_packed_b_producer) computes a convolution without
+/// ever materializing the column matrix; the values written are exactly the
+/// ones im2col would place at the same (row, col) positions, so the result
+/// is bit-identical to the materializing path. Pure function of its
+/// arguments — safe to call concurrently for disjoint panels. `nr` must not
+/// exceed simd::kNR (one microkernel panel, the only width the packed driver
+/// requests); panel_stride >= nr sets the row pitch.
+void im2col_pack_panel(const Conv2dGeom& geom, const float* image, int64_t kk,
+                       int64_t kc, int64_t j0, int nr, int64_t panel_stride,
+                       float* panel);
+
 }  // namespace tbnet

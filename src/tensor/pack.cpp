@@ -1,6 +1,7 @@
 #include "tensor/pack.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <new>
 #include <stdexcept>
@@ -32,20 +33,92 @@ int64_t packed_b_floats(int64_t k, int64_t n) {
   return ceil_div(n, kNR) * kNR * std::max<int64_t>(k, 1);
 }
 
+/// Packs the A panel at row offset i0 across every k block.
+void pack_a_panel(int64_t m, int64_t k, const float* a, int64_t lda,
+                  int64_t m_round, int64_t i0, float* dst) {
+  for (int64_t kk = 0; kk < k; kk += kBlockK) {
+    const int64_t kc = std::min(kBlockK, k - kk);
+    float* panel = dst + m_round * kk + i0 * kc;
+    for (int64_t p = 0; p < kc; ++p) {
+      float* col = panel + p * kMR;
+      for (int64_t r = 0; r < kMR; ++r) {
+        const int64_t row = i0 + r;
+        col[r] = row < m ? a[row * lda + kk + p] : 0.0f;
+      }
+    }
+  }
+}
+
+/// Same panel from the transposed source: `at` is [k, m] row-major, so tap
+/// (row, kk + p) lives at at[(kk + p) * ldat + row]. Byte-identical output.
+void pack_a_panel_from_at(int64_t m, int64_t k, const float* at, int64_t ldat,
+                          int64_t m_round, int64_t i0, float* dst) {
+  for (int64_t kk = 0; kk < k; kk += kBlockK) {
+    const int64_t kc = std::min(kBlockK, k - kk);
+    float* panel = dst + m_round * kk + i0 * kc;
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* src = at + (kk + p) * ldat;
+      float* col = panel + p * kMR;
+      for (int64_t r = 0; r < kMR; ++r) {
+        const int64_t row = i0 + r;
+        col[r] = row < m ? src[row] : 0.0f;
+      }
+    }
+  }
+}
+
 void pack_a_rowmajor(int64_t m, int64_t k, const float* a, int64_t lda,
                      float* dst) {
   const int64_t m_round = ceil_div(m, kMR) * kMR;
+  for (int64_t i0 = 0; i0 < m_round; i0 += kMR) {
+    pack_a_panel(m, k, a, lda, m_round, i0, dst);
+  }
+}
+
+void pack_a_rowmajor(ThreadPool& pool, int64_t m, int64_t k, const float* a,
+                     int64_t lda, float* dst) {
+  const int64_t mpan = ceil_div(m, kMR);
+  const int64_t m_round = mpan * kMR;
+  pool.parallel_for(mpan, [&](int64_t p0, int64_t p1) {
+    for (int64_t ip = p0; ip < p1; ++ip) {
+      pack_a_panel(m, k, a, lda, m_round, ip * kMR, dst);
+    }
+  });
+}
+
+void pack_a_from_at(int64_t m, int64_t k, const float* at, int64_t ldat,
+                    float* dst) {
+  const int64_t m_round = ceil_div(m, kMR) * kMR;
+  for (int64_t i0 = 0; i0 < m_round; i0 += kMR) {
+    pack_a_panel_from_at(m, k, at, ldat, m_round, i0, dst);
+  }
+}
+
+void pack_a_from_at(ThreadPool& pool, int64_t m, int64_t k, const float* at,
+                    int64_t ldat, float* dst) {
+  const int64_t mpan = ceil_div(m, kMR);
+  const int64_t m_round = mpan * kMR;
+  pool.parallel_for(mpan, [&](int64_t p0, int64_t p1) {
+    for (int64_t ip = p0; ip < p1; ++ip) {
+      pack_a_panel_from_at(m, k, at, ldat, m_round, ip * kMR, dst);
+    }
+  });
+}
+
+/// Packs the B panel at column offset j0 across every k block.
+void pack_b_panel_from_bt(int64_t n, int64_t k, const float* bt, int64_t ldbt,
+                          int64_t n_round, int64_t j0, float* dst) {
   for (int64_t kk = 0; kk < k; kk += kBlockK) {
     const int64_t kc = std::min(kBlockK, k - kk);
-    float* block = dst + m_round * kk;
-    for (int64_t i0 = 0; i0 < m_round; i0 += kMR) {
-      float* panel = block + i0 * kc;
-      for (int64_t p = 0; p < kc; ++p) {
-        float* col = panel + p * kMR;
-        for (int64_t r = 0; r < kMR; ++r) {
-          const int64_t row = i0 + r;
-          col[r] = row < m ? a[row * lda + kk + p] : 0.0f;
-        }
+    float* panel = dst + n_round * kk + j0 * kc;
+    // Walk source rows (columns of B) so each bt row streams sequentially.
+    for (int64_t c = 0; c < kNR; ++c) {
+      const int64_t col = j0 + c;
+      if (col < n) {
+        const float* src = bt + col * ldbt + kk;
+        for (int64_t p = 0; p < kc; ++p) panel[p * kNR + c] = src[p];
+      } else {
+        for (int64_t p = 0; p < kc; ++p) panel[p * kNR + c] = 0.0f;
       }
     }
   }
@@ -54,23 +127,20 @@ void pack_a_rowmajor(int64_t m, int64_t k, const float* a, int64_t lda,
 void pack_b_from_bt(int64_t n, int64_t k, const float* bt, int64_t ldbt,
                     float* dst) {
   const int64_t n_round = ceil_div(n, kNR) * kNR;
-  for (int64_t kk = 0; kk < k; kk += kBlockK) {
-    const int64_t kc = std::min(kBlockK, k - kk);
-    float* block = dst + n_round * kk;
-    for (int64_t j0 = 0; j0 < n_round; j0 += kNR) {
-      float* panel = block + j0 * kc;
-      // Walk source rows (columns of B) so each bt row streams sequentially.
-      for (int64_t c = 0; c < kNR; ++c) {
-        const int64_t col = j0 + c;
-        if (col < n) {
-          const float* src = bt + col * ldbt + kk;
-          for (int64_t p = 0; p < kc; ++p) panel[p * kNR + c] = src[p];
-        } else {
-          for (int64_t p = 0; p < kc; ++p) panel[p * kNR + c] = 0.0f;
-        }
-      }
-    }
+  for (int64_t j0 = 0; j0 < n_round; j0 += kNR) {
+    pack_b_panel_from_bt(n, k, bt, ldbt, n_round, j0, dst);
   }
+}
+
+void pack_b_from_bt(ThreadPool& pool, int64_t n, int64_t k, const float* bt,
+                    int64_t ldbt, float* dst) {
+  const int64_t npan = ceil_div(n, kNR);
+  const int64_t n_round = npan * kNR;
+  pool.parallel_for(npan, [&](int64_t p0, int64_t p1) {
+    for (int64_t jp = p0; jp < p1; ++jp) {
+      pack_b_panel_from_bt(n, k, bt, ldbt, n_round, jp * kNR, dst);
+    }
+  });
 }
 
 void run_packed(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
@@ -179,6 +249,63 @@ void run_packed_b_rowmajor(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
   });
 }
 
+void run_packed_b_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
+                           int64_t k, float alpha, const float* apack,
+                           const PanelProducer& produce, float beta, float* c,
+                           int64_t ldc, const GemmEpilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  ThreadPool& pool = ctx.pool();
+  const simd::MicroKernelFn micro = simd::micro_kernel();
+  const simd::MicroKernelFn micro1 = simd::micro_kernel_mr1();
+  const int64_t mpan = ceil_div(m, kMR);
+  const int64_t npan = ceil_div(n, kNR);
+  const int64_t m_round = mpan * kMR;
+  const int64_t kblocks = std::max<int64_t>(1, ceil_div(k, kBlockK));
+  // One [kBlockK x kNR] scratch slab per parallel_for chunk, allocated up
+  // front on the calling thread (the arena is single-threaded) and indexed
+  // by the chunk origin, which parallel_for guarantees is a multiple of
+  // chunk_size. A task processes its panels serially, so one slab per chunk
+  // suffices, and the whole allocation rewinds when the call returns.
+  ArenaScope scope(ctx.arena());
+  const int64_t chunk = pool.chunk_size(npan);
+  const int64_t nchunks = ceil_div(npan, chunk);
+  float* scratch = ctx.arena().alloc(nchunks * kBlockK * kNR);
+  pool.parallel_for(npan, [&](int64_t jp0, int64_t jp1) {
+    // Slab aliasing here would mean silent output corruption, so the
+    // chunk-origin contract (threadpool.h) is enforced in debug builds.
+    assert(jp0 % chunk == 0 && jp1 - jp0 <= chunk);
+    float* panel = scratch + (jp0 / chunk) * (kBlockK * kNR);
+    for (int64_t jp = jp0; jp < jp1; ++jp) {
+      const int64_t j0 = jp * kNR;
+      const int nr = static_cast<int>(std::min<int64_t>(kNR, n - j0));
+      for (int64_t kb = 0; kb < kblocks; ++kb) {
+        const int64_t kk = kb * kBlockK;
+        const int64_t kc = std::max<int64_t>(0, std::min(kBlockK, k - kk));
+        produce(kk, kc, j0, nr, panel);
+        const bool last = kb + 1 == kblocks;
+        const float beta_eff = kb == 0 ? beta : 1.0f;
+        for (int64_t ip = 0; ip < mpan; ++ip) {
+          const int64_t i0 = ip * kMR;
+          const int mr = static_cast<int>(std::min<int64_t>(kMR, m - i0));
+          simd::TileEpilogue te;
+          const simd::TileEpilogue* tep = nullptr;
+          if (last && !ep.empty()) {
+            te.row_scale = ep.row_scale != nullptr ? ep.row_scale + i0 : nullptr;
+            te.row_shift = ep.row_shift != nullptr ? ep.row_shift + i0 : nullptr;
+            te.col_scale = ep.col_scale != nullptr ? ep.col_scale + j0 : nullptr;
+            te.col_shift = ep.col_shift != nullptr ? ep.col_shift + j0 : nullptr;
+            te.act = ep.act;
+            tep = &te;
+          }
+          (mr == 1 ? micro1 : micro)(kc, apack + m_round * kk + i0 * kc, panel,
+                                     kNR, c + i0 * ldc + j0, ldc, mr, nr,
+                                     alpha, beta_eff, tep);
+        }
+      }
+    }
+  });
+}
+
 }  // namespace packdetail
 
 // -------------------------------------------------------------- PackedGemm --
@@ -266,7 +393,7 @@ void PackedGemm::run_with_a(const ExecutionContext& ctx, int64_t m,
   }
   ArenaScope scope(ctx.arena());
   float* ap = ctx.arena().alloc(packdetail::packed_a_floats(m, k_));
-  packdetail::pack_a_rowmajor(m, k_, a, k_, ap);
+  packdetail::pack_a_rowmajor(ctx.pool(), m, k_, a, k_, ap);
   packdetail::run_packed(ctx.pool(), m, n_, k_, alpha, ap, data_, beta, c, n_,
                          ep);
 }

@@ -15,6 +15,7 @@
 // never branches on the k loop.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "tensor/execution_context.h"
@@ -48,14 +49,29 @@ int64_t packed_a_floats(int64_t m, int64_t k);
 int64_t packed_b_floats(int64_t k, int64_t n);
 
 /// Packs row-major A [m, k] (row stride lda) into A panels at `dst`.
+/// The pool form shards over row panels (disjoint writes, pure data
+/// movement, so the packed bytes are identical to the serial form).
 void pack_a_rowmajor(int64_t m, int64_t k, const float* a, int64_t lda,
                      float* dst);
+void pack_a_rowmajor(ThreadPool& pool, int64_t m, int64_t k, const float* a,
+                     int64_t lda, float* dst);
+
+/// Packs A panels from A^T: `at` is [k, m] row-major (row stride ldat), the
+/// layout gemm_tn receives (logical A row i is at's column i). Produces the
+/// same panel bytes pack_a_rowmajor would for the un-transposed matrix.
+void pack_a_from_at(int64_t m, int64_t k, const float* at, int64_t ldat,
+                    float* dst);
+void pack_a_from_at(ThreadPool& pool, int64_t m, int64_t k, const float* at,
+                    int64_t ldat, float* dst);
 
 /// Packs B panels from B^T: `bt` is [n, k] row-major (row stride ldbt), the
 /// natural layout of a Dense weight used as the right operand. (Row-major B
-/// never packs — run_packed_b_rowmajor consumes it in place.)
+/// never packs — run_packed_b_rowmajor consumes it in place.) The pool form
+/// shards over column panels.
 void pack_b_from_bt(int64_t n, int64_t k, const float* bt, int64_t ldbt,
                     float* dst);
+void pack_b_from_bt(ThreadPool& pool, int64_t n, int64_t k, const float* bt,
+                    int64_t ldbt, float* dst);
 
 /// C[m, n] (row stride ldc) = ep(alpha * A * B + beta * C) from packed
 /// operands. Parallelizes over column panels on `pool`; per-element bits are
@@ -74,6 +90,30 @@ void run_packed_b_rowmajor(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
                            float alpha, const float* apack, const float* b,
                            int64_t ldb, float beta, float* c, int64_t ldc,
                            const GemmEpilogue& ep);
+
+/// Writes one B panel on demand: the [kc x nr] slab covering logical B rows
+/// [kk, kk+kc) and columns [j0, j0+nr), laid out [kc][kNR] at `panel` with
+/// columns [nr, kNR) zero-filled. This is how the conv hot path feeds the
+/// driver without ever materializing the full column matrix: the producer
+/// reads straight from the padded CHW image (im2col_pack_panel).
+using PanelProducer = std::function<void(int64_t kk, int64_t kc, int64_t j0,
+                                         int nr, float* panel)>;
+
+/// Same contract as run_packed_b_rowmajor, but the right operand is
+/// *produced* panel by panel instead of read from memory: `produce` is
+/// invoked once per (column panel, k-block) and must fill the scratch panel
+/// with exactly the bytes a packed B would hold there. Sharded over column
+/// panels on ctx's pool with one [kBlockK x kNR] scratch slab per
+/// parallel_for chunk, allocated up front from ctx's arena (and rewound on
+/// return). Because the microkernel sees the same panel values in the same
+/// k order, results are bit-identical to materializing the B matrix and
+/// calling run_packed_b_rowmajor — and independent of the pool size.
+/// `produce` runs on worker threads: it must be thread-safe for disjoint
+/// panels and must not touch the arena or call parallel_for.
+void run_packed_b_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
+                           int64_t k, float alpha, const float* apack,
+                           const PanelProducer& produce, float beta, float* c,
+                           int64_t ldc, const GemmEpilogue& ep);
 
 }  // namespace packdetail
 

@@ -43,13 +43,18 @@ void ThreadPool::worker_loop() {
   }
 }
 
+int64_t ThreadPool::chunk_size(int64_t n) const {
+  const int threads = num_threads();
+  return std::max<int64_t>(1, (n + threads - 1) / threads);
+}
+
 void ThreadPool::parallel_for(int64_t n,
                               const std::function<void(int64_t, int64_t)>& fn) {
   // Empty ranges (n == 0, or negative from a degenerate shape) are complete
   // by definition: fn is never invoked and no pool state is touched.
   if (n <= 0) return;
   const int threads = num_threads();
-  const int64_t chunk = std::max<int64_t>(1, (n + threads - 1) / threads);
+  const int64_t chunk = chunk_size(n);
   if (threads == 1 || n <= chunk) {
     fn(0, n);
     return;

@@ -37,6 +37,12 @@ class ThreadPool {
   /// block a worker that outer chunks may be queued behind.
   void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
 
+  /// The chunk width parallel_for(n, fn) splits [0, n) into: every task's
+  /// begin index is a multiple of chunk_size(n). Callers that pre-allocate
+  /// per-task scratch (the fused-lowering GEMM driver) key it by
+  /// begin / chunk_size(n); the two functions must stay in sync.
+  int64_t chunk_size(int64_t n) const;
+
   /// Process-wide shared pool. Lazy initialization is thread-safe against
   /// concurrent first use (C++11 magic static over a leaked instance).
   /// Lifetime: the pool is intentionally leaked and its workers run until

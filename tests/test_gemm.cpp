@@ -309,9 +309,16 @@ TEST(Fusion, DepthwiseBnReluFusesAtRuntime) {
   ExecutionContext ctx;
   fused.prepare_inference(ctx);
   expect_close(fused.forward(ctx, x, false), want);
-  // Depthwise keeps its BN structurally (no bias to absorb the shift).
-  EXPECT_EQ(nn::fold_batchnorm_inference(fused), 0);
-  EXPECT_EQ(fused.size(), 3);
+  // Since the depthwise bias (model format v2), the BN also folds
+  // structurally: the shift lands in the new bias and the BN layer goes.
+  nn::Sequential folded = seq;
+  EXPECT_EQ(nn::fold_batchnorm_inference(folded), 1);
+  EXPECT_EQ(folded.size(), 2);
+  auto* dw = folded.find_nth<nn::DepthwiseConv2d>(0);
+  ASSERT_NE(dw, nullptr);
+  EXPECT_TRUE(dw->has_bias());  // absorbed the BN shift
+  expect_close(folded.forward(x, false), want);
+  EXPECT_LT(nn::serialized_size(folded), nn::serialized_size(seq));
 }
 
 TEST(Fusion, PreparedResidualBlockMatchesUnfusedEval) {

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for bench_kernels output.
+
+Compares a fresh bench_kernels JSON (typically the CI --quick smoke) against
+the committed baseline (BENCH_kernels.json at the repo root) and flags any
+shape whose throughput regressed by more than the threshold:
+
+  * "gemm" shapes: packed_gflops (higher is better)
+  * "conv_lowering" shapes: fused_ms (lower is better)
+  * "fused_conv" shapes: fused_ms (lower is better)
+
+Only shapes present in BOTH files are compared (the --quick smoke runs a
+subset of the full baseline). Exit status is 1 on regression unless
+--warn-only is given — the warn-only mode exists to characterize runner
+noise before the gate is made blocking; small-flop shapes (dense_head) are
+known to be noisy on shared CI vCPUs.
+
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json
+                            [--threshold 0.2] [--warn-only]
+
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def index_by_name(entries):
+    return {e["name"]: e for e in entries}
+
+
+def compare(baseline, current, key, higher_is_better, threshold, label):
+    """Returns a list of (name, base, cur, ratio) regressions."""
+    regressions = []
+    base_by_name = index_by_name(baseline.get(label, []))
+    for entry in current.get(label, []):
+        base = base_by_name.get(entry["name"])
+        if base is None or key not in base or key not in entry:
+            continue
+        b, c = float(base[key]), float(entry[key])
+        if b <= 0 or c <= 0:
+            continue
+        # Normalize so ratio < 1 always means "worse than baseline".
+        ratio = (c / b) if higher_is_better else (b / c)
+        status = "OK" if ratio >= 1.0 - threshold else "REGRESSED"
+        print(f"  [{status}] {label}/{entry['name']}: {key} "
+              f"baseline={b:.4g} current={c:.4g} (ratio {ratio:.2f})")
+        if status == "REGRESSED":
+            regressions.append((entry["name"], b, c, ratio))
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.2,
+                    help="allowed fractional regression per shape "
+                         "(default 0.2 = 20%%)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    print(f"Comparing {args.current} against {args.baseline} "
+          f"(threshold {args.threshold:.0%}):")
+    regressions = []
+    regressions += compare(baseline, current, "packed_gflops", True,
+                           args.threshold, "gemm")
+    regressions += compare(baseline, current, "fused_ms", False,
+                           args.threshold, "conv_lowering")
+    regressions += compare(baseline, current, "fused_ms", False,
+                           args.threshold, "fused_conv")
+
+    if not regressions:
+        print("No per-shape regression beyond threshold.")
+        return 0
+    print(f"{len(regressions)} shape(s) regressed beyond "
+          f"{args.threshold:.0%}:")
+    for name, b, c, ratio in regressions:
+        print(f"  {name}: baseline={b:.4g} current={c:.4g} "
+              f"(ratio {ratio:.2f})")
+    if args.warn_only:
+        print("warn-only mode: not failing the build.")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
