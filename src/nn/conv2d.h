@@ -54,7 +54,14 @@ class Conv2d : public Layer {
   Tensor& weight() { return weight_; }
   const Tensor& weight() const { return weight_; }
   Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
   bool has_bias() const { return opt_.bias; }
+
+  /// The cached microkernel panels (empty until prepare_inference). External
+  /// drivers that loop the packed GEMM themselves — the fused
+  /// depthwise→pointwise path feeds B panels straight from the depthwise row
+  /// kernel — read the panels through this instead of re-packing per call.
+  const PackedGemm& packed_weight() const { return packed_; }
 
   /// Keeps only the listed output channels (rows of the weight); used when
   /// this layer's own BN channels are pruned.

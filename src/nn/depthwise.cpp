@@ -56,12 +56,64 @@ Tensor DepthwiseConv2d::forward_impl(ExecutionContext& ctx,
                                      const Tensor& input, bool train,
                                      const float* scale, const float* shift,
                                      simd::Act act) {
+  // Reject unknown Act values at the boundary: the kernels dispatch on the
+  // enum explicitly, so a future value must fail loudly here rather than be
+  // silently clamped as ReLU deep in a hot loop.
+  simd::require_known_act(act);
+  Tensor out =
+      simd::fast_kernels_enabled() && opt_.kernel <= kMaxSimdKernel
+          ? forward_simd(ctx, input, scale, shift, act)
+          : forward_reference(ctx, input, scale, shift, act);
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor DepthwiseConv2d::forward_simd(ExecutionContext& ctx,
+                                     const Tensor& input, const float* scale,
+                                     const float* shift, simd::Act act) {
+  const Shape os = out_shape(input.shape());
+  const int64_t n = input.dim(0), ih = input.dim(2), iw = input.dim(3);
+  const int64_t oh = os.dim(2), ow = os.dim(3);
+  const int64_t kernel = opt_.kernel, stride = opt_.stride, pad = opt_.pad;
+  const simd::DwRowKernelFn dw_row = simd::dw_row_kernel();
+  Tensor out(os);
+  // One task per (image, channel) plane, one row-kernel call per output row.
+  // Writes are disjoint and each pixel's accumulation chain is fixed by the
+  // kernel contract, so the shard layout cannot change results.
+  ctx.pool().parallel_for(n * channels_, [&](int64_t p0, int64_t p1) {
+    const float* rows[kMaxSimdKernel];
+    for (int64_t pc = p0; pc < p1; ++pc) {
+      const int64_t c = pc % channels_;
+      const float* plane = input.data() + pc * ih * iw;
+      const float* taps = weight_.data() + c * kernel * kernel;
+      const float cscale = scale != nullptr ? scale[c] : 1.0f;
+      const float cshift = shift != nullptr ? shift[c] : 0.0f;
+      float* dst = out.data() + pc * oh * ow;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ky = 0; ky < kernel; ++ky) {
+          const int64_t iy = oy * stride - pad + ky;
+          rows[ky] = iy >= 0 && iy < ih ? plane + iy * iw : nullptr;
+        }
+        dw_row(rows, kernel, taps, kernel, iw, pad, stride, 0, ow, cscale,
+               cshift, act, dst + oy * ow);
+      }
+    }
+  });
+  return out;
+}
+
+Tensor DepthwiseConv2d::forward_reference(ExecutionContext& ctx,
+                                          const Tensor& input,
+                                          const float* scale,
+                                          const float* shift, simd::Act act) {
+  simd::require_known_act(act);
   const Shape os = out_shape(input.shape());
   const int64_t n = input.dim(0), ih = input.dim(2), iw = input.dim(3);
   const int64_t oh = os.dim(2), ow = os.dim(3);
   Tensor out(os);
   // One task per (image, channel) plane; writes are disjoint, so the shard
-  // layout cannot change results.
+  // layout cannot change results. Bit-stable across releases: this is the
+  // arithmetic TBNET_DETERMINISTIC=1 pins.
   ctx.pool().parallel_for(n * channels_, [&](int64_t p0, int64_t p1) {
     for (int64_t pc = p0; pc < p1; ++pc) {
       const int64_t c = pc % channels_;
@@ -84,16 +136,11 @@ Tensor DepthwiseConv2d::forward_impl(ExecutionContext& ctx,
             }
           }
           if (affine) acc = acc * cscale + cshift;
-          if (act != simd::Act::kNone) {
-            acc = acc > 0.0f ? acc : 0.0f;
-            if (act == simd::Act::kReLU6 && acc > 6.0f) acc = 6.0f;
-          }
-          dst[oy * ow + ox] = acc;
+          dst[oy * ow + ox] = simd::apply_act(acc, act);
         }
       }
     }
   });
-  if (train) cached_input_ = input;
   return out;
 }
 

@@ -37,9 +37,21 @@ class DepthwiseConv2d : public Layer {
   /// so fusing the following BN/ReLU removes two full passes over the map.
   /// `scale`/`shift` must already compose this layer's own bias if any
   /// (shift[c] = bias[c] * scale[c] + bn_shift[c]); Sequential's fusion plan
-  /// builds them that way. nullptr means identity.
+  /// builds them that way. nullptr means identity. Runs the SIMD row kernel
+  /// (simd::dw_row_kernel) unless TBNET_DETERMINISTIC=1 pinned the scalar
+  /// reference. Rejects Act values the kernels don't know
+  /// (simd::require_known_act) instead of mis-applying them.
   Tensor forward_fused(ExecutionContext& ctx, const Tensor& input,
                        const float* scale, const float* shift, simd::Act act);
+
+  /// The scalar per-pixel reference kernel — the exact arithmetic
+  /// TBNET_DETERMINISTIC=1 selects, exported so the parity suite and
+  /// bench_kernels can compare the SIMD row kernel against it in the same
+  /// process regardless of mode. Eval-only: never caches the input.
+  Tensor forward_reference(ExecutionContext& ctx, const Tensor& input,
+                           const float* scale = nullptr,
+                           const float* shift = nullptr,
+                           simd::Act act = simd::Act::kNone);
 
   Tensor backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<ParamRef> params() override;
@@ -47,6 +59,11 @@ class DepthwiseConv2d : public Layer {
   std::unique_ptr<Layer> clone() const override;
   Shape out_shape(const Shape& in) const override;
   int64_t macs(const Shape& in) const override;
+
+  /// Widest kernel the SIMD path's stack-resident row-pointer array covers;
+  /// wider filters (unseen in practice) run the reference loop, and the
+  /// dw→pointwise fusion planner skips them.
+  static constexpr int64_t kMaxSimdKernel = 16;
 
   int64_t channels() const { return channels_; }
   const Options& options() const { return opt_; }
@@ -67,6 +84,8 @@ class DepthwiseConv2d : public Layer {
 
  private:
   Tensor forward_impl(ExecutionContext& ctx, const Tensor& input, bool train,
+                      const float* scale, const float* shift, simd::Act act);
+  Tensor forward_simd(ExecutionContext& ctx, const Tensor& input,
                       const float* scale, const float* shift, simd::Act act);
 
   int64_t out_hw(int64_t in, int64_t pad, int64_t k, int64_t s) const {

@@ -1,10 +1,13 @@
 #include "nn/fuse.h"
 
+#include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/depthwise.h"
+#include "tensor/pack.h"
 
 namespace tbnet::nn {
 
@@ -36,6 +39,111 @@ int fold_batchnorm_inference(Sequential& seq) {
     ++folds;
   }
   return folds;
+}
+
+Tensor forward_depthwise_pointwise(ExecutionContext& ctx, const Tensor& x,
+                                   const DepthwiseConv2d& dw,
+                                   const float* dw_scale,
+                                   const float* dw_shift, simd::Act dw_act,
+                                   const Conv2d& pw,
+                                   const GemmEpilogue& pw_ep) {
+  simd::require_known_act(dw_act);
+  simd::require_known_act(pw_ep.act);
+  const auto& dopt = dw.options();
+  const auto& popt = pw.options();
+  if (popt.kernel != 1 || popt.stride != 1 || popt.pad != 0 ||
+      pw.in_channels() != dw.channels() ||
+      dopt.kernel > DepthwiseConv2d::kMaxSimdKernel) {
+    throw std::invalid_argument(
+        "forward_depthwise_pointwise: layers do not match the fusion "
+        "contract (pointwise must be 1x1 stride-1 pad-0 over the depthwise "
+        "channels)");
+  }
+  const Shape dw_os = dw.out_shape(x.shape());
+  const int64_t n = x.dim(0), ih = x.dim(2), iw = x.dim(3);
+  const int64_t oh = dw_os.dim(2), ow = dw_os.dim(3);
+  const int64_t channels = dw.channels();
+  const int64_t out_c = pw.out_channels();
+  const int64_t cols = oh * ow;
+  const int64_t kernel = dopt.kernel, stride = dopt.stride, pad = dopt.pad;
+  const float* taps_base = dw.weight().data();
+  const simd::DwRowKernelFn dw_row = simd::dw_row_kernel();
+
+  ArenaScope scope(ctx.arena());
+  const float* apack;
+  if (!pw.packed_weight().empty()) {
+    apack = pw.packed_weight().data();
+  } else {
+    float* ap = ctx.arena().alloc(packdetail::packed_a_floats(out_c, channels));
+    packdetail::pack_a_rowmajor(ctx.pool(), out_c, channels, pw.weight().data(),
+                                channels, ap);
+    apack = ap;
+  }
+
+  Tensor out(Shape{n, out_c, oh, ow});
+  const int64_t in_stride = channels * ih * iw;
+  const int64_t out_stride = out_c * cols;
+  // The per-image loop keeps batched output bit-identical to per-image calls
+  // (same reason as Conv2d::forward_impl).
+  for (int64_t i = 0; i < n; ++i) {
+    const float* img = x.data() + i * in_stride;
+    packdetail::run_packed_b_producer(
+        ctx, out_c, cols, channels, 1.0f, apack,
+        [&](int64_t kk, int64_t kc, int64_t j0, int nr, float* panel) {
+          // B rows are depthwise output channels, B columns spatial
+          // positions of the depthwise output map; produce the [kc x 16]
+          // slab by running the depthwise row kernel over the column range's
+          // output-row segments. The decomposition (and each tap row's
+          // plane-relative offset) is shared by every channel of the panel,
+          // so it is hoisted out of the channel loop — the same idiom as
+          // im2col_pack_panel. Pure function of disjoint panel coordinates:
+          // thread-safe, no arena, as the producer contract requires.
+          struct Seg {
+            int64_t j;    ///< first panel column of the run
+            int64_t len;  ///< run length
+            int64_t ox0;  ///< first output column of the run
+            /// Per tap row: offset of the input row within the channel
+            /// plane, or -1 when vertically out of bounds.
+            int64_t row_off[DepthwiseConv2d::kMaxSimdKernel];
+          };
+          Seg segs[simd::kNR];
+          int nsegs = 0;
+          for (int64_t j = 0, col = j0; j < nr; ++nsegs) {
+            Seg& s = segs[nsegs];
+            const int64_t oy = col / ow;
+            s.j = j;
+            s.ox0 = col - oy * ow;
+            s.len = std::min<int64_t>(nr - j, ow - s.ox0);
+            for (int64_t ky = 0; ky < kernel; ++ky) {
+              const int64_t iy = oy * stride - pad + ky;
+              s.row_off[ky] = iy >= 0 && iy < ih ? iy * iw : -1;
+            }
+            j += s.len;
+            col += s.len;
+          }
+          const float* rows[DepthwiseConv2d::kMaxSimdKernel];
+          for (int64_t p = 0; p < kc; ++p) {
+            const int64_t c = kk + p;
+            const float* plane = img + c * ih * iw;
+            const float* taps = taps_base + c * kernel * kernel;
+            const float cscale = dw_scale != nullptr ? dw_scale[c] : 1.0f;
+            const float cshift = dw_shift != nullptr ? dw_shift[c] : 0.0f;
+            float* prow = panel + p * simd::kNR;
+            for (int s = 0; s < nsegs; ++s) {
+              const Seg& seg = segs[s];
+              for (int64_t ky = 0; ky < kernel; ++ky) {
+                rows[ky] =
+                    seg.row_off[ky] >= 0 ? plane + seg.row_off[ky] : nullptr;
+              }
+              dw_row(rows, kernel, taps, kernel, iw, pad, stride, seg.ox0,
+                     seg.len, cscale, cshift, dw_act, prow + seg.j);
+            }
+            for (int64_t j = nr; j < simd::kNR; ++j) prow[j] = 0.0f;
+          }
+        },
+        0.0f, out.data() + i * out_stride, cols, pw_ep);
+  }
+  return out;
 }
 
 }  // namespace tbnet::nn

@@ -20,6 +20,8 @@
 // and TwoBranchModel::fold_batchnorm() do this; nothing in the training or
 // pruning pipeline calls it.
 
+#include "nn/conv2d.h"
+#include "nn/depthwise.h"
 #include "nn/sequential.h"
 
 namespace tbnet::nn {
@@ -30,5 +32,32 @@ namespace tbnet::nn {
 /// members are left intact (their fused eval path handles BN in the
 /// epilogue).
 int fold_batchnorm_inference(Sequential& seq);
+
+/// Fused depthwise→pointwise forward (eval-only, fast kernels):
+///
+///   y = pw_ep( PW_1x1( dw_act(DW(x) * dw_scale[c] + dw_shift[c]) ) )
+///
+/// without ever materializing the depthwise output tensor. The pointwise
+/// conv's GEMM is C[out_c, oh*ow] = W[out_c, in_c] * D[in_c, oh*ow], where
+/// row c of D is depthwise output plane c — so the packed driver's B-panel
+/// producer (packdetail::run_packed_b_producer) asks the depthwise row
+/// kernel (simd::dw_row_kernel) for each [kc x 16] slab directly, and the
+/// NCHW intermediate never exists. Each depthwise output element lands in
+/// exactly one panel, so nothing is computed twice, and the row kernel's
+/// segment-invariance contract makes the result bit-identical to running
+/// dw.forward_fused followed by pw.forward_fused.
+///
+/// Requirements (the Sequential fusion planner enforces them): pw is 1x1
+/// stride-1 pad-0 with in_channels == dw.channels(); dw.options().kernel <=
+/// DepthwiseConv2d::kMaxSimdKernel; simd::fast_kernels_enabled(). dw_scale /
+/// dw_shift are per-channel (nullptr = identity) and must already compose
+/// dw's own bias; pw_ep rows are pointwise output channels and must compose
+/// pw's bias. Uses pw.packed_weight() when prepare_inference cached it, else
+/// packs per call from ctx's arena.
+Tensor forward_depthwise_pointwise(ExecutionContext& ctx, const Tensor& x,
+                                   const DepthwiseConv2d& dw,
+                                   const float* dw_scale,
+                                   const float* dw_shift, simd::Act dw_act,
+                                   const Conv2d& pw, const GemmEpilogue& pw_ep);
 
 }  // namespace tbnet::nn

@@ -7,6 +7,7 @@
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/depthwise.h"
+#include "nn/fuse.h"
 
 namespace tbnet::nn {
 
@@ -77,6 +78,34 @@ void Sequential::prepare_inference(ExecutionContext& ctx) {
           step.act = simd::Act::kReLU;
           ++j;
         }
+        // MobileNet tail: a following 1x1 stride-1 pad-0 Conv2d over the
+        // same channels joins the step (with its own BN/ReLU), so the
+        // depthwise output feeds the pointwise GEMM's panel producer instead
+        // of materializing. Wider-than-kMaxSimdKernel filters run the scalar
+        // reference kernel and are left unfused.
+        if (j < n && dw->options().kernel <= DepthwiseConv2d::kMaxSimdKernel) {
+          if (auto* pwc = dynamic_cast<Conv2d*>(
+                  layers_[static_cast<size_t>(j)].get());
+              pwc != nullptr && pwc->options().kernel == 1 &&
+              pwc->options().stride == 1 && pwc->options().pad == 0 &&
+              pwc->in_channels() == dw->channels()) {
+            step.pw = j;
+            ++j;
+            if (j < n) {
+              if (auto* bn = dynamic_cast<BatchNorm2d*>(
+                      layers_[static_cast<size_t>(j)].get());
+                  bn != nullptr && bn->channels() == pwc->out_channels()) {
+                step.pw_bn = j;
+                ++j;
+              }
+            }
+            if (j < n &&
+                dynamic_cast<ReLU*>(layers_[static_cast<size_t>(j)].get())) {
+              step.pw_act = simd::Act::kReLU;
+              ++j;
+            }
+          }
+        }
       } else if (dynamic_cast<Dense*>(layers_[static_cast<size_t>(i)].get())) {
         if (j < n && dynamic_cast<ReLU*>(layers_[static_cast<size_t>(j)].get())) {
           step.act = simd::Act::kReLU;
@@ -92,24 +121,43 @@ void Sequential::prepare_inference(ExecutionContext& ctx) {
     // head layer's own bias) are computed once here and reused by every
     // fused eval.
     for (FusedStep& step : plan_) {
-      if (step.bn < 0) continue;
-      auto* bn = static_cast<BatchNorm2d*>(
-          layers_[static_cast<size_t>(step.bn)].get());
-      const int64_t c = bn->channels();
-      step.scale.resize(static_cast<size_t>(c));
-      step.shift.resize(static_cast<size_t>(c));
-      bn->inference_scale_shift(step.scale.data(), step.shift.data());
-      Layer* head = layers_[static_cast<size_t>(step.layer)].get();
-      const float* bias = nullptr;
-      if (auto* conv = dynamic_cast<Conv2d*>(head)) {
-        if (conv->has_bias()) bias = conv->bias().data();
-      } else if (auto* dw = dynamic_cast<DepthwiseConv2d*>(head)) {
-        if (dw->has_bias()) bias = dw->bias().data();
+      if (step.bn >= 0) {
+        auto* bn = static_cast<BatchNorm2d*>(
+            layers_[static_cast<size_t>(step.bn)].get());
+        const int64_t c = bn->channels();
+        step.scale.resize(static_cast<size_t>(c));
+        step.shift.resize(static_cast<size_t>(c));
+        bn->inference_scale_shift(step.scale.data(), step.shift.data());
+        Layer* head = layers_[static_cast<size_t>(step.layer)].get();
+        const float* bias = nullptr;
+        if (auto* conv = dynamic_cast<Conv2d*>(head)) {
+          if (conv->has_bias()) bias = conv->bias().data();
+        } else if (auto* dw = dynamic_cast<DepthwiseConv2d*>(head)) {
+          if (dw->has_bias()) bias = dw->bias().data();
+        }
+        if (bias != nullptr) {
+          // y = (head(x) + b) * s + t  =>  shift = b * s + t
+          for (int64_t o = 0; o < c; ++o) {
+            step.shift[static_cast<size_t>(o)] += bias[o] * step.scale[static_cast<size_t>(o)];
+          }
+        }
       }
-      if (bias != nullptr) {
-        // y = (head(x) + b) * s + t  =>  shift = b * s + t
-        for (int64_t o = 0; o < c; ++o) {
-          step.shift[static_cast<size_t>(o)] += bias[o] * step.scale[static_cast<size_t>(o)];
+      if (step.pw_bn >= 0) {
+        // Same composition for the pointwise half of a dw→pw step.
+        auto* bn = static_cast<BatchNorm2d*>(
+            layers_[static_cast<size_t>(step.pw_bn)].get());
+        const int64_t c = bn->channels();
+        step.pw_scale.resize(static_cast<size_t>(c));
+        step.pw_shift.resize(static_cast<size_t>(c));
+        bn->inference_scale_shift(step.pw_scale.data(), step.pw_shift.data());
+        auto* pwc = static_cast<Conv2d*>(
+            layers_[static_cast<size_t>(step.pw)].get());
+        if (pwc->has_bias()) {
+          const float* bias = pwc->bias().data();
+          for (int64_t o = 0; o < c; ++o) {
+            step.pw_shift[static_cast<size_t>(o)] +=
+                bias[o] * step.pw_scale[static_cast<size_t>(o)];
+          }
         }
       }
     }
@@ -138,7 +186,22 @@ Tensor Sequential::forward_prepared(ExecutionContext& ctx,
       x = conv->forward_fused(ctx, x, scale, shift, step.act);
     } else if (auto* dw = dynamic_cast<DepthwiseConv2d*>(layer)) {
       if (shift == nullptr && dw->has_bias()) shift = dw->bias().data();
-      x = dw->forward_fused(ctx, x, scale, shift, step.act);
+      if (step.pw >= 0) {
+        // dw→pw step: the depthwise rows feed the pointwise GEMM's B-panel
+        // producer; both layers' BN/activation ride their own epilogues.
+        auto* pwc = static_cast<Conv2d*>(
+            layers_[static_cast<size_t>(step.pw)].get());
+        GemmEpilogue ep;
+        ep.row_scale = step.pw_bn >= 0 ? step.pw_scale.data() : nullptr;
+        ep.row_shift = step.pw_bn >= 0 ? step.pw_shift.data()
+                       : pwc->has_bias() ? pwc->bias().data()
+                                         : nullptr;
+        ep.act = step.pw_act;
+        x = forward_depthwise_pointwise(ctx, x, *dw, scale, shift, step.act,
+                                        *pwc, ep);
+      } else {
+        x = dw->forward_fused(ctx, x, scale, shift, step.act);
+      }
     } else {
       // The planner only folds layers behind Conv2d/DepthwiseConv2d/Dense,
       // so a multi-layer step's head is one of the three.

@@ -38,7 +38,12 @@ class LatencyRecorder {
 struct ServingStats {
   int64_t requests = 0;        ///< images submitted and answered
   int64_t batches = 0;         ///< engine invocations
-  int64_t coalesced_images = 0;///< images that shared a batch with others
+  /// Images that rode along with an already-pending request: each batch of
+  /// n > 1 contributes n - 1 (its first image would have been served
+  /// anyway). Equals requests - batches when every request was answered, so
+  /// it directly counts the engine invocations coalescing saved; never
+  /// exceeds requests - batches.
+  int64_t coalesced_images = 0;
   int64_t max_batch_observed = 0;
   LatencyRecorder request_latency;  ///< submit -> result, per request
   LatencyRecorder batch_latency;    ///< engine call, per batch

@@ -147,7 +147,11 @@ void InferenceServer::run_batch(std::vector<Pending> batch) {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.requests += n;
     stats_.batches += 1;
-    if (n > 1) stats_.coalesced_images += n;
+    // Images that actually rode along: the first image of a batch would have
+    // been served anyway, so a batch of n coalesces n - 1 (counting all n
+    // would let coalesced_images exceed requests - batches and overstate the
+    // benefit).
+    if (n > 1) stats_.coalesced_images += n - 1;
     stats_.max_batch_observed = std::max(stats_.max_batch_observed, n);
     stats_.batch_latency.record(seconds_between(batch_start, batch_end));
     for (const Pending& p : batch) {

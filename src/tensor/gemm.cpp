@@ -189,6 +189,7 @@ void gemm_packed(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
 void apply_epilogue_reference(int64_t m, int64_t n, float* c, int64_t ldc,
                               const GemmEpilogue& ep) {
   if (ep.empty()) return;
+  simd::require_known_act(ep.act);
   for (int64_t i = 0; i < m; ++i) {
     float* crow = c + i * ldc;
     const float rs = ep.row_scale != nullptr ? ep.row_scale[i] : 1.0f;
@@ -198,11 +199,7 @@ void apply_epilogue_reference(int64_t m, int64_t n, float* c, int64_t ldc,
       if (ep.row_scale != nullptr || ep.row_shift != nullptr) v = v * rs + rh;
       if (ep.col_scale != nullptr) v *= ep.col_scale[j];
       if (ep.col_shift != nullptr) v += ep.col_shift[j];
-      if (ep.act != simd::Act::kNone) {
-        v = v > 0.0f ? v : 0.0f;
-        if (ep.act == simd::Act::kReLU6 && v > 6.0f) v = 6.0f;
-      }
-      crow[j] = v;
+      crow[j] = simd::apply_act(v, ep.act);
     }
   }
 }

@@ -52,6 +52,35 @@ bool fast_kernels_enabled();
 /// Fused activation applied as the last step of a GEMM epilogue.
 enum class Act : uint8_t { kNone = 0, kReLU = 1, kReLU6 = 2 };
 
+/// True for the Act values the kernels implement. Epilogue builders validate
+/// with this BEFORE entering a hot loop: the per-element application below is
+/// an explicit dispatch, so an unknown value (a future enum member reaching
+/// an old kernel) must be rejected at the boundary rather than silently
+/// clamped as ReLU.
+constexpr bool act_known(Act act) {
+  return act == Act::kNone || act == Act::kReLU || act == Act::kReLU6;
+}
+
+/// Throws std::invalid_argument for values act_known rejects.
+void require_known_act(Act act);
+
+/// Scalar activation application shared by the GEMM epilogue finalizers and
+/// the depthwise kernels — the single place the Act semantics live. Explicit
+/// per-value dispatch; callers guarantee act_known(act) (require_known_act at
+/// the call boundary).
+inline float apply_act(float v, Act act) {
+  switch (act) {
+    case Act::kNone:
+      return v;
+    case Act::kReLU:
+      return v > 0.0f ? v : 0.0f;
+    case Act::kReLU6:
+      v = v > 0.0f ? v : 0.0f;
+      return v > 6.0f ? 6.0f : v;
+  }
+  return v;  // unreachable when the boundary validated act_known
+}
+
 /// Per-tile epilogue view. Pointers are pre-offset to the tile origin by the
 /// driver; nullptr means identity (scale 1 / shift 0). Applied as
 ///   v = v * row_scale[i] + row_shift[i]
@@ -94,5 +123,51 @@ MicroKernelFn micro_kernel_mr1();
 
 /// SIMD dot product (FMA chains; lane order fixed per ISA). Backs gemv.
 float dot(const float* a, const float* b, int64_t n);
+
+// ----------------------------------------------------------- depthwise ----
+//
+// The depthwise engine mirrors the GEMM design: one row microkernel, three
+// implementations (AVX2 via target attribute + runtime dispatch, NEON,
+// scalar), selected once per process. The kernel computes a segment of one
+// output row of a per-channel k x k convolution with the channel's
+// scale/shift + activation fused into the store:
+//
+//   out[t] = act(acc(t) * scale + shift)
+//   acc(t) = sum_{ky < kh, kx < kw} rows[ky][(ox0 + t) * stride_w - pad_w + kx]
+//            * taps[ky * kw + kx]
+//
+// Interior/border split: the kernel computes once per call the output range
+// whose taps are all horizontally in bounds and runs it vectorized with no
+// per-pixel checks; only the (at most kernel-width) edge pixels take the
+// bounds-checked path. Vertical padding is the caller's job — rows[ky] ==
+// nullptr marks an out-of-bounds tap row and contributes exactly zero.
+//
+// Determinism contract (the dw→pw producer leans on this): each output
+// pixel's accumulation is an independent chain in (ky, kx) tap order. On FMA
+// ISAs the border pixels finalize with std::fmaf, which rounds identically
+// to the vector FMA lanes, so a pixel's bits depend neither on which side of
+// the interior split covered it nor on how [ox0, ox0 + n) was segmented —
+// computing a row whole or 16 columns at a time gives the same bytes. The
+// scalar ISA uses plain multiply-add throughout (also segment-invariant).
+// Passing scale = 1 / shift = 0 for an affine-free layer is exact (x * 1 + 0
+// round-trips bitwise through fmaf).
+//
+// TBNET_DETERMINISTIC=1 bypasses this layer: DepthwiseConv2d routes to its
+// scalar per-pixel reference kernel (bit-stable across releases).
+
+/// Depthwise row microkernel: writes out[0, n) covering output columns
+/// [ox0, ox0 + n) of one row. `rows` holds kh input-row base pointers
+/// (plane + iy * iw, nullptr when iy is out of bounds); `taps` is the
+/// channel's kh x kw filter; `iw` bounds the horizontal reads. See the
+/// contract above.
+using DwRowKernelFn = void (*)(const float* const* rows, int64_t kh,
+                               const float* taps, int64_t kw, int64_t iw,
+                               int64_t pad_w, int64_t stride_w, int64_t ox0,
+                               int64_t n, float scale, float shift, Act act,
+                               float* out);
+
+/// The dispatched depthwise row kernel for this host (decided once, same
+/// dispatch as micro_kernel).
+DwRowKernelFn dw_row_kernel();
 
 }  // namespace tbnet::simd

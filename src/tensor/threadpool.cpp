@@ -5,6 +5,17 @@
 
 namespace tbnet {
 
+namespace {
+
+/// The pool whose worker_loop is running on this thread (nullptr on
+/// non-worker threads, including pool callers). parallel_for consults it to
+/// detect re-entrant calls: a worker blocking in done_cv_.wait while its
+/// queued chunks sit behind other blocked workers is a deadlock, so nested
+/// calls execute inline instead.
+thread_local ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -26,14 +37,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   for (;;) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
-      task = queue_.back();
-      queue_.pop_back();
+      // FIFO: concurrent jobs (the InferenceServer worker plus a trainer on
+      // the global pool) drain oldest-first; popping the back would starve
+      // the older job's chunks for as long as newer jobs keep arriving.
+      task = queue_.front();
+      queue_.pop_front();
     }
     (*task.job->fn)(task.begin, task.end);
     {
@@ -57,6 +72,18 @@ void ThreadPool::parallel_for(int64_t n,
   const int64_t chunk = chunk_size(n);
   if (threads == 1 || n <= chunk) {
     fn(0, n);
+    return;
+  }
+  if (tls_worker_pool == this) {
+    // Re-entrant call from one of this pool's own tasks. Queueing would let
+    // every worker end up blocked in the wait below while the chunks that
+    // could release them sit behind those very workers — so run the chunks
+    // inline, serially, on this worker. The chunk boundaries stay exactly
+    // chunk_size(n)'s so callers that key per-chunk scratch by begin /
+    // chunk_size(n) (the producer-fed GEMM driver) observe the contract.
+    for (int64_t b = 0; b < n; b += chunk) {
+      fn(b, std::min(n, b + chunk));
+    }
     return;
   }
   // Enqueue all chunks except the first, which the caller runs itself. The

@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -30,11 +31,15 @@ class ThreadPool {
   /// Runs fn(begin, end) over [0, n) split into per-worker chunks; blocks
   /// until all chunks complete. The calling thread participates. A call with
   /// n <= 0 is a no-op that touches no pool state. Safe to call from several
-  /// non-worker threads at once: completion is tracked per call, so a caller
-  /// only waits for its own chunks (workers may still be busy with another
-  /// caller's chunks, which bounds speedup, not correctness). Must NOT be
-  /// called from inside a task running on this pool: the nested call would
-  /// block a worker that outer chunks may be queued behind.
+  /// non-worker threads at once: queued chunks drain oldest-job-first
+  /// (FIFO), and completion is tracked per call, so a caller only waits for
+  /// its own chunks (workers may still be busy with another caller's chunks,
+  /// which bounds speedup, not correctness). Safe to call from inside a task
+  /// running on this pool: a nested call is detected (thread-local worker
+  /// tag) and runs its chunks inline on the calling worker — same chunk
+  /// boundaries as chunk_size(n), so callers keying scratch by chunk origin
+  /// see the identical layout — instead of queueing work and blocking a
+  /// worker that other chunks may be queued behind (the PR-3 deadlock).
   void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
 
   /// The chunk width parallel_for(n, fn) splits [0, n) into: every task's
@@ -74,7 +79,10 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  std::vector<Task> queue_;
+  /// Pending chunks, drained front-to-back: pushing at the back and popping
+  /// at the front keeps concurrent jobs fair — a LIFO pop would starve the
+  /// older job's chunks whenever a newer job keeps the queue non-empty.
+  std::deque<Task> queue_;
   bool stop_ = false;
 };
 

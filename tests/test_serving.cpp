@@ -472,5 +472,169 @@ TEST(ThreadPoolEdge, GlobalPoolSafeUnderConcurrentUse) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(ThreadPoolEdge, NestedParallelForFromWorkerDoesNotDeadlock) {
+  // Regression: a parallel_for issued from inside a pool task used to queue
+  // chunks and block in the completion wait — with every worker doing the
+  // same, the chunks that could release them sat behind the blocked workers
+  // forever. Nested calls must run inline on the worker instead. Saturate a
+  // small pool so every worker runs a nesting task at once.
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::atomic<int64_t> outer_covered{0};
+    std::atomic<int64_t> inner_covered{0};
+    pool.parallel_for(8, [&](int64_t b, int64_t e) {
+      outer_covered.fetch_add(e - b);
+      for (int64_t i = b; i < e; ++i) {
+        pool.parallel_for(100, [&](int64_t ib, int64_t ie) {
+          inner_covered.fetch_add(ie - ib);
+        });
+      }
+    });
+    ASSERT_EQ(outer_covered.load(), 8);
+    ASSERT_EQ(inner_covered.load(), 8 * 100);
+  }
+}
+
+TEST(ThreadPoolEdge, NestedParallelForPreservesChunkBoundaries) {
+  // The inline nested execution must split [0, n) at the same chunk_size(n)
+  // boundaries as the queued form: the producer-fed GEMM driver keys
+  // per-chunk scratch by begin / chunk_size(n), so a single (0, n) call
+  // would alias its slabs.
+  ThreadPool pool(3);
+  const int64_t n = 10;
+  const int64_t chunk = pool.chunk_size(n);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> nested_chunks;
+  pool.parallel_for(1000, [&](int64_t b, int64_t e) {
+    if (b != 0) return;  // nest from exactly one task
+    pool.parallel_for(n, [&](int64_t ib, int64_t ie) {
+      std::lock_guard<std::mutex> lock(mu);
+      nested_chunks.push_back({ib, ie});
+    });
+  });
+  ASSERT_FALSE(nested_chunks.empty());
+  int64_t covered = 0;
+  for (const auto& [b, e] : nested_chunks) {
+    EXPECT_EQ(b % chunk, 0) << "chunk origin must be a chunk_size multiple";
+    EXPECT_LE(e - b, chunk);
+    covered += e - b;
+  }
+  EXPECT_EQ(covered, n);
+}
+
+TEST(ThreadPoolEdge, ConcurrentJobsDrainFifo) {
+  // Regression: worker_loop popped the queue back (LIFO), so with two jobs
+  // queued the older job's chunks starved behind the newer job's. Stage it
+  // deterministically: a pool with exactly one worker is pinned by a gated
+  // job, two more jobs queue one chunk each in a known order, and the worker
+  // must then drain them oldest-first.
+  ThreadPool pool(2);  // caller + 1 worker
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  int queued = 0;
+  std::vector<int> order;
+
+  auto gate = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  std::thread t0([&] {
+    // Both chunks (caller + worker) block until released, pinning the
+    // worker while the other jobs queue up.
+    pool.parallel_for(2, [&](int64_t, int64_t) { gate(); });
+  });
+  auto submit_marked = [&](int tag) {
+    // parallel_for enqueues the second chunk BEFORE running the first on the
+    // calling thread, so when the caller-chunk body runs, the queued chunk
+    // is already visible to the worker — that body is the "my chunk is
+    // queued" signal.
+    pool.parallel_for(2, [&, tag](int64_t b, int64_t) {
+      if (b == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++queued;
+        cv.notify_all();
+      } else {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(tag);
+      }
+    });
+  };
+  std::thread t1([&] { submit_marked(1); });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return queued >= 1; });
+  }
+  std::thread t2([&] { submit_marked(2); });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return queued >= 2; });
+    release = true;
+    cv.notify_all();
+  }
+  t0.join();
+  t1.join();
+  t2.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1) << "older job's chunk must run first (FIFO)";
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(InferenceServer, CoalescedImagesCountsOnlyRiders) {
+  // coalesced_images counts images beyond the first of each multi-image
+  // batch — a lone request coalesces nothing, and a batch of n saves n - 1
+  // engine invocations. Stage the batching deterministically: the engine
+  // gates inside its first call while three more requests queue, so the
+  // schedule is exactly [1, 3].
+  std::mutex mu;
+  std::condition_variable cv;
+  bool first_call_started = false;
+  bool release_first_call = false;
+  std::atomic<int> calls{0};
+  InferenceServer::Config scfg;
+  scfg.max_batch = 8;
+  scfg.max_queue_delay = std::chrono::microseconds(500);
+  InferenceServer server(
+      [&](const Tensor& nchw) {
+        if (calls.fetch_add(1) == 0) {
+          std::unique_lock<std::mutex> lock(mu);
+          first_call_started = true;
+          cv.notify_all();
+          cv.wait(lock, [&] { return release_first_call; });
+        }
+        return Tensor(Shape{nchw.dim(0), 2});
+      },
+      scfg);
+
+  Rng rng(77);
+  std::vector<std::future<InferenceResult>> futures;
+  futures.push_back(server.submit(Tensor::randn(Shape{1, 2, 2}, rng)));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return first_call_started; });
+  }
+  // The worker is pinned inside batch #1; these three must coalesce into
+  // batch #2.
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.submit(Tensor::randn(Shape{1, 2, 2}, rng)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release_first_call = true;
+    cv.notify_all();
+  }
+  server.drain();
+  for (auto& f : futures) f.get();
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 4);
+  EXPECT_EQ(stats.batches, 2);
+  EXPECT_EQ(stats.max_batch_observed, 3);
+  // 2 riders (the batch of 3 minus its first image) — and never more than
+  // requests - batches.
+  EXPECT_EQ(stats.coalesced_images, 2);
+  EXPECT_LE(stats.coalesced_images, stats.requests - stats.batches);
+}
+
 }  // namespace
 }  // namespace tbnet::runtime
