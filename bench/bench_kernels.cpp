@@ -3,7 +3,8 @@
 // single-thread GFLOP/s per GEMM shape for the scalar reference kernel
 // ("before": the PR-1 register-blocked kernel, still selectable at runtime
 // via TBNET_DETERMINISTIC=1) and the packed SIMD kernel ("after"), a
-// 1/2/4-thread scaling sweep on large shapes, fused-lowering vs materialized
+// 1/2/4-thread scaling sweep on large shapes, nested-parallel_for scaling
+// (work-stealing vs the inline-serial path), fused-lowering vs materialized
 // conv timings (with arena footprints), depthwise row-kernel timings (SIMD
 // vs scalar reference, and fused dw→pw vs back-to-back layers), and
 // fused-epilogue conv timings. The
@@ -142,6 +143,61 @@ double bench_gemm_threads(const MtShape& s, int threads, const Tensor& a,
   ctx.set_pool(&pool);
   GemmShape gs{s.name, s.m, s.n, s.k, s.quick};
   return bench_gemm(&gemm_packed_entry, ctx, gs, a, b, c, reps);
+}
+
+/// Nested parallel_for scaling: the serving shape where a pool task (an
+/// outer dispatch chunk) issues its own parallel_for. The PR-4 scheduler ran
+/// nested chunks inline, serially; the work-stealing pool queues them on the
+/// issuing worker's deque where idle threads steal. The benchmark stages
+/// exactly that: an outer parallel_for over `threads` chunks whose LAST
+/// chunk runs a heavy inner loop — the other chunks finish instantly, so
+/// their threads are free to steal — and compares the inner loop executed
+/// (a) serially over the same chunk boundaries (the PR-4 inline behavior)
+/// and (b) as a real nested parallel_for. On a 1-vCPU builder the two are
+/// necessarily ~equal; on a multi-core host (b) must win, which the CI gate
+/// on the hosted runner checks (`speedup` > 1.0 when hardware_threads >= 2).
+struct NestedPoint {
+  int threads = 0;
+  double inline_ms = 0.0;
+  double stolen_ms = 0.0;
+};
+
+NestedPoint bench_nested(int threads, int reps) {
+  const int64_t n = 1 << 15;
+  std::vector<float> out(static_cast<size_t>(n));
+  auto work = [&out](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      float acc = static_cast<float>(i) * 1e-3f;
+      for (int k = 0; k < 400; ++k) acc = acc * 0.9999f + 1e-4f;
+      out[static_cast<size_t>(i)] = acc;
+    }
+  };
+  ThreadPool pool(threads);
+  const int64_t outer_n = threads;
+  const int64_t outer_chunk = pool.chunk_size(outer_n);  // 1
+  const int64_t heavy = (outer_n - 1) * outer_chunk;     // last chunk
+  const int64_t inner_chunk = pool.chunk_size(n);
+  NestedPoint p;
+  p.threads = threads;
+  auto best_ms = [&](auto&& run_inner) {
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = Clock::now();
+      pool.parallel_for(outer_n, [&](int64_t b, int64_t) {
+        if (b == heavy) run_inner();
+      });
+      best = std::min(best, seconds_since(t0) * 1e3);
+    }
+    return best;
+  };
+  p.inline_ms = best_ms([&] {
+    // The PR-4 inline path: same chunk boundaries, one thread.
+    for (int64_t b = 0; b < n; b += inner_chunk) {
+      work(b, std::min(n, b + inner_chunk));
+    }
+  });
+  p.stolen_ms = best_ms([&] { pool.parallel_for(n, work); });
+  return p;
 }
 
 struct LowerShape {
@@ -478,6 +534,26 @@ int main(int argc, char** argv) {
         static_cast<long long>(s.n), static_cast<long long>(s.k), t1, t2, t4,
         t2 / t1, t4 / t1);
     first = false;
+  }
+  std::printf("\n  ],\n");
+
+  // Nested parallel_for: work-stealing vs the PR-4 inline-serial path, in
+  // the exact outer/inner shape the serving workers produce. speedup > 1.0
+  // requires real cores; the CI job on the multi-core hosted runner gates
+  // on it.
+  std::printf("  \"nested_scaling\": [\n");
+  {
+    const int nested_threads[] = {2, 4};
+    first = true;
+    for (int t : nested_threads) {
+      const NestedPoint p = bench_nested(t, reps);
+      std::printf(
+          "%s    {\"name\": \"nested_pf_%dt\", \"threads\": %d, "
+          "\"inline_ms\": %.4f, \"stolen_ms\": %.4f, \"speedup\": %.2f}",
+          first ? "" : ",\n", t, p.threads, p.inline_ms, p.stolen_ms,
+          p.inline_ms / p.stolen_ms);
+      first = false;
+    }
   }
   std::printf("\n  ],\n");
 

@@ -60,4 +60,17 @@ Tensor forward_depthwise_pointwise(ExecutionContext& ctx, const Tensor& x,
                                    const float* dw_shift, simd::Act dw_act,
                                    const Conv2d& pw, const GemmEpilogue& pw_ep);
 
+/// Size gate for the dw→pw producer fusion. The fused form wins by never
+/// materializing the depthwise map, but its pointwise GEMM has k =
+/// `channels` — on SHALLOW maps (k <= 32) that is too little arithmetic to
+/// amortize producing each B panel, and on WIDE maps (`cols` = oh*ow of the
+/// depthwise output >= 1024) there are many panels to produce, so the
+/// combination measured ~0.75x the back-to-back pair (PR 4,
+/// BENCH_kernels.json "depthwise_fused", dwpw_32to64_32x32_s1). Deeper
+/// stacks amortize fine and narrow maps produce few panels, so everything
+/// else stays fused. Sequential's plan keeps the fused step and consults
+/// this per input shape at dispatch; both paths are bit-identical, so the
+/// gate is a pure latency knob.
+bool fuse_dw_pw_profitable(int64_t channels, int64_t cols);
+
 }  // namespace tbnet::nn

@@ -191,14 +191,28 @@ Tensor Sequential::forward_prepared(ExecutionContext& ctx,
         // producer; both layers' BN/activation ride their own epilogues.
         auto* pwc = static_cast<Conv2d*>(
             layers_[static_cast<size_t>(step.pw)].get());
-        GemmEpilogue ep;
-        ep.row_scale = step.pw_bn >= 0 ? step.pw_scale.data() : nullptr;
-        ep.row_shift = step.pw_bn >= 0 ? step.pw_shift.data()
-                       : pwc->has_bias() ? pwc->bias().data()
-                                         : nullptr;
-        ep.act = step.pw_act;
-        x = forward_depthwise_pointwise(ctx, x, *dw, scale, shift, step.act,
-                                        *pwc, ep);
+        const float* pw_scale =
+            step.pw_bn >= 0 ? step.pw_scale.data() : nullptr;
+        const float* pw_shift = step.pw_bn >= 0 ? step.pw_shift.data()
+                                : pwc->has_bias() ? pwc->bias().data()
+                                                  : nullptr;
+        // Shape-dependent dispatch: producer fusion loses on shallow wide
+        // maps (fuse.h), so those run the two fused layers back to back —
+        // bit-identical either way, the gate is latency-only. The plan
+        // cannot decide this: input spatial dims are unknown at prepare.
+        const Shape dw_os = dw->out_shape(x.shape());
+        if (fuse_dw_pw_profitable(dw->channels(),
+                                  dw_os.dim(2) * dw_os.dim(3))) {
+          GemmEpilogue ep;
+          ep.row_scale = pw_scale;
+          ep.row_shift = pw_shift;
+          ep.act = step.pw_act;
+          x = forward_depthwise_pointwise(ctx, x, *dw, scale, shift, step.act,
+                                          *pwc, ep);
+        } else {
+          const Tensor mid = dw->forward_fused(ctx, x, scale, shift, step.act);
+          x = pwc->forward_fused(ctx, mid, pw_scale, pw_shift, step.pw_act);
+        }
       } else {
         x = dw->forward_fused(ctx, x, scale, shift, step.act);
       }

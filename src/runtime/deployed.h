@@ -40,7 +40,10 @@ inline constexpr uint32_t kCmdPredictBatch = 6;
 /// channel-invocation count drops from O(stages) per image to O(stages) per
 /// batch. Batched results are bit-identical to per-image calls (every kernel
 /// under it processes batch elements independently in index order). Not
-/// thread-safe: one engine per serving thread (InferenceServer serializes).
+/// thread-safe: one engine per serving thread — InferenceServer invokes
+/// each of its engines from a single dispatch worker only, so inter-op
+/// parallel serving means one DeployedTBNet instance (own secure world /
+/// session / ExecutionContext) per worker.
 ///
 /// Deployment is also where the compute graph freezes: both branches' blocks
 /// are cloned, inference-mode BatchNorm is folded into the adjacent conv

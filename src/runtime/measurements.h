@@ -34,6 +34,17 @@ class LatencyRecorder {
   std::vector<double> samples_;
 };
 
+/// Per-dispatch-worker accounting inside runtime::InferenceServer: which
+/// worker ran how many batches and how long it spent inside its engine.
+/// Utilization (busy_s / ServingStats::uptime_s) is the load-balance
+/// observable — with inter-op parallelism, one saturated worker next to
+/// idle ones means the queue is starving, not the hardware.
+struct WorkerStats {
+  int64_t batches = 0;  ///< engine invocations dispatched by this worker
+  int64_t images = 0;   ///< images across those batches
+  double busy_s = 0.0;  ///< wall time spent inside the engine function
+};
+
 /// Aggregate serving statistics reported by runtime::InferenceServer.
 struct ServingStats {
   int64_t requests = 0;        ///< images submitted and answered
@@ -45,13 +56,30 @@ struct ServingStats {
   /// exceeds requests - batches.
   int64_t coalesced_images = 0;
   int64_t max_batch_observed = 0;
+  /// High-water mark of the submit queue (requests accepted but not yet
+  /// claimed by a dispatch worker), sampled at every submit. A depth that
+  /// keeps climbing past max_batch * workers means the worker pool is
+  /// undersized for the offered load.
+  int64_t max_queue_depth = 0;
+  /// Seconds since the server started, stamped when stats() snapshots —
+  /// the denominator for worker utilization.
+  double uptime_s = 0.0;
   LatencyRecorder request_latency;  ///< submit -> result, per request
   LatencyRecorder batch_latency;    ///< engine call, per batch
+  std::vector<WorkerStats> per_worker;  ///< one entry per dispatch worker
 
   double mean_batch_size() const {
     return batches == 0 ? 0.0
                         : static_cast<double>(requests) /
                               static_cast<double>(batches);
+  }
+
+  /// Fraction of the server's lifetime worker `w` spent inside its engine.
+  double worker_utilization(int w) const {
+    if (w < 0 || w >= static_cast<int>(per_worker.size()) || uptime_s <= 0.0) {
+      return 0.0;
+    }
+    return per_worker[static_cast<size_t>(w)].busy_s / uptime_s;
   }
 };
 

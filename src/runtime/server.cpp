@@ -15,16 +15,34 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
 }
 }  // namespace
 
-InferenceServer::InferenceServer(BatchFn engine, Config cfg)
-    : engine_(std::move(engine)), cfg_(cfg) {
-  if (!engine_) {
-    throw std::invalid_argument("InferenceServer: null engine function");
+InferenceServer::InferenceServer(std::vector<BatchFn> engines, Config cfg)
+    : engines_(std::move(engines)), cfg_(cfg), start_(Clock::now()) {
+  if (engines_.empty()) {
+    throw std::invalid_argument("InferenceServer: no engine functions");
+  }
+  for (const BatchFn& e : engines_) {
+    if (!e) {
+      throw std::invalid_argument("InferenceServer: null engine function");
+    }
   }
   if (cfg_.max_batch <= 0) {
     throw std::invalid_argument("InferenceServer: max_batch must be positive");
   }
-  worker_ = std::thread([this] { worker_loop(); });
+  stats_.per_worker.resize(engines_.size());
+  workers_.reserve(engines_.size());
+  for (int w = 0; w < static_cast<int>(engines_.size()); ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
 }
+
+InferenceServer::InferenceServer(BatchFn engine, Config cfg)
+    : InferenceServer(
+          [&engine] {
+            std::vector<BatchFn> one;
+            one.push_back(std::move(engine));
+            return one;
+          }(),
+          cfg) {}
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
@@ -44,6 +62,8 @@ std::future<InferenceResult> InferenceServer::submit(Tensor image_chw) {
     }
     queue_.push_back(std::move(p));
     ++in_flight_;
+    stats_.max_queue_depth = std::max(
+        stats_.max_queue_depth, static_cast<int64_t>(queue_.size()));
   }
   queue_cv_.notify_one();
   return fut;
@@ -55,24 +75,28 @@ void InferenceServer::drain() {
 }
 
 void InferenceServer::shutdown() {
-  // Claim the worker handle under the lock so concurrent shutdown() calls
+  // Claim the worker handles under the lock so concurrent shutdown() calls
   // (or shutdown racing the destructor) never join the same thread twice.
-  std::thread claimed;
+  std::vector<std::thread> claimed;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
-    if (worker_.joinable()) claimed = std::move(worker_);
+    for (std::thread& w : workers_) {
+      if (w.joinable()) claimed.push_back(std::move(w));
+    }
   }
   queue_cv_.notify_all();
-  if (claimed.joinable()) claimed.join();
+  for (std::thread& w : claimed) w.join();
 }
 
 ServingStats InferenceServer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServingStats snap = stats_;
+  snap.uptime_s = seconds_between(start_, Clock::now());
+  return snap;
 }
 
-void InferenceServer::worker_loop() {
+void InferenceServer::worker_loop(int worker) {
   for (;;) {
     std::vector<Pending> batch;
     {
@@ -83,12 +107,18 @@ void InferenceServer::worker_loop() {
         continue;
       }
       // Coalesce: wait (bounded by the oldest request's flush deadline) for
-      // the queue to fill up to max_batch, then take up to max_batch.
+      // the queue to fill up to max_batch, then take up to max_batch. With
+      // several workers parked here, whichever wakes first claims the
+      // batch; the others observe an empty queue and loop back.
       const auto deadline = queue_.front().enqueued + cfg_.max_queue_delay;
       queue_cv_.wait_until(lock, deadline, [this] {
         return stop_ ||
                static_cast<int64_t>(queue_.size()) >= cfg_.max_batch;
       });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
       const size_t take =
           std::min(queue_.size(), static_cast<size_t>(cfg_.max_batch));
       batch.assign(std::make_move_iterator(queue_.begin()),
@@ -96,19 +126,22 @@ void InferenceServer::worker_loop() {
                                            static_cast<std::ptrdiff_t>(take)));
       queue_.erase(queue_.begin(),
                    queue_.begin() + static_cast<std::ptrdiff_t>(take));
+      // Requests may remain (more than max_batch queued): hand them to a
+      // sibling worker instead of serializing behind this batch.
+      if (!queue_.empty()) queue_cv_.notify_one();
     }
-    run_batch(std::move(batch));
+    // run_batch handles the in_flight_ decrement and the drain() wakeup.
+    run_batch(worker, std::move(batch));
     bool done;
     {
       std::lock_guard<std::mutex> lock(mu_);
       done = stop_ && queue_.empty();
-      if (in_flight_ == 0) idle_cv_.notify_all();
     }
     if (done) return;
   }
 }
 
-void InferenceServer::run_batch(std::vector<Pending> batch) {
+void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
   const int64_t n = static_cast<int64_t>(batch.size());
   const auto batch_start = Clock::now();
 
@@ -130,7 +163,7 @@ void InferenceServer::run_batch(std::vector<Pending> batch) {
       const float* src = batch[static_cast<size_t>(i)].image.data();
       std::copy(src, src + stride, input.data() + i * stride);
     }
-    logits = engine_(input);
+    logits = engines_[static_cast<size_t>(worker)](input);
     if (logits.shape().ndim() != 2 || logits.dim(0) != n) {
       throw std::runtime_error("InferenceServer: engine returned " +
                                logits.shape().str() + " for batch of " +
@@ -157,6 +190,10 @@ void InferenceServer::run_batch(std::vector<Pending> batch) {
     for (const Pending& p : batch) {
       stats_.request_latency.record(seconds_between(p.enqueued, batch_end));
     }
+    WorkerStats& ws = stats_.per_worker[static_cast<size_t>(worker)];
+    ws.batches += 1;
+    ws.images += n;
+    ws.busy_s += seconds_between(batch_start, batch_end);
   }
 
   for (int64_t i = 0; i < n; ++i) {

@@ -1,5 +1,5 @@
 #pragma once
-// InferenceServer — multi-session request coalescing over a batched engine.
+// InferenceServer — multi-session request coalescing over batched engines.
 //
 // Production serving rarely sees one request at a time: many clients submit
 // single images concurrently, and the per-batch costs of the deployed TEE
@@ -7,13 +7,20 @@
 // it much cheaper to push one batch of N than N batches of one. The server
 // accepts concurrent submit() calls, coalesces queued requests into batches
 // (up to `max_batch`, flushing a partial batch once the oldest queued
-// request has waited `max_queue_delay`), runs them through a caller-provided
-// batch function on a single worker thread, and fans the per-image results
-// back out through futures. Per-request and per-batch latency land in
-// runtime::ServingStats.
+// request has waited `max_queue_delay`), runs them through caller-provided
+// batch functions on a pool of dispatch workers, and fans the per-image
+// results back out through futures. Per-request and per-batch latency,
+// queue depth, and per-worker utilization land in runtime::ServingStats.
 //
-// The engine function runs on the worker thread only, so a non-thread-safe
-// engine (DeployedTBNet, FullTeeDeployment, a bare Sequential) is fine.
+// Inter-op parallelism: the server runs one dispatch worker PER ENGINE
+// function it is given. Each engine is invoked from exactly one worker
+// thread, only ever for one batch at a time, so a non-thread-safe engine
+// (DeployedTBNet, FullTeeDeployment, a bare Sequential) is fine — the
+// caller supplies N independent engines (each with its own
+// ExecutionContext/arena; for DeployedTBNet that means one engine instance
+// per worker) to serve N batches concurrently. Intra-op kernel threads nest
+// under the dispatch workers on the shared ThreadPool, whose work-stealing
+// scheduler lets those nested parallel_fors actually share cores.
 
 #include <chrono>
 #include <condition_variable>
@@ -41,12 +48,13 @@ struct InferenceResult {
 class InferenceServer {
  public:
   /// Maps an NCHW batch to [N, classes] logits (e.g. wraps
-  /// DeployedTBNet::infer_batch). Invoked from the worker thread only.
+  /// DeployedTBNet::infer_batch). Each engine function is invoked from a
+  /// single dispatch worker thread only.
   using BatchFn = std::function<Tensor(const Tensor& nchw)>;
 
   struct Config {
-    /// Largest coalesced batch handed to the engine. Must not exceed what
-    /// the engine accepts (e.g. DeployedTBNet::Options::max_batch) — the
+    /// Largest coalesced batch handed to an engine. Must not exceed what
+    /// the engines accept (e.g. DeployedTBNet::Options::max_batch) — the
     /// engine's rejection would fail every request in a full batch.
     int64_t max_batch = 16;
     /// How long the oldest queued request may wait for company before a
@@ -54,11 +62,15 @@ class InferenceServer {
     std::chrono::microseconds max_queue_delay{2000};
   };
 
+  /// One dispatch worker per engine; engines must all serve the same model
+  /// (the server round-robins batches across them by availability, so any
+  /// request may land on any engine).
+  InferenceServer(std::vector<BatchFn> engines, Config cfg);
   InferenceServer(BatchFn engine, Config cfg);
   explicit InferenceServer(BatchFn engine)
       : InferenceServer(std::move(engine), Config{}) {}
 
-  /// Drains the queue and joins the worker.
+  /// Drains the queue and joins the workers.
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -72,14 +84,16 @@ class InferenceServer {
   void drain();
 
   /// Stops accepting work, drains, joins. Idempotent and safe to race: the
-  /// first caller joins the worker; a concurrent caller may return before
+  /// first caller joins the workers; a concurrent caller may return before
   /// that drain completes.
   void shutdown();
 
-  /// Snapshot of the serving statistics (thread-safe).
+  /// Snapshot of the serving statistics (thread-safe). per_worker holds one
+  /// entry per dispatch worker; uptime_s is stamped at the snapshot.
   ServingStats stats() const;
 
   const Config& config() const { return cfg_; }
+  int workers() const { return static_cast<int>(engines_.size()); }
 
  private:
   struct Pending {
@@ -88,21 +102,22 @@ class InferenceServer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void worker_loop();
-  void run_batch(std::vector<Pending> batch);
+  void worker_loop(int worker);
+  void run_batch(int worker, std::vector<Pending> batch);
 
-  BatchFn engine_;
+  std::vector<BatchFn> engines_;  ///< engines_[w] runs on workers_[w] only
   Config cfg_;
+  std::chrono::steady_clock::time_point start_;
 
   mutable std::mutex mu_;
-  std::condition_variable queue_cv_;  // worker wakes on arrivals/shutdown
+  std::condition_variable queue_cv_;  // workers wake on arrivals/shutdown
   std::condition_variable idle_cv_;   // drain() waits for in-flight == 0
   std::vector<Pending> queue_;
   int64_t in_flight_ = 0;  // submitted, not yet answered
   bool stop_ = false;
   ServingStats stats_;
 
-  std::thread worker_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace tbnet::runtime

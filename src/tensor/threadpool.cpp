@@ -7,12 +7,15 @@ namespace tbnet {
 
 namespace {
 
-/// The pool whose worker_loop is running on this thread (nullptr on
-/// non-worker threads, including pool callers). parallel_for consults it to
-/// detect re-entrant calls: a worker blocking in done_cv_.wait while its
-/// queued chunks sit behind other blocked workers is a deadlock, so nested
-/// calls execute inline instead.
-thread_local ThreadPool* tls_worker_pool = nullptr;
+/// Identifies the pool (and worker slot) whose worker_loop is running on
+/// this thread; {nullptr, -1} on non-worker threads, including pool callers.
+/// parallel_for consults it to route nested submissions onto the issuing
+/// worker's own deque.
+struct WorkerTag {
+  ThreadPool* pool = nullptr;
+  int slot = -1;
+};
+thread_local WorkerTag tls_worker;
 
 }  // namespace
 
@@ -21,9 +24,16 @@ ThreadPool::ThreadPool(int threads) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
-  // The calling thread acts as one worker; spawn the rest.
-  for (int i = 0; i < threads - 1; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  // The calling thread acts as one worker; spawn the rest, each owning one
+  // deque. The deques must exist before any worker runs.
+  const int spawned = threads - 1;
+  deques_.reserve(static_cast<size_t>(spawned));
+  for (int i = 0; i < spawned; ++i) {
+    deques_.push_back(std::make_unique<TaskQueue>());
+  }
+  workers_.reserve(static_cast<size_t>(spawned));
+  for (int i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -36,25 +46,74 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
-  tls_worker_pool = this;
+void ThreadPool::execute(const Task& task) {
+  (*task.job->fn)(task.begin, task.end);
+  // The final decrement is made under the job's mutex so the waiting frame
+  // (which owns the Job) cannot return and die before this thread has
+  // released every reference to it.
+  std::lock_guard<std::mutex> lock(task.job->mu);
+  if (--task.job->pending == 0) task.job->cv.notify_all();
+}
+
+bool ThreadPool::try_acquire(Task& out, int slot) {
+  auto pop_front = [&out](TaskQueue& tq) {
+    std::lock_guard<std::mutex> lock(tq.mu);
+    if (tq.q.empty()) return false;
+    out = tq.q.front();
+    tq.q.pop_front();
+    return true;
+  };
+  // Own deque first: a nested job's chunks live there, and the issuer must
+  // prefer them (run-to-completion) over picking up foreign work.
+  if (slot >= 0 && pop_front(*deques_[static_cast<size_t>(slot)])) return true;
+  // Shared overflow next: external jobs, oldest first.
+  if (pop_front(overflow_)) return true;
+  // Steal: round-robin over siblings starting after our own slot, taking
+  // the FRONT (oldest chunk) — LIFO steals would starve an older job
+  // whenever a newer one keeps a deque non-empty.
+  const int nq = static_cast<int>(deques_.size());
+  for (int i = 0; i < nq; ++i) {
+    const int victim = (slot + 1 + i) % nq;
+    if (victim == slot) continue;
+    if (pop_front(*deques_[static_cast<size_t>(victim)])) return true;
+  }
+  return false;
+}
+
+void ThreadPool::signal_work() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_;
+  }
+  cv_.notify_all();
+}
+
+void ThreadPool::worker_loop(int slot) {
+  tls_worker = WorkerTag{this, slot};
   for (;;) {
+    // Steady-state fast path: no global lock while work keeps arriving.
     Task task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      // FIFO: concurrent jobs (the InferenceServer worker plus a trainer on
-      // the global pool) drain oldest-first; popping the back would starve
-      // the older job's chunks for as long as newer jobs keep arriving.
-      task = queue_.front();
-      queue_.pop_front();
+    if (try_acquire(task, slot)) {
+      execute(task);
+      continue;
     }
-    (*task.job->fn)(task.begin, task.end);
+    // Sleep path. Epoch BEFORE the confirming re-scan: a push the re-scan
+    // misses must bump the epoch after this read (the pusher inserts into
+    // its queue before incrementing), so the wait predicate catches it.
+    uint64_t seen;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (--task.job->pending == 0) done_cv_.notify_all();
+      seen = epoch_;
     }
+    if (try_acquire(task, slot)) {
+      execute(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    // Every queue was empty at the re-scan; with stop_ set nothing new may
+    // be pushed, so the queues really are drained and the worker may exit.
+    if (stop_) return;
+    cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
   }
 }
 
@@ -74,35 +133,51 @@ void ThreadPool::parallel_for(int64_t n,
     fn(0, n);
     return;
   }
-  if (tls_worker_pool == this) {
-    // Re-entrant call from one of this pool's own tasks. Queueing would let
-    // every worker end up blocked in the wait below while the chunks that
-    // could release them sit behind those very workers — so run the chunks
-    // inline, serially, on this worker. The chunk boundaries stay exactly
-    // chunk_size(n)'s so callers that key per-chunk scratch by begin /
-    // chunk_size(n) (the producer-fed GEMM driver) observe the contract.
-    for (int64_t b = 0; b < n; b += chunk) {
-      fn(b, std::min(n, b + chunk));
-    }
-    return;
-  }
-  // Enqueue all chunks except the first, which the caller runs itself. The
-  // job lives on this stack frame; the final wait below keeps it alive until
-  // every worker chunk has completed.
-  Job job{&fn, 0};
+  // The job lives on this stack frame; the wait loop below keeps it alive
+  // until every chunk has completed (execute()'s under-lock decrement makes
+  // that safe even when a foreign helping thread runs the last chunk).
+  Job job;
+  job.fn = &fn;
   std::vector<Task> tasks;
   for (int64_t b = chunk; b < n; b += chunk) {
     tasks.push_back(Task{&job, b, std::min(n, b + chunk)});
   }
   job.pending = static_cast<int>(tasks.size());
+  // Nested calls from a worker push onto that worker's own deque (idle
+  // siblings steal from there); external callers push onto the shared
+  // overflow queue. Either way chunks enter in index order and leave from
+  // the front, and the boundaries are exactly chunk_size(n)'s — stealing
+  // moves chunks between threads, never re-splits them.
+  const int slot = tls_worker.pool == this ? tls_worker.slot : -1;
+  TaskQueue& submit_q =
+      slot >= 0 ? *deques_[static_cast<size_t>(slot)] : overflow_;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const Task& t : tasks) queue_.push_back(t);
+    std::lock_guard<std::mutex> lock(submit_q.mu);
+    for (const Task& t : tasks) submit_q.q.push_back(t);
   }
-  cv_.notify_all();
+  signal_work();
   fn(0, std::min(n, chunk));
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&job] { return job.pending == 0; });
+  // Helping wait: while our chunks are outstanding, execute pending chunks
+  // (ours first — try_acquire scans the submission queue before stealing)
+  // instead of sleeping. Only when every remaining chunk of this job is
+  // claimed by another thread — try_acquire found nothing anywhere — does
+  // the caller park on the job's cv; the claimants are executing, so the
+  // wakeup is guaranteed. This is what replaces both the PR-4 inline-serial
+  // nested path and the old sleep-only external wait.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(job.mu);
+      if (job.pending == 0) return;
+    }
+    Task task;
+    if (try_acquire(task, slot)) {
+      execute(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(job.mu);
+    job.cv.wait(lock, [&job] { return job.pending == 0; });
+    return;
+  }
 }
 
 ThreadPool& ThreadPool::global() {

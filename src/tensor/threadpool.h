@@ -1,22 +1,40 @@
 #pragma once
-// Minimal work-sharing thread pool used by the GEMM / convolution kernels.
+// Work-stealing thread pool used by the GEMM / convolution kernels and the
+// serving dispatch layer.
 //
 // The pool exposes one primitive, parallel_for, which splits an index range
 // into contiguous chunks and executes them on worker threads. Determinism:
 // the chunking is a pure function of (range, worker count), and all kernels
-// write disjoint output ranges, so results do not depend on scheduling.
+// write disjoint output ranges, so results do not depend on which thread
+// executes which chunk — stealing reschedules chunks, it never re-splits
+// them.
+//
+// Scheduler shape (PR 5): each worker owns a deque of pending chunks;
+// external callers (non-worker threads) submit to a shared overflow queue.
+// A free worker drains its own deque first, then the overflow queue, then
+// steals from siblings — always taking the OLDEST chunk (front), so
+// concurrent jobs keep the FIFO fairness the single-queue pool had. A
+// thread blocked on its own parallel_for does not sleep while runnable
+// chunks exist: it keeps acquiring and executing pending chunks (its own
+// job's first, then anyone's) and only parks on the job's condition
+// variable once every remaining chunk of its job is claimed by another
+// thread. That helping loop is what lets NESTED parallel_for scale: a
+// worker that issues one pushes the inner chunks onto its own deque where
+// idle siblings steal them, instead of the PR-4 behavior of running them
+// inline, serially.
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace tbnet {
 
-/// Fixed-size thread pool with a blocking parallel_for.
+/// Fixed-size work-stealing thread pool with a blocking parallel_for.
 class ThreadPool {
  public:
   /// Creates `threads` workers (0 = hardware_concurrency, at least 1).
@@ -29,23 +47,31 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
   /// Runs fn(begin, end) over [0, n) split into per-worker chunks; blocks
-  /// until all chunks complete. The calling thread participates. A call with
-  /// n <= 0 is a no-op that touches no pool state. Safe to call from several
-  /// non-worker threads at once: queued chunks drain oldest-job-first
-  /// (FIFO), and completion is tracked per call, so a caller only waits for
-  /// its own chunks (workers may still be busy with another caller's chunks,
-  /// which bounds speedup, not correctness). Safe to call from inside a task
-  /// running on this pool: a nested call is detected (thread-local worker
-  /// tag) and runs its chunks inline on the calling worker — same chunk
-  /// boundaries as chunk_size(n), so callers keying scratch by chunk origin
-  /// see the identical layout — instead of queueing work and blocking a
-  /// worker that other chunks may be queued behind (the PR-3 deadlock).
+  /// until all chunks complete. The calling thread participates: it runs the
+  /// first chunk itself, then helps — executing pending chunks from any
+  /// queue — until its own job has completed. A call with n <= 0 is a no-op
+  /// that touches no pool state. Safe to call from several non-worker
+  /// threads at once (completion is tracked per call, so a caller only waits
+  /// for its own chunks) and from inside a task running on this pool: a
+  /// nested call pushes its chunks onto the issuing worker's deque — same
+  /// chunk boundaries as chunk_size(n), so callers keying scratch by chunk
+  /// origin see the identical layout — where idle workers steal them while
+  /// the issuer chews through the rest. Because a blocked thread always
+  /// executes claimable chunks before parking, the every-worker-blocked
+  /// deadlock of the pre-PR-4 pool cannot re-form.
+  ///
+  /// fn may therefore run chunks of DIFFERENT jobs interleaved on one OS
+  /// thread (a helping thread picks up foreign chunks between its own):
+  /// bodies must not key state on thread identity beyond stack discipline —
+  /// the existing contracts (disjoint writes, no arena use, thread-safety)
+  /// already guarantee this for every kernel body in the tree.
   void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
 
   /// The chunk width parallel_for(n, fn) splits [0, n) into: every task's
   /// begin index is a multiple of chunk_size(n). Callers that pre-allocate
   /// per-task scratch (the fused-lowering GEMM driver) key it by
-  /// begin / chunk_size(n); the two functions must stay in sync.
+  /// begin / chunk_size(n); the two functions must stay in sync. Stealing
+  /// never changes the split — only which thread runs a chunk.
   int64_t chunk_size(int64_t n) const;
 
   /// Process-wide shared pool. Lazy initialization is thread-safe against
@@ -59,11 +85,15 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  /// Per-parallel_for completion state, owned by the caller's stack frame;
-  /// tasks hold a pointer so concurrent callers never wait on each other's
-  /// counters.
+  /// Per-parallel_for completion state, owned by the caller's stack frame.
+  /// `pending` is guarded by `mu` and the final decrement happens under it,
+  /// so a waiter that observes pending == 0 after acquiring `mu` knows the
+  /// completing thread has released it — the frame can die immediately
+  /// after, even when the completer was an unrelated helping thread.
   struct Job {
     const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
     int pending = 0;
   };
 
@@ -73,16 +103,38 @@ class ThreadPool {
     int64_t end = 0;
   };
 
-  void worker_loop();
+  /// One worker's deque. Pushed at the back (issue order), popped at the
+  /// front by owner and thieves alike, so chunks of concurrent jobs drain
+  /// oldest-first from every queue.
+  struct TaskQueue {
+    std::mutex mu;
+    std::deque<Task> q;
+  };
+
+  void worker_loop(int slot);
+  /// Runs one task and performs the under-lock completion decrement.
+  void execute(const Task& task);
+  /// Pops the oldest claimable chunk: own deque, then overflow, then steal
+  /// round-robin from siblings. slot == -1 marks an external caller (no own
+  /// deque). Returns false only if every queue was empty at its scan.
+  bool try_acquire(Task& out, int slot);
+  /// Publishes pushed tasks: bumps the work epoch and wakes sleeping
+  /// workers.
+  void signal_work();
 
   std::vector<std::thread> workers_;
+  /// deques_[i] belongs to workers_[i]; unique_ptr because TaskQueue holds a
+  /// mutex and the vector is sized once in the constructor.
+  std::vector<std::unique_ptr<TaskQueue>> deques_;
+  TaskQueue overflow_;  ///< submissions from non-worker threads, FIFO
+
+  /// Sleep machinery: workers park on cv_ when every queue is empty.
+  /// `epoch_` increments (under mu_) on every push batch, so a worker that
+  /// records the epoch BEFORE scanning the queues cannot miss work pushed
+  /// after its scan — the wait predicate sees the epoch move.
   std::mutex mu_;
   std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  /// Pending chunks, drained front-to-back: pushing at the back and popping
-  /// at the front keeps concurrent jobs fair — a LIFO pop would starve the
-  /// older job's chunks whenever a newer job keeps the queue non-empty.
-  std::deque<Task> queue_;
+  uint64_t epoch_ = 0;
   bool stop_ = false;
 };
 

@@ -357,8 +357,13 @@ TEST(DepthwiseFusion, SequentialPlanFusesSeparableBlock) {
   if (simd::fast_kernels_enabled()) {
     // The fused step never materializes the 16x20x20 depthwise map: the
     // per-call arena high-water mark stays well below it (panel slabs only;
-    // the packed weights live in ctx's arena from prepare time).
+    // the packed weights live in ctx's arena from prepare time). A dedicated
+    // 1-thread pool pins the slab count — the producer driver allocates one
+    // [kBlockK x kNR] slab per parallel_for chunk, so the bound would scale
+    // with the global pool's size on a multi-core host.
+    ThreadPool solo(1);
     ExecutionContext fresh;
+    fresh.set_pool(&solo);
     nn::Sequential warm = seq;
     warm.prepare_inference(fresh);
     const auto before = fresh.arena().capacity_floats();
@@ -366,6 +371,89 @@ TEST(DepthwiseFusion, SequentialPlanFusesSeparableBlock) {
     const int64_t mid_floats = 16 * 20 * 20;
     EXPECT_LT(fresh.arena().capacity_floats() - before, mid_floats / 2)
         << "fused step must not allocate the depthwise intermediate";
+  }
+}
+
+TEST(DepthwiseFusion, SizeGatePredicateMatchesMeasuredShapes) {
+  // PR 4 measured the producer fusion at ~0.75x on k = 32 over a 32x32 map
+  // and ~1.0x+ everywhere else (BENCH_kernels.json "depthwise_fused"): the
+  // gate must reject exactly the shallow-AND-wide corner.
+  EXPECT_FALSE(nn::fuse_dw_pw_profitable(32, 32 * 32));   // the measured loss
+  EXPECT_FALSE(nn::fuse_dw_pw_profitable(16, 64 * 64));   // shallower + wider
+  EXPECT_TRUE(nn::fuse_dw_pw_profitable(64, 32 * 32));    // deep enough
+  EXPECT_TRUE(nn::fuse_dw_pw_profitable(32, 16 * 16));    // narrow enough
+  EXPECT_TRUE(nn::fuse_dw_pw_profitable(64, 16 * 16));    // dwpw_64to128 case
+  EXPECT_TRUE(nn::fuse_dw_pw_profitable(128, 128 * 128)); // deep and wide
+}
+
+TEST(DepthwiseFusion, PlanGatesShallowWideMapsPerInputShape) {
+  // One prepared separable stack, driven at two input sizes through the
+  // same plan: the 32x32 map (k = 32, cols = 1024) takes the gated unfused
+  // pair, the 8x8 map stays on the producer fusion — and both must match
+  // the layer-by-layer eval forward. The gate is dispatch-time because the
+  // plan cannot know spatial dims at prepare_inference.
+  Rng rng(17);
+  nn::Sequential seq;
+  seq.emplace<nn::DepthwiseConv2d>(
+      32, nn::DepthwiseConv2d::Options{.kernel = 3, .stride = 1, .pad = 1},
+      rng);
+  seq.emplace<nn::BatchNorm2d>(32);
+  seq.emplace<nn::ReLU>();
+  seq.emplace<nn::Conv2d>(
+      32, 48, nn::Conv2d::Options{.kernel = 1, .stride = 1, .pad = 0,
+                                  .bias = false},
+      rng);
+  seq.emplace<nn::BatchNorm2d>(48);
+  seq.emplace<nn::ReLU>();
+  for (int bn_idx : {0, 1}) {
+    auto* bn = seq.find_nth<nn::BatchNorm2d>(bn_idx);
+    for (int64_t ch = 0; ch < bn->channels(); ++ch) {
+      bn->gamma()[ch] = 0.7f + 0.04f * static_cast<float>(ch % 5);
+      bn->beta()[ch] = 0.05f - 0.02f * static_cast<float>(ch % 3);
+      bn->running_mean()[ch] = 0.01f * static_cast<float>(ch % 4);
+      bn->running_var()[ch] = 0.6f + 0.08f * static_cast<float>(ch % 6);
+    }
+  }
+  nn::Sequential prepared = seq;
+  ExecutionContext ctx;
+  prepared.prepare_inference(ctx);
+  for (const int64_t hw : {32, 8}) {
+    const Tensor x = Tensor::randn(Shape{2, 32, hw, hw}, rng);
+    const Tensor want = seq.forward(x, false);  // layer-by-layer eval
+    const Tensor got = prepared.forward(ctx, x, false);
+    expect_close(got, want, 1e-4f, 1e-5f);
+  }
+}
+
+TEST(DepthwiseFusion, GatedAndFusedPathsAreBitIdentical) {
+  // The gate is a pure latency knob: on the very shape it triggers for, the
+  // producer fusion and the back-to-back pair must produce identical bits
+  // (this is what makes the dispatch-time switch invisible to parity).
+  if (!simd::fast_kernels_enabled()) {
+    GTEST_SKIP() << "no fusion plan under TBNET_DETERMINISTIC=1";
+  }
+  Rng rng(18);
+  nn::DepthwiseConv2d dw(
+      32, nn::DepthwiseConv2d::Options{.kernel = 3, .stride = 1, .pad = 1},
+      rng);
+  nn::Conv2d pw(32, 48, nn::Conv2d::Options{.kernel = 1, .stride = 1,
+                                            .pad = 0, .bias = false},
+                rng);
+  ExecutionContext ctx;
+  pw.prepare_inference(ctx);
+  const Tensor x = Tensor::randn(Shape{1, 32, 32, 32}, rng);
+  ASSERT_FALSE(nn::fuse_dw_pw_profitable(32, 32 * 32));
+  GemmEpilogue ep;
+  ep.act = simd::Act::kReLU;
+  const Tensor fused = nn::forward_depthwise_pointwise(
+      ctx, x, dw, nullptr, nullptr, simd::Act::kReLU, pw, ep);
+  const Tensor mid =
+      dw.forward_fused(ctx, x, nullptr, nullptr, simd::Act::kReLU);
+  const Tensor unfused =
+      pw.forward_fused(ctx, mid, nullptr, nullptr, simd::Act::kReLU);
+  ASSERT_EQ(fused.shape(), unfused.shape());
+  for (int64_t i = 0; i < fused.numel(); ++i) {
+    ASSERT_EQ(fused[i], unfused[i]) << "at " << i;
   }
 }
 

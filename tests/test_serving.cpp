@@ -1,15 +1,19 @@
 // Tests for the batched serving path: ExecutionContext / WorkspaceArena,
 // batched DeployedTBNet parity with per-image inference (including
-// non-identity channel maps), InferenceServer request coalescing, and the
-// ThreadPool edge cases the serving path leans on.
+// non-identity channel maps), and InferenceServer request coalescing plus
+// its PR-5 parallel dispatch workers (one engine per worker, queue-depth
+// and per-worker utilization stats). ThreadPool scheduling tests live in
+// test_threadpool.cpp.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -440,146 +444,6 @@ TEST(InferenceServer, ShutdownDrainsOutstandingWork) {
   }
 }
 
-// ------------------------------------------------------- ThreadPool --------
-
-TEST(ThreadPoolEdge, ParallelForZeroIsANoOp) {
-  std::atomic<int> calls{0};
-  ThreadPool::global().parallel_for(
-      0, [&](int64_t, int64_t) { calls.fetch_add(1); });
-  EXPECT_EQ(calls.load(), 0);
-  ThreadPool::global().parallel_for(
-      -3, [&](int64_t, int64_t) { calls.fetch_add(1); });
-  EXPECT_EQ(calls.load(), 0);
-}
-
-TEST(ThreadPoolEdge, GlobalPoolSafeUnderConcurrentUse) {
-  // Hammer the shared pool from several threads at once; each caller must
-  // see exactly its own full range covered.
-  std::vector<std::thread> threads;
-  std::atomic<int> failures{0};
-  for (int t = 0; t < 8; ++t) {
-    threads.emplace_back([&failures] {
-      for (int rep = 0; rep < 50; ++rep) {
-        std::atomic<int64_t> covered{0};
-        ThreadPool::global().parallel_for(1000, [&](int64_t b, int64_t e) {
-          covered.fetch_add(e - b);
-        });
-        if (covered.load() != 1000) failures.fetch_add(1);
-      }
-    });
-  }
-  for (auto& th : threads) th.join();
-  EXPECT_EQ(failures.load(), 0);
-}
-
-TEST(ThreadPoolEdge, NestedParallelForFromWorkerDoesNotDeadlock) {
-  // Regression: a parallel_for issued from inside a pool task used to queue
-  // chunks and block in the completion wait — with every worker doing the
-  // same, the chunks that could release them sat behind the blocked workers
-  // forever. Nested calls must run inline on the worker instead. Saturate a
-  // small pool so every worker runs a nesting task at once.
-  ThreadPool pool(4);
-  for (int rep = 0; rep < 20; ++rep) {
-    std::atomic<int64_t> outer_covered{0};
-    std::atomic<int64_t> inner_covered{0};
-    pool.parallel_for(8, [&](int64_t b, int64_t e) {
-      outer_covered.fetch_add(e - b);
-      for (int64_t i = b; i < e; ++i) {
-        pool.parallel_for(100, [&](int64_t ib, int64_t ie) {
-          inner_covered.fetch_add(ie - ib);
-        });
-      }
-    });
-    ASSERT_EQ(outer_covered.load(), 8);
-    ASSERT_EQ(inner_covered.load(), 8 * 100);
-  }
-}
-
-TEST(ThreadPoolEdge, NestedParallelForPreservesChunkBoundaries) {
-  // The inline nested execution must split [0, n) at the same chunk_size(n)
-  // boundaries as the queued form: the producer-fed GEMM driver keys
-  // per-chunk scratch by begin / chunk_size(n), so a single (0, n) call
-  // would alias its slabs.
-  ThreadPool pool(3);
-  const int64_t n = 10;
-  const int64_t chunk = pool.chunk_size(n);
-  std::mutex mu;
-  std::vector<std::pair<int64_t, int64_t>> nested_chunks;
-  pool.parallel_for(1000, [&](int64_t b, int64_t e) {
-    if (b != 0) return;  // nest from exactly one task
-    pool.parallel_for(n, [&](int64_t ib, int64_t ie) {
-      std::lock_guard<std::mutex> lock(mu);
-      nested_chunks.push_back({ib, ie});
-    });
-  });
-  ASSERT_FALSE(nested_chunks.empty());
-  int64_t covered = 0;
-  for (const auto& [b, e] : nested_chunks) {
-    EXPECT_EQ(b % chunk, 0) << "chunk origin must be a chunk_size multiple";
-    EXPECT_LE(e - b, chunk);
-    covered += e - b;
-  }
-  EXPECT_EQ(covered, n);
-}
-
-TEST(ThreadPoolEdge, ConcurrentJobsDrainFifo) {
-  // Regression: worker_loop popped the queue back (LIFO), so with two jobs
-  // queued the older job's chunks starved behind the newer job's. Stage it
-  // deterministically: a pool with exactly one worker is pinned by a gated
-  // job, two more jobs queue one chunk each in a known order, and the worker
-  // must then drain them oldest-first.
-  ThreadPool pool(2);  // caller + 1 worker
-  std::mutex mu;
-  std::condition_variable cv;
-  bool release = false;
-  int queued = 0;
-  std::vector<int> order;
-
-  auto gate = [&] {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
-  };
-  std::thread t0([&] {
-    // Both chunks (caller + worker) block until released, pinning the
-    // worker while the other jobs queue up.
-    pool.parallel_for(2, [&](int64_t, int64_t) { gate(); });
-  });
-  auto submit_marked = [&](int tag) {
-    // parallel_for enqueues the second chunk BEFORE running the first on the
-    // calling thread, so when the caller-chunk body runs, the queued chunk
-    // is already visible to the worker — that body is the "my chunk is
-    // queued" signal.
-    pool.parallel_for(2, [&, tag](int64_t b, int64_t) {
-      if (b == 0) {
-        std::lock_guard<std::mutex> lock(mu);
-        ++queued;
-        cv.notify_all();
-      } else {
-        std::lock_guard<std::mutex> lock(mu);
-        order.push_back(tag);
-      }
-    });
-  };
-  std::thread t1([&] { submit_marked(1); });
-  {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return queued >= 1; });
-  }
-  std::thread t2([&] { submit_marked(2); });
-  {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return queued >= 2; });
-    release = true;
-    cv.notify_all();
-  }
-  t0.join();
-  t1.join();
-  t2.join();
-  ASSERT_EQ(order.size(), 2u);
-  EXPECT_EQ(order[0], 1) << "older job's chunk must run first (FIFO)";
-  EXPECT_EQ(order[1], 2);
-}
-
 TEST(InferenceServer, CoalescedImagesCountsOnlyRiders) {
   // coalesced_images counts images beyond the first of each multi-image
   // batch — a lone request coalesces nothing, and a batch of n saves n - 1
@@ -634,6 +498,154 @@ TEST(InferenceServer, CoalescedImagesCountsOnlyRiders) {
   // requests - batches.
   EXPECT_EQ(stats.coalesced_images, 2);
   EXPECT_LE(stats.coalesced_images, stats.requests - stats.batches);
+}
+
+// --------------------------------------- parallel dispatch workers ---------
+
+TEST(InferenceServerWorkers, TwoWorkersDispatchBatchesConcurrently) {
+  // With two engines the server must run two batches at the same time: both
+  // engine calls rendezvous inside the (thread-safe, trivial) engine
+  // functions before either returns. A single-worker server can never
+  // satisfy the rendezvous — the generous timeout turns a regression into a
+  // clean failure instead of a hang.
+  std::mutex mu;
+  std::condition_variable cv;
+  int entered = 0;
+  bool both_entered = false;
+  auto engine = [&](const Tensor& nchw) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ++entered;
+      cv.notify_all();
+      both_entered = cv.wait_for(lock, std::chrono::seconds(10),
+                                 [&] { return entered >= 2; }) ||
+                     both_entered;
+    }
+    return Tensor(Shape{nchw.dim(0), 2});
+  };
+  InferenceServer::Config scfg;
+  scfg.max_batch = 1;  // one request = one batch: the 2nd must overlap
+  scfg.max_queue_delay = std::chrono::microseconds(100);
+  InferenceServer server(std::vector<InferenceServer::BatchFn>{engine, engine},
+                         scfg);
+  ASSERT_EQ(server.workers(), 2);
+
+  Rng rng(31);
+  auto f0 = server.submit(Tensor::randn(Shape{1, 2, 2}, rng));
+  auto f1 = server.submit(Tensor::randn(Shape{1, 2, 2}, rng));
+  f0.get();
+  f1.get();
+  EXPECT_TRUE(both_entered) << "second batch never overlapped the first";
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.batches, 2);
+  ASSERT_EQ(stats.per_worker.size(), 2u);
+  // Whichever worker took batch #1 was pinned inside it, so batch #2 must
+  // have gone to the other: exactly one batch each.
+  EXPECT_EQ(stats.per_worker[0].batches, 1);
+  EXPECT_EQ(stats.per_worker[1].batches, 1);
+  EXPECT_GT(stats.per_worker[0].busy_s, 0.0);
+  EXPECT_GT(stats.per_worker[1].busy_s, 0.0);
+  EXPECT_GT(stats.uptime_s, 0.0);
+  EXPECT_GE(stats.worker_utilization(0), 0.0);
+  EXPECT_LE(stats.worker_utilization(0), 1.0);
+}
+
+TEST(InferenceServerWorkers, QueueDepthHighWaterIsRecorded) {
+  // Pin the lone worker inside its first batch while three more requests
+  // queue: the submit-side high-water mark must see all three waiting.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false, release = false;
+  std::atomic<int> calls{0};
+  InferenceServer::Config scfg;
+  scfg.max_batch = 1;
+  scfg.max_queue_delay = std::chrono::microseconds(100);
+  InferenceServer server(
+      [&](const Tensor& nchw) {
+        if (calls.fetch_add(1) == 0) {
+          std::unique_lock<std::mutex> lock(mu);
+          started = true;
+          cv.notify_all();
+          cv.wait(lock, [&] { return release; });
+        }
+        return Tensor(Shape{nchw.dim(0), 2});
+      },
+      scfg);
+  Rng rng(32);
+  std::vector<std::future<InferenceResult>> futures;
+  futures.push_back(server.submit(Tensor::randn(Shape{1, 2, 2}, rng)));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return started; });
+  }
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.submit(Tensor::randn(Shape{1, 2, 2}, rng)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  server.drain();
+  for (auto& f : futures) f.get();
+
+  const ServingStats stats = server.stats();
+  EXPECT_GE(stats.max_queue_depth, 3);
+  ASSERT_EQ(stats.per_worker.size(), 1u);
+  EXPECT_EQ(stats.per_worker[0].batches, stats.batches);
+  EXPECT_EQ(stats.per_worker[0].images, stats.requests);
+}
+
+TEST(InferenceServerWorkers, ParallelEnginesServeTheSameModelCorrectly) {
+  // The production shape of inter-op parallelism: two independent
+  // DeployedTBNet engines (each with its own secure world, session, and
+  // ExecutionContext/arena) behind one server. Any request may land on
+  // either engine; every answer must match the in-process model.
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  core::TwoBranchModel tb = models::build_two_branch(victim, cfg);
+  tee::SecureWorld world_a, world_b;
+  tee::TeeContext ctx_a(world_a), ctx_b(world_b);
+  DeployedTBNet engine_a(tb, ctx_a, "tbnet-worker-a");
+  DeployedTBNet engine_b(tb, ctx_b, "tbnet-worker-b");
+
+  InferenceServer::Config scfg;
+  scfg.max_batch = 4;
+  scfg.max_queue_delay = std::chrono::microseconds(2000);
+  InferenceServer server(
+      std::vector<InferenceServer::BatchFn>{
+          [&engine_a](const Tensor& nchw) { return engine_a.infer_batch(nchw); },
+          [&engine_b](const Tensor& nchw) { return engine_b.infer_batch(nchw); }},
+      scfg);
+
+  Rng rng(33);
+  const int64_t total = 16;
+  const Tensor batch = random_batch(total, rng);
+  const Tensor want = tb.forward(batch, false);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int64_t i = 0; i < total; ++i) {
+    futures.push_back(server.submit(slice_image(batch, i)));
+  }
+  for (int64_t i = 0; i < total; ++i) {
+    InferenceResult r = futures[static_cast<size_t>(i)].get();
+    for (int64_t j = 0; j < 10; ++j) {
+      const float w = want[i * 10 + j];
+      EXPECT_NEAR(r.logits[j], w, 1e-5f + 1e-4f * std::fabs(w))
+          << "request " << i;
+    }
+  }
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests, total);
+  ASSERT_EQ(stats.per_worker.size(), 2u);
+  int64_t worker_batches = 0, worker_images = 0;
+  for (const WorkerStats& w : stats.per_worker) {
+    worker_batches += w.batches;
+    worker_images += w.images;
+  }
+  EXPECT_EQ(worker_batches, stats.batches);
+  EXPECT_EQ(worker_images, stats.requests);
 }
 
 }  // namespace
