@@ -30,6 +30,7 @@
 #include "nn/conv2d.h"
 #include "nn/depthwise.h"
 #include "nn/fuse.h"
+#include "nn/quant.h"
 #include "nn/sequential.h"
 #include "nn/activations.h"
 #include "tensor/gemm.h"
@@ -96,6 +97,66 @@ void gemm_packed_entry(const ExecutionContext& ctx, int64_t m, int64_t n,
                        int64_t k, float alpha, const float* a, const float* b,
                        float beta, float* c) {
   gemm_nn(ctx, m, n, k, alpha, a, b, beta, c);
+}
+
+/// Int8 GEMM throughput on the same shape, measured end to end the way the
+/// serving path runs it: pre-packed s8 weight panels, quantize-on-pack u8 B
+/// panels produced from the f32 activation matrix, i32 accumulation, and the
+/// dequant+ReLU epilogue. GFLOP/s-equivalent (2mnk ops over wall time) so
+/// the number reads directly against the f32 packed column.
+double bench_int8_gemm(const ExecutionContext& ctx, const GemmShape& s,
+                       const Tensor& a, const Tensor& b, int reps) {
+  const nn::ActQuant act = nn::act_quant_from_range(-4.0f, 4.0f);  // randn B
+  const nn::QuantizedWeights qw =
+      nn::quantize_weights(a.data(), s.m, s.k, act);
+  std::vector<int8_t> apack(
+      static_cast<size_t>(packdetail::packed_a_i8_bytes(s.m, s.k)));
+  packdetail::pack_a_i8(s.m, s.k, qw.q.data(), s.k, apack.data());
+  std::vector<float> es(static_cast<size_t>(s.m)), et(es);
+  nn::compose_quant_epilogue(qw, nullptr, nullptr, s.m, es.data(), et.data());
+  const simd::QuantEpilogue qep{es.data(), et.data(), simd::Act::kReLU};
+  const float inv = 1.0f / qw.act.scale;
+  const int32_t zp = qw.act.zero_point;
+  const float* bp = b.data();
+  const int64_t n = s.n;
+  Tensor c(Shape{s.m, s.n});
+  const auto produce = [bp, n, inv, zp](int64_t kk, int64_t kc, int64_t j0,
+                                        int nr, uint8_t* panel) {
+    const simd::QuantizeU7GroupFn qgroup = simd::quantize_u7_group();
+    const int64_t kg = (kc + simd::kKG - 1) / simd::kKG;
+    for (int64_t gi = 0; gi < kg; ++gi) {
+      uint8_t* grp = panel + gi * simd::kNR * simd::kKG;
+      const float* row = bp + (kk + gi * simd::kKG) * n + j0;
+      if (gi * simd::kKG + simd::kKG <= kc && nr == simd::kNR) {
+        qgroup(row, row + n, row + 2 * n, row + 3 * n, grp, inv, zp);
+        continue;
+      }
+      for (int64_t j = 0; j < simd::kNR; ++j) {
+        for (int64_t t = 0; t < simd::kKG; ++t) {
+          const int64_t p = gi * simd::kKG + t;
+          grp[j * simd::kKG + t] =
+              p < kc && j < nr
+                  ? simd::quantize_u7(bp[(kk + p) * n + j0 + j], inv, zp)
+                  : uint8_t{0};
+        }
+      }
+    }
+  };
+  const auto run = [&] {
+    packdetail::run_packed_i8_producer(ctx, s.m, s.n, s.k, apack.data(),
+                                       produce, c.data(), s.n, qep);
+  };
+  run();  // warmup
+  const double flops = 2.0 * static_cast<double>(s.m) *
+                       static_cast<double>(s.n) * static_cast<double>(s.k);
+  const int inner = std::max<int>(1, static_cast<int>(1e7 / flops));
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < inner; ++i) run();
+    best = std::max(best, flops * inner / seconds_since(t0) / 1e9);
+  }
+  return best;
 }
 
 /// Raw microkernel throughput on L1-resident panels — the practical ceiling
@@ -217,8 +278,10 @@ struct LowerPoint {
   const char* name;
   double fused_ms = 0.0;
   double materialized_ms = 0.0;
+  double int8_ms = 0.0;
   int64_t fused_arena_kb = 0;
   int64_t materialized_arena_kb = 0;
+  int64_t int8_arena_kb = 0;
 };
 
 /// Fused im2col→panel lowering (the Conv2d forward path) vs the PR-2
@@ -279,6 +342,20 @@ LowerPoint bench_lowering(const LowerShape& ls, int reps) {
     run_once();  // warmup
     p.materialized_arena_kb = ctx.arena().capacity_bytes() / 1024;
     p.materialized_ms = best_ms(run_once);
+  }
+  {
+    // Quantize-on-pack: the int8 producer path must stay within the f32
+    // fused lowering's scratch envelope (u8 slabs are a quarter the bytes;
+    // the S/T epilogue composition adds 2 * out_c floats per call).
+    nn::Conv2d qconv = conv;
+    ExecutionContext cal_ctx;
+    nn::quantize_for_inference(qconv, cal_ctx, x);
+    ExecutionContext weights_ctx;
+    qconv.prepare_inference(weights_ctx);
+    ExecutionContext ctx;
+    qconv.forward(ctx, x, false);  // warmup (scratch growth)
+    p.int8_arena_kb = ctx.arena().capacity_bytes() / 1024;
+    p.int8_ms = best_ms([&] { qconv.forward(ctx, x, false); });
   }
   return p;
 }
@@ -464,6 +541,7 @@ int main(int argc, char** argv) {
   std::printf("{\n");
   std::printf("  \"bench\": \"kernels\",\n");
   std::printf("  \"isa\": \"%s\",\n", simd::isa_name());
+  std::printf("  \"int8_isa\": \"%s\",\n", simd::int8_isa_name());
   std::printf("  \"fast_kernels\": %s,\n",
               simd::fast_kernels_enabled() ? "true" : "false");
   // Quoted so a preset empty/odd TBNET_THREADS cannot break the JSON.
@@ -476,6 +554,12 @@ int main(int argc, char** argv) {
   double log_speedup_sum = 0.0;
   int resnet_count = 0;
   double min_resnet_speedup = 1e30;
+  struct I8Entry {
+    const GemmShape* s;
+    double f32_gflops;
+    double i8_gflops;
+  };
+  std::vector<I8Entry> i8_entries;
   bool first = true;
   for (const GemmShape& s : kShapes) {
     if (quick && !s.quick) continue;
@@ -490,6 +574,11 @@ int main(int argc, char** argv) {
     if (std::strncmp(s.name, "resnet", 6) == 0) {
       ++resnet_count;
       min_resnet_speedup = std::min(min_resnet_speedup, speedup);
+    }
+    // Narrow logit heads stay f32 in the quantized engine (nn/quant.h
+    // eligibility), so the dense head is not an int8 serving shape.
+    if (std::strncmp(s.name, "dense_head", 10) != 0) {
+      i8_entries.push_back({&s, packed, bench_int8_gemm(ctx, s, a, b, reps)});
     }
     std::printf(
         "%s    {\"name\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
@@ -508,6 +597,29 @@ int main(int argc, char** argv) {
               std::exp(log_speedup_sum / shape_count));
   std::printf("  \"min_resnet_speedup\": %.2f,\n",
               resnet_count > 0 ? min_resnet_speedup : 0.0);
+
+  // Int8 vs f32 packed, per shape plus the geomean the acceptance gate
+  // reads. "gflops" columns are GFLOP/s-equivalent: 2mnk over wall time.
+  std::printf("  \"int8_gemm\": [\n");
+  double i8_log_sum = 0.0;
+  first = true;
+  for (const I8Entry& e : i8_entries) {
+    const double vs = e.i8_gflops / e.f32_gflops;
+    i8_log_sum += std::log(vs);
+    std::printf(
+        "%s    {\"name\": \"i8_%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
+        "\"f32_gflops\": %.2f, \"int8_gflops\": %.2f, \"vs_f32\": %.2f}",
+        first ? "" : ",\n", e.s->name, static_cast<long long>(e.s->m),
+        static_cast<long long>(e.s->n), static_cast<long long>(e.s->k),
+        e.f32_gflops, e.i8_gflops, vs);
+    first = false;
+  }
+  std::printf("\n  ],\n");
+  std::printf("  \"int8_geomean_vs_f32\": %.2f,\n",
+              i8_entries.empty()
+                  ? 0.0
+                  : std::exp(i8_log_sum /
+                             static_cast<double>(i8_entries.size())));
   std::printf("  \"micro_roofline_gflops\": %.2f,\n",
               micro_roofline_gflops(reps));
 
@@ -564,12 +676,14 @@ int main(int argc, char** argv) {
     const LowerPoint p = bench_lowering(ls, reps);
     std::printf(
         "%s    {\"name\": \"%s\", \"fused_ms\": %.4f, "
-        "\"materialized_ms\": %.4f, \"speedup\": %.2f, "
-        "\"fused_arena_kb\": %lld, \"materialized_arena_kb\": %lld}",
-        first ? "" : ",\n", p.name, p.fused_ms, p.materialized_ms,
+        "\"materialized_ms\": %.4f, \"int8_ms\": %.4f, \"speedup\": %.2f, "
+        "\"fused_arena_kb\": %lld, \"materialized_arena_kb\": %lld, "
+        "\"int8_arena_kb\": %lld}",
+        first ? "" : ",\n", p.name, p.fused_ms, p.materialized_ms, p.int8_ms,
         p.materialized_ms / p.fused_ms,
         static_cast<long long>(p.fused_arena_kb),
-        static_cast<long long>(p.materialized_arena_kb));
+        static_cast<long long>(p.materialized_arena_kb),
+        static_cast<long long>(p.int8_arena_kb));
     first = false;
   }
   std::printf("\n  ],\n");

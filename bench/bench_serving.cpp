@@ -235,6 +235,8 @@ int main(int argc, char** argv) {
   std::printf("  \"device_timing\": %s,\n",
               device_timing ? "\"raspberry-pi-3b/op-tee\"" : "null");
   std::printf("  \"threads\": %s,\n", std::getenv("TBNET_THREADS"));
+  std::printf("  \"isa\": \"%s\",\n", server_stats.isa.c_str());
+  std::printf("  \"int8_isa\": \"%s\",\n", server_stats.int8_isa.c_str());
   // REE-side scratch high-water mark (packed weights + per-call workspace);
   // with fused im2col→panel lowering this excludes any column matrices.
   std::printf("  \"workspace_bytes\": %lld,\n",

@@ -72,6 +72,11 @@ Tensor Conv2d::forward_fused(ExecutionContext& ctx, const Tensor& input,
 
 Tensor Conv2d::forward_impl(ExecutionContext& ctx, const Tensor& input,
                             bool train, const GemmEpilogue& ep) {
+  if (!train && !quant_.empty()) {
+    // Quantized serving path — taken ahead of the fast-kernels gate because
+    // the int8 engine has its own deterministic scalar reference tier.
+    return forward_int8(ctx, input, ep);
+  }
   const Conv2dGeom g = geom_for(input.shape());
   const int64_t n = input.dim(0);
   const int64_t rows = g.col_rows(), cols = g.col_cols();
@@ -142,6 +147,86 @@ Tensor Conv2d::forward_impl(ExecutionContext& ctx, const Tensor& input,
   return out;
 }
 
+Tensor Conv2d::forward_int8(ExecutionContext& ctx, const Tensor& input,
+                            const GemmEpilogue& ep) {
+  if (ep.col_scale != nullptr || ep.col_shift != nullptr) {
+    throw std::logic_error(
+        "Conv2d: the int8 path composes per-row epilogues only");
+  }
+  const Conv2dGeom g = geom_for(input.shape());
+  const int64_t n = input.dim(0);
+  const int64_t rows = g.col_rows(), cols = g.col_cols();
+  Tensor out(out_shape(input.shape()));
+  const int64_t in_stride = in_c_ * g.in_h * g.in_w;
+  const int64_t out_stride = out_c_ * cols;
+  const bool direct_1x1 =
+      opt_.kernel == 1 && opt_.stride == 1 && opt_.pad == 0;
+  ArenaScope scope(ctx.arena());
+  // Compose the dequantization affine once per call, O(out_c): the kernel
+  // applies y = act(acc * S[o] + T[o]) per element, where T folds the
+  // zero-point correction and the caller's bias / BN shift (nn/quant.h).
+  float* S = ctx.arena().alloc(out_c_);
+  float* T = ctx.arena().alloc(out_c_);
+  compose_quant_epilogue(quant_, ep.row_scale, ep.row_shift, out_c_, S, T);
+  const simd::QuantEpilogue qep{S, T, ep.act};
+  const int8_t* apack;
+  if (!qpacked_.empty()) {
+    apack = qpacked_.data();
+  } else {
+    const int64_t bytes = packdetail::packed_a_i8_bytes(out_c_, rows);
+    int8_t* ap = reinterpret_cast<int8_t*>(ctx.arena().alloc((bytes + 3) / 4));
+    packdetail::pack_a_i8(out_c_, rows, quant_.q.data(), rows, ap);
+    apack = ap;
+  }
+  const float inv = 1.0f / quant_.act.scale;
+  const int32_t zp = quant_.act.zero_point;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* img = input.data() + i * in_stride;
+    float* dst = out.data() + i * out_stride;
+    if (direct_1x1) {
+      // B row p of a 1x1 stride-1 unpadded conv IS channel plane p, so the
+      // producer quantizes straight from the image rows into the grouped
+      // panel layout — no lowering at all.
+      packdetail::run_packed_i8_producer(
+          ctx, out_c_, cols, rows, apack,
+          [img, cols, inv, zp](int64_t kk, int64_t kc, int64_t j0, int nr,
+                               uint8_t* panel) {
+            const simd::QuantizeU7GroupFn qgroup = simd::quantize_u7_group();
+            const int64_t kg = (kc + simd::kKG - 1) / simd::kKG;
+            for (int64_t gi = 0; gi < kg; ++gi) {
+              uint8_t* grp = panel + gi * simd::kNR * simd::kKG;
+              const float* row = img + (kk + gi * simd::kKG) * cols + j0;
+              if (gi * simd::kKG + simd::kKG <= kc && nr == simd::kNR) {
+                qgroup(row, row + cols, row + 2 * cols, row + 3 * cols, grp,
+                       inv, zp);
+                continue;
+              }
+              for (int64_t j = 0; j < simd::kNR; ++j) {
+                for (int64_t t = 0; t < simd::kKG; ++t) {
+                  const int64_t p = gi * simd::kKG + t;
+                  grp[j * simd::kKG + t] =
+                      p < kc && j < nr
+                          ? simd::quantize_u7(img[(kk + p) * cols + j0 + j],
+                                              inv, zp)
+                          : uint8_t{0};
+                }
+              }
+            }
+          },
+          dst, cols, qep);
+    } else {
+      packdetail::run_packed_i8_producer(
+          ctx, out_c_, cols, rows, apack,
+          [&g, img, inv, zp](int64_t kk, int64_t kc, int64_t j0, int nr,
+                             uint8_t* panel) {
+            im2col_pack_panel_u8(g, img, kk, kc, j0, nr, inv, zp, panel);
+          },
+          dst, cols, qep);
+    }
+  }
+  return out;
+}
+
 Tensor Conv2d::backward(ExecutionContext& ctx, const Tensor& grad_output) {
   if (cached_input_.empty()) {
     throw std::logic_error("Conv2d::backward called before forward(train)");
@@ -194,6 +279,10 @@ std::vector<ParamRef> Conv2d::params() {
 std::unique_ptr<Layer> Conv2d::clone() const {
   auto copy = std::make_unique<Conv2d>(*this);
   copy->cached_input_ = Tensor();
+  // Quantized weights are model state and survive the clone; the packed
+  // panels are prepare-time caches and do not (PackedGemm's copy is empty
+  // by design, the int8 pack is dropped here for the same reason).
+  copy->qpacked_.clear();
   return copy;
 }
 
@@ -243,9 +332,35 @@ void Conv2d::fuse_scale_shift(const float* scale, const float* shift) {
     bias_[o] = bias_[o] * scale[o] + shift[o];
   }
   packed_.clear();
+  quant_ = QuantizedWeights();
+  qpacked_.clear();
+}
+
+void Conv2d::set_quantized(QuantizedWeights qw) {
+  const int64_t k = in_c_ * opt_.kernel * opt_.kernel;
+  if (!qw.empty() &&
+      (qw.q.size() != static_cast<size_t>(out_c_ * k) ||
+       qw.scale.size() != static_cast<size_t>(out_c_) ||
+       qw.qsum.size() != static_cast<size_t>(out_c_) ||
+       qw.act.scale <= 0.0f)) {
+    throw std::invalid_argument("Conv2d::set_quantized: shape mismatch");
+  }
+  quant_ = std::move(qw);
+  packed_.clear();
+  qpacked_.clear();
 }
 
 void Conv2d::prepare_inference(ExecutionContext& ctx) {
+  if (!quant_.empty()) {
+    // The int8 serving path runs in every mode (its scalar reference tier IS
+    // the deterministic pin), so the panels pack unconditionally; the f32
+    // pack would be dead weight.
+    const int64_t k = in_c_ * opt_.kernel * opt_.kernel;
+    qpacked_.resize(
+        static_cast<size_t>(packdetail::packed_a_i8_bytes(out_c_, k)));
+    packdetail::pack_a_i8(out_c_, k, quant_.q.data(), k, qpacked_.data());
+    return;
+  }
   if (!simd::fast_kernels_enabled()) return;
   packed_.pack_a(out_c_, in_c_ * opt_.kernel * opt_.kernel, weight_.data(),
                  &ctx.arena());
@@ -254,6 +369,8 @@ void Conv2d::prepare_inference(ExecutionContext& ctx) {
 void Conv2d::select_out_channels(const std::vector<int64_t>& keep) {
   if (keep.empty()) throw std::invalid_argument("Conv2d: cannot prune all output channels");
   packed_.clear();
+  quant_ = QuantizedWeights();
+  qpacked_.clear();
   weight_ = gather_dim(weight_, 0, keep);
   weight_grad_ = Tensor(weight_.shape());
   if (opt_.bias) {
@@ -269,6 +386,8 @@ void Conv2d::select_out_channels(const std::vector<int64_t>& keep) {
 void Conv2d::select_in_channels(const std::vector<int64_t>& keep) {
   if (keep.empty()) throw std::invalid_argument("Conv2d: cannot prune all input channels");
   packed_.clear();
+  quant_ = QuantizedWeights();
+  qpacked_.clear();
   weight_ = gather_dim(weight_, 1, keep);
   weight_grad_ = Tensor(weight_.shape());
   in_c_ = static_cast<int64_t>(keep.size());

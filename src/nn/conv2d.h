@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "nn/quant.h"
 #include "tensor/im2col.h"
 #include "tensor/pack.h"
 #include "tensor/rng.h"
@@ -73,16 +74,37 @@ class Conv2d : public Layer {
 
   /// Deploy-time BN folding: scales each output-channel's weights by
   /// scale[o] and adds shift[o] into the bias (creating the bias if absent),
-  /// so a following eval-mode BatchNorm can be removed.
+  /// so a following eval-mode BatchNorm can be removed. Drops any attached
+  /// quantization (the weights changed; re-run quantize_for_inference).
   void fuse_scale_shift(const float* scale, const float* shift);
 
-  /// Packs the weight into microkernel panels (cached; see Layer).
+  /// Attaches int8 quantized weights (nn/quant.h). Every eval forward —
+  /// plain, fused, and the dw→pw producer path — then runs the int8 engine;
+  /// the f32 weight_ is kept untouched as the training / reference fallback.
+  /// Clears the packed caches (they no longer match the serving path).
+  void set_quantized(QuantizedWeights qw);
+  bool quantized() const { return !quant_.empty(); }
+  const QuantizedWeights& quant() const { return quant_; }
+
+  /// Raw int8 A panels (packdetail::pack_a_i8 layout) once prepared, nullptr
+  /// otherwise — the int8 analogue of packed_weight() for external drivers
+  /// like the fused dw→pw path.
+  const int8_t* packed_quant() const {
+    return qpacked_.empty() ? nullptr : qpacked_.data();
+  }
+
+  /// Packs the weight into microkernel panels (cached; see Layer). A
+  /// quantized layer packs int8 A panels instead of f32 ones — and does so
+  /// even under TBNET_DETERMINISTIC=1, since the int8 path's scalar
+  /// reference kernel consumes the same panel layout.
   void prepare_inference(ExecutionContext& ctx) override;
 
  private:
   Conv2dGeom geom_for(const Shape& in) const;
 
   Tensor forward_impl(ExecutionContext& ctx, const Tensor& input, bool train,
+                      const GemmEpilogue& ep);
+  Tensor forward_int8(ExecutionContext& ctx, const Tensor& input,
                       const GemmEpilogue& ep);
 
   int64_t in_c_, out_c_;
@@ -91,6 +113,8 @@ class Conv2d : public Layer {
   Tensor bias_, bias_grad_;
   Tensor cached_input_;  ///< set by forward(train=true)
   PackedGemm packed_;    ///< weight panels; empty until prepare_inference
+  QuantizedWeights quant_;      ///< int8 weights; empty = f32 serving
+  std::vector<int8_t> qpacked_; ///< int8 A panels; empty until prepare
 };
 
 }  // namespace tbnet::nn

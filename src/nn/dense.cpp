@@ -46,6 +46,10 @@ Tensor Dense::forward_fused(ExecutionContext& ctx, const Tensor& input,
 
 Tensor Dense::forward_impl(ExecutionContext& ctx, const Tensor& input,
                            bool train, simd::Act act) {
+  if (!train && !quant_.empty()) {
+    out_shape(input.shape());  // validate
+    return forward_int8(ctx, input, act);
+  }
   const Shape os = out_shape(input.shape());
   const int64_t n = input.dim(0);
   Tensor out(os);
@@ -64,7 +68,84 @@ Tensor Dense::forward_impl(ExecutionContext& ctx, const Tensor& input,
   return out;
 }
 
+Tensor Dense::forward_int8(ExecutionContext& ctx, const Tensor& input,
+                           simd::Act act) {
+  const int64_t n = input.dim(0);
+  Tensor out(Shape{n, out_f_});
+  ArenaScope scope(ctx.arena());
+  // Same dequantization composition as Conv2d::forward_int8, with the bias
+  // riding the shift term (the f32 path's per-column bias becomes per-row in
+  // the transposed GEMM).
+  float* S = ctx.arena().alloc(out_f_);
+  float* T = ctx.arena().alloc(out_f_);
+  compose_quant_epilogue(quant_, nullptr, has_bias_ ? bias_.data() : nullptr,
+                         out_f_, S, T);
+  const simd::QuantEpilogue qep{S, T, act};
+  const int8_t* apack;
+  if (!qpacked_.empty()) {
+    apack = qpacked_.data();
+  } else {
+    const int64_t bytes = packdetail::packed_a_i8_bytes(out_f_, in_f_);
+    int8_t* ap = reinterpret_cast<int8_t*>(ctx.arena().alloc((bytes + 3) / 4));
+    packdetail::pack_a_i8(out_f_, in_f_, quant_.q.data(), in_f_, ap);
+    apack = ap;
+  }
+  const float inv = 1.0f / quant_.act.scale;
+  const int32_t zp = quant_.act.zero_point;
+  const float* x = input.data();
+  const int64_t in_f = in_f_;
+  // C^T[out_f, n] = W_q * X_q^T: B column j is input row j0+j, quantized
+  // straight from the batch. Each output element's integer dot product is
+  // independent of which tile its column lands in, so batched serving stays
+  // bit-identical to per-sample calls.
+  float* ct = ctx.arena().alloc(out_f_ * n);
+  packdetail::run_packed_i8_producer(
+      ctx, out_f_, n, in_f_, apack,
+      [x, in_f, inv, zp](int64_t kk, int64_t kc, int64_t j0, int nr,
+                         uint8_t* panel) {
+        const int64_t kg = (kc + simd::kKG - 1) / simd::kKG;
+        for (int64_t gi = 0; gi < kg; ++gi) {
+          uint8_t* grp = panel + gi * simd::kNR * simd::kKG;
+          for (int64_t j = 0; j < simd::kNR; ++j) {
+            for (int64_t t = 0; t < simd::kKG; ++t) {
+              const int64_t p = gi * simd::kKG + t;
+              grp[j * simd::kKG + t] =
+                  p < kc && j < nr
+                      ? simd::quantize_u7(x[(j0 + j) * in_f + kk + p], inv, zp)
+                      : uint8_t{0};
+            }
+          }
+        }
+      },
+      ct, n, qep);
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = out.data() + i * out_f_;
+    for (int64_t o = 0; o < out_f_; ++o) row[o] = ct[o * n + i];
+  }
+  return out;
+}
+
+void Dense::set_quantized(QuantizedWeights qw) {
+  if (!qw.empty() &&
+      (qw.q.size() != static_cast<size_t>(out_f_ * in_f_) ||
+       qw.scale.size() != static_cast<size_t>(out_f_) ||
+       qw.qsum.size() != static_cast<size_t>(out_f_) ||
+       qw.act.scale <= 0.0f)) {
+    throw std::invalid_argument("Dense::set_quantized: shape mismatch");
+  }
+  quant_ = std::move(qw);
+  packed_.clear();
+  qpacked_.clear();
+}
+
 void Dense::prepare_inference(ExecutionContext& ctx) {
+  if (!quant_.empty()) {
+    qpacked_.resize(
+        static_cast<size_t>(packdetail::packed_a_i8_bytes(out_f_, in_f_)));
+    packdetail::pack_a_i8(out_f_, in_f_, quant_.q.data(), in_f_,
+                          qpacked_.data());
+    return;
+  }
   if (!simd::fast_kernels_enabled()) return;
   // Heads narrower than one vector tile (e.g. 10-class logits) are better
   // served by the streaming reference kernel gemm_nt falls back to for
@@ -108,6 +189,9 @@ std::vector<ParamRef> Dense::params() {
 std::unique_ptr<Layer> Dense::clone() const {
   auto copy = std::make_unique<Dense>(*this);
   copy->cached_input_ = Tensor();
+  // Quantized weights are model state; the int8 pack is a prepare-time
+  // cache and is dropped like the f32 PackedGemm (whose copy is empty).
+  copy->qpacked_.clear();
   return copy;
 }
 
@@ -116,6 +200,8 @@ void Dense::select_in_features(const std::vector<int64_t>& keep) {
     throw std::invalid_argument("Dense: cannot prune all input features");
   }
   packed_.clear();
+  quant_ = QuantizedWeights();
+  qpacked_.clear();
   const int64_t k = static_cast<int64_t>(keep.size());
   Tensor w(Shape{out_f_, k});
   for (int64_t o = 0; o < out_f_; ++o) {

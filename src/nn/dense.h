@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "nn/quant.h"
 #include "tensor/pack.h"
 #include "tensor/rng.h"
 
@@ -49,11 +50,23 @@ class Dense : public Layer {
   void select_in_channels(const std::vector<int64_t>& keep,
                           int64_t features_per_channel);
 
-  /// Packs W^T into right-operand panels (cached; see Layer).
+  /// Attaches int8 quantized weights (nn/quant.h); eval forward then runs
+  /// the transposed int8 GEMM C^T[out_f, n] = W_q * X_q^T (the weight is the
+  /// stationary packed A side, batch rows become B columns) and transposes
+  /// the result. Only layers with out_features >= simd::kNR are quantized by
+  /// the calibration walker. Clears the packed caches.
+  void set_quantized(QuantizedWeights qw);
+  bool quantized() const { return !quant_.empty(); }
+  const QuantizedWeights& quant() const { return quant_; }
+
+  /// Packs W^T into right-operand panels (cached; see Layer). A quantized
+  /// layer packs int8 A panels of W instead (see set_quantized).
   void prepare_inference(ExecutionContext& ctx) override;
 
  private:
   Tensor forward_impl(ExecutionContext& ctx, const Tensor& input, bool train,
+                      simd::Act act);
+  Tensor forward_int8(ExecutionContext& ctx, const Tensor& input,
                       simd::Act act);
 
   int64_t in_f_, out_f_;
@@ -62,6 +75,8 @@ class Dense : public Layer {
   Tensor bias_, bias_grad_;
   Tensor cached_input_;
   PackedGemm packed_;  ///< W^T panels; empty until prepare_inference
+  QuantizedWeights quant_;      ///< int8 weights; empty = f32 serving
+  std::vector<int8_t> qpacked_; ///< int8 A panels of W; empty until prepare
 };
 
 }  // namespace tbnet::nn

@@ -92,6 +92,63 @@ Tensor read_tensor(std::istream& is) {
   return t;
 }
 
+/// Quantized-weight payload (format v3): [out, k] extents, per-channel
+/// scales, the activation quantizer, then the raw int8 bytes. qsum is
+/// derivable and is recomputed on load.
+void write_quant(std::ostream& os, const QuantizedWeights& qw) {
+  const int64_t out = static_cast<int64_t>(qw.scale.size());
+  const int64_t k = static_cast<int64_t>(qw.q.size()) / out;
+  write_i64(os, out);
+  write_i64(os, k);
+  os.write(reinterpret_cast<const char*>(qw.scale.data()),
+           static_cast<std::streamsize>(out * sizeof(float)));
+  write_f32(os, qw.act.scale);
+  write_i64(os, qw.act.zero_point);
+  os.write(reinterpret_cast<const char*>(qw.q.data()),
+           static_cast<std::streamsize>(qw.q.size()));
+}
+
+QuantizedWeights read_quant(std::istream& is, int64_t expect_out,
+                            int64_t expect_k) {
+  const int64_t out = read_i64(is);
+  const int64_t k = read_i64(is);
+  if (out != expect_out || k != expect_k) {
+    throw std::runtime_error("model stream: quantized weight shape mismatch");
+  }
+  QuantizedWeights qw;
+  qw.scale.resize(static_cast<size_t>(out));
+  is.read(reinterpret_cast<char*>(qw.scale.data()),
+          static_cast<std::streamsize>(out * sizeof(float)));
+  qw.act.scale = read_f32(is);
+  qw.act.zero_point = static_cast<int32_t>(read_i64(is));
+  qw.q.resize(static_cast<size_t>(out * k));
+  is.read(reinterpret_cast<char*>(qw.q.data()),
+          static_cast<std::streamsize>(qw.q.size()));
+  if (!is) throw std::runtime_error("model stream truncated (quant)");
+  qw.qsum.resize(static_cast<size_t>(out));
+  for (int64_t o = 0; o < out; ++o) {
+    int32_t sum = 0;
+    const int8_t* row = qw.q.data() + o * k;
+    for (int64_t j = 0; j < k; ++j) sum += row[j];
+    qw.qsum[static_cast<size_t>(o)] = sum;
+  }
+  return qw;
+}
+
+/// The f32 fallback weight of a quantized layer: w = q * scale[o].
+Tensor dequantized_weight(const QuantizedWeights& qw, const Shape& shape) {
+  Tensor w{shape};
+  const int64_t out = static_cast<int64_t>(qw.scale.size());
+  const int64_t k = w.numel() / out;
+  for (int64_t o = 0; o < out; ++o) {
+    const float s = qw.scale[static_cast<size_t>(o)];
+    const int8_t* row = qw.q.data() + o * k;
+    float* dst = w.data() + o * k;
+    for (int64_t j = 0; j < k; ++j) dst[j] = static_cast<float>(row[j]) * s;
+  }
+  return w;
+}
+
 /// std::streambuf that counts bytes without storing them.
 class CountingBuf : public std::streambuf {
  public:
@@ -119,7 +176,12 @@ void save_layer(std::ostream& os, const Layer& layer) {
     write_i64(os, conv->options().stride);
     write_i64(os, conv->options().pad);
     write_u32(os, conv->has_bias() ? 1 : 0);
-    write_tensor(os, conv->weight());
+    write_u32(os, conv->quantized() ? 1 : 0);  // format v3
+    if (conv->quantized()) {
+      write_quant(os, conv->quant());
+    } else {
+      write_tensor(os, conv->weight());
+    }
     if (conv->has_bias()) write_tensor(os, const_cast<Conv2d*>(conv)->bias());
   } else if (const auto* dw = dynamic_cast<const DepthwiseConv2d*>(&layer)) {
     write_i64(os, dw->channels());
@@ -164,7 +226,12 @@ void save_layer(std::ostream& os, const Layer& layer) {
     write_i64(os, dense->in_features());
     write_i64(os, dense->out_features());
     write_u32(os, dense->has_bias() ? 1 : 0);
-    write_tensor(os, dense->weight());
+    write_u32(os, dense->quantized() ? 1 : 0);  // format v3
+    if (dense->quantized()) {
+      write_quant(os, dense->quant());
+    } else {
+      write_tensor(os, dense->weight());
+    }
     if (dense->has_bias()) write_tensor(os, const_cast<Dense*>(dense)->bias());
   } else if (const auto* seq = dynamic_cast<const Sequential*>(&layer)) {
     write_u32(os, static_cast<uint32_t>(seq->size()));
@@ -201,9 +268,19 @@ std::unique_ptr<Layer> load_layer(std::istream& is, uint32_t version) {
     opt.pad = read_i64(is);
     opt.bias = read_u32(is) != 0;
     auto conv = std::make_unique<Conv2d>(in_c, out_c, opt, rng);
-    conv->weight() = read_tensor(is);
-    if (conv->weight().shape() != Shape{out_c, in_c, opt.kernel, opt.kernel}) {
-      throw std::runtime_error("load_layer: Conv2d weight shape mismatch");
+    const bool quantized = version >= 3 && read_u32(is) != 0;
+    if (quantized) {
+      const int64_t k = in_c * opt.kernel * opt.kernel;
+      QuantizedWeights qw = read_quant(is, out_c, k);
+      conv->weight() =
+          dequantized_weight(qw, Shape{out_c, in_c, opt.kernel, opt.kernel});
+      conv->set_quantized(std::move(qw));
+    } else {
+      conv->weight() = read_tensor(is);
+      if (conv->weight().shape() !=
+          Shape{out_c, in_c, opt.kernel, opt.kernel}) {
+        throw std::runtime_error("load_layer: Conv2d weight shape mismatch");
+      }
     }
     if (opt.bias) conv->bias() = read_tensor(is);
     return conv;
@@ -267,9 +344,16 @@ std::unique_ptr<Layer> load_layer(std::istream& is, uint32_t version) {
     const int64_t out_f = read_i64(is);
     const bool bias = read_u32(is) != 0;
     auto dense = std::make_unique<Dense>(in_f, out_f, rng, bias);
-    dense->weight() = read_tensor(is);
-    if (dense->weight().shape() != Shape{out_f, in_f}) {
-      throw std::runtime_error("load_layer: Dense weight shape mismatch");
+    const bool quantized = version >= 3 && read_u32(is) != 0;
+    if (quantized) {
+      QuantizedWeights qw = read_quant(is, out_f, in_f);
+      dense->weight() = dequantized_weight(qw, Shape{out_f, in_f});
+      dense->set_quantized(std::move(qw));
+    } else {
+      dense->weight() = read_tensor(is);
+      if (dense->weight().shape() != Shape{out_f, in_f}) {
+        throw std::runtime_error("load_layer: Dense weight shape mismatch");
+      }
     }
     if (bias) dense->bias() = read_tensor(is);
     return dense;
@@ -301,6 +385,9 @@ std::unique_ptr<Layer> load_layer(std::istream& is, uint32_t version) {
         throw std::runtime_error("load_layer: malformed ResidualBlock");
       }
       conv.weight() = c->weight();
+      // A quantized member keeps its quantization through the reload (the
+      // weight copy above is only the f32 fallback).
+      if (c->quantized()) conv.set_quantized(QuantizedWeights(c->quant()));
       bn.gamma() = b->gamma();
       bn.beta() = b->beta();
       bn.running_mean() = b->running_mean();

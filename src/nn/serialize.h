@@ -22,9 +22,15 @@ namespace tbnet::nn {
 ///   1 — initial format.
 ///   2 — DepthwiseConv2d gains an optional bias (has_bias flag + tensor),
 ///       so deploy-time BN folding can absorb into depthwise stages too.
+///   3 — Conv2d / Dense gain a quantized flag: a quantized layer ships its
+///       per-channel scales, activation quantizer, and raw int8 weight bytes
+///       INSTEAD of the float32 weight (~4x smaller TA images); the loader
+///       rebuilds the f32 fallback as q * scale and re-attaches the
+///       quantization (nn/quant.h).
 /// Writers always emit the current version; load_model accepts any version
-/// back to 1 (a v1 DepthwiseConv2d loads bias-free).
-inline constexpr uint32_t kModelFormatVersion = 2;
+/// back to 1 (a v1 DepthwiseConv2d loads bias-free, a pre-v3 layer loads
+/// unquantized).
+inline constexpr uint32_t kModelFormatVersion = 3;
 
 /// Serializes a layer tree (any Layer produced by this library).
 void save_layer(std::ostream& os, const Layer& layer);

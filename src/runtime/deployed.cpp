@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/fuse.h"
+#include "nn/quant.h"
 #include "nn/serialize.h"
 #include "tensor/ops.h"
 #include "tensor/simd.h"
@@ -295,13 +296,28 @@ void ta_check(uint32_t status, const char* what) {
   }
 }
 
+/// Clones one branch block for deployment, folding inference-mode BatchNorm
+/// into the adjacent convs — including depthwise convs since the model format
+/// grew a depthwise bias (nn/fuse.h); under TBNET_DETERMINISTIC=1 the clone
+/// is unmodified so the deployment stays bit-reproducible.
+std::unique_ptr<nn::Layer> deployment_clone(const nn::Layer& block) {
+  std::unique_ptr<nn::Layer> copy = block.clone();
+  if (simd::fast_kernels_enabled()) {
+    if (auto* seq = dynamic_cast<nn::Sequential*>(copy.get())) {
+      nn::fold_batchnorm_inference(*seq);
+    }
+  }
+  return copy;
+}
+
 /// Builds the TBNet TA image: stage count, then per stage the channel map
-/// and the serialized secure block. Blocks are serialized from deployment
-/// clones with inference-mode BatchNorm folded into the adjacent convs —
-/// including depthwise convs since the model format grew a depthwise bias
-/// (nn/fuse.h) — so the TA ships fewer layers and fewer parameter bytes;
-/// under TBNET_DETERMINISTIC=1 the blocks ship unmodified.
-std::vector<uint8_t> build_tbnet_ta_image(const core::TwoBranchModel& model) {
+/// and the serialized secure block. `secure[i]` is stage i's already-frozen
+/// deployment clone (BN folded, and int8-quantized when the engine ran a
+/// calibration batch — a quantized block ships ~4x fewer weight bytes, so
+/// the measured TA image shrinks accordingly).
+std::vector<uint8_t> build_tbnet_ta_image(
+    const core::TwoBranchModel& model,
+    const std::vector<std::unique_ptr<nn::Layer>>& secure) {
   std::vector<uint8_t> image;
   pack_i64(image, model.num_stages());
   for (int i = 0; i < model.num_stages(); ++i) {
@@ -309,13 +325,8 @@ std::vector<uint8_t> build_tbnet_ta_image(const core::TwoBranchModel& model) {
     pack_i64(image, static_cast<int64_t>(s.channel_map.size()));
     for (int64_t v : s.channel_map) pack_i64(image, v);
     pack_i64(image, s.fused ? 1 : 0);
-    std::unique_ptr<nn::Layer> secure = s.secure->clone();
-    if (simd::fast_kernels_enabled()) {
-      if (auto* seq = dynamic_cast<nn::Sequential*>(secure.get())) {
-        nn::fold_batchnorm_inference(*seq);
-      }
-    }
-    const std::vector<uint8_t> blob = serialize_blob(*secure);
+    const std::vector<uint8_t> blob =
+        serialize_blob(*secure[static_cast<size_t>(i)]);
     pack_i64(image, static_cast<int64_t>(blob.size()));
     image.insert(image.end(), blob.begin(), blob.end());
   }
@@ -333,33 +344,70 @@ DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
 DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
                              tee::TeeContext& ctx, std::string uuid,
                              Options opt)
-    : opt_(opt), exec_ctx_(tee::World::kNormal) {
+    : opt_(std::move(opt)), exec_ctx_(tee::World::kNormal) {
   if (opt_.max_batch <= 0) {
     throw std::invalid_argument("DeployedTBNet: max_batch must be positive");
   }
-  const std::vector<uint8_t> image = build_tbnet_ta_image(model);
+  // Freeze both branches up front: every block is cloned and BN-folded
+  // BEFORE the TA image serializes, so quantization (which rewrites the
+  // frozen folded weights) lands in the shipped payload.
+  std::vector<std::unique_ptr<nn::Layer>> secure;
+  std::vector<nn::Layer*> exposed_by_stage(
+      static_cast<size_t>(model.num_stages()), nullptr);
+  for (int i = 0; i < model.num_stages(); ++i) {
+    const core::FusionStage& s = model.stage(i);
+    secure.push_back(deployment_clone(*s.secure));
+    // Only fused stages execute REE-side; non-fused (head) stages live
+    // solely in the TA.
+    if (s.fused) {
+      exposed_.push_back(deployment_clone(*s.exposed));
+      exposed_by_stage[static_cast<size_t>(i)] = exposed_.back().get();
+    }
+  }
+  if (opt_.calibration.numel() > 0) {
+    if (opt_.calibration.shape().ndim() != 4) {
+      throw std::invalid_argument(
+          "DeployedTBNet: calibration batch must be NCHW");
+    }
+    // Post-training quantization over the true serving dataflow: the REE
+    // chain threads through the exposed clones, the TEE chain through the
+    // secure ones, with the per-stage gather+add fusion in between — so
+    // each conv observes exactly the input distribution it will see while
+    // serving. quantize_for_inference runs every block in f32 first and
+    // quantizes after, keeping downstream calibration statistics clean.
+    Tensor ree = opt_.calibration;
+    Tensor tee = opt_.calibration;
+    for (int i = 0; i < model.num_stages(); ++i) {
+      const core::FusionStage& s = model.stage(i);
+      Tensor t_out = nn::quantize_for_inference(
+          *secure[static_cast<size_t>(i)], exec_ctx_, tee);
+      if (s.fused) {
+        ree = nn::quantize_for_inference(
+            *exposed_by_stage[static_cast<size_t>(i)], exec_ctx_, ree);
+        Tensor aligned = core::gather_channels(ree, s.channel_map);
+        if (aligned.shape() != t_out.shape()) {
+          throw std::invalid_argument(
+              "DeployedTBNet: calibration fusion shape mismatch at stage " +
+              std::to_string(i));
+        }
+        add(exec_ctx_, t_out, aligned, t_out);
+      }
+      tee = std::move(t_out);
+    }
+  }
+  const std::vector<uint8_t> image = build_tbnet_ta_image(model, secure);
   ta_image_bytes_ = static_cast<int64_t>(image.size());
   ctx.world().install(uuid, std::make_unique<TbnetTA>(image));
   // The result cap scales with the batch so [N, classes] logits may leave;
   // the per-image budget is the single-image default.
   session_ = std::make_unique<tee::TeeSession>(ctx.open_session(
       uuid, opt_.max_batch * tee::kDefaultMaxResultBytes));
-  for (int i = 0; i < model.num_stages(); ++i) {
-    // Only fused stages execute REE-side; non-fused (head) stages live
-    // solely in the TA.
-    if (model.stage(i).fused) {
-      exposed_.push_back(model.stage(i).exposed->clone());
-      // Deployment clones are frozen: fold BN into the convs and pre-pack
-      // the weight panels into this engine's long-lived arena, so the
-      // serving hot path runs folded, fused, and pack-free.
-      if (simd::fast_kernels_enabled()) {
-        if (auto* seq = dynamic_cast<nn::Sequential*>(exposed_.back().get())) {
-          nn::fold_batchnorm_inference(*seq);
-        }
-        exposed_.back()->prepare_inference(exec_ctx_);
-      }
-    }
-  }
+  // Pre-pack the REE weight panels (f32 or int8) into this engine's
+  // long-lived arena, so the serving hot path runs folded, fused, and
+  // pack-free. Unconditional: in deterministic mode the plan/pack steps
+  // no-op unless a block is quantized, in which case the scalar int8
+  // reference consumes the same pre-packed panels.
+  for (auto& block : exposed_) block->prepare_inference(exec_ctx_);
 }
 
 int64_t DeployedTBNet::world_switches() const {

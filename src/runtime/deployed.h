@@ -62,6 +62,15 @@ class DeployedTBNet {
     /// logits may leave the TEE while the per-image release budget is
     /// unchanged (max_batch * kDefaultMaxResultBytes total).
     int64_t max_batch = 64;
+    /// Optional NCHW calibration batch. When non-empty, deployment runs
+    /// post-training int8 quantization (nn/quant.h) over BOTH branches'
+    /// frozen clones before the TA image serializes: the calibration batch
+    /// is walked through the exact two-branch serving dataflow (REE chain,
+    /// TEE chain, per-stage gather+add fusion) so every conv records its
+    /// true input range, then every Conv2d (and wide Dense) ships int8. The
+    /// TA image shrinks ~4x and the serving GEMMs run the int8 kernel tier
+    /// (simd::int8_isa_name()). Empty = f32 deployment, unchanged.
+    Tensor calibration;
   };
 
   /// Clones M_R into normal-world memory, serializes M_T + channel maps into

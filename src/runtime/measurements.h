@@ -4,6 +4,7 @@
 // the secure-memory accounting (Fig. 3).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/two_branch.h"
@@ -64,6 +65,14 @@ struct ServingStats {
   /// Seconds since the server started, stamped when stats() snapshots —
   /// the denominator for worker utilization.
   double uptime_s = 0.0;
+  /// Kernel tiers the runtime dispatch selected for this process, stamped
+  /// when stats() snapshots — the f32 and int8 ladders probe different CPU
+  /// features (simd::isa_name / simd::int8_isa_name), and both read
+  /// "scalar" under TBNET_DETERMINISTIC=1. Serving numbers are only
+  /// comparable between runs that report the same tiers, so bench_serving
+  /// embeds them in its JSON.
+  std::string isa;
+  std::string int8_isa;
   LatencyRecorder request_latency;  ///< submit -> result, per request
   LatencyRecorder batch_latency;    ///< engine call, per batch
   std::vector<WorkerStats> per_worker;  ///< one entry per dispatch worker

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "tensor/simd.h"
+
 namespace tbnet::runtime {
 
 namespace {
@@ -93,6 +95,8 @@ ServingStats InferenceServer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServingStats snap = stats_;
   snap.uptime_s = seconds_between(start_, Clock::now());
+  snap.isa = simd::isa_name();
+  snap.int8_isa = simd::int8_isa_name();
   return snap;
 }
 

@@ -160,11 +160,24 @@ void gemm_packed(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
                  const GemmEpilogue& ep) {
   if (n < simd::kNR) {
     // Narrower than one vector tile (e.g. a 10-class logit head): the tile
-    // kernel would compute mostly padding, and the streaming reference
-    // kernel is already at its roofline for such shapes. The choice depends
-    // only on n, so per-row bits remain independent of the batch size.
+    // kernel would compute mostly padding. The choice depends only on n, so
+    // per-row bits remain independent of the batch size.
     if (b_is_transposed) {
-      gemm_nt_ref_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
+      // Both operands stream contiguously per output element, so one SIMD
+      // dot per element is the roofline path for these shapes — this is
+      // what a batch-1 dense head runs (n = classes, B^T rows = weight
+      // rows). Each C element is computed independently; bits do not depend
+      // on m or the pool partitioning.
+      ctx.pool().parallel_for(m, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* arow = a + i * k;
+          float* crow = c + i * n;
+          for (int64_t j = 0; j < n; ++j) {
+            const float acc = simd::dot(arow, b + j * k, k);
+            crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
+          }
+        }
+      });
     } else {
       gemm_nn_ref_on(ctx.pool(), m, n, k, alpha, a, b, beta, c);
     }

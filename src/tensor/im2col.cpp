@@ -126,6 +126,37 @@ void im2col_pack_panel(const Conv2dGeom& g, const float* image, int64_t kk,
   }
 }
 
+void im2col_pack_panel_u8(const Conv2dGeom& g, const float* image, int64_t kk,
+                          int64_t kc, int64_t j0, int nr, float inv_scale,
+                          int32_t zero_point, uint8_t* panel) {
+  // Stage one k-group of f32 column rows at a time through the existing
+  // fused lowering, then quantize-interleave into the grouped byte layout.
+  // The staging tile is 4x16 floats — the f32 column matrix never exists
+  // beyond it.
+  alignas(simd::kAlign) float staged[simd::kKG][simd::kNR];
+  const simd::QuantizeU7GroupFn qgroup = simd::quantize_u7_group();
+  const int64_t kg = (kc + simd::kKG - 1) / simd::kKG;
+  for (int64_t gi = 0; gi < kg; ++gi) {
+    const int64_t p0 = gi * simd::kKG;
+    const int64_t rows = std::min<int64_t>(simd::kKG, kc - p0);
+    im2col_pack_panel(g, image, kk + p0, rows, j0, nr, simd::kNR, staged[0]);
+    uint8_t* grp = panel + gi * simd::kNR * simd::kKG;
+    if (rows == simd::kKG && nr == simd::kNR) {
+      qgroup(staged[0], staged[1], staged[2], staged[3], grp, inv_scale,
+             zero_point);
+      continue;
+    }
+    for (int64_t j = 0; j < simd::kNR; ++j) {
+      for (int64_t t = 0; t < simd::kKG; ++t) {
+        grp[j * simd::kKG + t] =
+            t < rows && j < nr
+                ? simd::quantize_u7(staged[t][j], inv_scale, zero_point)
+                : uint8_t{0};
+      }
+    }
+  }
+}
+
 void col2im(const Conv2dGeom& g, const float* cols, float* image) {
   const int64_t oh = g.out_h(), ow = g.out_w();
   const int64_t col_cols = oh * ow;

@@ -56,4 +56,16 @@ void im2col_pack_panel(const Conv2dGeom& geom, const float* image, int64_t kk,
                        int64_t kc, int64_t j0, int nr, int64_t panel_stride,
                        float* panel);
 
+/// Quantize-on-pack variant for the int8 path: the same [kc x nr] column
+/// slab, but quantized to u7 (simd::quantize_u7 with inv_scale/zero_point)
+/// and written in the grouped int8 B-panel layout packdetail::PanelProducerU8
+/// documents. The f32 intermediate lives only in a kKG x kNR stack staging
+/// tile, so the zero-materialization property of the fused lowering carries
+/// over to the quantized path. Taps past kc and columns past nr are written
+/// as 0 (the packed weights are zero there, so they contribute nothing).
+/// Pure function of its arguments, like im2col_pack_panel.
+void im2col_pack_panel_u8(const Conv2dGeom& geom, const float* image,
+                          int64_t kk, int64_t kc, int64_t j0, int nr,
+                          float inv_scale, int32_t zero_point, uint8_t* panel);
+
 }  // namespace tbnet

@@ -12,6 +12,7 @@ namespace tbnet {
 namespace packdetail {
 namespace {
 
+using simd::kKG;
 using simd::kMR;
 using simd::kNR;
 
@@ -149,6 +150,7 @@ void run_packed(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
   if (m <= 0 || n <= 0) return;
   const simd::MicroKernelFn micro = simd::micro_kernel();
   const simd::MicroKernelFn micro1 = simd::micro_kernel_mr1();
+  const simd::MicroKernelWideFn wide = simd::micro_kernel_wide();
   const int64_t mpan = ceil_div(m, kMR);
   const int64_t npan = ceil_div(n, kNR);
   const int64_t m_round = mpan * kMR;
@@ -157,9 +159,17 @@ void run_packed(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
   // are applied.
   const int64_t kblocks = std::max<int64_t>(1, ceil_div(k, kBlockK));
   pool.parallel_for(npan, [&](int64_t jp0, int64_t jp1) {
-    for (int64_t jp = jp0; jp < jp1; ++jp) {
+    for (int64_t jp = jp0; jp < jp1;) {
       const int64_t j0 = jp * kNR;
       const int nr = static_cast<int>(std::min<int64_t>(kNR, n - j0));
+      // Pair this panel with the next one for the 6x32 AVX-512 tile when
+      // both are full width and still inside this chunk. The wide tile is
+      // bit-identical to two 16-wide calls (simd.h), so pairing is a pure
+      // throughput decision local to the chunk — results never depend on
+      // it. m == 1 keeps the mr1 kernel, which skips the padded rows the
+      // wide tile would compute.
+      const bool pair =
+          wide != nullptr && m > 1 && jp + 1 < jp1 && j0 + 2 * kNR <= n;
       for (int64_t kb = 0; kb < kblocks; ++kb) {
         const int64_t kk = kb * kBlockK;
         const int64_t kc = std::max<int64_t>(0, std::min(kBlockK, k - kk));
@@ -180,11 +190,17 @@ void run_packed(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
             te.act = ep.act;
             tep = &te;
           }
-          (mr == 1 ? micro1 : micro)(kc, ablock + i0 * kc, bpanel, kNR,
-                                     c + i0 * ldc + j0, ldc, mr, nr, alpha,
-                                     beta_eff, tep);
+          if (pair) {
+            wide(kc, ablock + i0 * kc, bpanel, kNR, bpanel + kNR * kc, kNR,
+                 c + i0 * ldc + j0, ldc, mr, alpha, beta_eff, tep);
+          } else {
+            (mr == 1 ? micro1 : micro)(kc, ablock + i0 * kc, bpanel, kNR,
+                                       c + i0 * ldc + j0, ldc, mr, nr, alpha,
+                                       beta_eff, tep);
+          }
         }
       }
+      jp += pair ? 2 : 1;
     }
   });
 }
@@ -196,6 +212,7 @@ void run_packed_b_rowmajor(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
   if (m <= 0 || n <= 0) return;
   const simd::MicroKernelFn micro = simd::micro_kernel();
   const simd::MicroKernelFn micro1 = simd::micro_kernel_mr1();
+  const simd::MicroKernelWideFn wide = simd::micro_kernel_wide();
   const int64_t mpan = ceil_div(m, kMR);
   const int64_t npan = ceil_div(n, kNR);
   const int64_t m_round = mpan * kMR;
@@ -204,9 +221,13 @@ void run_packed_b_rowmajor(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
     // Scratch for the single ragged column panel (zero-padded); lives on the
     // worker's stack so tasks never contend.
     alignas(simd::kAlign) float edge[kBlockK * kNR];
-    for (int64_t jp = jp0; jp < jp1; ++jp) {
+    for (int64_t jp = jp0; jp < jp1;) {
       const int64_t j0 = jp * kNR;
       const int nr = static_cast<int>(std::min<int64_t>(kNR, n - j0));
+      // Wide-tile pairing (see run_packed): two adjacent full panels of the
+      // in-place row-major B are 32 consecutive floats per row.
+      const bool pair =
+          wide != nullptr && m > 1 && jp + 1 < jp1 && j0 + 2 * kNR <= n;
       for (int64_t kb = 0; kb < kblocks; ++kb) {
         const int64_t kk = kb * kBlockK;
         const int64_t kc = std::max<int64_t>(0, std::min(kBlockK, k - kk));
@@ -240,13 +261,28 @@ void run_packed_b_rowmajor(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
             te.act = ep.act;
             tep = &te;
           }
-          (mr == 1 ? micro1 : micro)(kc, ablock + i0 * kc, bpanel, bstride,
-                                     c + i0 * ldc + j0, ldc, mr, nr, alpha,
-                                     beta_eff, tep);
+          if (pair) {
+            wide(kc, ablock + i0 * kc, bpanel, bstride, bpanel + kNR, bstride,
+                 c + i0 * ldc + j0, ldc, mr, alpha, beta_eff, tep);
+          } else {
+            (mr == 1 ? micro1 : micro)(kc, ablock + i0 * kc, bpanel, bstride,
+                                       c + i0 * ldc + j0, ldc, mr, nr, alpha,
+                                       beta_eff, tep);
+          }
         }
       }
+      jp += pair ? 2 : 1;
     }
   });
+}
+
+int64_t producer_slab_floats(ThreadPool& pool, int64_t n) {
+  if (n <= 0) return 0;
+  const int64_t npan = ceil_div(n, kNR);
+  const int64_t nchunks = ceil_div(npan, pool.chunk_size(npan));
+  const int64_t per_chunk =
+      (simd::micro_kernel_wide() != nullptr ? 2 : 1) * kBlockK * kNR;
+  return nchunks * per_chunk;
 }
 
 void run_packed_b_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
@@ -257,31 +293,39 @@ void run_packed_b_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
   ThreadPool& pool = ctx.pool();
   const simd::MicroKernelFn micro = simd::micro_kernel();
   const simd::MicroKernelFn micro1 = simd::micro_kernel_mr1();
+  const simd::MicroKernelWideFn wide = simd::micro_kernel_wide();
   const int64_t mpan = ceil_div(m, kMR);
   const int64_t npan = ceil_div(n, kNR);
   const int64_t m_round = mpan * kMR;
   const int64_t kblocks = std::max<int64_t>(1, ceil_div(k, kBlockK));
-  // One [kBlockK x kNR] scratch slab per parallel_for chunk, allocated up
-  // front on the calling thread (the arena is single-threaded) and indexed
-  // by the chunk origin, which parallel_for guarantees is a multiple of
-  // chunk_size. A task processes its panels serially, so one slab per chunk
-  // suffices, and the whole allocation rewinds when the call returns.
+  // One scratch slab per parallel_for chunk — [kBlockK x kNR], doubled when
+  // the wide tile can consume panel pairs — allocated up front on the
+  // calling thread (the arena is single-threaded) and indexed by the chunk
+  // origin, which parallel_for guarantees is a multiple of chunk_size. A
+  // task processes its panels serially, so one slab per chunk suffices, and
+  // the whole allocation rewinds when the call returns.
+  // producer_slab_floats() mirrors this accounting for tests.
   ArenaScope scope(ctx.arena());
   const int64_t chunk = pool.chunk_size(npan);
-  const int64_t nchunks = ceil_div(npan, chunk);
-  float* scratch = ctx.arena().alloc(nchunks * kBlockK * kNR);
+  const int64_t slab = (wide != nullptr ? 2 : 1) * kBlockK * kNR;
+  float* scratch = ctx.arena().alloc(producer_slab_floats(pool, n));
   pool.parallel_for(npan, [&](int64_t jp0, int64_t jp1) {
     // Slab aliasing here would mean silent output corruption, so the
     // chunk-origin contract (threadpool.h) is enforced in debug builds.
     assert(jp0 % chunk == 0 && jp1 - jp0 <= chunk);
-    float* panel = scratch + (jp0 / chunk) * (kBlockK * kNR);
-    for (int64_t jp = jp0; jp < jp1; ++jp) {
+    float* panel = scratch + (jp0 / chunk) * slab;
+    for (int64_t jp = jp0; jp < jp1;) {
       const int64_t j0 = jp * kNR;
       const int nr = static_cast<int>(std::min<int64_t>(kNR, n - j0));
+      // Wide-tile pairing (see run_packed): produce the neighbor panel into
+      // the second half of the slab and feed both to the 6x32 tile.
+      const bool pair =
+          wide != nullptr && m > 1 && jp + 1 < jp1 && j0 + 2 * kNR <= n;
       for (int64_t kb = 0; kb < kblocks; ++kb) {
         const int64_t kk = kb * kBlockK;
         const int64_t kc = std::max<int64_t>(0, std::min(kBlockK, k - kk));
         produce(kk, kc, j0, nr, panel);
+        if (pair) produce(kk, kc, j0 + kNR, kNR, panel + kBlockK * kNR);
         const bool last = kb + 1 == kblocks;
         const float beta_eff = kb == 0 ? beta : 1.0f;
         for (int64_t ip = 0; ip < mpan; ++ip) {
@@ -297,10 +341,87 @@ void run_packed_b_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
             te.act = ep.act;
             tep = &te;
           }
-          (mr == 1 ? micro1 : micro)(kc, apack + m_round * kk + i0 * kc, panel,
-                                     kNR, c + i0 * ldc + j0, ldc, mr, nr,
-                                     alpha, beta_eff, tep);
+          if (pair) {
+            wide(kc, apack + m_round * kk + i0 * kc, panel, kNR,
+                 panel + kBlockK * kNR, kNR, c + i0 * ldc + j0, ldc, mr, alpha,
+                 beta_eff, tep);
+          } else {
+            (mr == 1 ? micro1 : micro)(kc, apack + m_round * kk + i0 * kc,
+                                       panel, kNR, c + i0 * ldc + j0, ldc, mr,
+                                       nr, alpha, beta_eff, tep);
+          }
         }
+      }
+      jp += pair ? 2 : 1;
+    }
+  });
+}
+
+// ------------------------------------------------------------------ int8 --
+
+int64_t packed_a_i8_bytes(int64_t m, int64_t k) {
+  return ceil_div(m, kMR) * ceil_div(std::max<int64_t>(k, 1), kKG) * kMR * kKG;
+}
+
+int64_t panel_b_i8_bytes(int64_t k) {
+  return ceil_div(std::max<int64_t>(k, 1), kKG) * kNR * kKG;
+}
+
+void pack_a_i8(int64_t m, int64_t k, const int8_t* a, int64_t lda,
+               int8_t* dst) {
+  const int64_t mpan = ceil_div(m, kMR);
+  const int64_t kg = ceil_div(std::max<int64_t>(k, 1), kKG);
+  for (int64_t ip = 0; ip < mpan; ++ip) {
+    int8_t* panel = dst + ip * kg * kMR * kKG;
+    for (int64_t g = 0; g < kg; ++g) {
+      int8_t* grp = panel + g * kMR * kKG;
+      for (int64_t r = 0; r < kMR; ++r) {
+        const int64_t row = ip * kMR + r;
+        for (int64_t t = 0; t < kKG; ++t) {
+          const int64_t p = g * kKG + t;
+          grp[r * kKG + t] = row < m && p < k ? a[row * lda + p] : int8_t{0};
+        }
+      }
+    }
+  }
+}
+
+void run_packed_i8_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
+                            int64_t k, const int8_t* apack,
+                            const PanelProducerU8& produce, float* c,
+                            int64_t ldc, const simd::QuantEpilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  ThreadPool& pool = ctx.pool();
+  const simd::MicroKernelI8Fn micro = simd::micro_kernel_i8();
+  const int64_t mpan = ceil_div(m, kMR);
+  const int64_t npan = ceil_div(n, kNR);
+  const int64_t kg = ceil_div(std::max<int64_t>(k, 1), kKG);
+  const int64_t a_panel_bytes = kg * kMR * kKG;
+  // No kBlockK slicing: the u7 x s8 dot product over the whole CIFAR-scale
+  // depth fits i32 exactly (k * 127 * 127 << 2^31), so accumulators live in
+  // registers across all of k and the epilogue runs once per tile. The
+  // per-chunk slab is one full-depth u8 panel — kg * kNR * kKG bytes, a
+  // 16th of the f32 producer's f32 slab at equal depth.
+  ArenaScope scope(ctx.arena());
+  const int64_t chunk = pool.chunk_size(npan);
+  const int64_t nchunks = ceil_div(npan, chunk);
+  const int64_t slab_bytes = panel_b_i8_bytes(k);
+  uint8_t* scratch = reinterpret_cast<uint8_t*>(
+      ctx.arena().alloc(ceil_div(nchunks * slab_bytes,
+                                 static_cast<int64_t>(sizeof(float)))));
+  pool.parallel_for(npan, [&](int64_t jp0, int64_t jp1) {
+    assert(jp0 % chunk == 0 && jp1 - jp0 <= chunk);
+    uint8_t* panel = scratch + (jp0 / chunk) * slab_bytes;
+    for (int64_t jp = jp0; jp < jp1; ++jp) {
+      const int64_t j0 = jp * kNR;
+      const int nr = static_cast<int>(std::min<int64_t>(kNR, n - j0));
+      produce(0, k, j0, nr, panel);
+      for (int64_t ip = 0; ip < mpan; ++ip) {
+        const int64_t i0 = ip * kMR;
+        const int mr = static_cast<int>(std::min<int64_t>(kMR, m - i0));
+        const simd::QuantEpilogue te{ep.scale + i0, ep.shift + i0, ep.act};
+        micro(kg, apack + ip * a_panel_bytes, panel, c + i0 * ldc + j0, ldc,
+              mr, nr, te);
       }
     }
   });

@@ -117,6 +117,56 @@ void run_packed_b_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
                            const PanelProducer& produce, float beta, float* c,
                            int64_t ldc, const GemmEpilogue& ep);
 
+/// Arena floats run_packed_b_producer allocates for its per-chunk B slabs
+/// for an n-column GEMM on `pool` — one slab per parallel_for chunk, double
+/// width when the AVX-512 pair tile is active. Exposed so tests can assert
+/// producer arena usage against the real accounting instead of pinning a
+/// pool size.
+int64_t producer_slab_floats(ThreadPool& pool, int64_t n);
+
+// ------------------------------------------------------------------ int8 --
+//
+// Quantized panel formats (simd.h): k is grouped by simd::kKG = 4 with NO
+// kBlockK slicing — the u7 x s8 products keep the full-depth i32 dot product
+// exact, so accumulators stay in registers across all of k and the epilogue
+// runs exactly once per tile.
+
+/// Bytes needed to pack an s8 A operand [m, k] as int8 panels:
+/// ceil(m/kMR) panels of ceil(k/kKG) groups x kMR x kKG bytes.
+int64_t packed_a_i8_bytes(int64_t m, int64_t k);
+
+/// Bytes of ONE u8 B panel covering the full depth k (the producer slab
+/// granule): ceil(k/kKG) groups x kNR x kKG bytes.
+int64_t panel_b_i8_bytes(int64_t k);
+
+/// Packs row-major s8 A [m, k] (row stride lda) into int8 A panels at `dst`.
+/// Rows past m and taps past k are zero (contribute exactly 0 to any tile).
+void pack_a_i8(int64_t m, int64_t k, const int8_t* a, int64_t lda,
+               int8_t* dst);
+
+/// Writes one u8 B panel on demand: the [kc x nr] activation slab covering
+/// B rows [kk, kk+kc) and columns [j0, j0+nr), QUANTIZED to u7 and laid out
+/// in the grouped int8 format at `panel` (group g holds taps kk+4g..kk+4g+3;
+/// element (p, j) at byte (p/4)*kNR*kKG + j*kKG + p%4). Columns [nr, kNR)
+/// and taps past kc must be zero-filled. The int8 driver always passes
+/// kk == 0, kc == k (no k slicing); the signature keeps the f32 producer's
+/// shape so the same lowering code can build either. Same thread-safety
+/// contract as PanelProducer.
+using PanelProducerU8 = std::function<void(int64_t kk, int64_t kc, int64_t j0,
+                                           int nr, uint8_t* panel)>;
+
+/// C[m, n] = ep(A_q * B_q) from a packed s8 A and produced u8 B panels.
+/// C is written, never accumulated into (the int8 path has no beta); the
+/// QuantEpilogue (never-null scale/shift of length m, pre-composed by the
+/// caller) is applied to every tile. Sharded over column panels with one
+/// full-depth u8 slab per parallel_for chunk from ctx's arena (rewound on
+/// return). Bits are identical across ISAs, pool sizes, and
+/// TBNET_DETERMINISTIC (see simd.h).
+void run_packed_i8_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
+                            int64_t k, const int8_t* apack,
+                            const PanelProducerU8& produce, float* c,
+                            int64_t ldc, const simd::QuantEpilogue& ep);
+
 }  // namespace packdetail
 
 /// Cached packed panels of one GEMM operand — in practice a layer's weight,

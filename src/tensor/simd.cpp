@@ -566,6 +566,514 @@ __attribute__((target("avx2,fma"))) void dw_row_avx2(
     out[t] = apply_act(std::fmaf(acc, scale, shift), act);
   }
 }
+#define TBNET_SIMD_HAVE_AVX512 1
+
+/// 6x32 f32 tile for AVX-512F: 12 zmm accumulators (6 rows x 2 sixteen-wide
+/// halves) + 2 B vectors + 1 A broadcast — 15 of 32 zmm registers, no
+/// spills, and twice the FMA width per k iteration of the 6x16 kernel. Each
+/// C element still accumulates through a single FMA chain in k order, so the
+/// bits match micro_avx2 exactly (see MicroKernelWideFn).
+__attribute__((target("avx512f"))) void micro_avx512_wide(
+    int64_t kc, const float* a_panel, const float* b0, int64_t bstride0,
+    const float* b1, int64_t bstride1, float* c, int64_t ldc, int mr,
+    float alpha, float beta, const TileEpilogue* ep) {
+  __m512 a00 = _mm512_setzero_ps(), a01 = _mm512_setzero_ps();
+  __m512 a10 = _mm512_setzero_ps(), a11 = _mm512_setzero_ps();
+  __m512 a20 = _mm512_setzero_ps(), a21 = _mm512_setzero_ps();
+  __m512 a30 = _mm512_setzero_ps(), a31 = _mm512_setzero_ps();
+  __m512 a40 = _mm512_setzero_ps(), a41 = _mm512_setzero_ps();
+  __m512 a50 = _mm512_setzero_ps(), a51 = _mm512_setzero_ps();
+  for (int64_t p = 0; p < kc; ++p) {
+    _mm_prefetch(reinterpret_cast<const char*>(b0 + (p + 8) * bstride0),
+                 _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(b1 + (p + 8) * bstride1),
+                 _MM_HINT_T0);
+    const __m512 vb0 = _mm512_loadu_ps(b0 + p * bstride0);
+    const __m512 vb1 = _mm512_loadu_ps(b1 + p * bstride1);
+    const float* ap = a_panel + p * kMR;
+    __m512 a;
+    a = _mm512_set1_ps(ap[0]);
+    a00 = _mm512_fmadd_ps(a, vb0, a00);
+    a01 = _mm512_fmadd_ps(a, vb1, a01);
+    a = _mm512_set1_ps(ap[1]);
+    a10 = _mm512_fmadd_ps(a, vb0, a10);
+    a11 = _mm512_fmadd_ps(a, vb1, a11);
+    a = _mm512_set1_ps(ap[2]);
+    a20 = _mm512_fmadd_ps(a, vb0, a20);
+    a21 = _mm512_fmadd_ps(a, vb1, a21);
+    a = _mm512_set1_ps(ap[3]);
+    a30 = _mm512_fmadd_ps(a, vb0, a30);
+    a31 = _mm512_fmadd_ps(a, vb1, a31);
+    a = _mm512_set1_ps(ap[4]);
+    a40 = _mm512_fmadd_ps(a, vb0, a40);
+    a41 = _mm512_fmadd_ps(a, vb1, a41);
+    a = _mm512_set1_ps(ap[5]);
+    a50 = _mm512_fmadd_ps(a, vb0, a50);
+    a51 = _mm512_fmadd_ps(a, vb1, a51);
+  }
+  const __m512 acc[kMR][2] = {{a00, a01}, {a10, a11}, {a20, a21},
+                              {a30, a31}, {a40, a41}, {a50, a51}};
+
+  if (mr == kMR) {
+    const __m512 valpha = _mm512_set1_ps(alpha);
+    for (int i = 0; i < kMR; ++i) {
+      float* crow = c + i * ldc;
+      __m512 v0 = _mm512_mul_ps(valpha, acc[i][0]);
+      __m512 v1 = _mm512_mul_ps(valpha, acc[i][1]);
+      if (beta != 0.0f) {
+        const __m512 vbeta = _mm512_set1_ps(beta);
+        v0 = _mm512_fmadd_ps(vbeta, _mm512_loadu_ps(crow), v0);
+        v1 = _mm512_fmadd_ps(vbeta, _mm512_loadu_ps(crow + kNR), v1);
+      }
+      if (ep != nullptr) {
+        if (ep->row_scale != nullptr || ep->row_shift != nullptr) {
+          const __m512 rs = _mm512_set1_ps(
+              ep->row_scale != nullptr ? ep->row_scale[i] : 1.0f);
+          const __m512 rh = _mm512_set1_ps(
+              ep->row_shift != nullptr ? ep->row_shift[i] : 0.0f);
+          v0 = _mm512_fmadd_ps(rs, v0, rh);
+          v1 = _mm512_fmadd_ps(rs, v1, rh);
+        }
+        if (ep->col_scale != nullptr) {
+          v0 = _mm512_mul_ps(v0, _mm512_loadu_ps(ep->col_scale));
+          v1 = _mm512_mul_ps(v1, _mm512_loadu_ps(ep->col_scale + kNR));
+        }
+        if (ep->col_shift != nullptr) {
+          v0 = _mm512_add_ps(v0, _mm512_loadu_ps(ep->col_shift));
+          v1 = _mm512_add_ps(v1, _mm512_loadu_ps(ep->col_shift + kNR));
+        }
+        if (ep->act != Act::kNone) {
+          const __m512 zero = _mm512_setzero_ps();
+          v0 = _mm512_max_ps(v0, zero);
+          v1 = _mm512_max_ps(v1, zero);
+          if (ep->act == Act::kReLU6) {
+            const __m512 six = _mm512_set1_ps(6.0f);
+            v0 = _mm512_min_ps(v0, six);
+            v1 = _mm512_min_ps(v1, six);
+          }
+        }
+      }
+      _mm512_storeu_ps(crow, v0);
+      _mm512_storeu_ps(crow + kNR, v1);
+    }
+    return;
+  }
+
+  // Edge rows: spill and finalize scalar-side with std::fmaf, same as the
+  // 6x16 kernels' edge path (both columns' halves are always full width).
+  alignas(64) float tmp[kMR][2 * kNR];
+  for (int i = 0; i < kMR; ++i) {
+    _mm512_store_ps(tmp[i], acc[i][0]);
+    _mm512_store_ps(tmp[i] + kNR, acc[i][1]);
+  }
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const float rs = ep != nullptr && ep->row_scale != nullptr
+                         ? ep->row_scale[i] : 1.0f;
+    const float rh = ep != nullptr && ep->row_shift != nullptr
+                         ? ep->row_shift[i] : 0.0f;
+    for (int j = 0; j < 2 * kNR; ++j) {
+      float v = alpha * tmp[i][j];
+      if (beta != 0.0f) v = std::fmaf(beta, crow[j], v);
+      if (ep != nullptr) {
+        if (ep->row_scale != nullptr || ep->row_shift != nullptr) {
+          v = std::fmaf(rs, v, rh);
+        }
+        if (ep->col_scale != nullptr) v *= ep->col_scale[j];
+        if (ep->col_shift != nullptr) v += ep->col_shift[j];
+        v = apply_act(v, ep->act);
+      }
+      crow[j] = v;
+    }
+  }
+}
+#endif  // TBNET_SIMD_HAVE_AVX2
+
+// ------------------------------------------------------------------ int8 --
+//
+// See simd.h for the panel formats and the u7 exactness argument: every tier
+// computes the exact integer dot product, and every tier finalizes with
+// round-to-nearest int->float conversion plus one fused multiply-add, so the
+// C bytes are identical across scalar / maddubs / VNNI.
+
+/// Scalar int8 reference: exact i32 accumulation over k-groups, then the
+/// shared (float)acc -> fmaf -> act finalize. This is the kernel
+/// TBNET_DETERMINISTIC=1 pins and the bit-parity oracle for the SIMD tiers.
+void micro_i8_scalar(int64_t kg, const int8_t* a_panel, const uint8_t* b_panel,
+                     float* c, int64_t ldc, int mr, int nr,
+                     const QuantEpilogue& ep) {
+  int32_t acc[kMR][kNR] = {};
+  for (int64_t g = 0; g < kg; ++g) {
+    const int8_t* ag = a_panel + g * kMR * kKG;
+    const uint8_t* bg = b_panel + g * kNR * kKG;
+    for (int i = 0; i < kMR; ++i) {
+      const int8_t* aq = ag + i * kKG;
+      for (int j = 0; j < kNR; ++j) {
+        const uint8_t* bq = bg + j * kKG;
+        acc[i][j] += static_cast<int32_t>(aq[0]) * bq[0] +
+                     static_cast<int32_t>(aq[1]) * bq[1] +
+                     static_cast<int32_t>(aq[2]) * bq[2] +
+                     static_cast<int32_t>(aq[3]) * bq[3];
+      }
+    }
+  }
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const float s = ep.scale[i];
+    const float h = ep.shift[i];
+    for (int j = 0; j < nr; ++j) {
+      crow[j] = apply_act(std::fmaf(static_cast<float>(acc[i][j]), s, h),
+                          ep.act);
+    }
+  }
+}
+
+#if defined(TBNET_SIMD_HAVE_AVX2)
+
+/// Shared finalize for the AVX2-width int8 tiers: the accumulator tile is in
+/// memory (one store per kernel call), the dequantize epilogue is applied
+/// with cvtepi32_ps + fmadd, which round exactly like the reference's
+/// (float) cast + std::fmaf. Kept out of line so each VNNI tier compiles
+/// with only its own target attribute.
+__attribute__((target("avx2,fma"))) void i8_finish_avx2(
+    const int32_t raw[kMR][kNR], float* c, int64_t ldc, int mr, int nr,
+    const QuantEpilogue& ep) {
+  if (mr == kMR && nr == kNR) {
+    for (int i = 0; i < kMR; ++i) {
+      float* crow = c + i * ldc;
+      const __m256 s = _mm256_set1_ps(ep.scale[i]);
+      const __m256 h = _mm256_set1_ps(ep.shift[i]);
+      __m256 v0 = _mm256_fmadd_ps(
+          _mm256_cvtepi32_ps(
+              _mm256_load_si256(reinterpret_cast<const __m256i*>(raw[i]))),
+          s, h);
+      __m256 v1 = _mm256_fmadd_ps(
+          _mm256_cvtepi32_ps(
+              _mm256_load_si256(reinterpret_cast<const __m256i*>(raw[i] + 8))),
+          s, h);
+      if (ep.act != Act::kNone) {
+        const __m256 zero = _mm256_setzero_ps();
+        v0 = _mm256_max_ps(v0, zero);
+        v1 = _mm256_max_ps(v1, zero);
+        if (ep.act == Act::kReLU6) {
+          const __m256 six = _mm256_set1_ps(6.0f);
+          v0 = _mm256_min_ps(v0, six);
+          v1 = _mm256_min_ps(v1, six);
+        }
+      }
+      _mm256_storeu_ps(crow, v0);
+      _mm256_storeu_ps(crow + 8, v1);
+    }
+    return;
+  }
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const float s = ep.scale[i];
+    const float h = ep.shift[i];
+    for (int j = 0; j < nr; ++j) {
+      crow[j] = apply_act(std::fmaf(static_cast<float>(raw[i][j]), s, h),
+                          ep.act);
+    }
+  }
+}
+
+/// AVX2 tier: pmaddubsw (u8 x s8 -> pairwise i16) + pmaddwd(1) widen to i32.
+/// The u7 activation range keeps the i16 pair sums below 2^15, so this is
+/// exact. One B half-vector is processed at a time: 12 accumulators + B +
+/// broadcast + ones + the maddubs temporary is exactly the 16-register ymm
+/// file.
+__attribute__((target("avx2,fma"))) void micro_i8_avx2(
+    int64_t kg, const int8_t* a_panel, const uint8_t* b_panel, float* c,
+    int64_t ldc, int mr, int nr, const QuantEpilogue& ep) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i a00 = _mm256_setzero_si256(), a01 = _mm256_setzero_si256();
+  __m256i a10 = _mm256_setzero_si256(), a11 = _mm256_setzero_si256();
+  __m256i a20 = _mm256_setzero_si256(), a21 = _mm256_setzero_si256();
+  __m256i a30 = _mm256_setzero_si256(), a31 = _mm256_setzero_si256();
+  __m256i a40 = _mm256_setzero_si256(), a41 = _mm256_setzero_si256();
+  __m256i a50 = _mm256_setzero_si256(), a51 = _mm256_setzero_si256();
+  for (int64_t g = 0; g < kg; ++g) {
+    const int8_t* ag = a_panel + g * kMR * kKG;
+    int32_t q[kMR];
+    std::memcpy(q, ag, sizeof(q));
+    const __m256i b0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b_panel + g * kNR * kKG));
+    a00 = _mm256_add_epi32(
+        a00, _mm256_madd_epi16(
+                 _mm256_maddubs_epi16(b0, _mm256_set1_epi32(q[0])), ones));
+    a10 = _mm256_add_epi32(
+        a10, _mm256_madd_epi16(
+                 _mm256_maddubs_epi16(b0, _mm256_set1_epi32(q[1])), ones));
+    a20 = _mm256_add_epi32(
+        a20, _mm256_madd_epi16(
+                 _mm256_maddubs_epi16(b0, _mm256_set1_epi32(q[2])), ones));
+    a30 = _mm256_add_epi32(
+        a30, _mm256_madd_epi16(
+                 _mm256_maddubs_epi16(b0, _mm256_set1_epi32(q[3])), ones));
+    a40 = _mm256_add_epi32(
+        a40, _mm256_madd_epi16(
+                 _mm256_maddubs_epi16(b0, _mm256_set1_epi32(q[4])), ones));
+    a50 = _mm256_add_epi32(
+        a50, _mm256_madd_epi16(
+                 _mm256_maddubs_epi16(b0, _mm256_set1_epi32(q[5])), ones));
+    const __m256i b1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b_panel + g * kNR * kKG + 32));
+    a01 = _mm256_add_epi32(
+        a01, _mm256_madd_epi16(
+                 _mm256_maddubs_epi16(b1, _mm256_set1_epi32(q[0])), ones));
+    a11 = _mm256_add_epi32(
+        a11, _mm256_madd_epi16(
+                 _mm256_maddubs_epi16(b1, _mm256_set1_epi32(q[1])), ones));
+    a21 = _mm256_add_epi32(
+        a21, _mm256_madd_epi16(
+                 _mm256_maddubs_epi16(b1, _mm256_set1_epi32(q[2])), ones));
+    a31 = _mm256_add_epi32(
+        a31, _mm256_madd_epi16(
+                 _mm256_maddubs_epi16(b1, _mm256_set1_epi32(q[3])), ones));
+    a41 = _mm256_add_epi32(
+        a41, _mm256_madd_epi16(
+                 _mm256_maddubs_epi16(b1, _mm256_set1_epi32(q[4])), ones));
+    a51 = _mm256_add_epi32(
+        a51, _mm256_madd_epi16(
+                 _mm256_maddubs_epi16(b1, _mm256_set1_epi32(q[5])), ones));
+  }
+  alignas(32) int32_t raw[kMR][kNR];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[0]), a00);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[0] + 8), a01);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[1]), a10);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[1] + 8), a11);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[2]), a20);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[2] + 8), a21);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[3]), a30);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[3] + 8), a31);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[4]), a40);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[4] + 8), a41);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[5]), a50);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[5] + 8), a51);
+  i8_finish_avx2(raw, c, ldc, mr, nr, ep);
+}
+
+#if defined(__clang__) || (defined(__GNUC__) && __GNUC__ >= 11)
+#define TBNET_SIMD_HAVE_VNNI 1
+
+/// AVX-VNNI tier (256-bit dpbusd on cores without AVX-512): one instruction
+/// replaces the maddubs/madd/add triple. Same exact integer result.
+__attribute__((target("avxvnni,avx2,fma"))) void micro_i8_avxvnni(
+    int64_t kg, const int8_t* a_panel, const uint8_t* b_panel, float* c,
+    int64_t ldc, int mr, int nr, const QuantEpilogue& ep) {
+  __m256i a00 = _mm256_setzero_si256(), a01 = _mm256_setzero_si256();
+  __m256i a10 = _mm256_setzero_si256(), a11 = _mm256_setzero_si256();
+  __m256i a20 = _mm256_setzero_si256(), a21 = _mm256_setzero_si256();
+  __m256i a30 = _mm256_setzero_si256(), a31 = _mm256_setzero_si256();
+  __m256i a40 = _mm256_setzero_si256(), a41 = _mm256_setzero_si256();
+  __m256i a50 = _mm256_setzero_si256(), a51 = _mm256_setzero_si256();
+  for (int64_t g = 0; g < kg; ++g) {
+    const int8_t* ag = a_panel + g * kMR * kKG;
+    int32_t q[kMR];
+    std::memcpy(q, ag, sizeof(q));
+    const __m256i b0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b_panel + g * kNR * kKG));
+    const __m256i b1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b_panel + g * kNR * kKG + 32));
+    __m256i va;
+    va = _mm256_set1_epi32(q[0]);
+    a00 = _mm256_dpbusd_avx_epi32(a00, b0, va);
+    a01 = _mm256_dpbusd_avx_epi32(a01, b1, va);
+    va = _mm256_set1_epi32(q[1]);
+    a10 = _mm256_dpbusd_avx_epi32(a10, b0, va);
+    a11 = _mm256_dpbusd_avx_epi32(a11, b1, va);
+    va = _mm256_set1_epi32(q[2]);
+    a20 = _mm256_dpbusd_avx_epi32(a20, b0, va);
+    a21 = _mm256_dpbusd_avx_epi32(a21, b1, va);
+    va = _mm256_set1_epi32(q[3]);
+    a30 = _mm256_dpbusd_avx_epi32(a30, b0, va);
+    a31 = _mm256_dpbusd_avx_epi32(a31, b1, va);
+    va = _mm256_set1_epi32(q[4]);
+    a40 = _mm256_dpbusd_avx_epi32(a40, b0, va);
+    a41 = _mm256_dpbusd_avx_epi32(a41, b1, va);
+    va = _mm256_set1_epi32(q[5]);
+    a50 = _mm256_dpbusd_avx_epi32(a50, b0, va);
+    a51 = _mm256_dpbusd_avx_epi32(a51, b1, va);
+  }
+  alignas(32) int32_t raw[kMR][kNR];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[0]), a00);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[0] + 8), a01);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[1]), a10);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[1] + 8), a11);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[2]), a20);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[2] + 8), a21);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[3]), a30);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[3] + 8), a31);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[4]), a40);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[4] + 8), a41);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[5]), a50);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[5] + 8), a51);
+  i8_finish_avx2(raw, c, ldc, mr, nr, ep);
+}
+
+/// AVX512-VNNI tier, used at 256-bit width (AVX512VL) so the tile shape and
+/// register layout stay identical to the other tiers. Same exact result.
+__attribute__((target("avx512vnni,avx512vl,avx2,fma"))) void
+micro_i8_avx512vnni(int64_t kg, const int8_t* a_panel, const uint8_t* b_panel,
+                    float* c, int64_t ldc, int mr, int nr,
+                    const QuantEpilogue& ep) {
+  __m256i a00 = _mm256_setzero_si256(), a01 = _mm256_setzero_si256();
+  __m256i a10 = _mm256_setzero_si256(), a11 = _mm256_setzero_si256();
+  __m256i a20 = _mm256_setzero_si256(), a21 = _mm256_setzero_si256();
+  __m256i a30 = _mm256_setzero_si256(), a31 = _mm256_setzero_si256();
+  __m256i a40 = _mm256_setzero_si256(), a41 = _mm256_setzero_si256();
+  __m256i a50 = _mm256_setzero_si256(), a51 = _mm256_setzero_si256();
+  for (int64_t g = 0; g < kg; ++g) {
+    const int8_t* ag = a_panel + g * kMR * kKG;
+    int32_t q[kMR];
+    std::memcpy(q, ag, sizeof(q));
+    const __m256i b0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b_panel + g * kNR * kKG));
+    const __m256i b1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b_panel + g * kNR * kKG + 32));
+    __m256i va;
+    va = _mm256_set1_epi32(q[0]);
+    a00 = _mm256_dpbusd_epi32(a00, b0, va);
+    a01 = _mm256_dpbusd_epi32(a01, b1, va);
+    va = _mm256_set1_epi32(q[1]);
+    a10 = _mm256_dpbusd_epi32(a10, b0, va);
+    a11 = _mm256_dpbusd_epi32(a11, b1, va);
+    va = _mm256_set1_epi32(q[2]);
+    a20 = _mm256_dpbusd_epi32(a20, b0, va);
+    a21 = _mm256_dpbusd_epi32(a21, b1, va);
+    va = _mm256_set1_epi32(q[3]);
+    a30 = _mm256_dpbusd_epi32(a30, b0, va);
+    a31 = _mm256_dpbusd_epi32(a31, b1, va);
+    va = _mm256_set1_epi32(q[4]);
+    a40 = _mm256_dpbusd_epi32(a40, b0, va);
+    a41 = _mm256_dpbusd_epi32(a41, b1, va);
+    va = _mm256_set1_epi32(q[5]);
+    a50 = _mm256_dpbusd_epi32(a50, b0, va);
+    a51 = _mm256_dpbusd_epi32(a51, b1, va);
+  }
+  alignas(32) int32_t raw[kMR][kNR];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[0]), a00);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[0] + 8), a01);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[1]), a10);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[1] + 8), a11);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[2]), a20);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[2] + 8), a21);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[3]), a30);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[3] + 8), a31);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[4]), a40);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[4] + 8), a41);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[5]), a50);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(raw[5] + 8), a51);
+  i8_finish_avx2(raw, c, ldc, mr, nr, ep);
+}
+
+#if defined(TBNET_SIMD_HAVE_AVX512)
+/// AVX512-VNNI tier at full 512-bit width: one B k-group (kNR * kKG = 64
+/// bytes) is exactly one zmm, so each group costs a single load plus six
+/// broadcast+dpbusd pairs — half the instruction count of the 256-bit
+/// tier for the same 384 MACs. The i32 accumulators hold the exact dot
+/// product (u7 contract) and the finalize is the shared i8_finish_avx2,
+/// so the C bytes match every other tier.
+__attribute__((target("avx512vnni,avx512f,avx2,fma"))) void
+micro_i8_avx512vnni_z(int64_t kg, const int8_t* a_panel,
+                      const uint8_t* b_panel, float* c, int64_t ldc, int mr,
+                      int nr, const QuantEpilogue& ep) {
+  __m512i r0 = _mm512_setzero_si512(), r1 = _mm512_setzero_si512();
+  __m512i r2 = _mm512_setzero_si512(), r3 = _mm512_setzero_si512();
+  __m512i r4 = _mm512_setzero_si512(), r5 = _mm512_setzero_si512();
+  for (int64_t g = 0; g < kg; ++g) {
+    const int8_t* ag = a_panel + g * kMR * kKG;
+    int32_t q[kMR];
+    std::memcpy(q, ag, sizeof(q));
+    const __m512i b = _mm512_loadu_si512(b_panel + g * kNR * kKG);
+    r0 = _mm512_dpbusd_epi32(r0, b, _mm512_set1_epi32(q[0]));
+    r1 = _mm512_dpbusd_epi32(r1, b, _mm512_set1_epi32(q[1]));
+    r2 = _mm512_dpbusd_epi32(r2, b, _mm512_set1_epi32(q[2]));
+    r3 = _mm512_dpbusd_epi32(r3, b, _mm512_set1_epi32(q[3]));
+    r4 = _mm512_dpbusd_epi32(r4, b, _mm512_set1_epi32(q[4]));
+    r5 = _mm512_dpbusd_epi32(r5, b, _mm512_set1_epi32(q[5]));
+  }
+  alignas(64) int32_t raw[kMR][kNR];
+  _mm512_store_si512(raw[0], r0);
+  _mm512_store_si512(raw[1], r1);
+  _mm512_store_si512(raw[2], r2);
+  _mm512_store_si512(raw[3], r3);
+  _mm512_store_si512(raw[4], r4);
+  _mm512_store_si512(raw[5], r5);
+  i8_finish_avx2(raw, c, ldc, mr, nr, ep);
+}
+#endif  // TBNET_SIMD_HAVE_AVX512
+#endif  // TBNET_SIMD_HAVE_VNNI
+#endif  // TBNET_SIMD_HAVE_AVX2
+
+// Grouped-layout activation quantizers: one call fills a full 64-byte B
+// panel k-group, grp[j * kKG + t] = quantize_u7(row_t[j]). The SIMD forms
+// convert with cvtps2dq (round-to-nearest-even, exactly lrintf under the
+// default mode), add the zero point, clamp to [0, 127], and compose the
+// byte interleave for free via lane-wise shifts and ORs — lane j's i32
+// IS the little-endian 4-byte group entry. Bytes are identical to the
+// scalar form for any input that quantizes in (-2^31, 2^31) pre-clamp,
+// which calibrated activation scales guarantee by construction.
+
+void quant_group_scalar(const float* r0, const float* r1, const float* r2,
+                        const float* r3, uint8_t* grp, float inv_scale,
+                        int32_t zero_point) {
+  const float* rows[kKG] = {r0, r1, r2, r3};
+  for (int j = 0; j < kNR; ++j) {
+    for (int t = 0; t < kKG; ++t) {
+      grp[j * kKG + t] = quantize_u7(rows[t][j], inv_scale, zero_point);
+    }
+  }
+}
+
+#if defined(TBNET_SIMD_HAVE_AVX2)
+__attribute__((target("avx2,fma"))) void quant_group_avx2(
+    const float* r0, const float* r1, const float* r2, const float* r3,
+    uint8_t* grp, float inv_scale, int32_t zero_point) {
+  const __m256 vinv = _mm256_set1_ps(inv_scale);
+  const __m256i vzp = _mm256_set1_epi32(zero_point);
+  const __m256i lo = _mm256_setzero_si256();
+  const __m256i hi = _mm256_set1_epi32(127);
+  const float* rows[kKG] = {r0, r1, r2, r3};
+  for (int half = 0; half < 2; ++half) {
+    __m256i q[kKG];
+    for (int t = 0; t < kKG; ++t) {
+      const __m256i v = _mm256_cvtps_epi32(
+          _mm256_mul_ps(_mm256_loadu_ps(rows[t] + 8 * half), vinv));
+      q[t] = _mm256_min_epi32(
+          _mm256_max_epi32(_mm256_add_epi32(v, vzp), lo), hi);
+    }
+    const __m256i packed = _mm256_or_si256(
+        _mm256_or_si256(q[0], _mm256_slli_epi32(q[1], 8)),
+        _mm256_or_si256(_mm256_slli_epi32(q[2], 16),
+                        _mm256_slli_epi32(q[3], 24)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(grp + 32 * half), packed);
+  }
+}
+
+#if defined(TBNET_SIMD_HAVE_AVX512)
+__attribute__((target("avx512f,avx2,fma"))) void quant_group_avx512(
+    const float* r0, const float* r1, const float* r2, const float* r3,
+    uint8_t* grp, float inv_scale, int32_t zero_point) {
+  const __m512 vinv = _mm512_set1_ps(inv_scale);
+  const __m512i vzp = _mm512_set1_epi32(zero_point);
+  const __m512i lo = _mm512_setzero_si512();
+  const __m512i hi = _mm512_set1_epi32(127);
+  const float* rows[kKG] = {r0, r1, r2, r3};
+  __m512i q[kKG];
+  for (int t = 0; t < kKG; ++t) {
+    const __m512i v =
+        _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(rows[t]), vinv));
+    q[t] =
+        _mm512_min_epi32(_mm512_max_epi32(_mm512_add_epi32(v, vzp), lo), hi);
+  }
+  const __m512i packed = _mm512_or_si512(
+      _mm512_or_si512(q[0], _mm512_slli_epi32(q[1], 8)),
+      _mm512_or_si512(_mm512_slli_epi32(q[2], 16),
+                      _mm512_slli_epi32(q[3], 24)));
+  _mm512_storeu_si512(grp, packed);
+}
+#endif  // TBNET_SIMD_HAVE_AVX512
 #endif  // TBNET_SIMD_HAVE_AVX2
 
 // ------------------------------------------------------------------ NEON --
@@ -743,6 +1251,10 @@ struct Kernels {
   const char* name = "scalar";
   MicroKernelFn micro = &micro_scalar;
   MicroKernelFn micro1 = &micro_scalar;
+  MicroKernelWideFn wide = nullptr;
+  MicroKernelI8Fn micro_i8 = &micro_i8_scalar;
+  QuantizeU7GroupFn quant_group = &quant_group_scalar;
+  const char* int8_name = "scalar";
   DwRowKernelFn dw_row = &dw_row_scalar;
   float (*dot)(const float*, const float*, int64_t) = &dot_scalar;
 };
@@ -757,6 +1269,43 @@ Kernels select_kernels() {
     k.micro1 = &micro_avx2_mr1;
     k.dw_row = &dw_row_avx2;
     k.dot = &dot_avx2;
+#if defined(TBNET_SIMD_HAVE_AVX512)
+    // The 6x16 kernels stay the AVX2 forms (bit-compatible by contract);
+    // AVX-512F only adds the double-width tile the drivers prefer for full
+    // panel pairs.
+    if (__builtin_cpu_supports("avx512f")) {
+      k.isa = Isa::kAvx512;
+      k.name = "avx512f-fma";
+      k.wide = &micro_avx512_wide;
+    }
+#endif
+    // Int8 ladder, probed independently of the f32 tiers: every tier is
+    // exact (see simd.h), so the choice is pure throughput.
+    k.micro_i8 = &micro_i8_avx2;
+    k.quant_group = &quant_group_avx2;
+    k.int8_name = "avx2-maddubs";
+#if defined(TBNET_SIMD_HAVE_AVX512)
+    if (__builtin_cpu_supports("avx512f")) {
+      k.quant_group = &quant_group_avx512;
+    }
+#endif
+#if defined(TBNET_SIMD_HAVE_VNNI)
+    if (__builtin_cpu_supports("avxvnni")) {
+      k.micro_i8 = &micro_i8_avxvnni;
+      k.int8_name = "avx-vnni";
+    }
+    if (__builtin_cpu_supports("avx512vnni") &&
+        __builtin_cpu_supports("avx512vl")) {
+      k.micro_i8 = &micro_i8_avx512vnni;
+      k.int8_name = "avx512-vnni";
+    }
+#if defined(TBNET_SIMD_HAVE_AVX512)
+    if (__builtin_cpu_supports("avx512vnni")) {
+      k.micro_i8 = &micro_i8_avx512vnni_z;
+      k.int8_name = "avx512-vnni";
+    }
+#endif
+#endif
     return k;
   }
 #endif
@@ -781,8 +1330,21 @@ const Kernels& kernels() {
 
 Isa active_isa() { return kernels().isa; }
 const char* isa_name() { return kernels().name; }
+const char* int8_isa_name() {
+  return fast_kernels_enabled() ? kernels().int8_name : "scalar";
+}
 MicroKernelFn micro_kernel() { return kernels().micro; }
 MicroKernelFn micro_kernel_mr1() { return kernels().micro1; }
+MicroKernelWideFn micro_kernel_wide() {
+  return fast_kernels_enabled() ? kernels().wide : nullptr;
+}
+MicroKernelI8Fn micro_kernel_i8() {
+  return fast_kernels_enabled() ? kernels().micro_i8 : &micro_i8_scalar;
+}
+MicroKernelI8Fn micro_kernel_i8_reference() { return &micro_i8_scalar; }
+QuantizeU7GroupFn quantize_u7_group() {
+  return fast_kernels_enabled() ? kernels().quant_group : &quant_group_scalar;
+}
 DwRowKernelFn dw_row_kernel() { return kernels().dw_row; }
 
 void require_known_act(Act act) {

@@ -26,6 +26,7 @@
 // PR-1 scalar blocked kernels and the nn layers skip epilogue fusion, giving
 // bit-reproducibility with older runs.
 
+#include <cmath>
 #include <cstdint>
 
 namespace tbnet::simd {
@@ -38,11 +39,16 @@ inline constexpr int kNR = 16;
 /// enough for any current vector ISA.
 inline constexpr int64_t kAlign = 64;
 
-enum class Isa { kScalar, kAvx2, kNeon };
+enum class Isa { kScalar, kAvx2, kNeon, kAvx512 };
 
 /// The instruction set the runtime dispatch selected (decided once).
 Isa active_isa();
 const char* isa_name();
+
+/// The int8 kernel tier selected for this host ("avx512-vnni", "avx-vnni",
+/// "avx2-maddubs", or "scalar") — reported independently of isa_name()
+/// because the f32 and int8 ladders probe different CPU features.
+const char* int8_isa_name();
 
 /// False when TBNET_DETERMINISTIC=1: callers must use the scalar reference
 /// kernels and keep bias/BN/activation as separate passes. Latched on first
@@ -120,6 +126,95 @@ MicroKernelFn micro_kernel();
 /// m == 1 GEMMs (single-image dense heads). Falls back to the general kernel
 /// on ISAs without a dedicated variant.
 MicroKernelFn micro_kernel_mr1();
+
+/// Double-width f32 tile (kMR x 2*kNR) for AVX-512 hosts: consumes TWO
+/// adjacent 16-column B panels per call (b0/b1 with independent row strides,
+/// covering C columns [j, j+16) and [j+16, j+32)) and keeps 12 zmm
+/// accumulators live, doubling FMA width per k iteration. Each C element's
+/// accumulation is the same single FMA chain in k order as micro_kernel(),
+/// and the epilogue applies the same per-element operations, so the bits are
+/// identical to two 16-wide calls — drivers switch tile width freely without
+/// changing results. Both panels must be full width (nr == kNR each; `ep`
+/// column arrays, when set, must cover 32 columns from the tile origin).
+/// Returns nullptr unless the host has AVX-512F and fast kernels are on.
+using MicroKernelWideFn = void (*)(int64_t kc, const float* a_panel,
+                                   const float* b0, int64_t bstride0,
+                                   const float* b1, int64_t bstride1, float* c,
+                                   int64_t ldc, int mr, float alpha, float beta,
+                                   const TileEpilogue* ep);
+MicroKernelWideFn micro_kernel_wide();
+
+// ---------------------------------------------------------------- int8 ----
+//
+// Quantized GEMM microkernels: s8 weights x u8 activations with i32
+// accumulation and a fused dequantize+affine+activation epilogue. Operands
+// are packed in groups of kKG = 4 consecutive k values so one 32-bit lane
+// holds a dot-product quad (the shape vpdpbusd / pmaddubsw consume):
+//   A panel: [ceil(kc/4)][kMR][4] int8  — 4 k-taps per C row per group;
+//   B panel: [ceil(kc/4)][kNR][4] uint8 — 4 k-taps per C column per group.
+// Zero padding (rows past m, k past the real depth) contributes exactly 0.
+//
+// Exactness contract: activations quantize to [0, 127] (u7) and weights to
+// [-127, 127], so a pmaddubsw pair sum is at most 2*127*127 = 32258 < 2^15 —
+// the i16 intermediate never saturates and every tier's i32 accumulator
+// holds the exact integer dot product. The epilogue computes
+//   C[i][j] = act(fmaf((float)acc, scale[i], shift[i]))
+// per element; (float)acc and _mm256_cvtepi32_ps round identically
+// (nearest-even), as do fmaf and vfmadd, so the scalar reference, the AVX2
+// maddubs tier, and both VNNI tiers produce bit-identical C — the int8 path
+// is deterministic across ISAs, thread counts, and TBNET_DETERMINISTIC.
+
+/// k-group width of the int8 panel formats.
+inline constexpr int kKG = 4;
+
+/// Per-row dequantization epilogue for the int8 kernels. `scale`/`shift`
+/// are pre-offset to the tile's first row and never null (the driver always
+/// composes weight scale x activation scale x any folded BN/bias affine).
+struct QuantEpilogue {
+  const float* scale = nullptr;
+  const float* shift = nullptr;
+  Act act = Act::kNone;
+};
+
+/// Computes one C tile from int8 panels: kg k-groups (kg = ceil(kc / kKG)),
+/// then the QuantEpilogue; C is written (never read). `b_panel` stride is
+/// implied by the packed layout (kNR * kKG bytes per group).
+using MicroKernelI8Fn = void (*)(int64_t kg, const int8_t* a_panel,
+                                 const uint8_t* b_panel, float* c, int64_t ldc,
+                                 int mr, int nr, const QuantEpilogue& ep);
+
+/// The canonical activation quantizer: u7 affine with round-to-nearest-even
+/// (lrintf compiles to cvtss2si under the default rounding mode). EVERY
+/// producer that quantizes activations into B panels must use this exact
+/// expression — the int8 path's bit-determinism rests on all sites rounding
+/// identically. Spatial conv padding quantizes 0.0f to zero_point, which the
+/// driver's zp-correction term cancels exactly.
+inline uint8_t quantize_u7(float x, float inv_scale, int32_t zero_point) {
+  int32_t q = static_cast<int32_t>(lrintf(x * inv_scale)) + zero_point;
+  q = q < 0 ? 0 : q;
+  return static_cast<uint8_t>(q > 127 ? 127 : q);
+}
+
+/// Bulk form of quantize_u7 for one full B panel k-group: writes the 64-byte
+/// grouped block grp[j * kKG + t] = quantize_u7(row_t[j], ...) for j in
+/// [0, kNR), t in [0, kKG). Each row pointer must cover kNR readable floats.
+/// Every tier (scalar / AVX2 / AVX-512) rounds exactly like quantize_u7 for
+/// inputs whose scaled value stays inside i32 (guaranteed by calibrated
+/// scales), so panel bytes do not depend on the tier; the accessor still
+/// pins the scalar form under TBNET_DETERMINISTIC=1. Producers use this for
+/// full groups and fall back to per-element quantize_u7 at k / column tails.
+using QuantizeU7GroupFn = void (*)(const float* r0, const float* r1,
+                                   const float* r2, const float* r3,
+                                   uint8_t* grp, float inv_scale,
+                                   int32_t zero_point);
+QuantizeU7GroupFn quantize_u7_group();
+
+/// The dispatched int8 microkernel for this host (VNNI > maddubs > scalar).
+MicroKernelI8Fn micro_kernel_i8();
+
+/// The scalar int8 reference kernel — what TBNET_DETERMINISTIC=1 pins, and
+/// the parity oracle the SIMD tiers are tested against (bits must match).
+MicroKernelI8Fn micro_kernel_i8_reference();
 
 /// SIMD dot product (FMA chains; lane order fixed per ISA). Backs gemv.
 float dot(const float* a, const float* b, int64_t n);

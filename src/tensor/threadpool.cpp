@@ -1,6 +1,7 @@
 #include "tensor/threadpool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 
 namespace tbnet {
@@ -180,7 +181,15 @@ void ThreadPool::parallel_for(int64_t n,
   }
 }
 
+namespace {
+std::atomic<ThreadPool*> g_global_override{nullptr};
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
+  if (ThreadPool* override_pool =
+          g_global_override.load(std::memory_order_acquire)) {
+    return *override_pool;
+  }
   // Magic-static init is thread-safe for concurrent first use; racing
   // callers block until one constructor finishes. The instance is leaked on
   // purpose (see header): joining workers from a static destructor while
@@ -195,6 +204,10 @@ ThreadPool& ThreadPool::global() {
     return new ThreadPool(threads);
   }();
   return *pool;
+}
+
+void ThreadPool::set_global_for_testing(ThreadPool* pool) {
+  g_global_override.store(pool, std::memory_order_release);
 }
 
 }  // namespace tbnet

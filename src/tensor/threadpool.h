@@ -84,6 +84,13 @@ class ThreadPool {
   /// hardware_concurrency.
   static ThreadPool& global();
 
+  /// Test hook: makes global() return `pool` until reset with nullptr, so
+  /// pool-size-invariance tests can steer components (deployed engines, TA
+  /// contexts) whose ExecutionContexts fall back to the shared pool. The
+  /// caller keeps ownership and must outlive any use; swap only while no
+  /// kernel is in flight on the previous pool.
+  static void set_global_for_testing(ThreadPool* pool);
+
  private:
   /// Per-parallel_for completion state, owned by the caller's stack frame.
   /// `pending` is guarded by `mu` and the final decrement happens under it,

@@ -19,6 +19,7 @@
 #include "nn/fuse.h"
 #include "nn/sequential.h"
 #include "tensor/execution_context.h"
+#include "tensor/pack.h"
 #include "tensor/rng.h"
 #include "tensor/simd.h"
 #include "tensor/tensor.h"
@@ -355,20 +356,38 @@ TEST(DepthwiseFusion, SequentialPlanFusesSeparableBlock) {
   expect_close(got, want, 1e-4f, 1e-5f);
 
   if (simd::fast_kernels_enabled()) {
-    // The fused step never materializes the 16x20x20 depthwise map: the
-    // per-call arena high-water mark stays well below it (panel slabs only;
-    // the packed weights live in ctx's arena from prepare time). A dedicated
-    // 1-thread pool pins the slab count — the producer driver allocates one
-    // [kBlockK x kNR] slab per parallel_for chunk, so the bound would scale
-    // with the global pool's size on a multi-core host.
-    ThreadPool solo(1);
+    // The fused step never materializes the depthwise map. The probe needs
+    // an intermediate larger than both the arena's minimum block and the
+    // producer's per-chunk panel slabs (whose count scales with the pool,
+    // so it is charged via the driver's own accounting rather than by
+    // pinning a 1-thread pool), or block-granularity rounding would mask a
+    // materialization: a 64-channel block (the `channels > 32` fusion gate
+    // arm) over a 40x40 map gives a 102400-float intermediate. The arena is
+    // pre-sized with the slab accounting plus half the intermediate; a
+    // fused forward fits in that and must not push capacity past the slack,
+    // while materializing the map could not fit and would force a new
+    // block beyond it.
+    nn::Sequential sep;
+    sep.emplace<nn::DepthwiseConv2d>(
+        64, nn::DepthwiseConv2d::Options{.kernel = 3, .stride = 1, .pad = 1},
+        rng);
+    sep.emplace<nn::ReLU>();
+    sep.emplace<nn::Conv2d>(
+        64, 32, nn::Conv2d::Options{.kernel = 1, .stride = 1, .pad = 0,
+                                    .bias = false},
+        rng);
     ExecutionContext fresh;
-    fresh.set_pool(&solo);
-    nn::Sequential warm = seq;
-    warm.prepare_inference(fresh);
+    sep.prepare_inference(fresh);
+    const int64_t mid_floats = 64 * 40 * 40;
+    const int64_t slabs =
+        packdetail::producer_slab_floats(fresh.pool(), 40 * 40);
+    {
+      ArenaScope grow(fresh.arena());
+      fresh.arena().alloc(slabs + mid_floats / 2);
+    }
     const auto before = fresh.arena().capacity_floats();
-    warm.forward(fresh, x, false);
-    const int64_t mid_floats = 16 * 20 * 20;
+    const Tensor xa = Tensor::randn(Shape{1, 64, 40, 40}, rng);
+    sep.forward(fresh, xa, false);
     EXPECT_LT(fresh.arena().capacity_floats() - before, mid_floats / 2)
         << "fused step must not allocate the depthwise intermediate";
   }

@@ -6,6 +6,7 @@ the committed baseline (BENCH_kernels.json at the repo root) and flags any
 shape whose throughput regressed by more than the threshold:
 
   * "gemm" shapes: packed_gflops (higher is better)
+  * "int8_gemm" shapes: int8_gflops (higher is better)
   * "conv_lowering" shapes: fused_ms (lower is better)
   * "fused_conv" shapes: fused_ms (lower is better)
   * "depthwise" shapes: simd_ms (lower is better)
@@ -13,17 +14,19 @@ shape whose throughput regressed by more than the threshold:
 
 Only shapes present in BOTH files are compared (the --quick smoke runs a
 subset of the full baseline). The gate is BLOCKING (exit 1 on regression);
---warn-only remains for calibrating new runners.
+--warn-only remains for calibrating new runners. When the two files report
+different kernel tiers ("isa" / "int8_isa" fields) the numbers are not
+comparable — a VNNI baseline against a maddubs runner would flag phantom
+regressions — so the gate automatically downgrades to warn-only.
 
-Noise floor: tiny shapes are timing noise on shared CI vCPUs — a
-dense-head GEMM is ~1e3 flops, far below a scheduler quantum of work — so
+Noise floor: genuinely tiny shapes are timing noise on shared CI vCPUs, so
 any shape whose flop count (2*m*n*k for gemm entries, the emitted "flops"
 field elsewhere) falls below --min-flops is reported but exempt from
 gating. Shapes without flop information are always gated.
 
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json
-                            [--threshold 0.2] [--min-flops 1e5] [--warn-only]
+                            [--threshold 0.2] [--min-flops 1e3] [--warn-only]
 
 Stdlib only — no third-party dependencies.
 """
@@ -82,11 +85,11 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.2,
                     help="allowed fractional regression per shape "
                          "(default 0.2 = 20%%)")
-    ap.add_argument("--min-flops", type=float, default=1e5,
+    ap.add_argument("--min-flops", type=float, default=1e3,
                     help="shapes below this flop count are reported but "
-                         "never fail the gate (default 1e5; exempts "
-                         "dense_head-class micro-shapes that are pure "
-                         "scheduler noise on shared vCPUs)")
+                         "never fail the gate (default 1e3: every emitted "
+                         "shape, including the batch-1 dense head, is gated "
+                         "by default)")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but exit 0 (runner calibration)")
     args = ap.parse_args()
@@ -96,12 +99,23 @@ def main():
     with open(args.current) as f:
         current = json.load(f)
 
+    warn_only = args.warn_only
+    for tier_key in ("isa", "int8_isa"):
+        b_tier, c_tier = baseline.get(tier_key), current.get(tier_key)
+        if b_tier is not None and c_tier is not None and b_tier != c_tier:
+            print(f"NOTE: {tier_key} mismatch (baseline '{b_tier}' vs "
+                  f"current '{c_tier}'); numbers are not comparable — "
+                  f"downgrading to warn-only.")
+            warn_only = True
+
     print(f"Comparing {args.current} against {args.baseline} "
           f"(threshold {args.threshold:.0%}, "
           f"noise floor {args.min_flops:.0g} flops):")
     regressions = []
     regressions += compare(baseline, current, "packed_gflops", True,
                            args.threshold, args.min_flops, "gemm")
+    regressions += compare(baseline, current, "int8_gflops", True,
+                           args.threshold, args.min_flops, "int8_gemm")
     regressions += compare(baseline, current, "fused_ms", False,
                            args.threshold, args.min_flops, "conv_lowering")
     regressions += compare(baseline, current, "fused_ms", False,
@@ -119,7 +133,7 @@ def main():
     for name, b, c, ratio in regressions:
         print(f"  {name}: baseline={b:.4g} current={c:.4g} "
               f"(ratio {ratio:.2f})")
-    if args.warn_only:
+    if warn_only:
         print("warn-only mode: not failing the build.")
         return 0
     return 1
