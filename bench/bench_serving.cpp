@@ -88,6 +88,137 @@ SweepPoint run_sweep_point(runtime::DeployedTBNet& engine, int64_t batch,
   return p;
 }
 
+// ---- overload soak (PR 7) -------------------------------------------------
+// Open-loop load generation: a submitter fires at a fixed offered rate
+// regardless of completions (unlike the closed-loop sections above, where
+// waiting submitters implicitly throttle to the service rate). That is the
+// regime where an unbounded queue diverges — latency grows with soak length
+// — and where the bounded queue + shedding + deadlines must keep goodput
+// and accepted-latency flat. Goodput divides Ok answers by the full wall
+// time including drain, so an unbounded backlog pays for itself honestly.
+
+struct SoakConfig {
+  double offered_imgs_per_s = 0.0;
+  double seconds = 0.0;
+  bool bounded = true;
+  double fault_rate = 0.0;
+};
+
+struct SoakPoint {
+  double offered_x = 0.0;  ///< offered load as a multiple of 1x capacity
+  double offered_imgs_per_s = 0.0;
+  double soak_seconds = 0.0;
+  int64_t submitted = 0;
+  int64_t ok = 0;
+  int64_t rejected = 0;
+  int64_t shed = 0;
+  int64_t expired = 0;
+  int64_t engine_errors = 0;
+  int64_t retries = 0;
+  int64_t faults_injected = 0;
+  double goodput_imgs_per_s = 0.0;
+  double accepted_p50_ms = 0.0;  ///< total_s of Ok requests only
+  double accepted_p99_ms = 0.0;
+  double batch_p99_ms = 0.0;
+};
+
+SoakPoint run_soak(runtime::DeployedTBNet& engine, tee::TeeContext& ctx,
+                   const SoakConfig& sc) {
+  runtime::InferenceServer::Config scfg;
+  scfg.max_batch = 16;
+  scfg.max_queue_delay = std::chrono::microseconds(2000);
+  if (sc.bounded) {
+    scfg.queue_capacity = 64;
+    scfg.admission = runtime::AdmissionPolicy::kShedOldest;
+    scfg.default_deadline = std::chrono::milliseconds(100);
+  }
+  const int64_t retries_before = engine.retries();
+  const int64_t faults_before = ctx.faults().faults_injected();
+  ctx.faults().set_rate(sc.fault_rate);
+
+  SoakPoint p;
+  p.offered_imgs_per_s = sc.offered_imgs_per_s;
+  p.soak_seconds = sc.seconds;
+  runtime::LatencyRecorder accepted;
+  runtime::ServingStats stats;
+  double wall_s = 0.0;
+  {
+    runtime::InferenceServer server(
+        [&engine](const Tensor& nchw) { return engine.infer_batch(nchw); },
+        scfg);
+    Rng srng(31);
+    std::vector<Tensor> pool;
+    for (int i = 0; i < 32; ++i) {
+      pool.push_back(Tensor::randn(Shape{3, 32, 32}, srng));
+    }
+    std::vector<std::future<runtime::InferenceResult>> futures;
+    const auto interval =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(1.0 / sc.offered_imgs_per_s));
+    const auto t0 = Clock::now();
+    const auto end_at =
+        t0 + std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::duration<double>(sc.seconds));
+    auto next = t0;
+    while (Clock::now() < end_at) {
+      futures.push_back(server.submit(pool[futures.size() % pool.size()]));
+      next += interval;
+      std::this_thread::sleep_until(next);
+    }
+    server.drain();
+    stats = server.stats();
+    p.submitted = static_cast<int64_t>(futures.size());
+    for (auto& f : futures) {
+      runtime::InferenceResult r = f.get();
+      if (r.ok()) {
+        ++p.ok;
+        accepted.record(r.total_s);
+      }
+    }
+    wall_s = seconds_since(t0);
+  }
+  ctx.faults().set_rate(0.0);
+
+  p.rejected = stats.rejected;
+  p.shed = stats.shed;
+  p.expired = stats.expired;
+  p.engine_errors = stats.engine_errors;
+  p.retries = engine.retries() - retries_before;
+  p.faults_injected = ctx.faults().faults_injected() - faults_before;
+  p.goodput_imgs_per_s =
+      wall_s > 0.0 ? static_cast<double>(p.ok) / wall_s : 0.0;
+  p.accepted_p50_ms = accepted.percentile(50.0) * 1e3;
+  p.accepted_p99_ms = accepted.percentile(99.0) * 1e3;
+  p.batch_p99_ms = stats.batch_latency.percentile(99.0) * 1e3;
+  return p;
+}
+
+void print_soak_point(const SoakPoint& p, double goodput_1x,
+                      const char* trailer) {
+  std::printf(
+      "      {\"offered_x\": %.2f, \"offered_imgs_per_s\": %.1f, "
+      "\"soak_seconds\": %.2f, \"submitted\": %lld, \"ok\": %lld, "
+      "\"rejected\": %lld, \"shed\": %lld, \"expired\": %lld, "
+      "\"engine_errors\": %lld, \"retries\": %lld, "
+      "\"faults_injected\": %lld, \"goodput_imgs_per_s\": %.2f, "
+      "\"goodput_vs_1x\": %.3f, \"shed_rate\": %.3f, "
+      "\"accepted_p50_ms\": %.3f, \"accepted_p99_ms\": %.3f, "
+      "\"batch_p99_ms\": %.3f}%s\n",
+      p.offered_x, p.offered_imgs_per_s, p.soak_seconds,
+      static_cast<long long>(p.submitted), static_cast<long long>(p.ok),
+      static_cast<long long>(p.rejected), static_cast<long long>(p.shed),
+      static_cast<long long>(p.expired),
+      static_cast<long long>(p.engine_errors),
+      static_cast<long long>(p.retries),
+      static_cast<long long>(p.faults_injected), p.goodput_imgs_per_s,
+      goodput_1x > 0.0 ? p.goodput_imgs_per_s / goodput_1x : 0.0,
+      p.submitted > 0
+          ? static_cast<double>(p.shed + p.rejected + p.expired) /
+                static_cast<double>(p.submitted)
+          : 0.0,
+      p.accepted_p50_ms, p.accepted_p99_ms, p.batch_p99_ms, trailer);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,6 +228,7 @@ int main(int argc, char** argv) {
   bool device_timing = true;
   double width = 0.125;
   int64_t target_images = 192;
+  double soak_seconds = 2.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-device-timing") == 0) {
       device_timing = false;
@@ -104,9 +236,12 @@ int main(int argc, char** argv) {
       width = std::atof(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--images=", 9) == 0) {
       target_images = std::atoll(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--soak-seconds=", 15) == 0) {
+      soak_seconds = std::atof(argv[i] + 15);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--no-device-timing] [--width=W] [--images=N]\n",
+                   "usage: %s [--no-device-timing] [--width=W] [--images=N] "
+                   "[--soak-seconds=S]\n",
                    argv[0]);
       return 2;
     }
@@ -228,6 +363,49 @@ int main(int argc, char** argv) {
     worker_sweep.push_back(std::move(p));
   }
 
+  // ---- overload soak: bounded queue vs unbounded baseline ------------
+  // 1x capacity is the closed-loop batch-16 throughput measured above; the
+  // bounded points (capacity 64, shed-oldest, 100 ms deadline) must hold
+  // goodput and accepted-p99 flat at 2x and 10x offered load, while the
+  // unbounded baseline's request p99 grows with soak length at the same
+  // 10x. A bounded 2x point also runs with a 1% transient fault rate to
+  // show retry absorbing faults under load.
+  std::vector<SoakPoint> soak_bounded;
+  SoakPoint soak_faulty;
+  std::vector<SoakPoint> soak_unbounded;
+  const double capacity = tput16 > 0.0 ? tput16 : 100.0;
+  if (soak_seconds > 0.0) {
+    for (double x : {1.0, 2.0, 10.0}) {
+      SoakConfig sc;
+      sc.offered_imgs_per_s = capacity * x;
+      sc.seconds = soak_seconds;
+      sc.bounded = true;
+      SoakPoint p = run_soak(engine, ctx, sc);
+      p.offered_x = x;
+      soak_bounded.push_back(p);
+    }
+    {
+      SoakConfig sc;
+      sc.offered_imgs_per_s = capacity * 2.0;
+      sc.seconds = soak_seconds * 0.5;
+      sc.bounded = true;
+      sc.fault_rate = 0.01;
+      soak_faulty = run_soak(engine, ctx, sc);
+      soak_faulty.offered_x = 2.0;
+    }
+    // Short soaks: an unbounded 10x backlog must still be drained (and is
+    // charged to goodput), so the submission windows stay small.
+    for (double frac : {0.25, 0.5}) {
+      SoakConfig sc;
+      sc.offered_imgs_per_s = capacity * 10.0;
+      sc.seconds = soak_seconds * frac;
+      sc.bounded = false;
+      SoakPoint p = run_soak(engine, ctx, sc);
+      p.offered_x = 10.0;
+      soak_unbounded.push_back(p);
+    }
+  }
+
   // ---- JSON ----------------------------------------------------------
   std::printf("{\n");
   std::printf("  \"model\": \"%s\",\n", cfg.name().c_str());
@@ -303,8 +481,49 @@ int main(int argc, char** argv) {
   std::printf("  ],\n");
   // Inter-op dispatch scaling; bounded by physical cores (the "threads"
   // field above is the INTRA-op width each worker uses).
-  std::printf("  \"speedup_workers2_vs_1\": %.3f\n",
+  std::printf("  \"speedup_workers2_vs_1\": %.3f,\n",
               tput_1w > 0.0 ? tput_2w / tput_1w : 0.0);
+  if (soak_bounded.empty()) {
+    std::printf("  \"soak\": null\n");
+  } else {
+    const double goodput_1x = soak_bounded.front().goodput_imgs_per_s;
+    std::printf("  \"soak\": {\n");
+    std::printf("    \"capacity_imgs_per_s\": %.2f,\n", capacity);
+    std::printf("    \"queue_capacity\": 64,\n");
+    std::printf("    \"admission\": \"shed_oldest\",\n");
+    std::printf("    \"deadline_ms\": 100.0,\n");
+    std::printf("    \"bounded\": [\n");
+    for (size_t i = 0; i < soak_bounded.size(); ++i) {
+      print_soak_point(soak_bounded[i], goodput_1x,
+                       i + 1 < soak_bounded.size() ? "," : "");
+    }
+    std::printf("    ],\n");
+    std::printf("    \"bounded_fault_rate_0p01\": [\n");
+    print_soak_point(soak_faulty, goodput_1x, "");
+    std::printf("    ],\n");
+    std::printf("    \"unbounded_10x\": [\n");
+    for (size_t i = 0; i < soak_unbounded.size(); ++i) {
+      print_soak_point(soak_unbounded[i], goodput_1x,
+                       i + 1 < soak_unbounded.size() ? "," : "");
+    }
+    std::printf("    ],\n");
+    // The two machine-portable headlines: bounded goodput held at 10x
+    // offered load (gated by tools/check_bench_regression.py and CI), and
+    // the unbounded baseline's p99 growing with soak length at fixed load
+    // (the divergence the admission control exists to prevent).
+    double goodput_vs_1x_at_10x = 0.0;
+    for (const SoakPoint& p : soak_bounded) {
+      if (p.offered_x == 10.0 && goodput_1x > 0.0) {
+        goodput_vs_1x_at_10x = p.goodput_imgs_per_s / goodput_1x;
+      }
+    }
+    std::printf("    \"goodput_vs_1x\": %.3f,\n", goodput_vs_1x_at_10x);
+    const double p99_short = soak_unbounded.front().accepted_p99_ms;
+    const double p99_long = soak_unbounded.back().accepted_p99_ms;
+    std::printf("    \"unbounded_p99_growth\": %.3f\n",
+                p99_short > 0.0 ? p99_long / p99_short : 0.0);
+    std::printf("  }\n");
+  }
   std::printf("}\n");
   return 0;
 }

@@ -1,9 +1,12 @@
 #include "runtime/deployed.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "nn/fuse.h"
+#include "tee/fault.h"
 #include "nn/quant.h"
 #include "nn/serialize.h"
 #include "tensor/ops.h"
@@ -296,6 +299,18 @@ void ta_check(uint32_t status, const char* what) {
   }
 }
 
+/// Backoff ceiling before retry `attempt` (1-based count of failures so
+/// far): base * 2^(attempt-1), capped at max. The actual sleep is uniform in
+/// [0, ceiling] ("full jitter") so concurrent engines don't retry in step.
+int64_t backoff_ceil_us(const DeployedTBNet::Options::RetryPolicy& rp,
+                        int attempt) {
+  int64_t ceil_us = std::max<int64_t>(rp.base_backoff.count(), 0);
+  for (int k = 1; k < attempt && ceil_us < rp.max_backoff.count(); ++k) {
+    ceil_us *= 2;
+  }
+  return std::min<int64_t>(ceil_us, std::max<int64_t>(rp.max_backoff.count(), 0));
+}
+
 /// Clones one branch block for deployment, folding inference-mode BatchNorm
 /// into the adjacent convs — including depthwise convs since the model format
 /// grew a depthwise bias (nn/fuse.h); under TBNET_DETERMINISTIC=1 the clone
@@ -399,9 +414,32 @@ DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
   ta_image_bytes_ = static_cast<int64_t>(image.size());
   ctx.world().install(uuid, std::make_unique<TbnetTA>(image));
   // The result cap scales with the batch so [N, classes] logits may leave;
-  // the per-image budget is the single-image default.
-  session_ = std::make_unique<tee::TeeSession>(ctx.open_session(
-      uuid, opt_.max_batch * tee::kDefaultMaxResultBytes));
+  // the per-image budget is the single-image default. Opening crosses the
+  // "open" fault site, so it retries under the same policy as invocations.
+  jitter_state_ = opt_.retry.jitter_seed;
+  const int open_attempts = std::max(opt_.retry.max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      session_ = std::make_unique<tee::TeeSession>(ctx.open_session(
+          uuid, opt_.max_batch * tee::kDefaultMaxResultBytes));
+      break;
+    } catch (const tee::TransientFault& e) {
+      if (attempt >= open_attempts) {
+        throw std::runtime_error("DeployedTBNet: open_session failed after " +
+                                 std::to_string(open_attempts) +
+                                 " attempts: " + e.what());
+      }
+      ++retries_;
+      const int64_t ceil_us = backoff_ceil_us(opt_.retry, attempt);
+      if (ceil_us > 0) {
+        const auto sleep_us = static_cast<int64_t>(
+            next_jitter() % static_cast<uint64_t>(ceil_us + 1));
+        if (sleep_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+        }
+      }
+    }
+  }
   // Pre-pack the REE weight panels (f32 or int8) into this engine's
   // long-lived arena, so the serving hot path runs folded, fused, and
   // pack-free. Unconditional: in deterministic mode the plan/pack steps
@@ -412,6 +450,46 @@ DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
 
 int64_t DeployedTBNet::world_switches() const {
   return session_->world_switches();
+}
+
+uint64_t DeployedTBNet::next_jitter() {
+  // splitmix64 over the engine's own state: deterministic per jitter_seed.
+  uint64_t z = (jitter_state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void DeployedTBNet::invoke_with_retry(uint32_t command,
+                                      const std::vector<uint8_t>& in,
+                                      std::vector<uint8_t>* out,
+                                      const char* what) {
+  const int attempts = std::max(opt_.retry.max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      ta_check(session_->invoke(command, in, out), what);
+      return;
+    } catch (const tee::TransientFault& e) {
+      // Safe to replay: every injection site fires before the TA executes
+      // (tee/fault.h), so the command had no secure-world effect.
+      if (attempt >= attempts) {
+        throw std::runtime_error(std::string(what) + " failed after " +
+                                 std::to_string(attempts) +
+                                 " attempts: " + e.what());
+      }
+      ++retries_;
+      const int64_t ceil_us = backoff_ceil_us(opt_.retry, attempt);
+      if (ceil_us > 0) {
+        const auto sleep_us = static_cast<int64_t>(
+            next_jitter() % static_cast<uint64_t>(ceil_us + 1));
+        if (sleep_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+        }
+      }
+    }
+    // tee::PermanentFault and every other exception propagate immediately:
+    // retrying cannot help, serving maps them to Status::kEngineError.
+  }
 }
 
 void DeployedTBNet::run_stages(const Tensor& batch_nchw) {
@@ -427,20 +505,20 @@ void DeployedTBNet::run_stages(const Tensor& batch_nchw) {
   Tensor x = batch_nchw;
   std::vector<uint8_t> payload;
   pack_tensor(payload, x);
-  ta_check(session_->invoke(kCmdSetInput, payload), "SetInput");
+  invoke_with_retry(kCmdSetInput, payload, nullptr, "SetInput");
   for (size_t i = 0; i < exposed_.size(); ++i) {
     x = exposed_[i]->forward(exec_ctx_, x, false);
     payload.clear();
     pack_i64(payload, static_cast<int64_t>(i));
     pack_tensor(payload, x);
-    ta_check(session_->invoke(kCmdPushStage, payload), "PushStage");
+    invoke_with_retry(kCmdPushStage, payload, nullptr, "PushStage");
   }
 }
 
 Tensor DeployedTBNet::infer_batch(const Tensor& batch_nchw) {
   run_stages(batch_nchw);
   std::vector<uint8_t> result;
-  ta_check(session_->invoke(kCmdGetLogits, {}, &result), "GetLogits");
+  invoke_with_retry(kCmdGetLogits, {}, &result, "GetLogits");
   size_t off = 0;
   return unpack_tensor(result, &off);
 }
@@ -452,7 +530,7 @@ Tensor DeployedTBNet::infer(const Tensor& image_chw) {
 int64_t DeployedTBNet::predict(const Tensor& image_chw) {
   run_stages(to_batch1(image_chw));
   std::vector<uint8_t> result;
-  ta_check(session_->invoke(kCmdPredict, {}, &result), "Predict");
+  invoke_with_retry(kCmdPredict, {}, &result, "Predict");
   size_t off = 0;
   return unpack_i64(result, &off);
 }
@@ -460,7 +538,7 @@ int64_t DeployedTBNet::predict(const Tensor& image_chw) {
 std::vector<int64_t> DeployedTBNet::predict_batch(const Tensor& batch_nchw) {
   run_stages(batch_nchw);
   std::vector<uint8_t> result;
-  ta_check(session_->invoke(kCmdPredictBatch, {}, &result), "PredictBatch");
+  invoke_with_retry(kCmdPredictBatch, {}, &result, "PredictBatch");
   size_t off = 0;
   const int64_t count = unpack_i64(result, &off);
   if (count != batch_nchw.dim(0)) {

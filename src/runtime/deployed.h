@@ -14,6 +14,8 @@
 //     feature maps crossing both ways; the substitute-layer attack in
 //     attack/ breaks it, motivating TBNet's one-way design.
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -71,6 +73,24 @@ class DeployedTBNet {
     /// TA image shrinks ~4x and the serving GEMMs run the int8 kernel tier
     /// (simd::int8_isa_name()). Empty = f32 deployment, unchanged.
     Tensor calibration;
+    /// Bounded retry for transient TEE faults (tee::TransientFault from the
+    /// context's FaultInjector, modeling a flaky world switch / channel
+    /// hiccup). Every fault site fires BEFORE the TA executes, so replaying
+    /// the identical command is side-effect free — see tee/fault.h. A
+    /// tee::PermanentFault (and any other exception) is never retried.
+    struct RetryPolicy {
+      /// Total tries per TA invocation (1 = no retries). After the last
+      /// failed attempt the engine throws, which serving surfaces as
+      /// Status::kEngineError for the batch — never a hang.
+      int max_attempts = 4;
+      /// Backoff before retry k is uniform in [0, base_backoff * 2^(k-1)]
+      /// ("full jitter"), capped at max_backoff. Deterministic per engine
+      /// via jitter_seed.
+      std::chrono::microseconds base_backoff{50};
+      std::chrono::microseconds max_backoff{2000};
+      uint64_t jitter_seed = 0x7e7;
+    };
+    RetryPolicy retry;
   };
 
   /// Clones M_R into normal-world memory, serializes M_T + channel maps into
@@ -108,6 +128,10 @@ class DeployedTBNet {
   /// observable: batch N costs the same count as a single image).
   int64_t world_switches() const;
 
+  /// Transient-fault retries this engine has performed (session open +
+  /// every TA invocation). Feeds ServingStats::retries in bench/tests.
+  int64_t retries() const { return retries_; }
+
   /// The session, for enabling device-timing simulation in benches.
   tee::TeeSession& session() { return *session_; }
 
@@ -116,11 +140,21 @@ class DeployedTBNet {
   /// final GetLogits/Predict command.
   void run_stages(const Tensor& batch_nchw);
 
+  /// session_->invoke with the Options::RetryPolicy applied: transient
+  /// faults back off (exponential, full jitter) and replay; exhaustion and
+  /// permanent faults throw. Also checks the TA status like ta_check.
+  void invoke_with_retry(uint32_t command, const std::vector<uint8_t>& in,
+                         std::vector<uint8_t>* out, const char* what);
+  /// Next backoff-jitter draw (splitmix64 over jitter_state_).
+  uint64_t next_jitter();
+
   std::vector<std::unique_ptr<nn::Layer>> exposed_;
   std::unique_ptr<tee::TeeSession> session_;
   Options opt_;
   ExecutionContext exec_ctx_;  ///< REE-world context (arena + pool)
   int64_t ta_image_bytes_ = 0;
+  int64_t retries_ = 0;
+  uint64_t jitter_state_ = 0;
 };
 
 /// Baseline: whole victim model inside the TEE.

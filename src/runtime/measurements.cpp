@@ -7,26 +7,54 @@
 
 namespace tbnet::runtime {
 
-double LatencyRecorder::total() const {
-  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+namespace {
+
+/// splitmix64 — the reservoir's replacement-index source. Fixed-seeded per
+/// recorder so identical sample streams keep identical reservoirs.
+uint64_t next_u64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // anonymous namespace
+
+LatencyRecorder::LatencyRecorder(int64_t capacity)
+    : capacity_(capacity), rng_state_(0x1ece5ede) {
+  if (capacity_ <= 0) {
+    throw std::invalid_argument("LatencyRecorder: capacity must be positive");
+  }
+}
+
+void LatencyRecorder::record(double seconds) {
+  ++count_;
+  total_ += seconds;
+  if (count_ == 1) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  if (static_cast<int64_t>(samples_.size()) < capacity_) {
+    samples_.push_back(seconds);
+  } else {
+    // Algorithm R: keep each of the count_ samples with probability
+    // capacity_/count_ by replacing a uniformly random slot.
+    const uint64_t j = next_u64(&rng_state_) % static_cast<uint64_t>(count_);
+    if (j < static_cast<uint64_t>(capacity_)) {
+      samples_[static_cast<size_t>(j)] = seconds;
+    }
+  }
 }
 
 double LatencyRecorder::mean() const {
-  return samples_.empty() ? 0.0
-                          : total() / static_cast<double>(samples_.size());
+  return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
 }
 
-double LatencyRecorder::min() const {
-  return samples_.empty()
-             ? 0.0
-             : *std::min_element(samples_.begin(), samples_.end());
-}
+double LatencyRecorder::min() const { return count_ == 0 ? 0.0 : min_; }
 
-double LatencyRecorder::max() const {
-  return samples_.empty()
-             ? 0.0
-             : *std::max_element(samples_.begin(), samples_.end());
-}
+double LatencyRecorder::max() const { return count_ == 0 ? 0.0 : max_; }
 
 double LatencyRecorder::percentile(double p) const {
   if (samples_.empty()) return 0.0;

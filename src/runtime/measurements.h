@@ -16,22 +16,43 @@ namespace tbnet::runtime {
 /// Accumulates latency samples and answers percentile queries. Used for the
 /// serving path's per-request and per-batch numbers (p50/p99 in Tab. style
 /// reports and bench_serving's JSON).
+///
+/// Memory is bounded: count/total/mean/min/max are exact running values, but
+/// at most `capacity` samples are retained for percentile queries, via
+/// uniform reservoir sampling (Algorithm R with a fixed-seed splitmix64, so
+/// runs are reproducible). Below capacity every sample is retained and
+/// percentiles are exact — identical to the unbounded recorder; beyond it
+/// they are unbiased estimates, which is what lets a week-long soak keep a
+/// live p99 without `samples_` growing with uptime.
 class LatencyRecorder {
  public:
-  void record(double seconds) { samples_.push_back(seconds); }
+  static constexpr int64_t kDefaultCapacity = 4096;
 
-  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
-  double total() const;
+  explicit LatencyRecorder(int64_t capacity = kDefaultCapacity);
+
+  void record(double seconds);
+
+  int64_t count() const { return count_; }  ///< exact (not reservoir size)
+  double total() const { return total_; }
   double mean() const;
   double min() const;
   double max() const;
 
-  /// Nearest-rank percentile, p in [0, 100]. Returns 0 with no samples.
+  /// Nearest-rank percentile over the retained samples, p in [0, 100]
+  /// (exact while count() <= capacity()). Returns 0 with no samples.
   double percentile(double p) const;
 
+  /// The retained reservoir — all samples while count() <= capacity().
   const std::vector<double>& samples() const { return samples_; }
+  int64_t capacity() const { return capacity_; }
 
  private:
+  int64_t capacity_;
+  int64_t count_ = 0;
+  double total_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  uint64_t rng_state_;
   std::vector<double> samples_;
 };
 
@@ -48,7 +69,7 @@ struct WorkerStats {
 
 /// Aggregate serving statistics reported by runtime::InferenceServer.
 struct ServingStats {
-  int64_t requests = 0;        ///< images submitted and answered
+  int64_t requests = 0;        ///< images an engine answered (Ok/EngineError)
   int64_t batches = 0;         ///< engine invocations
   /// Images that rode along with an already-pending request: each batch of
   /// n > 1 contributes n - 1 (its first image would have been served
@@ -62,6 +83,32 @@ struct ServingStats {
   /// keeps climbing past max_batch * workers means the worker pool is
   /// undersized for the offered load.
   int64_t max_queue_depth = 0;
+  // ---- overload / fault accounting (PR 7). A request resolves through
+  // exactly one of: requests (an engine ran it — engine_errors marks the
+  // failed subset), rejected, shed, or expired; so every submit() is
+  // requests + rejected + shed + expired.
+  /// Requests never admitted: full queue under AdmissionPolicy::kReject, a
+  /// malformed/mismatched input shape, or a submit after shutdown (all
+  /// resolve Status::kRejected without touching the queue).
+  int64_t rejected = 0;
+  /// Admitted requests dropped from the queue FRONT by kShedOldest to make
+  /// room for a newer one (they also resolve Status::kRejected — shedding
+  /// keeps the freshest work when the queue is full).
+  int64_t shed = 0;
+  /// Admitted requests whose deadline passed before a worker claimed them;
+  /// resolved Status::kExpired at batch-formation time, no engine ran them.
+  int64_t expired = 0;
+  /// Requests whose batch reached an engine that then failed; each resolves
+  /// Status::kEngineError (counted per request, so a failed batch of n adds
+  /// n). These ARE included in `requests`.
+  int64_t engine_errors = 0;
+  /// Engine-side counters the server cannot observe through BatchFn:
+  /// transient-fault retries performed (DeployedTBNet::retries()) and
+  /// faults injected (TeeContext::faults().faults_injected()). The
+  /// integration (bench_serving, tests) folds them into its snapshot before
+  /// reporting; the server itself leaves them 0.
+  int64_t retries = 0;
+  int64_t faults_injected = 0;
   /// Seconds since the server started, stamped when stats() snapshots —
   /// the denominator for worker utilization.
   double uptime_s = 0.0;

@@ -17,6 +17,20 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
 }
 }  // namespace
 
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kExpired:
+      return "expired";
+    case Status::kEngineError:
+      return "engine_error";
+  }
+  return "unknown";
+}
+
 InferenceServer::InferenceServer(std::vector<BatchFn> engines, Config cfg)
     : engines_(std::move(engines)), cfg_(cfg), start_(Clock::now()) {
   if (engines_.empty()) {
@@ -30,6 +44,15 @@ InferenceServer::InferenceServer(std::vector<BatchFn> engines, Config cfg)
   if (cfg_.max_batch <= 0) {
     throw std::invalid_argument("InferenceServer: max_batch must be positive");
   }
+  if (cfg_.queue_capacity < 0) {
+    throw std::invalid_argument(
+        "InferenceServer: queue_capacity must be >= 0 (0 = unbounded)");
+  }
+  if (cfg_.input_chw.ndim() != 0 && cfg_.input_chw.ndim() != 3) {
+    throw std::invalid_argument("InferenceServer: input_chw must be CHW, got " +
+                                cfg_.input_chw.str());
+  }
+  expected_chw_ = cfg_.input_chw;
   stats_.per_worker.resize(engines_.size());
   workers_.reserve(engines_.size());
   for (int w = 0; w < static_cast<int>(engines_.size()); ++w) {
@@ -48,24 +71,94 @@ InferenceServer::InferenceServer(BatchFn engine, Config cfg)
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
+void InferenceServer::resolve_failure(Pending& p, Status status,
+                                      std::string error) {
+  InferenceResult r;
+  r.status = status;
+  r.error = std::move(error);
+  r.queue_s = seconds_between(p.enqueued, Clock::now());
+  r.total_s = r.queue_s;
+  p.promise.set_value(std::move(r));
+}
+
 std::future<InferenceResult> InferenceServer::submit(Tensor image_chw) {
-  if (image_chw.shape().ndim() != 3) {
-    throw std::invalid_argument("InferenceServer::submit: expected CHW, got " +
-                                image_chw.shape().str());
-  }
+  return submit(std::move(image_chw), cfg_.default_deadline);
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    Tensor image_chw, std::chrono::microseconds deadline) {
   Pending p;
   p.image = std::move(image_chw);
   p.enqueued = Clock::now();
+  p.deadline = deadline.count() > 0 ? p.enqueued + deadline
+                                    : Clock::time_point::max();
   std::future<InferenceResult> fut = p.promise.get_future();
+
+  // A malformed request resolves Rejected on its own future — it must never
+  // reach a coalesced batch, where the stacking throw would take its
+  // innocent batch-mates down with it.
+  std::string reject;
+  if (p.image.shape().ndim() != 3) {
+    reject = "expected a CHW image, got " + p.image.shape().str();
+  }
+
+  Pending shed_victim;
+  bool have_victim = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stop_) {
-      throw std::logic_error("InferenceServer::submit after shutdown");
+    std::unique_lock<std::mutex> lock(mu_);
+    if (reject.empty() && stop_) reject = "submit after shutdown";
+    if (reject.empty()) {
+      if (expected_chw_.ndim() == 0) {
+        expected_chw_ = p.image.shape();  // first accept pins the shape
+      } else if (p.image.shape() != expected_chw_) {
+        reject = "image shape " + p.image.shape().str() +
+                 " does not match the serving shape " + expected_chw_.str();
+      }
     }
-    queue_.push_back(std::move(p));
-    ++in_flight_;
-    stats_.max_queue_depth = std::max(
-        stats_.max_queue_depth, static_cast<int64_t>(queue_.size()));
+    if (reject.empty() && cfg_.queue_capacity > 0 &&
+        static_cast<int64_t>(queue_.size()) >= cfg_.queue_capacity) {
+      switch (cfg_.admission) {
+        case AdmissionPolicy::kBlock:
+          // Backpressure: park this submitter until a worker frees space.
+          space_cv_.wait(lock, [this] {
+            return stop_ || static_cast<int64_t>(queue_.size()) <
+                                cfg_.queue_capacity;
+          });
+          if (stop_) reject = "submit blocked at shutdown";
+          break;
+        case AdmissionPolicy::kReject:
+          reject = "queue full (capacity " +
+                   std::to_string(cfg_.queue_capacity) + ")";
+          break;
+        case AdmissionPolicy::kShedOldest:
+          // The victim's in-flight slot transfers to the new request, so
+          // in_flight_ is net unchanged within this critical section and
+          // drain() never observes a spurious zero.
+          shed_victim = std::move(queue_.front());
+          queue_.pop_front();
+          have_victim = true;
+          ++stats_.shed;
+          --in_flight_;
+          break;
+      }
+    }
+    if (reject.empty()) {
+      queue_.push_back(std::move(p));
+      ++in_flight_;
+      stats_.max_queue_depth = std::max(
+          stats_.max_queue_depth, static_cast<int64_t>(queue_.size()));
+    } else {
+      ++stats_.rejected;
+    }
+  }
+  if (have_victim) {
+    resolve_failure(shed_victim, Status::kRejected,
+                    "shed under overload (queue capacity " +
+                        std::to_string(cfg_.queue_capacity) + ")");
+  }
+  if (!reject.empty()) {
+    resolve_failure(p, Status::kRejected, std::move(reject));
+    return fut;
   }
   queue_cv_.notify_one();
   return fut;
@@ -88,6 +181,7 @@ void InferenceServer::shutdown() {
     }
   }
   queue_cv_.notify_all();
+  space_cv_.notify_all();  // blocked submitters resolve Rejected
   for (std::thread& w : claimed) w.join();
 }
 
@@ -103,6 +197,7 @@ ServingStats InferenceServer::stats() const {
 void InferenceServer::worker_loop(int worker) {
   for (;;) {
     std::vector<Pending> batch;
+    std::vector<Pending> expired;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -110,12 +205,14 @@ void InferenceServer::worker_loop(int worker) {
         if (stop_) return;
         continue;
       }
-      // Coalesce: wait (bounded by the oldest request's flush deadline) for
-      // the queue to fill up to max_batch, then take up to max_batch. With
-      // several workers parked here, whichever wakes first claims the
-      // batch; the others observe an empty queue and loop back.
-      const auto deadline = queue_.front().enqueued + cfg_.max_queue_delay;
-      queue_cv_.wait_until(lock, deadline, [this] {
+      // Coalesce: wait (bounded by the oldest request's flush deadline, and
+      // by its expiry — no point idling for company past the moment it
+      // dies) for the queue to fill up to max_batch, then take up to
+      // max_batch. With several workers parked here, whichever wakes first
+      // claims the batch; the others observe an empty queue and loop back.
+      auto flush = queue_.front().enqueued + cfg_.max_queue_delay;
+      if (queue_.front().deadline < flush) flush = queue_.front().deadline;
+      queue_cv_.wait_until(lock, flush, [this] {
         return stop_ ||
                static_cast<int64_t>(queue_.size()) >= cfg_.max_batch;
       });
@@ -123,19 +220,39 @@ void InferenceServer::worker_loop(int worker) {
         if (stop_) return;
         continue;
       }
-      const size_t take =
-          std::min(queue_.size(), static_cast<size_t>(cfg_.max_batch));
-      batch.assign(std::make_move_iterator(queue_.begin()),
-                   std::make_move_iterator(queue_.begin() +
-                                           static_cast<std::ptrdiff_t>(take)));
-      queue_.erase(queue_.begin(),
-                   queue_.begin() + static_cast<std::ptrdiff_t>(take));
+      // Claim from the front, enforcing deadlines at batch-formation time:
+      // an expired request resolves kExpired without consuming a batch slot
+      // or ever touching an engine. FIFO order means the front is the
+      // oldest, so expiry checks stay O(1) amortized per request.
+      const auto now = Clock::now();
+      while (static_cast<int64_t>(batch.size()) < cfg_.max_batch &&
+             !queue_.empty()) {
+        Pending pr = std::move(queue_.front());
+        queue_.pop_front();
+        if (pr.deadline <= now) {
+          expired.push_back(std::move(pr));
+        } else {
+          batch.push_back(std::move(pr));
+        }
+      }
+      stats_.expired += static_cast<int64_t>(expired.size());
       // Requests may remain (more than max_batch queued): hand them to a
       // sibling worker instead of serializing behind this batch.
       if (!queue_.empty()) queue_cv_.notify_one();
     }
+    // Popping freed queue space: wake submitters blocked on admission.
+    if (cfg_.queue_capacity > 0) space_cv_.notify_all();
+    if (!expired.empty()) {
+      for (Pending& pr : expired) {
+        resolve_failure(pr, Status::kExpired,
+                        "deadline exceeded before batch formation");
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ -= static_cast<int64_t>(expired.size());
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
     // run_batch handles the in_flight_ decrement and the drain() wakeup.
-    run_batch(worker, std::move(batch));
+    if (!batch.empty()) run_batch(worker, std::move(batch));
     bool done;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -150,19 +267,22 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
   const auto batch_start = Clock::now();
 
   Tensor logits;
-  std::exception_ptr failure;
+  bool failed = false;
+  std::string failure;
   try {
-    // Stack the CHW images into one NCHW batch (shapes must agree).
+    // Stack the CHW images into one NCHW batch. submit() validated every
+    // shape against the pinned serving shape, so a mismatch here is a
+    // server bug, not client input — keep the defensive throw.
     const Shape& chw = batch.front().image.shape();
     Shape batched{n, chw.dim(0), chw.dim(1), chw.dim(2)};
     Tensor input(batched);
     const int64_t stride = chw.numel();
     for (int64_t i = 0; i < n; ++i) {
       if (batch[static_cast<size_t>(i)].image.shape() != chw) {
-        throw std::invalid_argument(
+        throw std::logic_error(
             "InferenceServer: mixed image shapes in one batch (" +
             batch[static_cast<size_t>(i)].image.shape().str() + " vs " +
-            chw.str() + ")");
+            chw.str() + ") — admission validation failed");
       }
       const float* src = batch[static_cast<size_t>(i)].image.data();
       std::copy(src, src + stride, input.data() + i * stride);
@@ -173,8 +293,12 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
                                logits.shape().str() + " for batch of " +
                                std::to_string(n));
     }
+  } catch (const std::exception& e) {
+    failed = true;
+    failure = e.what();
   } catch (...) {
-    failure = std::current_exception();
+    failed = true;
+    failure = "unknown engine failure";
   }
   const auto batch_end = Clock::now();
 
@@ -184,6 +308,7 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.requests += n;
     stats_.batches += 1;
+    if (failed) stats_.engine_errors += n;
     // Images that actually rode along: the first image of a batch would have
     // been served anyway, so a batch of n coalesces n - 1 (counting all n
     // would let coalesced_images exceed requests - batches and overstate the
@@ -202,11 +327,19 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
 
   for (int64_t i = 0; i < n; ++i) {
     Pending& p = batch[static_cast<size_t>(i)];
-    if (failure) {
-      p.promise.set_exception(failure);
+    InferenceResult r;
+    r.batch_size = n;
+    r.queue_s = seconds_between(p.enqueued, batch_start);
+    r.total_s = seconds_between(p.enqueued, batch_end);
+    if (failed) {
+      // The whole batch failed in one engine call; each rider resolves with
+      // the same typed error instead of an exception tearing through every
+      // waiting submitter.
+      r.status = Status::kEngineError;
+      r.error = failure;
+      p.promise.set_value(std::move(r));
       continue;
     }
-    InferenceResult r;
     const int64_t classes = logits.dim(1);
     r.logits = Tensor(Shape{classes});
     const float* row = logits.data() + i * classes;
@@ -215,9 +348,6 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
     for (int64_t j = 1; j < classes; ++j) {
       if (row[j] > row[r.label]) r.label = j;
     }
-    r.batch_size = n;
-    r.queue_s = seconds_between(p.enqueued, batch_start);
-    r.total_s = seconds_between(p.enqueued, batch_end);
     p.promise.set_value(std::move(r));
   }
 

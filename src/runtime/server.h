@@ -1,5 +1,6 @@
 #pragma once
-// InferenceServer — multi-session request coalescing over batched engines.
+// InferenceServer — multi-session request coalescing over batched engines,
+// with bounded admission, per-request deadlines, and typed outcomes.
 //
 // Production serving rarely sees one request at a time: many clients submit
 // single images concurrently, and the per-batch costs of the deployed TEE
@@ -9,8 +10,18 @@
 // (up to `max_batch`, flushing a partial batch once the oldest queued
 // request has waited `max_queue_delay`), runs them through caller-provided
 // batch functions on a pool of dispatch workers, and fans the per-image
-// results back out through futures. Per-request and per-batch latency,
-// queue depth, and per-worker utilization land in runtime::ServingStats.
+// results back out through futures.
+//
+// Overload safety: the queue is bounded (`queue_capacity`) with a pick of
+// admission policies — block the submitter (backpressure), reject the new
+// request, or shed the oldest queued one — and every request can carry a
+// deadline that is enforced at batch-formation time (an expired request
+// resolves without ever touching an engine). Futures therefore always
+// resolve with a typed InferenceResult::Status instead of submit() throwing
+// mid-stream: Ok, Rejected (never admitted / shed), Expired (deadline
+// passed in queue), or EngineError (its batch ran and the engine failed —
+// e.g. TEE retry exhaustion, see runtime/deployed.h). The failure counters
+// land in runtime::ServingStats alongside the latency recorders.
 //
 // Inter-op parallelism: the server runs one dispatch worker PER ENGINE
 // function it is given. Each engine is invoked from exactly one worker
@@ -25,9 +36,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -36,20 +49,53 @@
 
 namespace tbnet::runtime {
 
+/// What to do with a new submit() when the queue is at queue_capacity.
+enum class AdmissionPolicy {
+  /// Block the submitting thread until a worker frees queue space
+  /// (backpressure: the client's own submit rate is throttled). A submit
+  /// blocked at shutdown resolves Rejected instead of hanging.
+  kBlock,
+  /// Resolve the NEW request Rejected immediately; queued work is untouched.
+  kReject,
+  /// Drop the OLDEST queued request (it resolves Rejected, counted in
+  /// ServingStats::shed) and admit the new one — under sustained overload
+  /// this keeps the freshest work, which is what deadline-bound clients
+  /// still have a use for.
+  kShedOldest,
+};
+
+/// Typed outcome of one request. The future always resolves with one of
+/// these — never an exception — so one bad request or one failing engine
+/// cannot tear down a submitter iterating a futures vector.
+enum class Status {
+  kOk = 0,       ///< logits/label are valid
+  kRejected,     ///< never ran: malformed shape, full queue, shed, shutdown
+  kExpired,      ///< deadline passed before any engine saw it
+  kEngineError,  ///< its batch ran and the engine failed (see error)
+};
+
+const char* status_name(Status s);
+
 /// One answered request.
 struct InferenceResult {
-  Tensor logits;          ///< [classes] row for this image
-  int64_t label = 0;      ///< argmax of the row
+  Status status = Status::kOk;
+  std::string error;      ///< failure detail; empty when status == kOk
+  Tensor logits;          ///< [classes] row for this image (kOk only)
+  int64_t label = 0;      ///< argmax of the row (kOk only)
   int64_t batch_size = 0; ///< size of the batch this request rode in
-  double queue_s = 0.0;   ///< submit -> batch start
+  double queue_s = 0.0;   ///< submit -> batch start (or -> resolution)
   double total_s = 0.0;   ///< submit -> result ready
+
+  bool ok() const { return status == Status::kOk; }
 };
 
 class InferenceServer {
  public:
   /// Maps an NCHW batch to [N, classes] logits (e.g. wraps
   /// DeployedTBNet::infer_batch). Each engine function is invoked from a
-  /// single dispatch worker thread only.
+  /// single dispatch worker thread only. A throw is contained to the
+  /// throwing batch: its requests resolve kEngineError, siblings are
+  /// untouched, and the worker keeps serving.
   using BatchFn = std::function<Tensor(const Tensor& nchw)>;
 
   struct Config {
@@ -60,6 +106,21 @@ class InferenceServer {
     /// How long the oldest queued request may wait for company before a
     /// partial batch is flushed.
     std::chrono::microseconds max_queue_delay{2000};
+    /// Bound on queued (accepted, unclaimed) requests; 0 = unbounded, which
+    /// keeps the pre-PR-7 behavior but lets latency diverge under overload
+    /// (see bench_serving's soak section for the receipts).
+    int64_t queue_capacity = 0;
+    /// Applied when the queue is full (only meaningful with a bound).
+    AdmissionPolicy admission = AdmissionPolicy::kBlock;
+    /// Deadline stamped on every submit() that doesn't carry its own;
+    /// <= 0 = none. Enforced when a worker forms a batch: a request whose
+    /// deadline has passed resolves kExpired without running, which bounds
+    /// an accepted request's latency by deadline + one batch.
+    std::chrono::microseconds default_deadline{0};
+    /// Expected CHW shape of every request. When set, a mismatched submit
+    /// resolves kRejected alone instead of poisoning its whole coalesced
+    /// batch; when empty, the first accepted request pins the shape.
+    Shape input_chw;
   };
 
   /// One dispatch worker per engine; engines must all serve the same model
@@ -76,16 +137,22 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Enqueues one CHW image; thread-safe. The future resolves once the
-  /// request's batch has run (with the engine's exception on failure).
+  /// Enqueues one CHW image; thread-safe. The future always resolves with a
+  /// typed status (see InferenceResult) — malformed shapes, a full queue
+  /// under kReject, or a post-shutdown submit resolve kRejected instead of
+  /// throwing. Under kBlock with a full queue this call blocks (that is the
+  /// backpressure). The one-argument form applies cfg.default_deadline.
   std::future<InferenceResult> submit(Tensor image_chw);
+  std::future<InferenceResult> submit(Tensor image_chw,
+                                      std::chrono::microseconds deadline);
 
   /// Blocks until every request submitted so far has been answered.
   void drain();
 
-  /// Stops accepting work, drains, joins. Idempotent and safe to race: the
-  /// first caller joins the workers; a concurrent caller may return before
-  /// that drain completes.
+  /// Stops accepting work, drains, joins. Queued requests are still served
+  /// (or expired); submitters blocked on admission resolve kRejected.
+  /// Idempotent and safe to race: the first caller joins the workers; a
+  /// concurrent caller may return before that drain completes.
   void shutdown();
 
   /// Snapshot of the serving statistics (thread-safe). per_worker holds one
@@ -100,10 +167,14 @@ class InferenceServer {
     Tensor image;
     std::promise<InferenceResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Absolute expiry; time_point::max() = none.
+    std::chrono::steady_clock::time_point deadline;
   };
 
   void worker_loop(int worker);
   void run_batch(int worker, std::vector<Pending> batch);
+  /// Resolves `p` with a non-Ok status, stamping latency fields.
+  static void resolve_failure(Pending& p, Status status, std::string error);
 
   std::vector<BatchFn> engines_;  ///< engines_[w] runs on workers_[w] only
   Config cfg_;
@@ -112,7 +183,9 @@ class InferenceServer {
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;  // workers wake on arrivals/shutdown
   std::condition_variable idle_cv_;   // drain() waits for in-flight == 0
-  std::vector<Pending> queue_;
+  std::condition_variable space_cv_;  // kBlock submitters wait for room
+  std::deque<Pending> queue_;
+  Shape expected_chw_;     // pinned input shape ({} until first accept)
   int64_t in_flight_ = 0;  // submitted, not yet answered
   bool stop_ = false;
   ServingStats stats_;

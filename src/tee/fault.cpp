@@ -1,0 +1,113 @@
+#include "tee/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tbnet::tee {
+namespace {
+
+constexpr uint64_t kDefaultSeed = 0x5eed;
+
+/// splitmix64: tiny, seedable, and good enough for Bernoulli sampling.
+uint64_t splitmix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double uniform01(uint64_t* state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+double env_double(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  return s != nullptr && *s != '\0' ? std::atof(s) : fallback;
+}
+
+uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* s = std::getenv(name);
+  return s != nullptr && *s != '\0'
+             ? std::strtoull(s, nullptr, 0)
+             : fallback;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector()
+    : FaultInjector(env_u64("TBNET_FAULT_SEED", kDefaultSeed),
+                    env_double("TBNET_FAULT_RATE", 0.0),
+                    env_double("TBNET_FAULT_PERMANENT", 0.0)) {}
+
+FaultInjector::FaultInjector(uint64_t seed, double rate,
+                             double permanent_fraction)
+    : state_(seed),
+      rate_(clamp01(rate)),
+      permanent_fraction_(clamp01(permanent_fraction)) {}
+
+void FaultInjector::set_rate(double rate, double permanent_fraction) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rate_ = clamp01(rate);
+  permanent_fraction_ = clamp01(permanent_fraction);
+}
+
+double FaultInjector::rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rate_;
+}
+
+void FaultInjector::script(Kind kind, int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < count; ++i) scripted_.push_back(kind);
+}
+
+void FaultInjector::clear_script() {
+  std::lock_guard<std::mutex> lock(mu_);
+  scripted_.clear();
+}
+
+int64_t FaultInjector::scripted_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(scripted_.size());
+}
+
+void FaultInjector::check(const char* site) {
+  Kind kind = Kind::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!scripted_.empty()) {
+      kind = scripted_.front();
+      scripted_.pop_front();
+    } else if (rate_ > 0.0 && uniform01(&state_) < rate_) {
+      kind = uniform01(&state_) < permanent_fraction_ ? Kind::kPermanent
+                                                      : Kind::kTransient;
+    }
+    if (kind == Kind::kTransient) ++transients_;
+    if (kind == Kind::kPermanent) ++permanents_;
+  }
+  if (kind == Kind::kTransient) {
+    throw TransientFault(std::string("injected transient fault at ") + site);
+  }
+  if (kind == Kind::kPermanent) {
+    throw PermanentFault(std::string("injected permanent fault at ") + site);
+  }
+}
+
+int64_t FaultInjector::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transients_ + permanents_;
+}
+
+int64_t FaultInjector::transients_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transients_;
+}
+
+int64_t FaultInjector::permanents_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return permanents_;
+}
+
+}  // namespace tbnet::tee

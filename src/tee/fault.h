@@ -1,0 +1,95 @@
+#pragma once
+// Deterministic fault injection for the simulated TEE boundary.
+//
+// Real TrustZone deployments fail: SMC calls abort under scheduler pressure,
+// shared-memory registrations fail transiently, TAs crash and take their
+// sessions with them. The serving stack's robustness machinery (bounded
+// retry with backoff in DeployedTBNet, typed EngineError results at the
+// InferenceServer) needs those failures on demand, so the FaultInjector sits
+// at the optee_api boundaries — session open, command invoke, payload
+// transfer — and throws TransientFault / PermanentFault either by seeded
+// random sampling (env TBNET_FAULT_RATE / TBNET_FAULT_SEED /
+// TBNET_FAULT_PERMANENT) or from a scripted queue that tests use to target
+// exact boundaries (script kNone to let one check pass, then the fault kind
+// to fire on the next).
+//
+// Every injection site fires BEFORE the TA executes, so a faulted open or
+// invoke has no secure-world side effects and retrying it is always safe.
+// Exit-path faults (result lost after the TA already ran) would need
+// sequence-numbered commands to retry safely; the simulated TAs don't
+// implement that protocol, so the injector deliberately doesn't model them.
+//
+// One injector lives on each TeeContext and is shared by every session the
+// context opens; sessions constructed directly (no context) inject nothing.
+// All methods are thread-safe — parallel serving opens one session per
+// dispatch worker, but multi-context benches may share an injector.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace tbnet::tee {
+
+/// A failure the caller may retry: the boundary crossing failed before the
+/// TA executed (SMC abort, transient shared-memory failure). Bounded
+/// retry with backoff is the correct response.
+class TransientFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A failure retry cannot fix (TA panicked, session torn down). Callers
+/// must surface it immediately instead of burning retry budget.
+class PermanentFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class FaultInjector {
+ public:
+  enum class Kind {
+    kNone = 0,   ///< scripted no-op: lets exactly one check() pass
+    kTransient,  ///< check() throws TransientFault
+    kPermanent,  ///< check() throws PermanentFault
+  };
+
+  /// Env-configured: TBNET_FAULT_RATE (per-boundary probability, default 0),
+  /// TBNET_FAULT_SEED (PRNG seed, default 0x5eed), TBNET_FAULT_PERMANENT
+  /// (fraction of injected faults that are permanent, default 0).
+  FaultInjector();
+  FaultInjector(uint64_t seed, double rate, double permanent_fraction = 0.0);
+
+  /// Reconfigures the random sampler (benches flip the rate mid-run).
+  /// Scripted faults are unaffected. Rate and fraction clamp to [0, 1].
+  void set_rate(double rate, double permanent_fraction = 0.0);
+  double rate() const;
+
+  /// Enqueues `count` scripted outcomes, consumed FIFO by check() ahead of
+  /// any random sampling. kNone entries deterministically skip boundaries:
+  /// to fault the second crossing only, script {kNone, kTransient}.
+  void script(Kind kind, int count = 1);
+  void clear_script();
+  int64_t scripted_pending() const;
+
+  /// One boundary crossing: throws TransientFault or PermanentFault when a
+  /// fault (scripted or sampled) fires, else returns. `site` names the
+  /// boundary ("open" / "invoke" / "transfer") in the exception text.
+  void check(const char* site);
+
+  int64_t faults_injected() const;   ///< total thrown (both kinds)
+  int64_t transients_injected() const;
+  int64_t permanents_injected() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t state_;
+  double rate_;
+  double permanent_fraction_;
+  std::deque<Kind> scripted_;
+  int64_t transients_ = 0;
+  int64_t permanents_ = 0;
+};
+
+}  // namespace tbnet::tee

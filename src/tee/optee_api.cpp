@@ -38,14 +38,27 @@ TrustedApp* SecureWorld::lookup(const std::string& uuid) {
 }
 
 TeeSession::TeeSession(SecureWorld& world, OneWayChannel& channel,
-                       const std::string& uuid, int64_t max_result_bytes)
+                       const std::string& uuid, int64_t max_result_bytes,
+                       FaultInjector* faults)
     : world_(world),
       channel_(channel),
       ta_(world.lookup(uuid)),
-      max_result_bytes_(max_result_bytes) {}
+      max_result_bytes_(max_result_bytes),
+      faults_(faults) {
+  // The open boundary can fail like any other crossing; firing here (after
+  // TA lookup, before the caller holds a session) keeps re-opening safe.
+  if (faults_ != nullptr) faults_->check("open");
+}
 
 uint32_t TeeSession::invoke(uint32_t command, const std::vector<uint8_t>& in,
                             std::vector<uint8_t>* out) {
+  // Both fault sites fire BEFORE the channel push and the TA execution, so
+  // a faulted invoke leaves no secure-world state behind and retrying the
+  // identical command is safe (see tee/fault.h).
+  if (faults_ != nullptr) {
+    faults_->check("invoke");
+    faults_->check("transfer");
+  }
   // Entry switch: parameters cross into the secure world.
   channel_.push(World::kNormal, World::kSecure,
                 static_cast<int64_t>(in.size()));

@@ -25,6 +25,7 @@
 
 #include "tee/channel.h"
 #include "tee/device_profile.h"
+#include "tee/fault.h"
 #include "tee/secure_memory.h"
 #include "tee/world.h"
 
@@ -80,9 +81,15 @@ inline constexpr int64_t kDefaultMaxResultBytes = 4096;
 /// A session from normal-world client code to one TA.
 class TeeSession {
  public:
+  /// `faults` (usually the owning TeeContext's injector) gates every
+  /// boundary crossing this session performs: "open" once here, then
+  /// "invoke" and "transfer" at the top of every invoke(). All sites fire
+  /// before the TA executes, so a faulted call has no secure-world side
+  /// effects and is safe to retry. nullptr = no injection.
   TeeSession(SecureWorld& world, OneWayChannel& channel,
              const std::string& uuid,
-             int64_t max_result_bytes = kDefaultMaxResultBytes);
+             int64_t max_result_bytes = kDefaultMaxResultBytes,
+             FaultInjector* faults = nullptr);
 
   /// Invokes a TA command. Input bytes are pushed normal->secure through the
   /// channel; output bytes are checked against the result cap.
@@ -109,6 +116,7 @@ class TeeSession {
   int64_t switches_ = 0;
   std::optional<DeviceProfile> timing_;
   double simulated_overhead_s_ = 0.0;
+  FaultInjector* faults_ = nullptr;  ///< not owned; nullptr = no injection
 };
 
 /// Normal-world entry point, analogous to TEEC_Context.
@@ -117,19 +125,31 @@ class TeeContext {
   explicit TeeContext(SecureWorld& world,
                       OneWayChannel::Policy policy =
                           OneWayChannel::Policy::kOneWayIntoTee)
-      : world_(world), channel_(policy) {}
+      : world_(world),
+        channel_(policy),
+        faults_(std::make_unique<FaultInjector>()) {}
 
+  /// May throw TransientFault/PermanentFault when the context's injector
+  /// fires at the "open" boundary (env-rated or scripted); the session is
+  /// not created in that case, so re-opening is always safe.
   TeeSession open_session(const std::string& uuid,
                           int64_t max_result_bytes = kDefaultMaxResultBytes) {
-    return TeeSession(world_, channel_, uuid, max_result_bytes);
+    return TeeSession(world_, channel_, uuid, max_result_bytes,
+                      faults_.get());
   }
 
   OneWayChannel& channel() { return channel_; }
   SecureWorld& world() { return world_; }
 
+  /// The injector shared by every session this context opens —
+  /// env-configured (TBNET_FAULT_*), scriptable for tests.
+  FaultInjector& faults() { return *faults_; }
+  const FaultInjector& faults() const { return *faults_; }
+
  private:
   SecureWorld& world_;
   OneWayChannel channel_;
+  std::unique_ptr<FaultInjector> faults_;
 };
 
 /// Byte-packing helpers for command payloads.

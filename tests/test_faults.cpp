@@ -1,0 +1,518 @@
+// Fault-tolerance and overload tests (PR 7): the tee::FaultInjector at the
+// optee_api boundaries, DeployedTBNet's bounded transient retry, and the
+// InferenceServer's admission control (bounded queue + Block/Reject/
+// ShedOldest), per-request deadlines, and typed failure accounting. The
+// invariant under test throughout: every submitted future resolves with a
+// typed status — faults, overload, and shutdown never hang a client or
+// poison a sibling batch.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/model_zoo.h"
+#include "nn/sequential.h"
+#include "runtime/deployed.h"
+#include "runtime/server.h"
+#include "tee/fault.h"
+#include "tee/optee_api.h"
+#include "tensor/ops.h"
+
+namespace tbnet::runtime {
+namespace {
+
+using tee::FaultInjector;
+using Kind = tee::FaultInjector::Kind;
+
+models::ModelConfig tiny_vgg_cfg() {
+  models::ModelConfig cfg;
+  cfg.family = models::Family::kVgg;
+  cfg.depth = 11;
+  cfg.classes = 10;
+  cfg.width_mult = 0.125;
+  cfg.seed = 9;
+  return cfg;
+}
+
+core::TwoBranchModel tiny_two_branch() {
+  const auto cfg = tiny_vgg_cfg();
+  nn::Sequential victim = models::build_victim(cfg);
+  return models::build_two_branch(victim, cfg);
+}
+
+Tensor random_batch(int64_t n, Rng& rng) {
+  return Tensor::randn(Shape{n, 3, 32, 32}, rng);
+}
+
+Tensor slice_image(const Tensor& batch, int64_t i) {
+  const int64_t stride = batch.numel() / batch.dim(0);
+  Tensor img(Shape{batch.dim(1), batch.dim(2), batch.dim(3)});
+  const float* src = batch.data() + i * stride;
+  std::copy(src, src + stride, img.data());
+  return img;
+}
+
+/// A trivial engine whose FIRST call parks inside the engine until
+/// release() — the staging tool that makes queue states deterministic:
+/// while the single dispatch worker is pinned, submits queue up (or trip
+/// the admission policy) with no race.
+struct GatedEngine {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  bool released = false;
+  std::atomic<int> calls{0};
+
+  InferenceServer::BatchFn fn() {
+    return [this](const Tensor& nchw) {
+      if (calls.fetch_add(1) == 0) {
+        std::unique_lock<std::mutex> lock(mu);
+        started = true;
+        cv.notify_all();
+        cv.wait(lock, [this] { return released; });
+      }
+      return Tensor(Shape{nchw.dim(0), 2});
+    };
+  }
+  void wait_started() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return started; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+};
+
+Tensor chw(Rng& rng) { return Tensor::randn(Shape{1, 2, 2}, rng); }
+
+// ---------------------------------------------------- FaultInjector --------
+
+TEST(FaultInjector, SeededSamplingIsDeterministic) {
+  FaultInjector a(42, 0.5);
+  FaultInjector b(42, 0.5);
+  int faults = 0;
+  for (int i = 0; i < 200; ++i) {
+    bool fa = false, fb = false;
+    try {
+      a.check("invoke");
+    } catch (const tee::TransientFault&) {
+      fa = true;
+    }
+    try {
+      b.check("invoke");
+    } catch (const tee::TransientFault&) {
+      fb = true;
+    }
+    EXPECT_EQ(fa, fb) << "draw " << i;
+    faults += fa ? 1 : 0;
+  }
+  // Same seed, same stream; and a 0.5 rate really fires about half the time.
+  EXPECT_EQ(a.faults_injected(), b.faults_injected());
+  EXPECT_GT(faults, 50);
+  EXPECT_LT(faults, 150);
+
+  FaultInjector never(7, 0.0);
+  FaultInjector always(7, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NO_THROW(never.check("invoke"));
+    EXPECT_THROW(always.check("invoke"), tee::TransientFault);
+  }
+  FaultInjector permanent(7, 1.0, 1.0);
+  EXPECT_THROW(permanent.check("open"), tee::PermanentFault);
+  EXPECT_EQ(permanent.permanents_injected(), 1);
+  EXPECT_EQ(permanent.transients_injected(), 0);
+}
+
+TEST(FaultInjector, ScriptedQueueTargetsExactBoundaries) {
+  FaultInjector inj(1, 0.0);
+  // kNone lets exactly one crossing pass; the transient fires on the next.
+  inj.script(Kind::kNone);
+  inj.script(Kind::kTransient);
+  EXPECT_EQ(inj.scripted_pending(), 2);
+  EXPECT_NO_THROW(inj.check("invoke"));
+  EXPECT_THROW(inj.check("transfer"), tee::TransientFault);
+  EXPECT_EQ(inj.scripted_pending(), 0);
+  EXPECT_NO_THROW(inj.check("invoke"));  // queue drained, rate 0
+  EXPECT_EQ(inj.faults_injected(), 1);
+  inj.script(Kind::kTransient, 3);
+  inj.clear_script();
+  EXPECT_NO_THROW(inj.check("invoke"));
+}
+
+// ------------------------------------------------- engine retry ------------
+
+TEST(DeployedFaults, TransientFaultsAreRetriedToSuccess) {
+  core::TwoBranchModel tb = tiny_two_branch();
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+  Rng rng(5);
+  const Tensor batch = random_batch(2, rng);
+  const Tensor want = deployed.infer_batch(batch);  // fault-free reference
+
+  // Three consecutive transients on the next invoke: attempts 1-3 fault,
+  // attempt 4 (the default budget's last) succeeds.
+  ctx.faults().script(Kind::kTransient, 3);
+  const Tensor got = deployed.infer_batch(batch);
+  EXPECT_EQ(deployed.retries(), 3);
+  EXPECT_EQ(ctx.faults().faults_injected(), 3);
+  EXPECT_TRUE(allclose(got, want, 0.0f, 0.0f));  // bit-identical replay
+}
+
+TEST(DeployedFaults, RetryExhaustionThrowsAndEngineRecovers) {
+  core::TwoBranchModel tb = tiny_two_branch();
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+  Rng rng(6);
+  const Tensor batch = random_batch(1, rng);
+  const Tensor want = deployed.infer_batch(batch);
+
+  ctx.faults().script(Kind::kTransient, 4);  // == default max_attempts
+  try {
+    deployed.infer_batch(batch);
+    FAIL() << "expected retry exhaustion";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("failed after"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(ctx.faults().scripted_pending(), 0);
+  // Every fault fired before the TA executed, so the engine is not wedged:
+  // the next inference starts from SetInput and matches bit-for-bit.
+  EXPECT_TRUE(allclose(deployed.infer_batch(batch), want, 0.0f, 0.0f));
+}
+
+TEST(DeployedFaults, PermanentFaultFailsFastWithoutRetry) {
+  core::TwoBranchModel tb = tiny_two_branch();
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+  Rng rng(7);
+  const Tensor batch = random_batch(1, rng);
+  deployed.infer_batch(batch);
+  const int64_t retries_before = deployed.retries();
+
+  ctx.faults().script(Kind::kPermanent);
+  EXPECT_THROW(deployed.infer_batch(batch), tee::PermanentFault);
+  EXPECT_EQ(deployed.retries(), retries_before);  // no budget burned
+}
+
+TEST(DeployedFaults, SessionOpenIsRetried) {
+  core::TwoBranchModel tb = tiny_two_branch();
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  ctx.faults().script(Kind::kTransient, 2);
+  // Construction crosses the "open" boundary: two transients, then success.
+  DeployedTBNet deployed(tb, ctx, "tbnet-open-retry");
+  EXPECT_EQ(deployed.retries(), 2);
+  Rng rng(8);
+  EXPECT_EQ(deployed.infer_batch(random_batch(1, rng)).dim(1), 10);
+}
+
+TEST(ServerFaults, RetryExhaustionResolvesEngineError) {
+  core::TwoBranchModel tb = tiny_two_branch();
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+  Rng rng(9);
+  const Tensor batch = random_batch(2, rng);
+
+  InferenceServer::Config scfg;
+  scfg.max_batch = 4;
+  scfg.max_queue_delay = std::chrono::microseconds(1000);
+  InferenceServer server(
+      [&deployed](const Tensor& nchw) { return deployed.infer_batch(nchw); },
+      scfg);
+
+  // A healthy request first (also pins the serving shape).
+  EXPECT_EQ(server.submit(slice_image(batch, 0)).get().status, Status::kOk);
+
+  ctx.faults().script(Kind::kTransient, 4);
+  InferenceResult r = server.submit(slice_image(batch, 1)).get();
+  EXPECT_EQ(r.status, Status::kEngineError);
+  EXPECT_NE(r.error.find("failed after"), std::string::npos) << r.error;
+
+  // The worker survived the failing batch and keeps serving.
+  EXPECT_EQ(server.submit(slice_image(batch, 0)).get().status, Status::kOk);
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.engine_errors, 1);
+}
+
+TEST(ServerFaults, OnePercentTransientRateServesEverythingOk) {
+  // The acceptance soak in miniature: a deterministic-seed 1% fault rate
+  // (plus two scripted transients so the retry path provably runs) must not
+  // cost a single request — bounded retry absorbs every transient.
+  core::TwoBranchModel tb = tiny_two_branch();
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx);
+  ctx.faults().set_rate(0.01);
+  ctx.faults().script(Kind::kTransient, 2);
+
+  InferenceServer::Config scfg;
+  scfg.max_batch = 8;
+  scfg.max_queue_delay = std::chrono::microseconds(500);
+  InferenceServer server(
+      [&deployed](const Tensor& nchw) { return deployed.infer_batch(nchw); },
+      scfg);
+
+  Rng rng(10);
+  const int64_t total = 96;
+  const Tensor batch = random_batch(total, rng);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int64_t i = 0; i < total; ++i) {
+    futures.push_back(server.submit(slice_image(batch, i)));
+  }
+  int64_t ok = 0;
+  for (auto& f : futures) ok += f.get().ok() ? 1 : 0;
+  EXPECT_EQ(ok, total);
+
+  // Fold the engine-side counters the way bench_serving does.
+  ServingStats stats = server.stats();
+  stats.retries = deployed.retries();
+  stats.faults_injected = ctx.faults().faults_injected();
+  EXPECT_GE(stats.retries, 2);  // the scripted pair, at minimum
+  EXPECT_EQ(stats.retries, stats.faults_injected);  // all recovered
+  EXPECT_EQ(stats.engine_errors, 0);
+  EXPECT_EQ(stats.requests, total);
+}
+
+// ---------------------------------------------- admission & deadlines ------
+
+TEST(Admission, RejectPolicyAccountsExactly) {
+  GatedEngine gate;
+  InferenceServer::Config scfg;
+  scfg.max_batch = 1;
+  scfg.max_queue_delay = std::chrono::microseconds(100);
+  scfg.queue_capacity = 2;
+  scfg.admission = AdmissionPolicy::kReject;
+  InferenceServer server(gate.fn(), scfg);
+  Rng rng(20);
+
+  auto f1 = server.submit(chw(rng));  // claimed by the pinned worker
+  gate.wait_started();
+  auto f2 = server.submit(chw(rng));  // queued (1/2)
+  auto f3 = server.submit(chw(rng));  // queued (2/2) — full
+  auto f4 = server.submit(chw(rng));  // rejected, resolves immediately
+  auto f5 = server.submit(chw(rng));  // rejected
+  ASSERT_EQ(f4.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  InferenceResult r4 = f4.get();
+  EXPECT_EQ(r4.status, Status::kRejected);
+  EXPECT_NE(r4.error.find("queue full"), std::string::npos) << r4.error;
+  EXPECT_EQ(f5.get().status, Status::kRejected);
+
+  gate.release();
+  server.drain();
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  EXPECT_EQ(f2.get().status, Status::kOk);
+  EXPECT_EQ(f3.get().status, Status::kOk);
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.rejected, 2);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.expired, 0);
+  // The accounting identity: every submit resolves through exactly one bin.
+  EXPECT_EQ(stats.requests + stats.rejected + stats.shed + stats.expired, 5);
+}
+
+TEST(Admission, ShedOldestDropsTheFrontAndKeepsTheFreshest) {
+  GatedEngine gate;
+  InferenceServer::Config scfg;
+  scfg.max_batch = 1;
+  scfg.max_queue_delay = std::chrono::microseconds(100);
+  scfg.queue_capacity = 2;
+  scfg.admission = AdmissionPolicy::kShedOldest;
+  InferenceServer server(gate.fn(), scfg);
+  Rng rng(21);
+
+  auto f1 = server.submit(chw(rng));  // claimed
+  gate.wait_started();
+  auto f2 = server.submit(chw(rng));  // queued — the oldest
+  auto f3 = server.submit(chw(rng));  // queued — full
+  auto f4 = server.submit(chw(rng));  // sheds f2, takes its place
+  ASSERT_EQ(f2.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  InferenceResult shed = f2.get();
+  EXPECT_EQ(shed.status, Status::kRejected);
+  EXPECT_NE(shed.error.find("shed"), std::string::npos) << shed.error;
+
+  gate.release();
+  server.drain();
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  EXPECT_EQ(f3.get().status, Status::kOk);
+  EXPECT_EQ(f4.get().status, Status::kOk);  // the freshest work survived
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.requests + stats.rejected + stats.shed + stats.expired, 4);
+}
+
+TEST(Admission, BlockPolicyAppliesBackpressure) {
+  GatedEngine gate;
+  InferenceServer::Config scfg;
+  scfg.max_batch = 1;
+  scfg.max_queue_delay = std::chrono::microseconds(100);
+  scfg.queue_capacity = 1;
+  scfg.admission = AdmissionPolicy::kBlock;
+  InferenceServer server(gate.fn(), scfg);
+  Rng rng(22);
+
+  auto f1 = server.submit(chw(rng));  // claimed
+  gate.wait_started();
+  auto f2 = server.submit(chw(rng));  // queued — full
+  std::atomic<bool> returned{false};
+  std::future<InferenceResult> f3;
+  std::thread submitter([&] {
+    f3 = server.submit(chw(rng));  // must block until the worker frees space
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(returned.load()) << "kBlock submit returned with a full queue";
+
+  gate.release();
+  submitter.join();
+  EXPECT_TRUE(returned.load());
+  server.drain();
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  EXPECT_EQ(f2.get().status, Status::kOk);
+  EXPECT_EQ(f3.get().status, Status::kOk);
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.rejected + stats.shed + stats.expired, 0);
+}
+
+TEST(Admission, DeadlineExpiresInQueueWithoutRunning) {
+  GatedEngine gate;
+  InferenceServer::Config scfg;
+  scfg.max_batch = 1;
+  scfg.max_queue_delay = std::chrono::microseconds(100);
+  InferenceServer server(gate.fn(), scfg);
+  Rng rng(23);
+
+  auto f1 = server.submit(chw(rng));  // claimed; pins the worker
+  gate.wait_started();
+  // 5 ms deadline, but the worker stays pinned for 30 ms: by claim time the
+  // request is dead and must resolve kExpired without an engine call.
+  auto f2 = server.submit(chw(rng), std::chrono::milliseconds(5));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.release();
+  server.drain();
+
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  InferenceResult r2 = f2.get();
+  EXPECT_EQ(r2.status, Status::kExpired);
+  EXPECT_GE(r2.queue_s, 0.005);
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 1);  // only f1 reached the engine
+  EXPECT_EQ(stats.expired, 1);
+  EXPECT_EQ(gate.calls.load(), 1);
+}
+
+TEST(Admission, ShutdownUnderLoadResolvesEveryFuture) {
+  GatedEngine gate;
+  InferenceServer::Config scfg;
+  scfg.max_batch = 1;
+  scfg.max_queue_delay = std::chrono::microseconds(100);
+  scfg.queue_capacity = 1;
+  scfg.admission = AdmissionPolicy::kBlock;
+  InferenceServer server(gate.fn(), scfg);
+  Rng rng(24);
+
+  auto f1 = server.submit(chw(rng));  // claimed, pinned inside the engine
+  gate.wait_started();
+  auto f2 = server.submit(chw(rng));  // queued — full
+  std::atomic<bool> returned{false};
+  std::future<InferenceResult> f3;
+  std::thread submitter([&] {
+    f3 = server.submit(chw(rng));  // blocks on admission
+    returned.store(true);
+  });
+  // Give the submitter time to park on space_cv_ (the queue stays full while
+  // the worker is pinned, so `returned` can only flip once shutdown fires).
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(returned.load());
+  std::thread closer([&] { server.shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.release();  // let the pinned worker finish so shutdown can join
+  closer.join();
+  submitter.join();
+
+  // Shutdown's contract: the claimed and queued requests are served, the
+  // submitter blocked on admission resolves kRejected, nobody hangs.
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  EXPECT_EQ(f2.get().status, Status::kOk);
+  InferenceResult r3 = f3.get();
+  EXPECT_EQ(r3.status, Status::kRejected);
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.rejected, 1);
+}
+
+TEST(Admission, ConcurrentOverloadNeverLosesAFuture) {
+  // Stress the bookkeeping: many submitters against a tiny shedding queue.
+  // Whatever mix of Ok/Rejected results, every future must resolve and the
+  // accounting identity must hold exactly.
+  InferenceServer::Config scfg;
+  scfg.max_batch = 4;
+  scfg.max_queue_delay = std::chrono::microseconds(200);
+  scfg.queue_capacity = 4;
+  scfg.admission = AdmissionPolicy::kShedOldest;
+  InferenceServer server(
+      [](const Tensor& nchw) {
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+        return Tensor(Shape{nchw.dim(0), 2});
+      },
+      scfg);
+
+  const int threads = 4;
+  const int per_thread = 50;
+  std::vector<std::vector<std::future<InferenceResult>>> futures(threads);
+  {
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < threads; ++t) {
+      submitters.emplace_back([&, t] {
+        Rng rng(100 + t);
+        for (int i = 0; i < per_thread; ++i) {
+          futures[static_cast<size_t>(t)].push_back(server.submit(chw(rng)));
+        }
+      });
+    }
+    for (auto& th : submitters) th.join();
+  }
+  server.drain();
+  int64_t ok = 0, failed = 0;
+  for (auto& per : futures) {
+    for (auto& f : per) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready);
+      InferenceResult r = f.get();
+      ok += r.ok() ? 1 : 0;
+      failed += r.ok() ? 0 : 1;
+    }
+  }
+  const int64_t submits = static_cast<int64_t>(threads) * per_thread;
+  EXPECT_EQ(ok + failed, submits);
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests + stats.rejected + stats.shed + stats.expired,
+            submits);
+  EXPECT_EQ(stats.requests - stats.engine_errors, ok);
+  EXPECT_EQ(stats.rejected + stats.shed + stats.expired + stats.engine_errors,
+            failed);
+}
+
+}  // namespace
+}  // namespace tbnet::runtime

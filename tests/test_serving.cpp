@@ -408,16 +408,58 @@ TEST(InferenceServer, DrainWaitsForAllRequests) {
   EXPECT_EQ(server.stats().requests, 10);
 }
 
-TEST(InferenceServer, PropagatesEngineFailure) {
+TEST(InferenceServer, EngineFailureResolvesTypedNotThrown) {
+  // PR 7: futures resolve with a typed status — a failing engine or a
+  // post-shutdown submit must never make .get() throw.
   InferenceServer server([](const Tensor&) -> Tensor {
     throw std::runtime_error("engine down");
   });
   Rng rng(14);
   auto fut = server.submit(Tensor::randn(Shape{1, 2, 2}, rng));
-  EXPECT_THROW(fut.get(), std::runtime_error);
+  InferenceResult r = fut.get();
+  EXPECT_EQ(r.status, Status::kEngineError);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("engine down"), std::string::npos) << r.error;
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 1);
+  EXPECT_EQ(stats.engine_errors, 1);
+
   server.shutdown();
-  EXPECT_THROW(server.submit(Tensor::randn(Shape{1, 2, 2}, rng)),
-               std::logic_error);
+  InferenceResult post =
+      server.submit(Tensor::randn(Shape{1, 2, 2}, rng)).get();
+  EXPECT_EQ(post.status, Status::kRejected);
+  EXPECT_EQ(server.stats().rejected, 1);
+}
+
+TEST(InferenceServer, MalformedShapeIsRejectedAlone) {
+  // A bad request must resolve kRejected on its own future; batch-mates
+  // submitted around it are served normally (pre-PR-7, the mixed-shape
+  // throw inside run_batch failed the whole coalesced batch).
+  InferenceServer::Config scfg;
+  scfg.max_batch = 8;
+  scfg.max_queue_delay = std::chrono::microseconds(20000);
+  InferenceServer server(
+      [](const Tensor& nchw) { return Tensor(Shape{nchw.dim(0), 2}); }, scfg);
+  Rng rng(41);
+  auto good0 = server.submit(Tensor::randn(Shape{1, 2, 2}, rng));
+  // Wrong rank: not CHW at all.
+  auto bad_rank = server.submit(Tensor::randn(Shape{4, 4}, rng));
+  // Right rank, wrong shape vs the pinned serving shape.
+  auto bad_shape = server.submit(Tensor::randn(Shape{3, 4, 4}, rng));
+  auto good1 = server.submit(Tensor::randn(Shape{1, 2, 2}, rng));
+
+  EXPECT_EQ(bad_rank.get().status, Status::kRejected);
+  InferenceResult mismatched = bad_shape.get();
+  EXPECT_EQ(mismatched.status, Status::kRejected);
+  EXPECT_NE(mismatched.error.find("does not match"), std::string::npos)
+      << mismatched.error;
+  EXPECT_EQ(good0.get().status, Status::kOk);
+  EXPECT_EQ(good1.get().status, Status::kOk);
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.rejected, 2);
+  EXPECT_EQ(stats.engine_errors, 0);
 }
 
 TEST(InferenceServer, ShutdownDrainsOutstandingWork) {
@@ -440,8 +482,56 @@ TEST(InferenceServer, ShutdownDrainsOutstandingWork) {
   for (auto& f : futures) {
     EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
               std::future_status::ready);
-    EXPECT_NO_THROW(f.get());
+    EXPECT_EQ(f.get().status, Status::kOk);
   }
+}
+
+// ------------------------------------------------- LatencyRecorder ---------
+
+TEST(LatencyRecorder, ExactPercentilesBelowCapacity) {
+  // Below capacity the reservoir holds every sample, so the bounded
+  // recorder must answer percentiles identically to an effectively
+  // unbounded one fed the same stream.
+  LatencyRecorder bounded(128);
+  LatencyRecorder unbounded(1 << 20);
+  uint64_t x = 99;
+  for (int i = 0; i < 100; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const double v = static_cast<double>(x >> 40) * 1e-6;
+    bounded.record(v);
+    unbounded.record(v);
+  }
+  EXPECT_EQ(bounded.count(), 100);
+  EXPECT_EQ(bounded.samples().size(), 100u);
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(bounded.percentile(p), unbounded.percentile(p)) << "p" << p;
+  }
+  EXPECT_EQ(bounded.mean(), unbounded.mean());
+  EXPECT_EQ(bounded.min(), unbounded.min());
+  EXPECT_EQ(bounded.max(), unbounded.max());
+}
+
+TEST(LatencyRecorder, MemoryBoundedAboveCapacityWithExactAggregates) {
+  // Past capacity the reservoir stops growing, while count/mean/min/max
+  // stay exact running values and percentiles stay plausible estimates.
+  const int64_t cap = 64;
+  LatencyRecorder rec(cap);
+  const int64_t n = 10000;
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(i % 1000) * 1e-6;
+    rec.record(v);
+    total += v;
+  }
+  EXPECT_EQ(rec.count(), n);
+  EXPECT_EQ(rec.samples().size(), static_cast<size_t>(cap));
+  EXPECT_DOUBLE_EQ(rec.mean(), total / static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(rec.min(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.max(), 999e-6);
+  const double p50 = rec.percentile(50.0);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, 999e-6);
+  EXPECT_THROW(LatencyRecorder(0), std::invalid_argument);
 }
 
 TEST(InferenceServer, CoalescedImagesCountsOnlyRiders) {

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for bench_kernels output.
+"""Perf-regression gate for bench_kernels / bench_serving output.
 
-Compares a fresh bench_kernels JSON (typically the CI --quick smoke) against
-the committed baseline (BENCH_kernels.json at the repo root) and flags any
-shape whose throughput regressed by more than the threshold:
+Compares a fresh bench JSON (typically the CI --quick smoke) against the
+committed baseline (BENCH_kernels.json / BENCH_serving.json at the repo
+root) and flags any metric that regressed by more than the threshold:
 
   * "gemm" shapes: packed_gflops (higher is better)
   * "int8_gemm" shapes: int8_gflops (higher is better)
@@ -11,6 +11,13 @@ shape whose throughput regressed by more than the threshold:
   * "fused_conv" shapes: fused_ms (lower is better)
   * "depthwise" shapes: simd_ms (lower is better)
   * "depthwise_fused" shapes: fused_ms (lower is better)
+  * "soak" (bench_serving): goodput_vs_1x (higher is better) — the bounded
+    queue's goodput at 10x offered load as a fraction of 1x goodput. The
+    ratio is dimensionless (both sides measured on the same run/host), so it
+    gates portably across runners of different absolute speed.
+
+Sections absent from either file are skipped, so the one script gates both
+bench artifacts.
 
 Only shapes present in BOTH files are compared (the --quick smoke runs a
 subset of the full baseline). The gate is BLOCKING (exit 1 on regression);
@@ -78,6 +85,24 @@ def compare(baseline, current, key, higher_is_better, threshold, min_flops,
     return regressions
 
 
+def compare_soak(baseline, current, threshold):
+    """Gates bench_serving's soak.goodput_vs_1x (higher is better)."""
+    b = (baseline.get("soak") or {}).get("goodput_vs_1x")
+    c = (current.get("soak") or {}).get("goodput_vs_1x")
+    if b is None or c is None:
+        return []
+    b, c = float(b), float(c)
+    if b <= 0 or c <= 0:
+        return []
+    ratio = c / b
+    status = "OK" if ratio >= 1.0 - threshold else "REGRESSED"
+    print(f"  [{status}] soak/goodput_vs_1x: "
+          f"baseline={b:.4g} current={c:.4g} (ratio {ratio:.2f})")
+    if status == "REGRESSED":
+        return [("soak/goodput_vs_1x", b, c, ratio)]
+    return []
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -124,6 +149,7 @@ def main():
                            args.threshold, args.min_flops, "depthwise")
     regressions += compare(baseline, current, "fused_ms", False,
                            args.threshold, args.min_flops, "depthwise_fused")
+    regressions += compare_soak(baseline, current, args.threshold)
 
     if not regressions:
         print("No gated per-shape regression beyond threshold.")
