@@ -193,6 +193,168 @@ SoakPoint run_soak(runtime::DeployedTBNet& engine, tee::TeeContext& ctx,
   return p;
 }
 
+// ---- chaos soak (PR 8) ----------------------------------------------------
+// Supervision under a real kill: two workers with independent engines serve
+// an open-loop 2x load; halfway through, one worker's TEE permanently
+// faults (every boundary crossing raises PermanentFault), tripping its
+// circuit breaker. The supervisor retries DeployedTBNet::reopen under
+// backoff — failing while the fault persists — until the "operator fixes
+// the device" at 70% of the soak, after which recovery re-admits the
+// worker. The gate (tools/check_bench_regression.py): goodput after
+// recovery within 5% of pre-kill goodput, and zero unresolved futures.
+
+struct ChaosPoint {
+  double soak_seconds = 0.0;
+  double offered_imgs_per_s = 0.0;
+  int64_t submitted = 0;
+  int64_t ok = 0;
+  int64_t unresolved = 0;  ///< futures not ready after drain — must be 0
+  double kill_at_s = 0.0;
+  double heal_at_s = 0.0;
+  double recovery_time_s = -1.0;  ///< kill -> worker re-admitted (-1: never)
+  double goodput_pre_kill = 0.0;
+  double goodput_during_quarantine = 0.0;
+  double goodput_after_recovery = 0.0;
+  runtime::ServingStats stats;
+};
+
+ChaosPoint run_chaos(const core::TwoBranchModel& tb,
+                     const tee::DeviceProfile& profile, bool device_timing,
+                     double offered_imgs_per_s, double seconds) {
+  // Independent worlds/engines per worker, like the worker sweep: killing
+  // worker 1's TEE must not perturb worker 0.
+  std::vector<std::unique_ptr<tee::SecureWorld>> worlds;
+  std::vector<std::unique_ptr<tee::TeeContext>> tee_ctxs;
+  std::vector<std::unique_ptr<runtime::DeployedTBNet>> engines;
+  std::vector<runtime::InferenceServer::BatchFn> fns;
+  std::vector<runtime::InferenceServer::RecoverFn> recover;
+  Rng crng(41);
+  const Tensor canary = Tensor::randn(Shape{1, 3, 32, 32}, crng);
+  for (int w = 0; w < 2; ++w) {
+    worlds.push_back(
+        std::make_unique<tee::SecureWorld>(profile.secure_mem_budget));
+    tee_ctxs.push_back(std::make_unique<tee::TeeContext>(*worlds.back()));
+    engines.push_back(std::make_unique<runtime::DeployedTBNet>(
+        tb, *tee_ctxs.back(), "tbnet-chaos-" + std::to_string(w),
+        runtime::DeployedTBNet::Options{.max_batch = 64}));
+    if (device_timing) engines.back()->session().simulate_timing(profile);
+    engines.back()->infer_batch(Tensor::randn(Shape{4, 3, 32, 32}, crng));
+    runtime::DeployedTBNet* eng = engines.back().get();
+    fns.push_back([eng](const Tensor& nchw) { return eng->infer_batch(nchw); });
+    // Recovery = full session re-establishment: tear down, re-deploy the TA
+    // image (re-verifying its checksums), reopen, canary-infer. Throws while
+    // the injected permanent fault persists — the supervisor backs off.
+    recover.push_back([eng, canary] { eng->reopen(canary); });
+  }
+
+  runtime::InferenceServer::Config scfg;
+  scfg.max_batch = 16;
+  scfg.max_queue_delay = std::chrono::microseconds(2000);
+  scfg.queue_capacity = 64;
+  scfg.admission = runtime::AdmissionPolicy::kShedOldest;
+  scfg.default_deadline = std::chrono::milliseconds(100);
+  scfg.breaker_threshold = 1;
+  scfg.recovery_backoff = std::chrono::milliseconds(2);
+  scfg.recovery_max_backoff = std::chrono::milliseconds(50);
+
+  ChaosPoint p;
+  p.soak_seconds = seconds;
+  p.offered_imgs_per_s = offered_imgs_per_s;
+  p.kill_at_s = seconds * 0.5;
+  p.heal_at_s = seconds * 0.7;
+  {
+    runtime::InferenceServer server(std::move(fns), std::move(recover), scfg);
+    Rng srng(43);
+    std::vector<Tensor> pool;
+    for (int i = 0; i < 32; ++i) {
+      pool.push_back(Tensor::randn(Shape{3, 32, 32}, srng));
+    }
+    std::vector<std::future<runtime::InferenceResult>> futures;
+    std::vector<double> submit_s;
+    const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::duration<double>(1.0 / offered_imgs_per_s));
+    const auto t0 = Clock::now();
+    auto next = t0;
+    bool killed = false, healed = false;
+    double recovered_at = -1.0;
+    while (true) {
+      const double now_s = seconds_since(t0);
+      if (now_s >= seconds) break;
+      if (!killed && now_s >= p.kill_at_s) {
+        // Permanent session loss on worker 1: every TEE boundary crossing
+        // (open/invoke) now raises PermanentFault, including the reopens
+        // the supervisor attempts.
+        tee_ctxs[1]->faults().set_rate(1.0, /*permanent_fraction=*/1.0);
+        killed = true;
+      }
+      if (killed && !healed && now_s >= p.heal_at_s) {
+        tee_ctxs[1]->faults().set_rate(0.0);
+        healed = true;
+      }
+      if (killed && recovered_at < 0.0 && server.stats().recoveries >= 1) {
+        recovered_at = now_s;
+      }
+      submit_s.push_back(now_s);
+      futures.push_back(server.submit(pool[futures.size() % pool.size()]));
+      next += interval;
+      std::this_thread::sleep_until(next);
+    }
+    if (!healed) {
+      tee_ctxs[1]->faults().set_rate(0.0);
+      healed = true;
+    }
+    // The worker may still be mid-backoff when submission ends; wait for the
+    // recovery (bounded) so recovery_time_s and the after-window are real.
+    const auto recovery_deadline = Clock::now() + std::chrono::seconds(10);
+    while (recovered_at < 0.0 && Clock::now() < recovery_deadline) {
+      if (server.stats().recoveries >= 1) {
+        recovered_at = seconds_since(t0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    server.drain();
+    p.stats = server.stats();
+    p.submitted = static_cast<int64_t>(futures.size());
+    if (recovered_at >= 0.0) p.recovery_time_s = recovered_at - p.kill_at_s;
+
+    // Classify Ok completions (completion time = submit + total) into the
+    // three windows; each goodput is ok-in-window over window length. The
+    // tail after submission stopped is excluded from every window.
+    const double t_end = seconds;
+    const double t_rec = recovered_at >= 0.0 ? recovered_at : t_end;
+    int64_t ok_pre = 0, ok_during = 0, ok_after = 0;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      if (futures[i].wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        ++p.unresolved;  // drain() returned with a pending future: a bug
+        continue;
+      }
+      const runtime::InferenceResult r = futures[i].get();
+      if (!r.ok()) continue;
+      ++p.ok;
+      const double done_s = submit_s[i] + r.total_s;
+      if (done_s < p.kill_at_s) {
+        ++ok_pre;
+      } else if (done_s < t_rec) {
+        ++ok_during;
+      } else if (done_s <= t_end) {
+        ++ok_after;
+      }
+    }
+    p.goodput_pre_kill = static_cast<double>(ok_pre) / p.kill_at_s;
+    if (t_rec > p.kill_at_s) {
+      p.goodput_during_quarantine =
+          static_cast<double>(ok_during) / (t_rec - p.kill_at_s);
+    }
+    if (t_end > t_rec) {
+      p.goodput_after_recovery =
+          static_cast<double>(ok_after) / (t_end - t_rec);
+    }
+  }
+  return p;
+}
+
 void print_soak_point(const SoakPoint& p, double goodput_1x,
                       const char* trailer) {
   std::printf(
@@ -226,12 +388,15 @@ int main(int argc, char** argv) {
   setenv("TBNET_THREADS", "1", /*overwrite=*/0);
 
   bool device_timing = true;
+  bool chaos = false;
   double width = 0.125;
   int64_t target_images = 192;
   double soak_seconds = 2.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-device-timing") == 0) {
       device_timing = false;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else if (std::strncmp(argv[i], "--width=", 8) == 0) {
       width = std::atof(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--images=", 9) == 0) {
@@ -240,8 +405,8 @@ int main(int argc, char** argv) {
       soak_seconds = std::atof(argv[i] + 15);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--no-device-timing] [--width=W] [--images=N] "
-                   "[--soak-seconds=S]\n",
+                   "usage: %s [--no-device-timing] [--chaos] [--width=W] "
+                   "[--images=N] [--soak-seconds=S]\n",
                    argv[0]);
       return 2;
     }
@@ -406,6 +571,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- chaos soak: kill one of two workers mid-run -------------------
+  ChaosPoint chaos_point;
+  if (chaos) {
+    const double chaos_seconds = soak_seconds > 0.0 ? soak_seconds : 2.0;
+    chaos_point =
+        run_chaos(tb, profile, device_timing, capacity * 2.0, chaos_seconds);
+  }
+
   // ---- JSON ----------------------------------------------------------
   std::printf("{\n");
   std::printf("  \"model\": \"%s\",\n", cfg.name().c_str());
@@ -484,7 +657,7 @@ int main(int argc, char** argv) {
   std::printf("  \"speedup_workers2_vs_1\": %.3f,\n",
               tput_1w > 0.0 ? tput_2w / tput_1w : 0.0);
   if (soak_bounded.empty()) {
-    std::printf("  \"soak\": null\n");
+    std::printf("  \"soak\": null,\n");
   } else {
     const double goodput_1x = soak_bounded.front().goodput_imgs_per_s;
     std::printf("  \"soak\": {\n");
@@ -522,6 +695,47 @@ int main(int argc, char** argv) {
     const double p99_long = soak_unbounded.back().accepted_p99_ms;
     std::printf("    \"unbounded_p99_growth\": %.3f\n",
                 p99_short > 0.0 ? p99_long / p99_short : 0.0);
+    std::printf("  },\n");
+  }
+  if (!chaos) {
+    std::printf("  \"chaos\": null\n");
+  } else {
+    const ChaosPoint& c = chaos_point;
+    std::printf("  \"chaos\": {\n");
+    std::printf("    \"workers\": 2,\n");
+    std::printf("    \"soak_seconds\": %.2f,\n", c.soak_seconds);
+    std::printf("    \"offered_imgs_per_s\": %.1f,\n", c.offered_imgs_per_s);
+    std::printf("    \"kill_at_s\": %.3f,\n", c.kill_at_s);
+    std::printf("    \"heal_at_s\": %.3f,\n", c.heal_at_s);
+    std::printf("    \"submitted\": %lld,\n",
+                static_cast<long long>(c.submitted));
+    std::printf("    \"ok\": %lld,\n", static_cast<long long>(c.ok));
+    std::printf("    \"unresolved\": %lld,\n",
+                static_cast<long long>(c.unresolved));
+    std::printf("    \"quarantines\": %lld,\n",
+                static_cast<long long>(c.stats.quarantines));
+    std::printf("    \"recoveries\": %lld,\n",
+                static_cast<long long>(c.stats.recoveries));
+    std::printf("    \"requeued\": %lld,\n",
+                static_cast<long long>(c.stats.requeued));
+    std::printf("    \"canary_failures\": %lld,\n",
+                static_cast<long long>(c.stats.canary_failures));
+    std::printf("    \"engine_errors\": %lld,\n",
+                static_cast<long long>(c.stats.engine_errors));
+    std::printf("    \"integrity_errors\": %lld,\n",
+                static_cast<long long>(c.stats.integrity_errors));
+    std::printf("    \"recovery_time_s\": %.3f,\n", c.recovery_time_s);
+    std::printf("    \"goodput_pre_kill\": %.2f,\n", c.goodput_pre_kill);
+    std::printf("    \"goodput_during_quarantine\": %.2f,\n",
+                c.goodput_during_quarantine);
+    std::printf("    \"goodput_after_recovery\": %.2f,\n",
+                c.goodput_after_recovery);
+    // The machine-portable headline: service restored to pre-kill goodput
+    // (gate: >= 0.95) with every submitted future resolved (gate: 0).
+    std::printf("    \"recovery_ratio\": %.3f\n",
+                c.goodput_pre_kill > 0.0
+                    ? c.goodput_after_recovery / c.goodput_pre_kill
+                    : 0.0);
     std::printf("  }\n");
   }
   std::printf("}\n");

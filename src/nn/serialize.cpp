@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "tensor/crc32c.h"
+
 #include "nn/activations.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
@@ -165,9 +167,11 @@ class CountingBuf : public std::streambuf {
   }
 };
 
-}  // namespace
-
-void save_layer(std::ostream& os, const Layer& layer) {
+/// The unframed kind + config + tensors payload of one layer. Nested layers
+/// (Sequential / ResidualBlock children) go through the public framed
+/// save_layer, so every node in the tree carries its own checksum and the
+/// root frame covers the whole image.
+void save_layer_body(std::ostream& os, const Layer& layer) {
   write_string(os, layer.kind());
   if (const auto* conv = dynamic_cast<const Conv2d*>(&layer)) {
     write_i64(os, conv->in_channels());
@@ -256,7 +260,9 @@ void save_layer(std::ostream& os, const Layer& layer) {
   }
 }
 
-std::unique_ptr<Layer> load_layer(std::istream& is, uint32_t version) {
+/// Parses one unframed layer body. Nested layers recurse through the public
+/// load_layer, which strips (and verifies) their own frames on v4 streams.
+std::unique_ptr<Layer> load_layer_body(std::istream& is, uint32_t version) {
   const std::string kind = read_string(is);
   Rng rng(0);  // weights are overwritten right after construction
   if (kind == "Conv2d") {
@@ -403,22 +409,63 @@ std::unique_ptr<Layer> load_layer(std::istream& is, uint32_t version) {
   throw std::runtime_error("load_layer: unknown layer kind '" + kind + "'");
 }
 
+}  // namespace
+
+void save_layer(std::ostream& os, const Layer& layer) {
+  // Frame (format v4): buffer the body, then emit crc + len + bytes so the
+  // loader can verify the section before parsing a single field of it.
+  std::ostringstream body;
+  save_layer_body(body, layer);
+  const std::string bytes = body.str();
+  write_u32(os, crc32c(bytes.data(), bytes.size()));
+  write_i64(os, static_cast<int64_t>(bytes.size()));
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::unique_ptr<Layer> load_layer(std::istream& is, uint32_t version) {
+  if (version < 4) return load_layer_body(is, version);
+  const uint32_t crc = read_u32(is);
+  const int64_t len = read_i64(is);
+  if (len < 0 || len > (1ll << 33)) {
+    throw std::runtime_error("model stream: bad layer section length");
+  }
+  std::string bytes(static_cast<size_t>(len), '\0');
+  is.read(bytes.data(), static_cast<std::streamsize>(len));
+  if (!is) throw std::runtime_error("model stream truncated (layer section)");
+  if (crc32c(bytes.data(), bytes.size()) != crc) {
+    throw IntegrityError(
+        "layer section checksum mismatch — corrupted model image");
+  }
+  std::istringstream body(bytes, std::ios::binary);
+  return load_layer_body(body, version);
+}
+
 void save_model(std::ostream& os, const Layer& model) {
-  os.write("TBNM", 4);
-  write_u32(os, kModelFormatVersion);
+  char header[8] = {'T', 'B', 'N', 'M'};
+  const uint32_t version = kModelFormatVersion;
+  std::memcpy(header + 4, &version, sizeof(version));
+  os.write(header, sizeof(header));
+  write_u32(os, crc32c(header, sizeof(header)));  // format v4
   save_layer(os, model);
 }
 
 std::unique_ptr<Layer> load_model(std::istream& is) {
-  char magic[4] = {};
-  is.read(magic, 4);
-  if (!is || std::memcmp(magic, "TBNM", 4) != 0) {
+  char header[8] = {};
+  is.read(header, 4);
+  if (!is || std::memcmp(header, "TBNM", 4) != 0) {
     throw std::runtime_error("load_model: bad magic");
   }
   const uint32_t version = read_u32(is);
   if (version < 1 || version > kModelFormatVersion) {
     throw std::runtime_error("load_model: unsupported version " +
                              std::to_string(version));
+  }
+  if (version >= 4) {
+    std::memcpy(header + 4, &version, sizeof(version));
+    if (read_u32(is) != crc32c(header, sizeof(header))) {
+      throw IntegrityError(
+          "model header checksum mismatch — corrupted model image");
+    }
   }
   return load_layer(is, version);
 }

@@ -6,17 +6,32 @@
 // deployment packager: the secure branch M_T is serialized with this code,
 // measured, and loaded inside the simulated TEE.
 //
-//   file    := magic "TBNM" u32(version) layer
-//   layer   := string(kind) kind-specific-config tensors
+//   file    := magic "TBNM" u32(version) u32(header_crc) layer     (v4)
+//   layer   := u32(crc) i64(len) body[len]                         (v4)
+//   body    := string(kind) kind-specific-config tensors
 //
 // All integers little-endian; tensors are rank + dims + raw float32.
+// v1–v3 files have no header_crc and no layer framing (layer := body).
 
 #include <iosfwd>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "nn/layer.h"
 
 namespace tbnet::nn {
+
+/// A checksum failed while loading a model image: the bytes were damaged
+/// after serialization (bit rot, truncated copy, tampering, or an injected
+/// tee::FaultInjector corruption). Distinct from plain std::runtime_error
+/// parse failures so deployment code can map it to the typed
+/// runtime::Status::kIntegrityError — a corrupted image must be rejected
+/// at deploy, never silently produce wrong logits.
+class IntegrityError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Version history:
 ///   1 — initial format.
@@ -27,17 +42,25 @@ namespace tbnet::nn {
 ///       INSTEAD of the float32 weight (~4x smaller TA images); the loader
 ///       rebuilds the f32 fallback as q * scale and re-attaches the
 ///       quantization (nn/quant.h).
+///   4 — integrity checksums: the header gains a CRC32C over the magic +
+///       version bytes, and every layer section is framed as
+///       u32(crc32c) i64(len) body — nested layers (Sequential /
+///       ResidualBlock children) carry their own frames inside the parent's
+///       body, so the root frame doubles as a whole-image checksum. Loaders
+///       verify every frame and throw IntegrityError on mismatch.
 /// Writers always emit the current version; load_model accepts any version
 /// back to 1 (a v1 DepthwiseConv2d loads bias-free, a pre-v3 layer loads
-/// unquantized).
-inline constexpr uint32_t kModelFormatVersion = 3;
+/// unquantized, pre-v4 streams are trusted unchecked).
+inline constexpr uint32_t kModelFormatVersion = 4;
 
-/// Serializes a layer tree (any Layer produced by this library).
+/// Serializes a layer tree (any Layer produced by this library) as one
+/// checksummed v4 section (crc + len + body).
 void save_layer(std::ostream& os, const Layer& layer);
 
-/// Reconstructs a layer tree; throws std::runtime_error on malformed input.
-/// `version` is the enclosing stream's format version (load_model passes it
-/// through; bare-layer callers get the current format).
+/// Reconstructs a layer tree; throws std::runtime_error on malformed input
+/// and IntegrityError on a checksum mismatch (v4 streams). `version` is the
+/// enclosing stream's format version (load_model passes it through;
+/// bare-layer callers get the current format).
 std::unique_ptr<Layer> load_layer(std::istream& is,
                                   uint32_t version = kModelFormatVersion);
 

@@ -1,6 +1,7 @@
 #include "runtime/deployed.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -359,7 +360,10 @@ DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
 DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
                              tee::TeeContext& ctx, std::string uuid,
                              Options opt)
-    : opt_(std::move(opt)), exec_ctx_(tee::World::kNormal) {
+    : opt_(std::move(opt)),
+      exec_ctx_(tee::World::kNormal),
+      tee_ctx_(&ctx),
+      uuid_(std::move(uuid)) {
   if (opt_.max_batch <= 0) {
     throw std::invalid_argument("DeployedTBNet: max_batch must be positive");
   }
@@ -410,19 +414,35 @@ DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
       tee = std::move(t_out);
     }
   }
-  const std::vector<uint8_t> image = build_tbnet_ta_image(model, secure);
-  ta_image_bytes_ = static_cast<int64_t>(image.size());
-  ctx.world().install(uuid, std::make_unique<TbnetTA>(image));
+  // The image bytes are retained so reopen() can re-deploy the TA after a
+  // permanent secure-world loss without re-freezing the model.
+  ta_image_ = build_tbnet_ta_image(model, secure);
+  ta_image_bytes_ = static_cast<int64_t>(ta_image_.size());
+  tee_ctx_->world().install(uuid_, std::make_unique<TbnetTA>(ta_image_));
+  jitter_state_ = opt_.retry.jitter_seed;
+  open_session_with_retry();
+  // Pre-pack the REE weight panels (f32 or int8) into this engine's
+  // long-lived arena, so the serving hot path runs folded, fused, and
+  // pack-free. Unconditional: in deterministic mode the plan/pack steps
+  // no-op unless a block is quantized, in which case the scalar int8
+  // reference consumes the same pre-packed panels.
+  for (auto& block : exposed_) block->prepare_inference(exec_ctx_);
+}
+
+int64_t DeployedTBNet::world_switches() const {
+  return session_->world_switches();
+}
+
+void DeployedTBNet::open_session_with_retry() {
   // The result cap scales with the batch so [N, classes] logits may leave;
   // the per-image budget is the single-image default. Opening crosses the
   // "open" fault site, so it retries under the same policy as invocations.
-  jitter_state_ = opt_.retry.jitter_seed;
   const int open_attempts = std::max(opt_.retry.max_attempts, 1);
   for (int attempt = 1;; ++attempt) {
     try {
-      session_ = std::make_unique<tee::TeeSession>(ctx.open_session(
-          uuid, opt_.max_batch * tee::kDefaultMaxResultBytes));
-      break;
+      session_ = std::make_unique<tee::TeeSession>(tee_ctx_->open_session(
+          uuid_, opt_.max_batch * tee::kDefaultMaxResultBytes));
+      return;
     } catch (const tee::TransientFault& e) {
       if (attempt >= open_attempts) {
         throw std::runtime_error("DeployedTBNet: open_session failed after " +
@@ -440,16 +460,40 @@ DeployedTBNet::DeployedTBNet(const core::TwoBranchModel& model,
       }
     }
   }
-  // Pre-pack the REE weight panels (f32 or int8) into this engine's
-  // long-lived arena, so the serving hot path runs folded, fused, and
-  // pack-free. Unconditional: in deterministic mode the plan/pack steps
-  // no-op unless a block is quantized, in which case the scalar int8
-  // reference consumes the same pre-packed panels.
-  for (auto& block : exposed_) block->prepare_inference(exec_ctx_);
 }
 
-int64_t DeployedTBNet::world_switches() const {
-  return session_->world_switches();
+void DeployedTBNet::reopen(const Tensor& canary_nchw) {
+  // Tear down first: the dead session must not survive a failed recovery,
+  // or the next infer would talk to the torn-down TA instead of failing.
+  session_.reset();
+  // Re-install from the retained image. TbnetTA re-parses every blob via
+  // nn::load_model, which re-verifies the v4 header and per-layer checksums
+  // — a corrupted image throws nn::IntegrityError here, at deploy time.
+  tee_ctx_->world().install(uuid_, std::make_unique<TbnetTA>(ta_image_));
+  open_session_with_retry();
+  if (canary_nchw.numel() > 0) {
+    // Canary verification: the recovered worker must produce sane logits
+    // before it re-enters a dispatch pool. Shape and finiteness are the
+    // checks available without golden outputs.
+    const Tensor logits = infer_batch(canary_nchw);
+    const bool shape_ok = logits.shape().ndim() == 2 &&
+                          logits.dim(0) == canary_nchw.dim(0) &&
+                          logits.dim(1) > 0;
+    bool finite = true;
+    for (int64_t i = 0; i < logits.numel(); ++i) {
+      if (!std::isfinite(logits.data()[i])) {
+        finite = false;
+        break;
+      }
+    }
+    if (!shape_ok || !finite) {
+      throw std::runtime_error(
+          "DeployedTBNet::reopen: canary inference produced " +
+          std::string(shape_ok ? "non-finite logits" : "bad logit shape") +
+          " — recovery rejected");
+    }
+  }
+  ++reopens_;
 }
 
 uint64_t DeployedTBNet::next_jitter() {

@@ -132,6 +132,20 @@ class DeployedTBNet {
   /// every TA invocation). Feeds ServingStats::retries in bench/tests.
   int64_t retries() const { return retries_; }
 
+  /// Recovers the engine after a permanent secure-world loss (TA panic,
+  /// session torn down, corrupted transfer): re-installs the TA from the
+  /// retained image bytes — which re-runs the v4 checksum verification the
+  /// image got at first deploy — and re-opens the session under the retry
+  /// policy. When `canary_nchw` is non-empty, one inference runs through
+  /// the fresh session and the logits are checked for shape and finiteness;
+  /// any failure throws and leaves the engine quarantine-able again. This
+  /// is the InferenceServer supervision layer's RecoverFn; see
+  /// runtime/server.h.
+  void reopen(const Tensor& canary_nchw = Tensor());
+
+  /// Times reopen() completed successfully.
+  int64_t reopens() const { return reopens_; }
+
   /// The session, for enabling device-timing simulation in benches.
   tee::TeeSession& session() { return *session_; }
 
@@ -148,12 +162,20 @@ class DeployedTBNet {
   /// Next backoff-jitter draw (splitmix64 over jitter_state_).
   uint64_t next_jitter();
 
+  /// Opens (or re-opens) session_ against tee_ctx_, retrying transient
+  /// "open" faults under Options::RetryPolicy.
+  void open_session_with_retry();
+
   std::vector<std::unique_ptr<nn::Layer>> exposed_;
   std::unique_ptr<tee::TeeSession> session_;
   Options opt_;
   ExecutionContext exec_ctx_;  ///< REE-world context (arena + pool)
+  tee::TeeContext* tee_ctx_ = nullptr;  ///< not owned; outlives the engine
+  std::string uuid_;
+  std::vector<uint8_t> ta_image_;  ///< retained for reopen()'s re-deploy
   int64_t ta_image_bytes_ = 0;
   int64_t retries_ = 0;
+  int64_t reopens_ = 0;
   uint64_t jitter_state_ = 0;
 };
 

@@ -20,6 +20,20 @@ uint64_t next_u64(uint64_t* state) {
 
 }  // anonymous namespace
 
+const char* worker_health_name(WorkerHealth health) {
+  switch (health) {
+    case WorkerHealth::kHealthy:
+      return "healthy";
+    case WorkerHealth::kQuarantined:
+      return "quarantined";
+    case WorkerHealth::kRecovering:
+      return "recovering";
+    case WorkerHealth::kDead:
+      return "dead";
+  }
+  return "unknown";  // unreachable with a valid enum; keeps -Wreturn-type quiet
+}
+
 LatencyRecorder::LatencyRecorder(int64_t capacity)
     : capacity_(capacity), rng_state_(0x1ece5ede) {
   if (capacity_ <= 0) {

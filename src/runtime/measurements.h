@@ -56,6 +56,25 @@ class LatencyRecorder {
   std::vector<double> samples_;
 };
 
+/// Lifecycle state of one dispatch worker under the supervision layer
+/// (PR 8). Transitions: Healthy -> Quarantined on a tripped circuit breaker
+/// (K consecutive engine-error batches, any PermanentFault/IntegrityFault,
+/// or a watchdog overrun); Quarantined -> Recovering when the supervisor's
+/// backoff elapses and its RecoverFn runs; Recovering -> Healthy on success
+/// (canary passed) or back to Quarantined with doubled backoff on failure;
+/// -> Dead when the worker has no RecoverFn or the recovery-attempt budget
+/// is exhausted. Dead is terminal for the server's lifetime.
+enum class WorkerHealth {
+  kHealthy = 0,
+  kQuarantined,
+  kRecovering,
+  kDead,
+};
+
+/// Printable state name ("healthy"/"quarantined"/"recovering"/"dead").
+/// Exhaustive switch, no default — adding a state breaks this build.
+const char* worker_health_name(WorkerHealth health);
+
 /// Per-dispatch-worker accounting inside runtime::InferenceServer: which
 /// worker ran how many batches and how long it spent inside its engine.
 /// Utilization (busy_s / ServingStats::uptime_s) is the load-balance
@@ -65,6 +84,9 @@ struct WorkerStats {
   int64_t batches = 0;  ///< engine invocations dispatched by this worker
   int64_t images = 0;   ///< images across those batches
   double busy_s = 0.0;  ///< wall time spent inside the engine function
+  WorkerHealth health = WorkerHealth::kHealthy;  ///< snapshot at stats()
+  int64_t quarantines = 0;  ///< breaker trips on this worker
+  int64_t recoveries = 0;   ///< successful recoveries (back to Healthy)
 };
 
 /// Aggregate serving statistics reported by runtime::InferenceServer.
@@ -102,6 +124,19 @@ struct ServingStats {
   /// Status::kEngineError (counted per request, so a failed batch of n adds
   /// n). These ARE included in `requests`.
   int64_t engine_errors = 0;
+  /// Requests that failed an integrity check (corrupted transfer frame or
+  /// model image, surfaced as tee::IntegrityFault / nn::IntegrityError);
+  /// each resolves Status::kIntegrityError and IS included in `requests`,
+  /// like engine_errors. Corruption is never served as wrong logits.
+  int64_t integrity_errors = 0;
+  // ---- supervision accounting (PR 8). Riders of a failed batch that are
+  // requeued do NOT count as `requests` until the batch that finally
+  // resolves them runs, so the PR-7 identity above is preserved verbatim.
+  int64_t quarantines = 0;       ///< circuit-breaker trips (all workers)
+  int64_t recoveries = 0;        ///< workers returned Quarantined -> Healthy
+  int64_t requeued = 0;          ///< riders re-queued off a tripped worker
+  int64_t canary_failures = 0;   ///< recovery attempts that failed
+  int64_t watchdog_trips = 0;    ///< batches exceeding Config::watchdog_timeout
   /// Engine-side counters the server cannot observe through BatchFn:
   /// transient-fault retries performed (DeployedTBNet::retries()) and
   /// faults injected (TeeContext::faults().faults_injected()). The

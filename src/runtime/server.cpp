@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nn/serialize.h"
+#include "tee/fault.h"
 #include "tensor/simd.h"
 
 namespace tbnet::runtime {
@@ -27,12 +29,18 @@ const char* status_name(Status s) {
       return "expired";
     case Status::kEngineError:
       return "engine_error";
+    case Status::kIntegrityError:
+      return "integrity_error";
   }
   return "unknown";
 }
 
-InferenceServer::InferenceServer(std::vector<BatchFn> engines, Config cfg)
-    : engines_(std::move(engines)), cfg_(cfg), start_(Clock::now()) {
+InferenceServer::InferenceServer(std::vector<BatchFn> engines,
+                                 std::vector<RecoverFn> recovery, Config cfg)
+    : engines_(std::move(engines)),
+      recovery_(std::move(recovery)),
+      cfg_(cfg),
+      start_(Clock::now()) {
   if (engines_.empty()) {
     throw std::invalid_argument("InferenceServer: no engine functions");
   }
@@ -40,6 +48,10 @@ InferenceServer::InferenceServer(std::vector<BatchFn> engines, Config cfg)
     if (!e) {
       throw std::invalid_argument("InferenceServer: null engine function");
     }
+  }
+  if (!recovery_.empty() && recovery_.size() != engines_.size()) {
+    throw std::invalid_argument(
+        "InferenceServer: recovery functions must be empty or one per engine");
   }
   if (cfg_.max_batch <= 0) {
     throw std::invalid_argument("InferenceServer: max_batch must be positive");
@@ -54,10 +66,12 @@ InferenceServer::InferenceServer(std::vector<BatchFn> engines, Config cfg)
   }
   expected_chw_ = cfg_.input_chw;
   stats_.per_worker.resize(engines_.size());
+  control_.resize(engines_.size());
   workers_.reserve(engines_.size());
   for (int w = 0; w < static_cast<int>(engines_.size()); ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
   }
+  supervisor_ = std::thread([this] { supervisor_loop(); });
 }
 
 InferenceServer::InferenceServer(BatchFn engine, Config cfg)
@@ -67,7 +81,7 @@ InferenceServer::InferenceServer(BatchFn engine, Config cfg)
             one.push_back(std::move(engine));
             return one;
           }(),
-          cfg) {}
+          std::vector<RecoverFn>{}, cfg) {}
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
@@ -79,6 +93,40 @@ void InferenceServer::resolve_failure(Pending& p, Status status,
   r.queue_s = seconds_between(p.enqueued, Clock::now());
   r.total_s = r.queue_s;
   p.promise.set_value(std::move(r));
+}
+
+int InferenceServer::live_workers_locked() const {
+  int live = 0;
+  for (const WorkerControl& wc : control_) {
+    if (wc.health != WorkerHealth::kDead) ++live;
+  }
+  return live;
+}
+
+std::deque<InferenceServer::Pending> InferenceServer::take_queue_locked() {
+  std::deque<Pending> taken;
+  taken.swap(queue_);
+  return taken;
+}
+
+bool InferenceServer::trip_breaker_locked(int w) {
+  WorkerControl& wc = control_[static_cast<size_t>(w)];
+  if (wc.health != WorkerHealth::kHealthy) return false;
+  wc.strikes = 0;
+  ++stats_.quarantines;
+  ++stats_.per_worker[static_cast<size_t>(w)].quarantines;
+  const bool recoverable = static_cast<size_t>(w) < recovery_.size() &&
+                           recovery_[static_cast<size_t>(w)] != nullptr;
+  if (recoverable) {
+    wc.health = WorkerHealth::kQuarantined;
+    wc.recovery_attempts = 0;
+    wc.next_recovery = Clock::now() + cfg_.recovery_backoff;
+    supervisor_cv_.notify_all();
+  } else {
+    // No way back: a breaker trip without a RecoverFn is terminal.
+    wc.health = WorkerHealth::kDead;
+  }
+  return true;
 }
 
 std::future<InferenceResult> InferenceServer::submit(Tensor image_chw) {
@@ -107,6 +155,11 @@ std::future<InferenceResult> InferenceServer::submit(
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (reject.empty() && stop_) reject = "submit after shutdown";
+    // With every worker dead there is no engine that will ever run this
+    // request; admitting it would strand the future until shutdown.
+    if (reject.empty() && live_workers_locked() == 0) {
+      reject = "no live workers";
+    }
     if (reject.empty()) {
       if (expected_chw_.ndim() == 0) {
         expected_chw_ = p.image.shape();  // first accept pins the shape
@@ -119,12 +172,17 @@ std::future<InferenceResult> InferenceServer::submit(
         static_cast<int64_t>(queue_.size()) >= cfg_.queue_capacity) {
       switch (cfg_.admission) {
         case AdmissionPolicy::kBlock:
-          // Backpressure: park this submitter until a worker frees space.
+          // Backpressure: park this submitter until a worker frees space
+          // (or there is no worker left to ever free it).
           space_cv_.wait(lock, [this] {
-            return stop_ || static_cast<int64_t>(queue_.size()) <
-                                cfg_.queue_capacity;
+            return stop_ || live_workers_locked() == 0 ||
+                   static_cast<int64_t>(queue_.size()) < cfg_.queue_capacity;
           });
-          if (stop_) reject = "submit blocked at shutdown";
+          if (stop_) {
+            reject = "submit blocked at shutdown";
+          } else if (live_workers_locked() == 0) {
+            reject = "no live workers";
+          }
           break;
         case AdmissionPolicy::kReject:
           reject = "queue full (capacity " +
@@ -165,24 +223,51 @@ std::future<InferenceResult> InferenceServer::submit(
 }
 
 void InferenceServer::drain() {
+  // Requeued riders keep their in_flight_ slot, so this also waits for work
+  // bounced off a quarantined worker to be re-served (possibly by the same
+  // worker after recovery). With max_recovery_attempts <= 0 and a recovery
+  // that never succeeds, that wait is unbounded — cap the attempts (the
+  // exhausted worker dies and the backlog resolves) when drain() must
+  // terminate without a healthy engine.
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void InferenceServer::shutdown() {
-  // Claim the worker handles under the lock so concurrent shutdown() calls
+  // Claim the thread handles under the lock so concurrent shutdown() calls
   // (or shutdown racing the destructor) never join the same thread twice.
   std::vector<std::thread> claimed;
+  std::thread supervisor;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
     for (std::thread& w : workers_) {
       if (w.joinable()) claimed.push_back(std::move(w));
     }
+    if (supervisor_.joinable()) supervisor = std::move(supervisor_);
   }
   queue_cv_.notify_all();
   space_cv_.notify_all();  // blocked submitters resolve Rejected
+  supervisor_cv_.notify_all();
   for (std::thread& w : claimed) w.join();
+  if (supervisor.joinable()) supervisor.join();
+  // Healthy workers drained the queue before exiting; anything still queued
+  // had only quarantined/dead workers left and resolves Rejected here so no
+  // future ever hangs across shutdown.
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover = take_queue_locked();
+    stats_.rejected += static_cast<int64_t>(leftover.size());
+  }
+  if (leftover.empty()) return;
+  for (Pending& p : leftover) {
+    resolve_failure(p, Status::kRejected,
+                    "shutdown with no healthy worker left to serve the queue");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  in_flight_ -= static_cast<int64_t>(leftover.size());
+  if (in_flight_ == 0) idle_cv_.notify_all();
 }
 
 ServingStats InferenceServer::stats() const {
@@ -191,6 +276,9 @@ ServingStats InferenceServer::stats() const {
   snap.uptime_s = seconds_between(start_, Clock::now());
   snap.isa = simd::isa_name();
   snap.int8_isa = simd::int8_isa_name();
+  for (size_t w = 0; w < control_.size(); ++w) {
+    snap.per_worker[w].health = control_[w].health;
+  }
   return snap;
 }
 
@@ -200,8 +288,20 @@ void InferenceServer::worker_loop(int worker) {
     std::vector<Pending> expired;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      // A non-Healthy worker must not claim work: it parks here until the
+      // supervisor restores it (queue_cv_ is notified on recovery) or
+      // shutdown. Health cannot change between this wait and the claim
+      // below — trips are self-inflicted (only this worker's own run_batch
+      // quarantines it) and the supervisor only moves workers toward
+      // Healthy.
+      queue_cv_.wait(lock, [this, worker] {
+        return stop_ ||
+               (!queue_.empty() &&
+                control_[static_cast<size_t>(worker)].health ==
+                    WorkerHealth::kHealthy);
+      });
+      if (queue_.empty() || control_[static_cast<size_t>(worker)].health !=
+                                WorkerHealth::kHealthy) {
         if (stop_) return;
         continue;
       }
@@ -268,6 +368,8 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
 
   Tensor logits;
   bool failed = false;
+  bool trip_now = false;  // first-strike trip: permanent / integrity failure
+  Status fail_status = Status::kEngineError;
   std::string failure;
   try {
     // Stack the CHW images into one NCHW batch. submit() validated every
@@ -293,6 +395,26 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
                                logits.shape().str() + " for batch of " +
                                std::to_string(n));
     }
+  } catch (const tee::IntegrityFault& e) {
+    // Corruption detected at the TEE transfer boundary: the channel is not
+    // trustworthy for a blind replay, so this is a first-strike trip and
+    // the riders surface kIntegrityError — never wrong logits.
+    failed = true;
+    trip_now = true;
+    fail_status = Status::kIntegrityError;
+    failure = e.what();
+  } catch (const nn::IntegrityError& e) {
+    // Corrupted model image detected while (re)deploying — same taxonomy.
+    failed = true;
+    trip_now = true;
+    fail_status = Status::kIntegrityError;
+    failure = e.what();
+  } catch (const tee::PermanentFault& e) {
+    // The engine's secure-world session is gone; consecutive-failure
+    // counting would only burn more batches against a dead session.
+    failed = true;
+    trip_now = true;
+    failure = e.what();
   } catch (const std::exception& e) {
     failed = true;
     failure = e.what();
@@ -301,32 +423,88 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
     failure = "unknown engine failure";
   }
   const auto batch_end = Clock::now();
+  const bool watchdog_overrun =
+      cfg_.watchdog_timeout.count() > 0 &&
+      batch_end - batch_start > cfg_.watchdog_timeout;
 
   // Stats first, promises second: anyone who has observed a request's
-  // future resolve must also see it in stats().
+  // future resolve must also see it in stats(). Breaker/requeue decisions
+  // live in the same critical section so a stats() snapshot never shows a
+  // quarantine without its requeued riders (or vice versa).
+  std::vector<Pending> resolve_now;
+  std::deque<Pending> flushed;  // backlog failed because no worker is left
+  int64_t requeued_count = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats_.requests += n;
+    if (watchdog_overrun) ++stats_.watchdog_trips;
+    bool tripped = false;
+    WorkerControl& wc = control_[static_cast<size_t>(worker)];
+    if (cfg_.breaker_threshold > 0 && wc.health == WorkerHealth::kHealthy) {
+      if (failed || watchdog_overrun) {
+        ++wc.strikes;
+        if ((failed && trip_now) || wc.strikes >= cfg_.breaker_threshold) {
+          tripped = trip_breaker_locked(worker);
+        }
+      } else {
+        wc.strikes = 0;  // the breaker counts CONSECUTIVE failures
+      }
+    }
+    // Re-queue once: when this worker just tripped, its riders' failure is
+    // the worker's fault, not theirs — bounce first-time riders back to the
+    // queue front (order preserved) for a surviving worker, or for this one
+    // after recovery. A rider only gets one bounce; with no non-dead worker
+    // left there is nobody to bounce to.
+    const bool can_requeue = failed && tripped && live_workers_locked() > 0;
+    std::vector<Pending> requeue;
+    for (Pending& p : batch) {
+      if (can_requeue && !p.requeued) {
+        p.requeued = true;
+        requeue.push_back(std::move(p));
+      } else {
+        resolve_now.push_back(std::move(p));
+      }
+    }
+    requeued_count = static_cast<int64_t>(requeue.size());
+    stats_.requeued += requeued_count;
+    for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+      queue_.push_front(std::move(*it));
+    }
+    // A requeued rider is NOT counted as an answered request here — the
+    // batch that finally resolves it will count it — preserving the PR-7
+    // identity: submits = requests + rejected + shed + expired.
+    const int64_t resolved = static_cast<int64_t>(resolve_now.size());
+    stats_.requests += resolved;
     stats_.batches += 1;
-    if (failed) stats_.engine_errors += n;
+    if (failed) {
+      (fail_status == Status::kIntegrityError ? stats_.integrity_errors
+                                              : stats_.engine_errors) +=
+          resolved;
+    }
     // Images that actually rode along: the first image of a batch would have
-    // been served anyway, so a batch of n coalesces n - 1 (counting all n
-    // would let coalesced_images exceed requests - batches and overstate the
-    // benefit).
-    if (n > 1) stats_.coalesced_images += n - 1;
+    // been served anyway, so a batch resolving n coalesces n - 1 (counting
+    // all n would let coalesced_images exceed requests - batches and
+    // overstate the benefit).
+    if (resolved > 1) stats_.coalesced_images += resolved - 1;
     stats_.max_batch_observed = std::max(stats_.max_batch_observed, n);
     stats_.batch_latency.record(seconds_between(batch_start, batch_end));
-    for (const Pending& p : batch) {
+    for (const Pending& p : resolve_now) {
       stats_.request_latency.record(seconds_between(p.enqueued, batch_end));
     }
     WorkerStats& ws = stats_.per_worker[static_cast<size_t>(worker)];
     ws.batches += 1;
     ws.images += n;
     ws.busy_s += seconds_between(batch_start, batch_end);
+    // The last live worker just died: nothing will ever serve the backlog,
+    // so it resolves now with a typed error instead of hanging submitters.
+    if (tripped && live_workers_locked() == 0) {
+      flushed = take_queue_locked();
+      stats_.requests += static_cast<int64_t>(flushed.size());
+      stats_.engine_errors += static_cast<int64_t>(flushed.size());
+    }
   }
+  if (requeued_count > 0) queue_cv_.notify_all();
 
-  for (int64_t i = 0; i < n; ++i) {
-    Pending& p = batch[static_cast<size_t>(i)];
+  for (Pending& p : resolve_now) {
     InferenceResult r;
     r.batch_size = n;
     r.queue_s = seconds_between(p.enqueued, batch_start);
@@ -335,11 +513,14 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
       // The whole batch failed in one engine call; each rider resolves with
       // the same typed error instead of an exception tearing through every
       // waiting submitter.
-      r.status = Status::kEngineError;
+      r.status = fail_status;
       r.error = failure;
       p.promise.set_value(std::move(r));
       continue;
     }
+    // Index association with logits rows holds: on success nothing was
+    // requeued, so resolve_now is the whole batch in claim order.
+    const int64_t i = static_cast<int64_t>(&p - resolve_now.data());
     const int64_t classes = logits.dim(1);
     r.logits = Tensor(Shape{classes});
     const float* row = logits.data() + i * classes;
@@ -350,10 +531,107 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
     }
     p.promise.set_value(std::move(r));
   }
+  for (Pending& p : flushed) {
+    resolve_failure(p, Status::kEngineError,
+                    "no live workers (" + failure + ")");
+  }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  in_flight_ -= n;
-  if (in_flight_ == 0) idle_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_ -= static_cast<int64_t>(resolve_now.size() + flushed.size());
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  }
+  if (!flushed.empty()) space_cv_.notify_all();
+}
+
+void InferenceServer::supervisor_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stop_) return;
+    // The earliest due recovery among quarantined workers (if any).
+    int due = -1;
+    Clock::time_point earliest = Clock::time_point::max();
+    for (int w = 0; w < static_cast<int>(control_.size()); ++w) {
+      const WorkerControl& wc = control_[static_cast<size_t>(w)];
+      if (wc.health == WorkerHealth::kQuarantined &&
+          wc.next_recovery < earliest) {
+        earliest = wc.next_recovery;
+        due = w;
+      }
+    }
+    if (due < 0) {
+      supervisor_cv_.wait(lock);  // woken by trips and shutdown
+      continue;
+    }
+    if (Clock::now() < earliest) {
+      supervisor_cv_.wait_until(lock, earliest);
+      continue;
+    }
+    WorkerControl& wc = control_[static_cast<size_t>(due)];
+    wc.health = WorkerHealth::kRecovering;
+    RecoverFn recover = recovery_[static_cast<size_t>(due)];
+    lock.unlock();
+    // The RecoverFn (e.g. DeployedTBNet::reopen + canary) runs outside the
+    // lock: it re-deploys a TA image and runs an inference, which must not
+    // stall submitters or the healthy workers. The recovering worker's own
+    // thread is parked (non-Healthy workers never claim), so the engine is
+    // not invoked concurrently.
+    bool recovered = true;
+    std::string error;
+    try {
+      recover();
+    } catch (const std::exception& e) {
+      recovered = false;
+      error = e.what();
+    } catch (...) {
+      recovered = false;
+      error = "unknown recovery failure";
+    }
+    lock.lock();
+    std::deque<Pending> flushed;
+    if (recovered) {
+      wc.health = WorkerHealth::kHealthy;
+      wc.strikes = 0;
+      wc.recovery_attempts = 0;
+      ++stats_.recoveries;
+      ++stats_.per_worker[static_cast<size_t>(due)].recoveries;
+      queue_cv_.notify_all();  // the re-admitted worker may claim again
+    } else {
+      ++stats_.canary_failures;
+      ++wc.recovery_attempts;
+      if (cfg_.max_recovery_attempts > 0 &&
+          wc.recovery_attempts >= cfg_.max_recovery_attempts) {
+        wc.health = WorkerHealth::kDead;
+        if (live_workers_locked() == 0) {
+          flushed = take_queue_locked();
+          stats_.requests += static_cast<int64_t>(flushed.size());
+          stats_.engine_errors += static_cast<int64_t>(flushed.size());
+        }
+      } else {
+        // Capped exponential backoff: attempt k waits base * 2^(k-1).
+        auto backoff = cfg_.recovery_backoff;
+        for (int k = 1; k < wc.recovery_attempts + 1 &&
+                        backoff < cfg_.recovery_max_backoff;
+             ++k) {
+          backoff *= 2;
+        }
+        wc.next_recovery =
+            Clock::now() + std::min(backoff, cfg_.recovery_max_backoff);
+        wc.health = WorkerHealth::kQuarantined;
+      }
+    }
+    if (!flushed.empty()) {
+      lock.unlock();
+      for (Pending& p : flushed) {
+        resolve_failure(p, Status::kEngineError,
+                        "no live workers (recovery exhausted: " + error + ")");
+      }
+      lock.lock();
+      in_flight_ -= static_cast<int64_t>(flushed.size());
+      if (in_flight_ == 0) idle_cv_.notify_all();
+      space_cv_.notify_all();
+    }
+  }
 }
 
 }  // namespace tbnet::runtime

@@ -32,6 +32,20 @@
 // per worker) to serve N batches concurrently. Intra-op kernel threads nest
 // under the dispatch workers on the shared ThreadPool, whose work-stealing
 // scheduler lets those nested parallel_fors actually share cores.
+//
+// Supervision (PR 8): permanent engine loss is survivable. Each worker
+// carries a circuit breaker — `breaker_threshold` consecutive failed
+// batches, any tee::PermanentFault / integrity fault, or a watchdog overrun
+// trips it — and a tripped worker is quarantined: it stops claiming work,
+// the riders of its failing batch are re-queued ONCE to the surviving
+// workers (their futures resolve from whichever batch finally runs them),
+// and a supervisor thread retries the worker's RecoverFn (e.g.
+// DeployedTBNet::reopen with a canary) under capped exponential backoff
+// until the worker re-enters the pool or exhausts its attempt budget and is
+// marked dead. Workers without a RecoverFn go straight to dead. When the
+// last live worker dies, everything queued (and every later submit)
+// resolves with a typed status instead of hanging. Health states and the
+// quarantine/recovery counters land in ServingStats.
 
 #include <chrono>
 #include <condition_variable>
@@ -68,10 +82,12 @@ enum class AdmissionPolicy {
 /// these — never an exception — so one bad request or one failing engine
 /// cannot tear down a submitter iterating a futures vector.
 enum class Status {
-  kOk = 0,       ///< logits/label are valid
-  kRejected,     ///< never ran: malformed shape, full queue, shed, shutdown
-  kExpired,      ///< deadline passed before any engine saw it
-  kEngineError,  ///< its batch ran and the engine failed (see error)
+  kOk = 0,          ///< logits/label are valid
+  kRejected,        ///< never ran: malformed shape, full queue, shed, shutdown
+  kExpired,         ///< deadline passed before any engine saw it
+  kEngineError,     ///< its batch ran and the engine failed (see error)
+  kIntegrityError,  ///< its batch tripped an integrity check (corrupted
+                    ///< transfer frame / model image) — detected, not served
 };
 
 const char* status_name(Status s);
@@ -121,12 +137,44 @@ class InferenceServer {
     /// resolves kRejected alone instead of poisoning its whole coalesced
     /// batch; when empty, the first accepted request pins the shape.
     Shape input_chw;
+    // ---- supervision (PR 8) -------------------------------------------
+    /// Consecutive failed batches that trip a worker's circuit breaker.
+    /// PermanentFault / integrity failures trip it on the first strike
+    /// regardless. <= 0 disables the breaker entirely (pre-PR-8 behavior:
+    /// failures resolve kEngineError and the worker keeps serving).
+    int breaker_threshold = 3;
+    /// Supervisor backoff before recovery attempt k is
+    /// recovery_backoff * 2^(k-1), capped at recovery_max_backoff.
+    std::chrono::microseconds recovery_backoff{5000};
+    std::chrono::microseconds recovery_max_backoff{1000000};
+    /// Failed recovery attempts before a quarantined worker is marked dead;
+    /// <= 0 = keep trying for the server's lifetime.
+    int max_recovery_attempts = 0;
+    /// A batch whose engine call exceeds this marks the worker suspect: one
+    /// breaker strike (counted in ServingStats::watchdog_trips) even when
+    /// the batch succeeded, so a wedged-but-eventually-returning engine
+    /// drains into quarantine instead of silently serving at 100x latency.
+    /// <= 0 disables the watchdog.
+    std::chrono::microseconds watchdog_timeout{0};
   };
+
+  /// Restores a broken worker's engine (e.g. a lambda calling
+  /// DeployedTBNet::reopen with a canary batch). Runs on the supervisor
+  /// thread while the worker is quarantined — never concurrently with the
+  /// worker's BatchFn. A throw means the attempt failed; the supervisor
+  /// backs off and retries.
+  using RecoverFn = std::function<void()>;
 
   /// One dispatch worker per engine; engines must all serve the same model
   /// (the server round-robins batches across them by availability, so any
-  /// request may land on any engine).
-  InferenceServer(std::vector<BatchFn> engines, Config cfg);
+  /// request may land on any engine). `recovery` is empty (no worker can
+  /// recover: a tripped breaker is terminal) or one entry per engine (a
+  /// null entry makes that worker unrecoverable).
+  InferenceServer(std::vector<BatchFn> engines, std::vector<RecoverFn> recovery,
+                  Config cfg);
+  InferenceServer(std::vector<BatchFn> engines, Config cfg)
+      : InferenceServer(std::move(engines), std::vector<RecoverFn>{},
+                        std::move(cfg)) {}
   InferenceServer(BatchFn engine, Config cfg);
   explicit InferenceServer(BatchFn engine)
       : InferenceServer(std::move(engine), Config{}) {}
@@ -169,14 +217,38 @@ class InferenceServer {
     std::chrono::steady_clock::time_point enqueued;
     /// Absolute expiry; time_point::max() = none.
     std::chrono::steady_clock::time_point deadline;
+    /// Already survived one failed batch. A rider is re-queued AT MOST once
+    /// (bounding the work one request can consume); a second failure
+    /// resolves it with the failing batch's status.
+    bool requeued = false;
+  };
+
+  /// Supervisor-side state of one worker; guarded by mu_.
+  struct WorkerControl {
+    WorkerHealth health = WorkerHealth::kHealthy;
+    int strikes = 0;            ///< consecutive failed batches while Healthy
+    int recovery_attempts = 0;  ///< failed recoveries since quarantine
+    std::chrono::steady_clock::time_point next_recovery{};
   };
 
   void worker_loop(int worker);
+  void supervisor_loop();
   void run_batch(int worker, std::vector<Pending> batch);
+  /// Trips worker `w`'s breaker: quarantined (supervisor woken) when it has
+  /// a RecoverFn, dead otherwise. Returns true if this call transitioned it
+  /// out of Healthy. Requires mu_ held.
+  bool trip_breaker_locked(int w);
+  /// Counts workers not Dead. Requires mu_ held.
+  int live_workers_locked() const;
+  /// Fails everything still queued (used when the last live worker dies and
+  /// at shutdown when no healthy worker remains to serve the backlog).
+  /// Requires mu_ held; returns the extracted requests to resolve outside.
+  std::deque<Pending> take_queue_locked();
   /// Resolves `p` with a non-Ok status, stamping latency fields.
   static void resolve_failure(Pending& p, Status status, std::string error);
 
   std::vector<BatchFn> engines_;  ///< engines_[w] runs on workers_[w] only
+  std::vector<RecoverFn> recovery_;  ///< empty, or one (maybe null) per engine
   Config cfg_;
   std::chrono::steady_clock::time_point start_;
 
@@ -184,13 +256,16 @@ class InferenceServer {
   std::condition_variable queue_cv_;  // workers wake on arrivals/shutdown
   std::condition_variable idle_cv_;   // drain() waits for in-flight == 0
   std::condition_variable space_cv_;  // kBlock submitters wait for room
+  std::condition_variable supervisor_cv_;  // supervisor waits for quarantines
   std::deque<Pending> queue_;
   Shape expected_chw_;     // pinned input shape ({} until first accept)
   int64_t in_flight_ = 0;  // submitted, not yet answered
   bool stop_ = false;
   ServingStats stats_;
+  std::vector<WorkerControl> control_;  // one per worker, guarded by mu_
 
   std::vector<std::thread> workers_;
+  std::thread supervisor_;
 };
 
 }  // namespace tbnet::runtime

@@ -39,18 +39,23 @@ uint64_t env_u64(const char* name, uint64_t fallback) {
 FaultInjector::FaultInjector()
     : FaultInjector(env_u64("TBNET_FAULT_SEED", kDefaultSeed),
                     env_double("TBNET_FAULT_RATE", 0.0),
-                    env_double("TBNET_FAULT_PERMANENT", 0.0)) {}
+                    env_double("TBNET_FAULT_PERMANENT", 0.0),
+                    env_double("TBNET_FAULT_CORRUPTION", 0.0)) {}
 
 FaultInjector::FaultInjector(uint64_t seed, double rate,
-                             double permanent_fraction)
+                             double permanent_fraction,
+                             double corruption_fraction)
     : state_(seed),
       rate_(clamp01(rate)),
-      permanent_fraction_(clamp01(permanent_fraction)) {}
+      permanent_fraction_(clamp01(permanent_fraction)),
+      corruption_fraction_(clamp01(corruption_fraction)) {}
 
-void FaultInjector::set_rate(double rate, double permanent_fraction) {
+void FaultInjector::set_rate(double rate, double permanent_fraction,
+                             double corruption_fraction) {
   std::lock_guard<std::mutex> lock(mu_);
   rate_ = clamp01(rate);
   permanent_fraction_ = clamp01(permanent_fraction);
+  corruption_fraction_ = clamp01(corruption_fraction);
 }
 
 double FaultInjector::rate() const {
@@ -63,29 +68,58 @@ void FaultInjector::script(Kind kind, int count) {
   for (int i = 0; i < count; ++i) scripted_.push_back(kind);
 }
 
+void FaultInjector::script_at(Kind kind, const char* site, int64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nth < 1) nth = 1;
+  targeted_.push_back(Target{kind, site, crossings_[site] + nth});
+}
+
 void FaultInjector::clear_script() {
   std::lock_guard<std::mutex> lock(mu_);
   scripted_.clear();
+  targeted_.clear();
 }
 
 int64_t FaultInjector::scripted_pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(scripted_.size());
+  return static_cast<int64_t>(scripted_.size() + targeted_.size());
+}
+
+FaultInjector::Kind FaultInjector::consume_locked(const char* site) {
+  const int64_t crossing = ++crossings_[site];
+  // Site-targeted entries outrank the FIFO: a test that pinned "the 3rd
+  // invoke" must fire there even if a rate or FIFO script is also active.
+  for (auto it = targeted_.begin(); it != targeted_.end(); ++it) {
+    if (it->site == site && it->at_crossing == crossing) {
+      Kind kind = it->kind;
+      targeted_.erase(it);
+      return kind;
+    }
+  }
+  if (!scripted_.empty()) {
+    Kind kind = scripted_.front();
+    scripted_.pop_front();
+    return kind;
+  }
+  if (rate_ > 0.0 && uniform01(&state_) < rate_) {
+    const double which = uniform01(&state_);
+    if (which < permanent_fraction_) return Kind::kPermanent;
+    if (which < permanent_fraction_ + corruption_fraction_) {
+      return Kind::kCorruption;
+    }
+    return Kind::kTransient;
+  }
+  return Kind::kNone;
 }
 
 void FaultInjector::check(const char* site) {
-  Kind kind = Kind::kNone;
+  Kind kind;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!scripted_.empty()) {
-      kind = scripted_.front();
-      scripted_.pop_front();
-    } else if (rate_ > 0.0 && uniform01(&state_) < rate_) {
-      kind = uniform01(&state_) < permanent_fraction_ ? Kind::kPermanent
-                                                      : Kind::kTransient;
-    }
+    kind = consume_locked(site);
     if (kind == Kind::kTransient) ++transients_;
     if (kind == Kind::kPermanent) ++permanents_;
+    // kCorruption at a payload-less crossing: consumed, nothing to flip.
   }
   if (kind == Kind::kTransient) {
     throw TransientFault(std::string("injected transient fault at ") + site);
@@ -95,9 +129,46 @@ void FaultInjector::check(const char* site) {
   }
 }
 
+std::optional<std::vector<uint8_t>> FaultInjector::check_transfer(
+    const char* site, const std::vector<uint8_t>& payload) {
+  Kind kind;
+  uint64_t damage_seed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    kind = consume_locked(site);
+    if (kind == Kind::kCorruption && payload.empty()) kind = Kind::kNone;
+    if (kind == Kind::kTransient) ++transients_;
+    if (kind == Kind::kPermanent) ++permanents_;
+    if (kind == Kind::kCorruption) {
+      ++corruptions_;
+      damage_seed = splitmix64(&state_);
+    }
+  }
+  if (kind == Kind::kTransient) {
+    throw TransientFault(std::string("injected transient fault at ") + site);
+  }
+  if (kind == Kind::kPermanent) {
+    throw PermanentFault(std::string("injected permanent fault at ") + site);
+  }
+  if (kind != Kind::kCorruption) return std::nullopt;
+  std::vector<uint8_t> damaged = payload;
+  const int flips = 1 + static_cast<int>(damage_seed % 8);
+  for (int i = 0; i < flips; ++i) {
+    const uint64_t r = splitmix64(&damage_seed);
+    damaged[r % damaged.size()] ^= static_cast<uint8_t>(1u << (r >> 32) % 8);
+  }
+  return damaged;
+}
+
+int64_t FaultInjector::crossings(const char* site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = crossings_.find(site);
+  return it == crossings_.end() ? 0 : it->second;
+}
+
 int64_t FaultInjector::faults_injected() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return transients_ + permanents_;
+  return transients_ + permanents_ + corruptions_;
 }
 
 int64_t FaultInjector::transients_injected() const {
@@ -108,6 +179,11 @@ int64_t FaultInjector::transients_injected() const {
 int64_t FaultInjector::permanents_injected() const {
   std::lock_guard<std::mutex> lock(mu_);
   return permanents_;
+}
+
+int64_t FaultInjector::corruptions_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corruptions_;
 }
 
 }  // namespace tbnet::tee

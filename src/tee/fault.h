@@ -3,15 +3,23 @@
 //
 // Real TrustZone deployments fail: SMC calls abort under scheduler pressure,
 // shared-memory registrations fail transiently, TAs crash and take their
-// sessions with them. The serving stack's robustness machinery (bounded
-// retry with backoff in DeployedTBNet, typed EngineError results at the
+// sessions with them, and DMA'd payloads arrive with flipped bits. The
+// serving stack's robustness machinery (bounded retry with backoff in
+// DeployedTBNet, typed EngineError results and circuit breakers at the
 // InferenceServer) needs those failures on demand, so the FaultInjector sits
 // at the optee_api boundaries — session open, command invoke, payload
-// transfer — and throws TransientFault / PermanentFault either by seeded
-// random sampling (env TBNET_FAULT_RATE / TBNET_FAULT_SEED /
-// TBNET_FAULT_PERMANENT) or from a scripted queue that tests use to target
-// exact boundaries (script kNone to let one check pass, then the fault kind
-// to fire on the next).
+// transfer — and throws TransientFault / PermanentFault (or flips payload
+// bits, for kCorruption) either by seeded random sampling (env
+// TBNET_FAULT_RATE / TBNET_FAULT_SEED / TBNET_FAULT_PERMANENT /
+// TBNET_FAULT_CORRUPTION; see README "Fault injection" for the knob table)
+// or from scripted outcomes tests use to target exact boundaries:
+//   * script(kind, count) — a site-agnostic FIFO consumed by every check()
+//     (script kNone to let one crossing pass, then the fault kind to fire on
+//     the next), and
+//   * script_at(kind, site, nth) — per-site targeting that fires on exactly
+//     the nth FUTURE crossing of that site ("open" / "invoke" / "transfer"),
+//     so recovery tests don't depend on rate-based sampling or on knowing
+//     the global crossing order.
 //
 // Every injection site fires BEFORE the TA executes, so a faulted open or
 // invoke has no secure-world side effects and retrying it is always safe.
@@ -27,8 +35,11 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 namespace tbnet::tee {
 
@@ -47,49 +58,108 @@ class PermanentFault : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Data corruption detected at a boundary (wire-frame checksum mismatch on
+/// a transfer). Deliberately NOT retried inline: a channel that corrupts
+/// payloads is not trustworthy for a blind replay, so serving surfaces it
+/// as Status::kIntegrityError and the supervision layer quarantines and
+/// recovers the worker (tear down + re-deploy + canary) instead.
+class IntegrityFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class FaultInjector {
  public:
   enum class Kind {
-    kNone = 0,   ///< scripted no-op: lets exactly one check() pass
-    kTransient,  ///< check() throws TransientFault
-    kPermanent,  ///< check() throws PermanentFault
+    kNone = 0,    ///< scripted no-op: lets exactly one check() pass
+    kTransient,   ///< check() throws TransientFault
+    kPermanent,   ///< check() throws PermanentFault
+    kCorruption,  ///< check_transfer() flips seeded payload bits in transit
   };
 
   /// Env-configured: TBNET_FAULT_RATE (per-boundary probability, default 0),
   /// TBNET_FAULT_SEED (PRNG seed, default 0x5eed), TBNET_FAULT_PERMANENT
-  /// (fraction of injected faults that are permanent, default 0).
+  /// (fraction of injected faults that are permanent, default 0),
+  /// TBNET_FAULT_CORRUPTION (fraction that are payload corruptions,
+  /// default 0; only meaningful at the payload-bearing transfer boundary).
   FaultInjector();
-  FaultInjector(uint64_t seed, double rate, double permanent_fraction = 0.0);
+  FaultInjector(uint64_t seed, double rate, double permanent_fraction = 0.0,
+                double corruption_fraction = 0.0);
 
-  /// Reconfigures the random sampler (benches flip the rate mid-run).
-  /// Scripted faults are unaffected. Rate and fraction clamp to [0, 1].
-  void set_rate(double rate, double permanent_fraction = 0.0);
+  /// Reconfigures the random sampler (benches flip the rate mid-run, and
+  /// the chaos soak kills a worker by setting rate=1, permanent=1 on its
+  /// context). Scripted faults are unaffected. All fractions clamp to
+  /// [0, 1]; a sampled fault is permanent with `permanent_fraction`, else a
+  /// corruption with `corruption_fraction`, else transient.
+  void set_rate(double rate, double permanent_fraction = 0.0,
+                double corruption_fraction = 0.0);
   double rate() const;
 
-  /// Enqueues `count` scripted outcomes, consumed FIFO by check() ahead of
-  /// any random sampling. kNone entries deterministically skip boundaries:
-  /// to fault the second crossing only, script {kNone, kTransient}.
+  /// Enqueues `count` scripted outcomes, consumed FIFO by any-site check()
+  /// ahead of random sampling. kNone entries deterministically skip
+  /// boundaries: to fault the second crossing only, script {kNone,
+  /// kTransient}.
   void script(Kind kind, int count = 1);
+
+  /// Targets one specific boundary: fires on exactly the `nth` FUTURE
+  /// crossing of `site` (nth = 1 means the very next one), regardless of
+  /// what other sites do in between. Site-targeted entries are consulted
+  /// before the FIFO queue. kCorruption entries only have an effect at a
+  /// payload-bearing crossing (check_transfer); elsewhere they are consumed
+  /// and counted but inject nothing.
+  void script_at(Kind kind, const char* site, int64_t nth = 1);
+
   void clear_script();
-  int64_t scripted_pending() const;
+  int64_t scripted_pending() const;  ///< FIFO + site-targeted entries
 
   /// One boundary crossing: throws TransientFault or PermanentFault when a
   /// fault (scripted or sampled) fires, else returns. `site` names the
-  /// boundary ("open" / "invoke" / "transfer") in the exception text.
+  /// boundary ("open" / "invoke" / "transfer") in the exception text and is
+  /// what script_at() entries match against. A kCorruption outcome at this
+  /// payload-less overload is consumed and counted but injects nothing.
   void check(const char* site);
 
-  int64_t faults_injected() const;   ///< total thrown (both kinds)
+  /// A payload-bearing crossing (the "transfer" boundary): behaves like
+  /// check(), and when the outcome is kCorruption returns a copy of
+  /// `payload` with 1–8 seeded bit-flips (the in-transit damage) instead of
+  /// throwing. Returns nullopt when nothing fired (or the payload is empty —
+  /// there is nothing to corrupt). The caller models the secure side's
+  /// frame verification; see tee/optee_api.cpp.
+  std::optional<std::vector<uint8_t>> check_transfer(
+      const char* site, const std::vector<uint8_t>& payload);
+
+  /// Crossings of `site` observed so far (check + check_transfer), for
+  /// tests that pin Nth-crossing scripts to absolute positions.
+  int64_t crossings(const char* site) const;
+
+  int64_t faults_injected() const;  ///< total injected (all kinds)
   int64_t transients_injected() const;
   int64_t permanents_injected() const;
+  int64_t corruptions_injected() const;
 
  private:
+  struct Target {
+    Kind kind;
+    std::string site;
+    int64_t at_crossing;  ///< absolute crossing number of `site` to fire on
+  };
+
+  /// Consumes the outcome for one crossing of `site` (targeted entries
+  /// first, then the FIFO, then sampling) and bumps the crossing counter.
+  /// Requires mu_ held.
+  Kind consume_locked(const char* site);
+
   mutable std::mutex mu_;
   uint64_t state_;
   double rate_;
   double permanent_fraction_;
+  double corruption_fraction_;
   std::deque<Kind> scripted_;
+  std::vector<Target> targeted_;
+  std::unordered_map<std::string, int64_t> crossings_;
   int64_t transients_ = 0;
   int64_t permanents_ = 0;
+  int64_t corruptions_ = 0;
 };
 
 }  // namespace tbnet::tee

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/crc32c.h"
+
 namespace tbnet::tee {
 namespace {
 
@@ -55,26 +57,42 @@ uint32_t TeeSession::invoke(uint32_t command, const std::vector<uint8_t>& in,
   // Both fault sites fire BEFORE the channel push and the TA execution, so
   // a faulted invoke leaves no secure-world state behind and retrying the
   // identical command is safe (see tee/fault.h).
+  const std::vector<uint8_t>* body = &in;
+  std::optional<std::vector<uint8_t>> damaged;
   if (faults_ != nullptr) {
     faults_->check("invoke");
-    faults_->check("transfer");
+    damaged = faults_->check_transfer("transfer", in);
+    if (damaged) {
+      // The secure side verifies a CRC32C frame checksum over each shared-
+      // memory transfer before touching the payload. A flipped bit fails
+      // that verification here; a collision (2^-32) would let the damaged
+      // payload through, which is exactly the residual risk of a 32-bit
+      // frame check — so the damaged bytes flow on in that case.
+      if (crc32c(damaged->data(), damaged->size()) !=
+          crc32c(in.data(), in.size())) {
+        throw IntegrityFault(
+            "transfer frame checksum mismatch — payload corrupted in "
+            "transit");
+      }
+      body = &*damaged;
+    }
   }
   // Entry switch: parameters cross into the secure world.
   channel_.push(World::kNormal, World::kSecure,
-                static_cast<int64_t>(in.size()));
+                static_cast<int64_t>(body->size()));
   ++switches_;
   if (timing_) {
     // Entry: client-API invoke overhead + SMC switch + payload transfer.
     const double stall =
         timing_->invoke_overhead_s + timing_->world_switch_s +
-        static_cast<double>(in.size()) / timing_->channel_bytes_per_s;
+        static_cast<double>(body->size()) / timing_->channel_bytes_per_s;
     spin_for(stall);
     simulated_overhead_s_ += stall;
   }
 
   std::vector<uint8_t> result;
   TaContext ctx{&world_.memory()};
-  const uint32_t status = ta_->invoke(command, in, result, ctx);
+  const uint32_t status = ta_->invoke(command, *body, result, ctx);
 
   // Exit switch: only the (capped) result may leave.
   if (static_cast<int64_t>(result.size()) > max_result_bytes_) {

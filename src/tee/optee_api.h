@@ -85,7 +85,10 @@ class TeeSession {
   /// boundary crossing this session performs: "open" once here, then
   /// "invoke" and "transfer" at the top of every invoke(). All sites fire
   /// before the TA executes, so a faulted call has no secure-world side
-  /// effects and is safe to retry. nullptr = no injection.
+  /// effects and is safe to retry. A kCorruption fault at the "transfer"
+  /// site flips payload bits in transit; the frame checksum the secure side
+  /// verifies catches it and the invoke throws IntegrityFault (not retried —
+  /// see tee/fault.h). nullptr = no injection.
   TeeSession(SecureWorld& world, OneWayChannel& channel,
              const std::string& uuid,
              int64_t max_result_bytes = kDefaultMaxResultBytes,

@@ -1,0 +1,44 @@
+#pragma once
+// CRC32C (Castagnoli polynomial, reflected form) — the integrity checksum
+// used by the v4 model-image format (nn/serialize) and the TEE transfer
+// frames (tee/optee_api). Software table implementation: portable, no
+// SSE4.2 dependency, and fast enough for deploy-time verification of
+// kilobyte-to-megabyte model images.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tbnet {
+namespace detail {
+
+inline const std::array<uint32_t, 256>& crc32c_table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// CRC32C of `len` bytes. Chainable: pass a previous result as `seed` to
+/// extend the checksum over a second buffer.
+inline uint32_t crc32c(const void* data, size_t len, uint32_t seed = 0) {
+  const auto& table = detail::crc32c_table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace tbnet

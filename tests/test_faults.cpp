@@ -13,13 +13,16 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "models/model_zoo.h"
 #include "nn/sequential.h"
+#include "nn/serialize.h"
 #include "runtime/deployed.h"
 #include "runtime/server.h"
 #include "tee/fault.h"
@@ -512,6 +515,428 @@ TEST(Admission, ConcurrentOverloadNeverLosesAFuture) {
   EXPECT_EQ(stats.requests - stats.engine_errors, ok);
   EXPECT_EQ(stats.rejected + stats.shed + stats.expired + stats.engine_errors,
             failed);
+}
+
+// ---------------------------------------- per-site / Nth-crossing scripts --
+
+TEST(FaultInjector, PerSiteNthCrossingTargeting) {
+  FaultInjector inj(3, 0.0);
+  // Fire on the 2nd future crossing of "invoke"; "transfer" crossings in
+  // between must not consume it.
+  inj.script_at(Kind::kTransient, "invoke", 2);
+  EXPECT_EQ(inj.scripted_pending(), 1);
+  EXPECT_NO_THROW(inj.check("invoke"));    // invoke crossing 1
+  EXPECT_NO_THROW(inj.check("transfer"));  // other site, no effect
+  EXPECT_THROW(inj.check("invoke"), tee::TransientFault);  // crossing 2
+  EXPECT_EQ(inj.scripted_pending(), 0);
+  EXPECT_NO_THROW(inj.check("invoke"));
+  EXPECT_EQ(inj.crossings("invoke"), 3);
+  EXPECT_EQ(inj.crossings("transfer"), 1);
+
+  // Targeted entries outrank the FIFO queue on their crossing, and are
+  // relative to the CURRENT crossing count (nth = 1 means the next one).
+  inj.script_at(Kind::kPermanent, "open");
+  inj.script(Kind::kTransient);
+  EXPECT_THROW(inj.check("open"), tee::PermanentFault);
+  EXPECT_THROW(inj.check("open"), tee::TransientFault);  // FIFO still queued
+  inj.script_at(Kind::kTransient, "open", 5);
+  inj.clear_script();
+  EXPECT_EQ(inj.scripted_pending(), 0);
+}
+
+TEST(FaultInjector, CorruptionFlipsPayloadBitsDeterministically) {
+  FaultInjector inj(11, 0.0);
+  const std::vector<uint8_t> payload(64, 0xAB);
+  // Clean crossing: nullopt, nothing counted.
+  EXPECT_FALSE(inj.check_transfer("transfer", payload).has_value());
+  inj.script_at(Kind::kCorruption, "transfer", 1);
+  auto damaged = inj.check_transfer("transfer", payload);
+  ASSERT_TRUE(damaged.has_value());
+  EXPECT_EQ(damaged->size(), payload.size());
+  EXPECT_NE(*damaged, payload);  // 1-8 bit flips landed somewhere
+  EXPECT_EQ(inj.corruptions_injected(), 1);
+  EXPECT_EQ(inj.faults_injected(), 1);
+
+  // Same seed, same script -> identical damage (replayable chaos).
+  FaultInjector twin(11, 0.0);
+  EXPECT_FALSE(twin.check_transfer("transfer", payload).has_value());
+  twin.script_at(Kind::kCorruption, "transfer", 1);
+  EXPECT_EQ(*twin.check_transfer("transfer", payload), *damaged);
+
+  // A corruption outcome at a payload-less crossing (or an empty payload)
+  // is consumed without effect — there is nothing to flip.
+  inj.script(Kind::kCorruption);
+  EXPECT_NO_THROW(inj.check("invoke"));
+  inj.script(Kind::kCorruption);
+  EXPECT_FALSE(inj.check_transfer("transfer", {}).has_value());
+}
+
+// ------------------------------------------------ model-image integrity ----
+
+TEST(Serialize, V4RoundTripsAndRejectsCorruptionTyped) {
+  nn::Sequential victim = models::build_victim(tiny_vgg_cfg());
+  std::ostringstream os(std::ios::binary);
+  nn::save_model(os, victim);
+  const std::string bytes = os.str();
+
+  // Round trip: load and re-save reproduces the exact bytes (checksums and
+  // framing included).
+  std::istringstream is(bytes, std::ios::binary);
+  std::unique_ptr<nn::Layer> loaded = nn::load_model(is);
+  std::ostringstream os2(std::ios::binary);
+  nn::save_model(os2, *loaded);
+  EXPECT_EQ(os2.str(), bytes);
+
+  // One flipped bit mid-payload -> typed IntegrityError at load (the same
+  // path DeployedTBNet's TA-image deploy takes), never wrong weights.
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  std::istringstream bad(corrupt, std::ios::binary);
+  EXPECT_THROW(nn::load_model(bad), nn::IntegrityError);
+
+  // Damage in the header checksum itself is also typed.
+  std::string bad_header = bytes;
+  bad_header[9] ^= 0x01;  // inside the u32 header CRC at offset 8
+  std::istringstream bad2(bad_header, std::ios::binary);
+  EXPECT_THROW(nn::load_model(bad2), nn::IntegrityError);
+}
+
+TEST(Serialize, PreChecksumVersionsStillLoad) {
+  // A handcrafted v1 stream: magic, u32 version, one unframed ReLU body
+  // (u32 string length + "ReLU"). No header CRC, no section framing.
+  std::string v1("TBNM", 4);
+  const uint32_t version = 1;
+  const uint32_t len = 4;
+  v1.append(reinterpret_cast<const char*>(&version), 4);
+  v1.append(reinterpret_cast<const char*>(&len), 4);
+  v1.append("ReLU", 4);
+  std::istringstream is(v1, std::ios::binary);
+  std::unique_ptr<nn::Layer> layer = nn::load_model(is);
+  ASSERT_NE(layer, nullptr);
+  EXPECT_EQ(layer->kind(), "ReLU");
+}
+
+TEST(DeployedFaults, CorruptedTransferSurfacesIntegrityFault) {
+  core::TwoBranchModel tb = tiny_two_branch();
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx, "tbnet-corruption");
+  Rng rng(21);
+  const Tensor batch = random_batch(1, rng);
+  const Tensor want = deployed.infer_batch(batch);
+
+  // Corrupt the next payload transfer: the frame checksum catches the
+  // flipped bits and the invoke throws typed — no retry (the damage is not
+  // transient), and definitely no wrong logits.
+  ctx.faults().script_at(Kind::kCorruption, "transfer", 1);
+  EXPECT_THROW(deployed.infer_batch(batch), tee::IntegrityFault);
+  EXPECT_EQ(ctx.faults().corruptions_injected(), 1);
+
+  // The engine (and its TA) survive; a clean call is bit-identical.
+  EXPECT_TRUE(allclose(deployed.infer_batch(batch), want, 0.0f, 0.0f));
+}
+
+// ------------------------------------------------------ session recovery --
+
+TEST(DeployedFaults, ReopenRecoversAfterPermanentLoss) {
+  core::TwoBranchModel tb = tiny_two_branch();
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx, "tbnet-reopen");
+  Rng rng(22);
+  const Tensor batch = random_batch(2, rng);
+  const Tensor want = deployed.infer_batch(batch);
+
+  // Permanent session loss: every boundary faults permanently.
+  ctx.faults().set_rate(1.0, 1.0);
+  EXPECT_THROW(deployed.infer_batch(batch), tee::PermanentFault);
+
+  // Recovery: re-deploy the retained TA image (re-verifying its v4
+  // checksums), re-open the session, and prove it with a canary inference.
+  ctx.faults().set_rate(0.0);
+  deployed.reopen(batch);
+  EXPECT_EQ(deployed.reopens(), 1);
+  EXPECT_TRUE(allclose(deployed.infer_batch(batch), want, 0.0f, 0.0f));
+}
+
+// ------------------------------------------------------------ supervision --
+
+TEST(Supervision, QuarantineRequeuesRidersAndDrainStaysExact) {
+  // Deterministic kill: worker 0's engine loses its session permanently on
+  // every call, worker 1 is healthy (gated so queue states are race-free).
+  // Whatever order the workers claim in, both requests must resolve Ok —
+  // the failing worker's rider is re-queued, not failed — and drain() must
+  // account for the bounced rider exactly.
+  GatedEngine gate;
+  std::vector<InferenceServer::BatchFn> engines;
+  engines.push_back([](const Tensor&) -> Tensor {
+    throw tee::PermanentFault("secure session lost");
+  });
+  engines.push_back(gate.fn());
+  InferenceServer::Config scfg;
+  scfg.max_batch = 1;  // one rider per batch keeps the interleaving simple
+  scfg.max_queue_delay = std::chrono::microseconds(200);
+  InferenceServer server(std::move(engines), scfg);
+
+  Rng rng(31);
+  auto f1 = server.submit(chw(rng));
+  auto f2 = server.submit(chw(rng));
+  // Worker 0 dies on whichever request it claims (no RecoverFn -> Dead);
+  // that request bounces back to the queue for worker 1.
+  while (server.stats().quarantines < 1) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  gate.release();
+  server.drain();
+
+  ASSERT_EQ(f1.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  ASSERT_EQ(f2.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  EXPECT_EQ(f2.get().status, Status::kOk);
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.quarantines, 1);
+  EXPECT_EQ(stats.requeued, 1);
+  EXPECT_EQ(stats.engine_errors, 0);  // the failure was absorbed by requeue
+  EXPECT_EQ(stats.requests, 2);       // identity: 2 submits, 2 served
+  EXPECT_EQ(stats.per_worker[0].health, WorkerHealth::kDead);
+  EXPECT_EQ(stats.per_worker[0].quarantines, 1);
+  EXPECT_EQ(stats.per_worker[1].health, WorkerHealth::kHealthy);
+}
+
+TEST(Supervision, ConsecutiveFailuresTripBreakerThenFailFast) {
+  // K consecutive kEngineError batches trip the breaker; with no RecoverFn
+  // the lone worker dies and later submits resolve kRejected immediately
+  // instead of feeding a dead engine.
+  std::vector<InferenceServer::BatchFn> engines;
+  engines.push_back(
+      [](const Tensor&) -> Tensor { throw std::runtime_error("flaky"); });
+  InferenceServer::Config scfg;
+  scfg.breaker_threshold = 2;
+  InferenceServer server(std::move(engines), scfg);
+
+  Rng rng(32);
+  // Strike 1: below threshold, rider resolves kEngineError, worker serves on.
+  EXPECT_EQ(server.submit(chw(rng)).get().status, Status::kEngineError);
+  // Strike 2 trips the breaker. The rider is NOT requeued — with the last
+  // worker dead there is nobody to bounce it to — so it also resolves typed.
+  EXPECT_EQ(server.submit(chw(rng)).get().status, Status::kEngineError);
+  // Fail-fast: no live workers left.
+  InferenceResult r = server.submit(chw(rng)).get();
+  EXPECT_EQ(r.status, Status::kRejected);
+  EXPECT_NE(r.error.find("no live workers"), std::string::npos) << r.error;
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.quarantines, 1);
+  EXPECT_EQ(stats.requeued, 0);
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.engine_errors, 2);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.per_worker[0].health, WorkerHealth::kDead);
+  // Identity: 3 submits = 2 served + 1 rejected.
+  EXPECT_EQ(stats.requests + stats.rejected + stats.shed + stats.expired, 3);
+}
+
+TEST(Supervision, RecoveryLifecycleReAdmitsWorker) {
+  // Full kill -> quarantine -> (failed recovery, backoff) -> recover ->
+  // re-admit on a single worker. The rider submitted while the worker was
+  // broken is re-queued to the worker itself and served after recovery —
+  // zero lost futures, no kEngineError ever surfaced.
+  std::atomic<bool> broken{false};
+  std::vector<InferenceServer::BatchFn> engines;
+  engines.push_back([&broken](const Tensor& nchw) -> Tensor {
+    if (broken.load()) throw tee::PermanentFault("secure session lost");
+    return Tensor(Shape{nchw.dim(0), 2});
+  });
+  std::vector<InferenceServer::RecoverFn> recovery;
+  recovery.push_back([&broken] {
+    if (broken.load()) throw std::runtime_error("canary failed: still broken");
+  });
+  InferenceServer::Config scfg;
+  scfg.breaker_threshold = 1;
+  scfg.recovery_backoff = std::chrono::microseconds(300);
+  scfg.recovery_max_backoff = std::chrono::microseconds(3000);
+  InferenceServer server(std::move(engines), std::move(recovery), scfg);
+
+  Rng rng(33);
+  EXPECT_EQ(server.submit(chw(rng)).get().status, Status::kOk);
+
+  broken.store(true);
+  auto bounced = server.submit(chw(rng));
+  // The supervisor must attempt (and fail) recovery while the engine stays
+  // broken: quarantine observed, at least one canary failure, no recovery.
+  while (server.stats().canary_failures < 1) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  EXPECT_EQ(server.stats().quarantines, 1);
+  EXPECT_EQ(server.stats().recoveries, 0);
+
+  broken.store(false);  // the next recovery attempt's canary passes
+  InferenceResult r = bounced.get();
+  EXPECT_EQ(r.status, Status::kOk);
+
+  server.drain();
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.recoveries, 1);
+  EXPECT_EQ(stats.requeued, 1);
+  EXPECT_GE(stats.canary_failures, 1);
+  EXPECT_EQ(stats.engine_errors, 0);
+  EXPECT_EQ(stats.per_worker[0].health, WorkerHealth::kHealthy);
+  EXPECT_EQ(stats.per_worker[0].recoveries, 1);
+
+  // The re-admitted worker serves new traffic.
+  EXPECT_EQ(server.submit(chw(rng)).get().status, Status::kOk);
+}
+
+TEST(Supervision, WatchdogOverrunTripsBreakerEvenOnSuccess) {
+  // A batch that overruns watchdog_timeout marks its worker suspect even
+  // though the result was correct: the rider still gets its Ok, but the
+  // worker cycles through quarantine + recovery before serving again.
+  std::atomic<int> calls{0};
+  std::vector<InferenceServer::BatchFn> engines;
+  engines.push_back([&calls](const Tensor& nchw) {
+    if (calls.fetch_add(1) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return Tensor(Shape{nchw.dim(0), 2});
+  });
+  std::vector<InferenceServer::RecoverFn> recovery;
+  recovery.push_back([] {});  // trivially recovers
+  InferenceServer::Config scfg;
+  scfg.breaker_threshold = 1;
+  scfg.watchdog_timeout = std::chrono::milliseconds(1);
+  scfg.recovery_backoff = std::chrono::microseconds(300);
+  InferenceServer server(std::move(engines), std::move(recovery), scfg);
+
+  Rng rng(34);
+  InferenceResult slow = server.submit(chw(rng)).get();
+  EXPECT_EQ(slow.status, Status::kOk);  // success is still delivered
+  while (server.stats().recoveries < 1) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const ServingStats mid = server.stats();
+  EXPECT_EQ(mid.watchdog_trips, 1);
+  EXPECT_EQ(mid.quarantines, 1);
+  EXPECT_EQ(mid.requeued, 0);  // nothing failed, nothing bounced
+  // Re-admitted and fast again.
+  EXPECT_EQ(server.submit(chw(rng)).get().status, Status::kOk);
+  EXPECT_EQ(server.stats().watchdog_trips, 1);
+}
+
+TEST(Supervision, IntegrityFailureSurfacesTypedStatus) {
+  // An engine tripping an integrity check resolves kIntegrityError (first
+  // strike, regardless of threshold) — corrupted data is never served.
+  std::vector<InferenceServer::BatchFn> engines;
+  engines.push_back([](const Tensor&) -> Tensor {
+    throw tee::IntegrityFault("transfer frame checksum mismatch");
+  });
+  InferenceServer::Config scfg;
+  scfg.breaker_threshold = 100;  // integrity must trip on strike one anyway
+  InferenceServer server(std::move(engines), scfg);
+
+  Rng rng(35);
+  InferenceResult r = server.submit(chw(rng)).get();
+  EXPECT_EQ(r.status, Status::kIntegrityError);
+  EXPECT_FALSE(r.ok());
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.integrity_errors, 1);
+  EXPECT_EQ(stats.engine_errors, 0);
+  EXPECT_EQ(stats.quarantines, 1);
+  EXPECT_EQ(stats.per_worker[0].health, WorkerHealth::kDead);
+}
+
+TEST(Supervision, ChaosIdentityUnderConcurrentLoadAndRecovery) {
+  // The lifecycle under real concurrency (TSan food): 4 submitters hammer a
+  // 2-worker shedding server while worker 0 is broken mid-run and then
+  // recovers. Every future resolves typed and the accounting identity holds
+  // exactly, requeues and recoveries included.
+  std::atomic<bool> broken{false};
+  std::vector<InferenceServer::BatchFn> engines;
+  engines.push_back([&broken](const Tensor& nchw) -> Tensor {
+    if (broken.load()) throw tee::PermanentFault("secure session lost");
+    return Tensor(Shape{nchw.dim(0), 2});
+  });
+  engines.push_back([](const Tensor& nchw) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return Tensor(Shape{nchw.dim(0), 2});
+  });
+  std::vector<InferenceServer::RecoverFn> recovery;
+  recovery.push_back([&broken] {
+    if (broken.load()) throw std::runtime_error("still broken");
+  });
+  recovery.push_back(nullptr);  // worker 1 is unrecoverable (and never trips)
+  InferenceServer::Config scfg;
+  scfg.max_batch = 4;
+  scfg.max_queue_delay = std::chrono::microseconds(200);
+  scfg.queue_capacity = 16;
+  scfg.admission = AdmissionPolicy::kShedOldest;
+  scfg.breaker_threshold = 1;
+  scfg.recovery_backoff = std::chrono::microseconds(300);
+  scfg.recovery_max_backoff = std::chrono::microseconds(2000);
+  InferenceServer server(std::move(engines), std::move(recovery), scfg);
+
+  const int threads = 4;
+  const int per_thread = 50;
+  // Worker 0 is broken from the first batch it claims: the trip is
+  // guaranteed, not a race against the submit burst. It is healed from the
+  // main thread once the quarantine has been observed, so the run also
+  // covers at least one failed recovery attempt or the recovery itself.
+  broken.store(true);
+  std::vector<std::vector<std::future<InferenceResult>>> futures(threads);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < threads; ++t) {
+    submitters.emplace_back([&, t] {
+      Rng rng(300 + t);
+      for (int i = 0; i < per_thread; ++i) {
+        futures[static_cast<size_t>(t)].push_back(server.submit(chw(rng)));
+      }
+    });
+  }
+  while (server.stats().quarantines < 1) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  broken.store(false);
+  for (auto& th : submitters) th.join();
+  server.drain();
+
+  int64_t ok = 0, rejected = 0, expired = 0, engine_err = 0, integrity = 0;
+  for (auto& per : futures) {
+    for (auto& f : per) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready);
+      const InferenceResult r = f.get();
+      switch (r.status) {
+        case Status::kOk: ++ok; break;
+        case Status::kRejected: ++rejected; break;
+        case Status::kExpired: ++expired; break;
+        case Status::kEngineError: ++engine_err; break;
+        case Status::kIntegrityError: ++integrity; break;
+      }
+    }
+  }
+  const int64_t submits = static_cast<int64_t>(threads) * per_thread;
+  const ServingStats stats = server.stats();
+  // PR-7 identity, now with bounced riders in play: a requeued request still
+  // resolves (and is counted) exactly once.
+  EXPECT_EQ(stats.requests + stats.rejected + stats.shed + stats.expired,
+            submits);
+  EXPECT_EQ(stats.rejected + stats.shed, rejected);
+  EXPECT_EQ(stats.expired, expired);
+  EXPECT_EQ(stats.engine_errors, engine_err);
+  EXPECT_EQ(stats.integrity_errors, integrity);
+  EXPECT_EQ(stats.requests - stats.engine_errors - stats.integrity_errors, ok);
+  EXPECT_GE(stats.quarantines, 1);  // worker 0 tripped at least once
+}
+
+TEST(Supervision, StatusAndHealthNamesAreExhaustive) {
+  EXPECT_STREQ(status_name(Status::kOk), "ok");
+  EXPECT_STREQ(status_name(Status::kRejected), "rejected");
+  EXPECT_STREQ(status_name(Status::kExpired), "expired");
+  EXPECT_STREQ(status_name(Status::kEngineError), "engine_error");
+  EXPECT_STREQ(status_name(Status::kIntegrityError), "integrity_error");
+  EXPECT_STREQ(worker_health_name(WorkerHealth::kHealthy), "healthy");
+  EXPECT_STREQ(worker_health_name(WorkerHealth::kQuarantined), "quarantined");
+  EXPECT_STREQ(worker_health_name(WorkerHealth::kRecovering), "recovering");
+  EXPECT_STREQ(worker_health_name(WorkerHealth::kDead), "dead");
 }
 
 }  // namespace

@@ -15,6 +15,13 @@ root) and flags any metric that regressed by more than the threshold:
     queue's goodput at 10x offered load as a fraction of 1x goodput. The
     ratio is dimensionless (both sides measured on the same run/host), so it
     gates portably across runners of different absolute speed.
+  * "chaos" (bench_serving --chaos): recovery_ratio (higher is better) —
+    goodput after a killed worker recovers as a fraction of pre-kill
+    goodput, compared against the baseline AND held to an absolute floor of
+    0.95 (self-healing must restore service, not merely limp). Two absolute
+    invariants are also enforced whenever the current run carries a chaos
+    section: unresolved == 0 (drain never abandons a future) and
+    recoveries >= 1 (the killed worker actually came back).
 
 Sections absent from either file are skipped, so the one script gates both
 bench artifacts.
@@ -103,6 +110,50 @@ def compare_soak(baseline, current, threshold):
     return []
 
 
+# Absolute floor for chaos/recovery_ratio: after the killed worker is
+# re-admitted, goodput must be back within 5% of pre-kill goodput.
+CHAOS_RECOVERY_FLOOR = 0.95
+
+
+def compare_chaos(baseline, current, threshold):
+    """Gates the chaos soak: recovery_ratio vs baseline + absolute invariants.
+
+    Skipped entirely when the current run has no "chaos" section (the flag
+    was not passed); the baseline-relative leg is additionally skipped when
+    the baseline predates the section.
+    """
+    cur = current.get("chaos")
+    if not cur:
+        return []
+    regressions = []
+
+    unresolved = int(cur.get("unresolved", 0))
+    recoveries = int(cur.get("recoveries", 0))
+    ratio = float(cur.get("recovery_ratio", 0.0))
+    ok = (unresolved == 0 and recoveries >= 1
+          and ratio >= CHAOS_RECOVERY_FLOOR)
+    status = "OK" if ok else "REGRESSED"
+    print(f"  [{status}] chaos: recovery_ratio={ratio:.3f} "
+          f"(floor {CHAOS_RECOVERY_FLOOR}), unresolved={unresolved}, "
+          f"recoveries={recoveries}")
+    if not ok:
+        regressions.append(("chaos/recovery (absolute floor)",
+                            CHAOS_RECOVERY_FLOOR, ratio,
+                            ratio / CHAOS_RECOVERY_FLOOR))
+
+    base = baseline.get("chaos")
+    if base:
+        b, c = float(base.get("recovery_ratio", 0.0)), ratio
+        if b > 0 and c > 0:
+            rel = c / b
+            status = "OK" if rel >= 1.0 - threshold else "REGRESSED"
+            print(f"  [{status}] chaos/recovery_ratio: baseline={b:.4g} "
+                  f"current={c:.4g} (ratio {rel:.2f})")
+            if status == "REGRESSED":
+                regressions.append(("chaos/recovery_ratio", b, c, rel))
+    return regressions
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -150,6 +201,7 @@ def main():
     regressions += compare(baseline, current, "fused_ms", False,
                            args.threshold, args.min_flops, "depthwise_fused")
     regressions += compare_soak(baseline, current, args.threshold)
+    regressions += compare_chaos(baseline, current, args.threshold)
 
     if not regressions:
         print("No gated per-shape regression beyond threshold.")
