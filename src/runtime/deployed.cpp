@@ -449,14 +449,21 @@ void DeployedTBNet::open_session_with_retry() {
                                  std::to_string(open_attempts) +
                                  " attempts: " + e.what());
       }
-      ++retries_;
       const int64_t ceil_us = backoff_ceil_us(opt_.retry, attempt);
-      if (ceil_us > 0) {
-        const auto sleep_us = static_cast<int64_t>(
-            next_jitter() % static_cast<uint64_t>(ceil_us + 1));
-        if (sleep_us > 0) {
-          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      int64_t sleep_us = 0;
+      {
+        // Count the retry and draw the jitter under the lock; the backoff
+        // sleep itself must not hold it (a monitor polling retries() would
+        // block for the whole backoff otherwise).
+        MutexLock lock(mu_);
+        ++retries_;
+        if (ceil_us > 0) {
+          sleep_us = static_cast<int64_t>(
+              next_jitter() % static_cast<uint64_t>(ceil_us + 1));
         }
+      }
+      if (sleep_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
       }
     }
   }
@@ -493,6 +500,7 @@ void DeployedTBNet::reopen(const Tensor& canary_nchw) {
           " — recovery rejected");
     }
   }
+  MutexLock lock(mu_);
   ++reopens_;
 }
 
@@ -521,14 +529,21 @@ void DeployedTBNet::invoke_with_retry(uint32_t command,
                                  std::to_string(attempts) +
                                  " attempts: " + e.what());
       }
-      ++retries_;
       const int64_t ceil_us = backoff_ceil_us(opt_.retry, attempt);
-      if (ceil_us > 0) {
-        const auto sleep_us = static_cast<int64_t>(
-            next_jitter() % static_cast<uint64_t>(ceil_us + 1));
-        if (sleep_us > 0) {
-          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      int64_t sleep_us = 0;
+      {
+        // Count the retry and draw the jitter under the lock; the backoff
+        // sleep itself must not hold it (a monitor polling retries() would
+        // block for the whole backoff otherwise).
+        MutexLock lock(mu_);
+        ++retries_;
+        if (ceil_us > 0) {
+          sleep_us = static_cast<int64_t>(
+              next_jitter() % static_cast<uint64_t>(ceil_us + 1));
         }
+      }
+      if (sleep_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
       }
     }
     // tee::PermanentFault and every other exception propagate immediately:

@@ -24,6 +24,7 @@
 #include "nn/sequential.h"
 #include "tee/optee_api.h"
 #include "tensor/execution_context.h"
+#include "tensor/thread_annotations.h"
 
 namespace tbnet::runtime {
 
@@ -129,8 +130,13 @@ class DeployedTBNet {
   int64_t world_switches() const;
 
   /// Transient-fault retries this engine has performed (session open +
-  /// every TA invocation). Feeds ServingStats::retries in bench/tests.
-  int64_t retries() const { return retries_; }
+  /// every TA invocation). Feeds ServingStats::retries in bench/tests;
+  /// thread-safe, so a monitor may poll it while the engine's dispatch
+  /// worker is mid-batch.
+  int64_t retries() const {
+    MutexLock lock(mu_);
+    return retries_;
+  }
 
   /// Recovers the engine after a permanent secure-world loss (TA panic,
   /// session torn down, corrupted transfer): re-installs the TA from the
@@ -143,8 +149,11 @@ class DeployedTBNet {
   /// runtime/server.h.
   void reopen(const Tensor& canary_nchw = Tensor());
 
-  /// Times reopen() completed successfully.
-  int64_t reopens() const { return reopens_; }
+  /// Times reopen() completed successfully. Thread-safe like retries().
+  int64_t reopens() const {
+    MutexLock lock(mu_);
+    return reopens_;
+  }
 
   /// The session, for enabling device-timing simulation in benches.
   tee::TeeSession& session() { return *session_; }
@@ -160,13 +169,20 @@ class DeployedTBNet {
   void invoke_with_retry(uint32_t command, const std::vector<uint8_t>& in,
                          std::vector<uint8_t>* out, const char* what);
   /// Next backoff-jitter draw (splitmix64 over jitter_state_).
-  uint64_t next_jitter();
+  uint64_t next_jitter() TS_REQUIRES(mu_);
 
   /// Opens (or re-opens) session_ against tee_ctx_, retrying transient
   /// "open" faults under Options::RetryPolicy.
   void open_session_with_retry();
 
   std::vector<std::unique_ptr<nn::Layer>> exposed_;
+  /// Deliberately NOT mu_-guarded: the engine is single-dispatch-thread by
+  /// contract (class comment), and the one cross-thread writer — reopen()
+  /// on the supervisor thread — only runs while the owning worker is parked
+  /// in quarantine (InferenceServer's health protocol guarantees the
+  /// worker's BatchFn and the RecoverFn never overlap). Guarding it here
+  /// would serialize every TA invocation for a hand-off that is already
+  /// externally synchronized.
   std::unique_ptr<tee::TeeSession> session_;
   Options opt_;
   ExecutionContext exec_ctx_;  ///< REE-world context (arena + pool)
@@ -174,9 +190,12 @@ class DeployedTBNet {
   std::string uuid_;
   std::vector<uint8_t> ta_image_;  ///< retained for reopen()'s re-deploy
   int64_t ta_image_bytes_ = 0;
-  int64_t retries_ = 0;
-  int64_t reopens_ = 0;
-  uint64_t jitter_state_ = 0;
+  /// Guards the fault-handling counters a monitor may read cross-thread
+  /// (retries/reopens) and the jitter PRNG both retry paths draw from.
+  mutable Mutex mu_;
+  int64_t retries_ TS_GUARDED_BY(mu_) = 0;
+  int64_t reopens_ TS_GUARDED_BY(mu_) = 0;
+  uint64_t jitter_state_ TS_GUARDED_BY(mu_) = 0;
 };
 
 /// Baseline: whole victim model inside the TEE.

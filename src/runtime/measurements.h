@@ -24,6 +24,12 @@ namespace tbnet::runtime {
 /// percentiles are exact — identical to the unbounded recorder; beyond it
 /// they are unbiased estimates, which is what lets a week-long soak keep a
 /// live p99 without `samples_` growing with uptime.
+///
+/// Concurrency contract: NOT internally synchronized. The recorders embedded
+/// in ServingStats live inside InferenceServer behind its mutex (the stats_
+/// member is TS_GUARDED_BY(mu_), which covers these fields transitively),
+/// and stats() hands out value copies — a snapshot is never written again.
+/// Standalone recorders in benches are single-threaded.
 class LatencyRecorder {
  public:
   static constexpr int64_t kDefaultCapacity = 4096;
@@ -90,6 +96,8 @@ struct WorkerStats {
 };
 
 /// Aggregate serving statistics reported by runtime::InferenceServer.
+/// Plain data, externally synchronized: the server's live instance is
+/// guarded by its mutex; what stats() returns is an independent copy.
 struct ServingStats {
   int64_t requests = 0;        ///< images an engine answered (Ok/EngineError)
   int64_t batches = 0;         ///< engine invocations

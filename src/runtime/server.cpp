@@ -153,7 +153,7 @@ std::future<InferenceResult> InferenceServer::submit(
   Pending shed_victim;
   bool have_victim = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (reject.empty() && stop_) reject = "submit after shutdown";
     // With every worker dead there is no engine that will ever run this
     // request; admitting it would strand the future until shutdown.
@@ -175,6 +175,7 @@ std::future<InferenceResult> InferenceServer::submit(
           // Backpressure: park this submitter until a worker frees space
           // (or there is no worker left to ever free it).
           space_cv_.wait(lock, [this] {
+            mu_.assert_held();  // wait re-acquires mu_ before evaluating
             return stop_ || live_workers_locked() == 0 ||
                    static_cast<int64_t>(queue_.size()) < cfg_.queue_capacity;
           });
@@ -229,8 +230,11 @@ void InferenceServer::drain() {
   // that never succeeds, that wait is unbounded — cap the attempts (the
   // exhausted worker dies and the backlog resolves) when drain() must
   // terminate without a healthy engine.
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    mu_.assert_held();  // wait re-acquires mu_ before evaluating
+    return in_flight_ == 0;
+  });
 }
 
 void InferenceServer::shutdown() {
@@ -239,7 +243,7 @@ void InferenceServer::shutdown() {
   std::vector<std::thread> claimed;
   std::thread supervisor;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
     for (std::thread& w : workers_) {
       if (w.joinable()) claimed.push_back(std::move(w));
@@ -256,7 +260,7 @@ void InferenceServer::shutdown() {
   // future ever hangs across shutdown.
   std::deque<Pending> leftover;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     leftover = take_queue_locked();
     stats_.rejected += static_cast<int64_t>(leftover.size());
   }
@@ -265,13 +269,13 @@ void InferenceServer::shutdown() {
     resolve_failure(p, Status::kRejected,
                     "shutdown with no healthy worker left to serve the queue");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   in_flight_ -= static_cast<int64_t>(leftover.size());
   if (in_flight_ == 0) idle_cv_.notify_all();
 }
 
 ServingStats InferenceServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ServingStats snap = stats_;
   snap.uptime_s = seconds_between(start_, Clock::now());
   snap.isa = simd::isa_name();
@@ -287,7 +291,7 @@ void InferenceServer::worker_loop(int worker) {
     std::vector<Pending> batch;
     std::vector<Pending> expired;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       // A non-Healthy worker must not claim work: it parks here until the
       // supervisor restores it (queue_cv_ is notified on recovery) or
       // shutdown. Health cannot change between this wait and the claim
@@ -295,6 +299,7 @@ void InferenceServer::worker_loop(int worker) {
       // quarantines it) and the supervisor only moves workers toward
       // Healthy.
       queue_cv_.wait(lock, [this, worker] {
+        mu_.assert_held();  // wait re-acquires mu_ before evaluating
         return stop_ ||
                (!queue_.empty() &&
                 control_[static_cast<size_t>(worker)].health ==
@@ -313,6 +318,7 @@ void InferenceServer::worker_loop(int worker) {
       auto flush = queue_.front().enqueued + cfg_.max_queue_delay;
       if (queue_.front().deadline < flush) flush = queue_.front().deadline;
       queue_cv_.wait_until(lock, flush, [this] {
+        mu_.assert_held();  // wait re-acquires mu_ before evaluating
         return stop_ ||
                static_cast<int64_t>(queue_.size()) >= cfg_.max_batch;
       });
@@ -347,7 +353,7 @@ void InferenceServer::worker_loop(int worker) {
         resolve_failure(pr, Status::kExpired,
                         "deadline exceeded before batch formation");
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       in_flight_ -= static_cast<int64_t>(expired.size());
       if (in_flight_ == 0) idle_cv_.notify_all();
     }
@@ -355,7 +361,7 @@ void InferenceServer::worker_loop(int worker) {
     if (!batch.empty()) run_batch(worker, std::move(batch));
     bool done;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       done = stop_ && queue_.empty();
     }
     if (done) return;
@@ -435,7 +441,7 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
   std::deque<Pending> flushed;  // backlog failed because no worker is left
   int64_t requeued_count = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (watchdog_overrun) ++stats_.watchdog_trips;
     bool tripped = false;
     WorkerControl& wc = control_[static_cast<size_t>(worker)];
@@ -537,7 +543,7 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     in_flight_ -= static_cast<int64_t>(resolve_now.size() + flushed.size());
     if (in_flight_ == 0) idle_cv_.notify_all();
   }
@@ -545,7 +551,7 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
 }
 
 void InferenceServer::supervisor_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     if (stop_) return;
     // The earliest due recovery among quarantined workers (if any).

@@ -48,18 +48,17 @@
 // quarantine/recovery counters land in ServingStats.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/measurements.h"
 #include "tensor/tensor.h"
+#include "tensor/thread_annotations.h"
 
 namespace tbnet::runtime {
 
@@ -236,14 +235,14 @@ class InferenceServer {
   void run_batch(int worker, std::vector<Pending> batch);
   /// Trips worker `w`'s breaker: quarantined (supervisor woken) when it has
   /// a RecoverFn, dead otherwise. Returns true if this call transitioned it
-  /// out of Healthy. Requires mu_ held.
-  bool trip_breaker_locked(int w);
-  /// Counts workers not Dead. Requires mu_ held.
-  int live_workers_locked() const;
+  /// out of Healthy.
+  bool trip_breaker_locked(int w) TS_REQUIRES(mu_);
+  /// Counts workers not Dead.
+  int live_workers_locked() const TS_REQUIRES(mu_);
   /// Fails everything still queued (used when the last live worker dies and
   /// at shutdown when no healthy worker remains to serve the backlog).
-  /// Requires mu_ held; returns the extracted requests to resolve outside.
-  std::deque<Pending> take_queue_locked();
+  /// Returns the extracted requests to resolve outside the lock.
+  std::deque<Pending> take_queue_locked() TS_REQUIRES(mu_);
   /// Resolves `p` with a non-Ok status, stamping latency fields.
   static void resolve_failure(Pending& p, Status status, std::string error);
 
@@ -252,17 +251,19 @@ class InferenceServer {
   Config cfg_;
   std::chrono::steady_clock::time_point start_;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;  // workers wake on arrivals/shutdown
-  std::condition_variable idle_cv_;   // drain() waits for in-flight == 0
-  std::condition_variable space_cv_;  // kBlock submitters wait for room
-  std::condition_variable supervisor_cv_;  // supervisor waits for quarantines
-  std::deque<Pending> queue_;
-  Shape expected_chw_;     // pinned input shape ({} until first accept)
-  int64_t in_flight_ = 0;  // submitted, not yet answered
-  bool stop_ = false;
-  ServingStats stats_;
-  std::vector<WorkerControl> control_;  // one per worker, guarded by mu_
+  mutable Mutex mu_;
+  CondVar queue_cv_;       // workers wake on arrivals/shutdown
+  CondVar idle_cv_;        // drain() waits for in-flight == 0
+  CondVar space_cv_;       // kBlock submitters wait for room
+  CondVar supervisor_cv_;  // supervisor waits for quarantines
+  std::deque<Pending> queue_ TS_GUARDED_BY(mu_);
+  /// Pinned input shape ({} until first accept).
+  Shape expected_chw_ TS_GUARDED_BY(mu_);
+  /// Submitted, not yet answered.
+  int64_t in_flight_ TS_GUARDED_BY(mu_) = 0;
+  bool stop_ TS_GUARDED_BY(mu_) = false;
+  ServingStats stats_ TS_GUARDED_BY(mu_);
+  std::vector<WorkerControl> control_ TS_GUARDED_BY(mu_);  // one per worker
 
   std::vector<std::thread> workers_;
   std::thread supervisor_;

@@ -14,6 +14,7 @@ void OneWayChannel::push(World from, World to, int64_t bytes) {
         "one-way channel violation: attempted to push " +
         std::to_string(bytes) + " B from TEE to REE");
   }
+  MutexLock lock(mu_);
   log_.push_back(Transfer{from, to, bytes});
   total_bytes_ += bytes;
   if (to == World::kSecure) into_tee_ += bytes;
@@ -21,6 +22,7 @@ void OneWayChannel::push(World from, World to, int64_t bytes) {
 }
 
 void OneWayChannel::reset() {
+  MutexLock lock(mu_);
   log_.clear();
   total_bytes_ = 0;
   into_tee_ = 0;

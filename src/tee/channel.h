@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "tee/world.h"
+#include "tensor/thread_annotations.h"
 
 namespace tbnet::tee {
 
@@ -39,24 +40,46 @@ class OneWayChannel {
 
   /// Registers a payload crossing worlds. Throws SecurityViolation for a
   /// secure->normal push under the one-way policy.
+  ///
+  /// All methods are thread-safe: in parallel serving every dispatch
+  /// worker's session pushes through its context's channel while bench /
+  /// example code polls the byte counters from the submitting thread.
   void push(World from, World to, int64_t bytes);
 
   Policy policy() const { return policy_; }
-  int64_t transfer_count() const { return static_cast<int64_t>(log_.size()); }
-  int64_t total_bytes() const { return total_bytes_; }
-  int64_t bytes_into_tee() const { return into_tee_; }
+  int64_t transfer_count() const {
+    MutexLock lock(mu_);
+    return static_cast<int64_t>(log_.size());
+  }
+  int64_t total_bytes() const {
+    MutexLock lock(mu_);
+    return total_bytes_;
+  }
+  int64_t bytes_into_tee() const {
+    MutexLock lock(mu_);
+    return into_tee_;
+  }
   /// Bytes that left the TEE in plaintext (0 under the one-way policy).
-  int64_t leaked_bytes() const { return leaked_; }
-  const std::vector<Transfer>& log() const { return log_; }
+  int64_t leaked_bytes() const {
+    MutexLock lock(mu_);
+    return leaked_;
+  }
+  /// Snapshot of the per-transfer log (by value: the live log may grow
+  /// concurrently, so handing out a reference would be a data race).
+  std::vector<Transfer> log() const {
+    MutexLock lock(mu_);
+    return log_;
+  }
 
   void reset();
 
  private:
-  Policy policy_;
-  std::vector<Transfer> log_;
-  int64_t total_bytes_ = 0;
-  int64_t into_tee_ = 0;
-  int64_t leaked_ = 0;
+  const Policy policy_;  ///< fixed at construction, safe to read unlocked
+  mutable Mutex mu_;
+  std::vector<Transfer> log_ TS_GUARDED_BY(mu_);
+  int64_t total_bytes_ TS_GUARDED_BY(mu_) = 0;
+  int64_t into_tee_ TS_GUARDED_BY(mu_) = 0;
+  int64_t leaked_ TS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tbnet::tee

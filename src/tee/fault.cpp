@@ -52,36 +52,36 @@ FaultInjector::FaultInjector(uint64_t seed, double rate,
 
 void FaultInjector::set_rate(double rate, double permanent_fraction,
                              double corruption_fraction) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rate_ = clamp01(rate);
   permanent_fraction_ = clamp01(permanent_fraction);
   corruption_fraction_ = clamp01(corruption_fraction);
 }
 
 double FaultInjector::rate() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rate_;
 }
 
 void FaultInjector::script(Kind kind, int count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (int i = 0; i < count; ++i) scripted_.push_back(kind);
 }
 
 void FaultInjector::script_at(Kind kind, const char* site, int64_t nth) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (nth < 1) nth = 1;
   targeted_.push_back(Target{kind, site, crossings_[site] + nth});
 }
 
 void FaultInjector::clear_script() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   scripted_.clear();
   targeted_.clear();
 }
 
 int64_t FaultInjector::scripted_pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int64_t>(scripted_.size() + targeted_.size());
 }
 
@@ -115,7 +115,7 @@ FaultInjector::Kind FaultInjector::consume_locked(const char* site) {
 void FaultInjector::check(const char* site) {
   Kind kind;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     kind = consume_locked(site);
     if (kind == Kind::kTransient) ++transients_;
     if (kind == Kind::kPermanent) ++permanents_;
@@ -134,7 +134,7 @@ std::optional<std::vector<uint8_t>> FaultInjector::check_transfer(
   Kind kind;
   uint64_t damage_seed = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     kind = consume_locked(site);
     if (kind == Kind::kCorruption && payload.empty()) kind = Kind::kNone;
     if (kind == Kind::kTransient) ++transients_;
@@ -161,28 +161,28 @@ std::optional<std::vector<uint8_t>> FaultInjector::check_transfer(
 }
 
 int64_t FaultInjector::crossings(const char* site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = crossings_.find(site);
   return it == crossings_.end() ? 0 : it->second;
 }
 
 int64_t FaultInjector::faults_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return transients_ + permanents_ + corruptions_;
 }
 
 int64_t FaultInjector::transients_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return transients_;
 }
 
 int64_t FaultInjector::permanents_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return permanents_;
 }
 
 int64_t FaultInjector::corruptions_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return corruptions_;
 }
 

@@ -34,12 +34,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "tensor/thread_annotations.h"
 
 namespace tbnet::tee {
 
@@ -146,20 +147,19 @@ class FaultInjector {
 
   /// Consumes the outcome for one crossing of `site` (targeted entries
   /// first, then the FIFO, then sampling) and bumps the crossing counter.
-  /// Requires mu_ held.
-  Kind consume_locked(const char* site);
+  Kind consume_locked(const char* site) TS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  uint64_t state_;
-  double rate_;
-  double permanent_fraction_;
-  double corruption_fraction_;
-  std::deque<Kind> scripted_;
-  std::vector<Target> targeted_;
-  std::unordered_map<std::string, int64_t> crossings_;
-  int64_t transients_ = 0;
-  int64_t permanents_ = 0;
-  int64_t corruptions_ = 0;
+  mutable Mutex mu_;
+  uint64_t state_ TS_GUARDED_BY(mu_);
+  double rate_ TS_GUARDED_BY(mu_);
+  double permanent_fraction_ TS_GUARDED_BY(mu_);
+  double corruption_fraction_ TS_GUARDED_BY(mu_);
+  std::deque<Kind> scripted_ TS_GUARDED_BY(mu_);
+  std::vector<Target> targeted_ TS_GUARDED_BY(mu_);
+  std::unordered_map<std::string, int64_t> crossings_ TS_GUARDED_BY(mu_);
+  int64_t transients_ TS_GUARDED_BY(mu_) = 0;
+  int64_t permanents_ TS_GUARDED_BY(mu_) = 0;
+  int64_t corruptions_ TS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tbnet::tee

@@ -26,12 +26,17 @@ void spin_for(double seconds) {
 void SecureWorld::install(const std::string& uuid,
                           std::unique_ptr<TrustedApp> ta) {
   if (!ta) throw std::invalid_argument("SecureWorld::install: null TA");
+  // on_install may claim secure memory for weights — potentially slow and
+  // self-locking (the pool has its own mutex), so it runs before the table
+  // lock; the TA only becomes visible to lookup() fully initialized.
   TaContext ctx{&memory_};
   ta->on_install(ctx);
+  MutexLock lock(mu_);
   tas_[uuid] = std::move(ta);
 }
 
 TrustedApp* SecureWorld::lookup(const std::string& uuid) {
+  MutexLock lock(mu_);
   auto it = tas_.find(uuid);
   if (it == tas_.end()) {
     throw std::invalid_argument("SecureWorld: no TA installed as " + uuid);
@@ -52,8 +57,31 @@ TeeSession::TeeSession(SecureWorld& world, OneWayChannel& channel,
   if (faults_ != nullptr) faults_->check("open");
 }
 
+// Single-threaded handoff out of TeeContext::open_session: `other` is a
+// temporary no second thread can reach yet, so its guarded counters are
+// read without its mutex (the mutex itself is not movable, and constructors
+// are outside the thread-safety analysis anyway).
+TeeSession::TeeSession(TeeSession&& other) noexcept
+    : world_(other.world_),
+      channel_(other.channel_),
+      ta_(other.ta_),
+      max_result_bytes_(other.max_result_bytes_),
+      switches_(other.switches_),
+      timing_(other.timing_),
+      simulated_overhead_s_(other.simulated_overhead_s_),
+      faults_(other.faults_) {}
+
 uint32_t TeeSession::invoke(uint32_t command, const std::vector<uint8_t>& in,
                             std::vector<uint8_t>* out) {
+  // One timing snapshot per invoke: simulate_timing() is a setup-time call,
+  // and copying the profile out here keeps every spin_for stall below
+  // outside the lock (a counter poll must never block behind a simulated
+  // world switch).
+  std::optional<DeviceProfile> timing;
+  {
+    MutexLock lock(mu_);
+    timing = timing_;
+  }
   // Both fault sites fire BEFORE the channel push and the TA execution, so
   // a faulted invoke leaves no secure-world state behind and retrying the
   // identical command is safe (see tee/fault.h).
@@ -80,13 +108,17 @@ uint32_t TeeSession::invoke(uint32_t command, const std::vector<uint8_t>& in,
   // Entry switch: parameters cross into the secure world.
   channel_.push(World::kNormal, World::kSecure,
                 static_cast<int64_t>(body->size()));
-  ++switches_;
-  if (timing_) {
+  {
+    MutexLock lock(mu_);
+    ++switches_;
+  }
+  if (timing) {
     // Entry: client-API invoke overhead + SMC switch + payload transfer.
     const double stall =
-        timing_->invoke_overhead_s + timing_->world_switch_s +
-        static_cast<double>(body->size()) / timing_->channel_bytes_per_s;
+        timing->invoke_overhead_s + timing->world_switch_s +
+        static_cast<double>(body->size()) / timing->channel_bytes_per_s;
     spin_for(stall);
+    MutexLock lock(mu_);
     simulated_overhead_s_ += stall;
   }
 
@@ -105,17 +137,19 @@ uint32_t TeeSession::invoke(uint32_t command, const std::vector<uint8_t>& in,
     // Returning the final result is the one sanctioned secure->normal flow;
     // it bypasses the feature-map channel by construction (it is the
     // API-level return value), so it is not pushed through `channel_`.
+    MutexLock lock(mu_);
     ++switches_;
   }
-  if (timing_) {
+  if (timing) {
     // Control always returns to the normal world after an invoke (the SMC
     // return path), so the exit switch is stalled for even when no result
     // bytes cross. `switches_` keeps the result-bearing counting convention
     // used by the experiment reports.
     const double stall =
-        timing_->world_switch_s +
-        static_cast<double>(result.size()) / timing_->channel_bytes_per_s;
+        timing->world_switch_s +
+        static_cast<double>(result.size()) / timing->channel_bytes_per_s;
     spin_for(stall);
+    MutexLock lock(mu_);
     simulated_overhead_s_ += stall;
   }
   if (out != nullptr) *out = std::move(result);

@@ -28,6 +28,7 @@
 #include "tee/fault.h"
 #include "tee/secure_memory.h"
 #include "tee/world.h"
+#include "tensor/thread_annotations.h"
 
 namespace tbnet::tee {
 
@@ -51,15 +52,21 @@ class TrustedApp {
                           std::vector<uint8_t>& out, TaContext& ctx) = 0;
 };
 
-/// The device's secure world: secure memory + installed TAs.
+/// The device's secure world: secure memory + installed TAs. The TA table
+/// is mutex-guarded: in supervised serving the recovery path re-installs a
+/// TA from the supervisor thread while healthy workers' sessions look TAs
+/// up concurrently.
 class SecureWorld {
  public:
   explicit SecureWorld(int64_t secure_mem_budget = 0)
       : memory_(secure_mem_budget) {}
 
-  /// Installs a TA under a UUID-like name.
+  /// Installs a TA under a UUID-like name. on_install (which may claim
+  /// secure memory for weights) runs before the TA becomes visible, so a
+  /// concurrent lookup never sees a half-installed TA.
   void install(const std::string& uuid, std::unique_ptr<TrustedApp> ta);
   bool has_ta(const std::string& uuid) const {
+    MutexLock lock(mu_);
     return tas_.count(uuid) != 0;
   }
 
@@ -70,7 +77,9 @@ class SecureWorld {
   TrustedApp* lookup(const std::string& uuid);
 
   SecureMemoryPool memory_;
-  std::unordered_map<std::string, std::unique_ptr<TrustedApp>> tas_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<TrustedApp>> tas_
+      TS_GUARDED_BY(mu_);
 };
 
 inline constexpr uint32_t kTeeSuccess = 0;
@@ -94,12 +103,23 @@ class TeeSession {
              int64_t max_result_bytes = kDefaultMaxResultBytes,
              FaultInjector* faults = nullptr);
 
+  /// Move-construction is the single-threaded handoff out of
+  /// TeeContext::open_session into its long-term owner (e.g. DeployedTBNet's
+  /// unique_ptr): the source is a temporary no other thread has seen, so
+  /// reading its counters without the (non-movable) mutex is safe.
+  /// Constructors are outside the thread-safety analysis.
+  TeeSession(TeeSession&& other) noexcept;
+  TeeSession& operator=(TeeSession&&) = delete;
+
   /// Invokes a TA command. Input bytes are pushed normal->secure through the
   /// channel; output bytes are checked against the result cap.
   uint32_t invoke(uint32_t command, const std::vector<uint8_t>& in,
                   std::vector<uint8_t>* out = nullptr);
 
-  int64_t world_switches() const { return switches_; }
+  int64_t world_switches() const {
+    MutexLock lock(mu_);
+    return switches_;
+  }
 
   /// Device-faithful timing: when set, every invoke stalls the caller for
   /// the profile's world-switch latency (entry, plus exit when a result
@@ -107,18 +127,29 @@ class TeeSession {
   /// still runs at host speed; only the cross-world overheads the paper's
   /// Tables 1-3 attribute to TrustZone are injected. Used by the serving
   /// bench; off by default (invoke costs nothing but the simulation itself).
-  void simulate_timing(const DeviceProfile& profile) { timing_ = profile; }
+  void simulate_timing(const DeviceProfile& profile) {
+    MutexLock lock(mu_);
+    timing_ = profile;
+  }
   /// Wall-clock seconds spent in injected switch/transfer stalls.
-  double simulated_overhead_s() const { return simulated_overhead_s_; }
+  double simulated_overhead_s() const {
+    MutexLock lock(mu_);
+    return simulated_overhead_s_;
+  }
 
  private:
   SecureWorld& world_;
   OneWayChannel& channel_;
   TrustedApp* ta_;
   int64_t max_result_bytes_;
-  int64_t switches_ = 0;
-  std::optional<DeviceProfile> timing_;
-  double simulated_overhead_s_ = 0.0;
+  /// Guards the counters a monitoring thread may poll (world_switches,
+  /// simulated overhead) while a dispatch worker is mid-invoke. The lock is
+  /// never held across TA execution or a timing stall — invoke copies
+  /// timing_ out once and takes short lock scopes for each counter bump.
+  mutable Mutex mu_;
+  int64_t switches_ TS_GUARDED_BY(mu_) = 0;
+  std::optional<DeviceProfile> timing_ TS_GUARDED_BY(mu_);
+  double simulated_overhead_s_ TS_GUARDED_BY(mu_) = 0.0;
   FaultInjector* faults_ = nullptr;  ///< not owned; nullptr = no injection
 };
 

@@ -9,6 +9,7 @@ SecureMemoryPool::Allocation SecureMemoryPool::allocate(
   if (bytes < 0) {
     throw std::invalid_argument("SecureMemoryPool: negative allocation");
   }
+  MutexLock lock(mu_);
   if (budget_ > 0 && live_ + bytes > budget_) {
     throw SecurityViolation(
         "secure memory exhausted: need " + std::to_string(bytes) +
@@ -23,6 +24,7 @@ SecureMemoryPool::Allocation SecureMemoryPool::allocate(
 }
 
 void SecureMemoryPool::free_allocation(int64_t id, int64_t bytes) {
+  MutexLock lock(mu_);
   live_ -= bytes;
   tags_.erase(id);
 }

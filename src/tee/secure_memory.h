@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "tee/world.h"
+#include "tensor/thread_annotations.h"
 
 namespace tbnet::tee {
 
@@ -53,23 +54,35 @@ class SecureMemoryPool {
   };
 
   /// Reserves `bytes` of secure memory; throws SecurityViolation when the
-  /// budget would be exceeded.
+  /// budget would be exceeded. Thread-safe: in parallel serving each worker
+  /// session's TA allocates from the shared world's pool while monitors
+  /// read live/peak from other threads.
   Allocation allocate(int64_t bytes, const std::string& tag);
 
   int64_t budget() const { return budget_; }
-  int64_t live_bytes() const { return live_; }
-  int64_t peak_bytes() const { return peak_; }
-  void reset_peak() { peak_ = live_; }
+  int64_t live_bytes() const {
+    MutexLock lock(mu_);
+    return live_;
+  }
+  int64_t peak_bytes() const {
+    MutexLock lock(mu_);
+    return peak_;
+  }
+  void reset_peak() {
+    MutexLock lock(mu_);
+    peak_ = live_;
+  }
 
  private:
   friend class Allocation;
   void free_allocation(int64_t id, int64_t bytes);
 
-  int64_t budget_ = 0;
-  int64_t live_ = 0;
-  int64_t peak_ = 0;
-  int64_t next_id_ = 1;
-  std::unordered_map<int64_t, std::string> tags_;
+  const int64_t budget_ = 0;  ///< fixed at construction, read unlocked
+  mutable Mutex mu_;
+  int64_t live_ TS_GUARDED_BY(mu_) = 0;
+  int64_t peak_ TS_GUARDED_BY(mu_) = 0;
+  int64_t next_id_ TS_GUARDED_BY(mu_) = 1;
+  std::unordered_map<int64_t, std::string> tags_ TS_GUARDED_BY(mu_);
 };
 
 }  // namespace tbnet::tee

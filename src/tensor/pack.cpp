@@ -449,6 +449,9 @@ float* PackedGemm::reserve(int64_t floats, WorkspaceArena* arena) {
     owned_.reset();
     store_ = arena->alloc(floats);
   } else {
+    // Cached weight panels with no arena supplied: taken once per model
+    // load, never on the inference path (which always passes the arena).
+    // lint: allow-heap(prepare-time no-arena weight-cache fallback)
     float* p = new (std::align_val_t(simd::kAlign))
         float[static_cast<size_t>(floats)];
     owned_.reset(p);

@@ -1,0 +1,126 @@
+#pragma once
+// Clang Thread Safety Analysis vocabulary for the concurrency core.
+//
+// The TS_* macros wrap clang's capability attributes so lock discipline is a
+// COMPILE-TIME contract: a field annotated TS_GUARDED_BY(mu_) cannot be read
+// or written without holding mu_, a function annotated TS_REQUIRES(mu_)
+// cannot be called without it, and the clang CI leg builds with
+// `-Werror=thread-safety` so a violation is a build break, not a TSan repro.
+// On gcc (and any compiler without the attributes) every macro expands to
+// nothing, so the annotations cost non-clang builds exactly zero.
+//
+// Because libstdc++'s std::mutex carries no capability attributes, the
+// analysis cannot see through std::lock_guard/std::unique_lock. The
+// concurrency core therefore locks through the annotated wrappers below:
+//
+//   tbnet::Mutex      an annotated std::mutex (a TS_CAPABILITY)
+//   tbnet::MutexLock  RAII guard (TS_SCOPED_CAPABILITY) that is also
+//                     BasicLockable, so a tbnet::CondVar can release and
+//                     re-acquire it around a park
+//   tbnet::CondVar    std::condition_variable_any (works with MutexLock)
+//
+// Reading a -Wthread-safety failure, adding annotations, and the waiver
+// policy (TS_NO_ANALYSIS + an inline invariant comment) are documented in
+// README "Static analysis".
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define TS_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define TS_ATTRIBUTE__(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability (a lock) the analysis tracks.
+#define TS_CAPABILITY(x) TS_ATTRIBUTE__(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define TS_SCOPED_CAPABILITY TS_ATTRIBUTE__(scoped_lockable)
+/// Field may only be accessed while holding the given capability.
+#define TS_GUARDED_BY(x) TS_ATTRIBUTE__(guarded_by(x))
+/// Pointer field: the POINTED-TO data needs the capability (the pointer
+/// itself does not).
+#define TS_PT_GUARDED_BY(x) TS_ATTRIBUTE__(pt_guarded_by(x))
+/// Function requires the capabilities held on entry (and keeps them held).
+#define TS_REQUIRES(...) TS_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+/// Function acquires the capabilities (not held on entry, held on exit).
+#define TS_ACQUIRE(...) TS_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+/// Function releases the capabilities (held on entry, not on exit).
+#define TS_RELEASE(...) TS_ATTRIBUTE__(release_capability(__VA_ARGS__))
+/// Function acquires the capability when it returns the given value.
+#define TS_TRY_ACQUIRE(...) TS_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the capabilities held (deadlock guard
+/// for public entry points of self-locking classes).
+#define TS_EXCLUDES(...) TS_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+/// Declares (without runtime effect) that the capability is held — the
+/// escape hatch for predicates invoked by a CondVar wait, which run with the
+/// lock held but in a context the analysis cannot see into.
+#define TS_ASSERT_CAPABILITY(...) TS_ATTRIBUTE__(assert_capability(__VA_ARGS__))
+/// Function returns a reference to the given capability.
+#define TS_RETURN_CAPABILITY(x) TS_ATTRIBUTE__(lock_returned(x))
+/// Waiver: disables the analysis for one function. Every use MUST carry an
+/// inline comment stating the invariant that makes the unchecked code safe.
+#define TS_NO_ANALYSIS TS_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace tbnet {
+
+/// std::mutex with capability attributes. Same cost, same semantics — the
+/// wrapper exists only so the analysis can track acquire/release.
+class TS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TS_ACQUIRE() { mu_.lock(); }
+  void unlock() TS_RELEASE() { mu_.unlock(); }
+  bool try_lock() TS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// No-op assertion that this mutex is held, for lambdas the analysis
+  /// treats as separate functions (CondVar wait predicates run under the
+  /// lock, but the analysis cannot see the wait re-acquiring it).
+  void assert_held() const TS_ASSERT_CAPABILITY() {}
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for tbnet::Mutex, annotated as a scoped capability so the
+/// analysis tracks its constructor/destructor — and relockable (the
+/// lock()/unlock() members) so std::condition_variable_any can park on it
+/// and so long-lived loops (the server's supervisor) can drop the lock
+/// around slow work. The caller, not the class, is responsible for the usual
+/// single-thread ownership discipline of any lock guard.
+class TS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TS_ACQUIRE(mu) : mu_(&mu), owns_(true) {
+    mu_->lock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() TS_RELEASE() {
+    if (owns_) mu_->unlock();
+  }
+
+  /// BasicLockable surface (CondVar::wait releases and re-acquires through
+  /// these; the analysis models them as release/reacquire of the scope).
+  void lock() TS_ACQUIRE() {
+    mu_->lock();
+    owns_ = true;
+  }
+  void unlock() TS_RELEASE() {
+    mu_->unlock();
+    owns_ = false;
+  }
+
+ private:
+  Mutex* mu_;
+  bool owns_;
+};
+
+/// Condition variable compatible with MutexLock. condition_variable_any's
+/// extra indirection (an internal mutex) is only touched on park/notify —
+/// never on the uncontended fast paths the kernels care about.
+using CondVar = std::condition_variable_any;
+
+}  // namespace tbnet

@@ -40,7 +40,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -52,13 +52,13 @@ void ThreadPool::execute(const Task& task) {
   // The final decrement is made under the job's mutex so the waiting frame
   // (which owns the Job) cannot return and die before this thread has
   // released every reference to it.
-  std::lock_guard<std::mutex> lock(task.job->mu);
+  MutexLock lock(task.job->mu);
   if (--task.job->pending == 0) task.job->cv.notify_all();
 }
 
 bool ThreadPool::try_acquire(Task& out, int slot) {
   auto pop_front = [&out](TaskQueue& tq) {
-    std::lock_guard<std::mutex> lock(tq.mu);
+    MutexLock lock(tq.mu);
     if (tq.q.empty()) return false;
     out = tq.q.front();
     tq.q.pop_front();
@@ -83,7 +83,7 @@ bool ThreadPool::try_acquire(Task& out, int slot) {
 
 void ThreadPool::signal_work() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++epoch_;
   }
   cv_.notify_all();
@@ -103,18 +103,21 @@ void ThreadPool::worker_loop(int slot) {
     // its queue before incrementing), so the wait predicate catches it.
     uint64_t seen;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       seen = epoch_;
     }
     if (try_acquire(task, slot)) {
       execute(task);
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Every queue was empty at the re-scan; with stop_ set nothing new may
     // be pushed, so the queues really are drained and the worker may exit.
     if (stop_) return;
-    cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    cv_.wait(lock, [&] {
+      mu_.assert_held();  // wait re-acquires mu_ before evaluating
+      return stop_ || epoch_ != seen;
+    });
   }
 }
 
@@ -143,7 +146,12 @@ void ThreadPool::parallel_for(int64_t n,
   for (int64_t b = chunk; b < n; b += chunk) {
     tasks.push_back(Task{&job, b, std::min(n, b + chunk)});
   }
-  job.pending = static_cast<int>(tasks.size());
+  {
+    // The job is not yet visible to any other thread, but pending is
+    // mu-guarded and the uncontended lock costs nothing here.
+    MutexLock lock(job.mu);
+    job.pending = static_cast<int>(tasks.size());
+  }
   // Nested calls from a worker push onto that worker's own deque (idle
   // siblings steal from there); external callers push onto the shared
   // overflow queue. Either way chunks enter in index order and leave from
@@ -153,7 +161,7 @@ void ThreadPool::parallel_for(int64_t n,
   TaskQueue& submit_q =
       slot >= 0 ? *deques_[static_cast<size_t>(slot)] : overflow_;
   {
-    std::lock_guard<std::mutex> lock(submit_q.mu);
+    MutexLock lock(submit_q.mu);
     for (const Task& t : tasks) submit_q.q.push_back(t);
   }
   signal_work();
@@ -167,7 +175,7 @@ void ThreadPool::parallel_for(int64_t n,
   // nested path and the old sleep-only external wait.
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(job.mu);
+      MutexLock lock(job.mu);
       if (job.pending == 0) return;
     }
     Task task;
@@ -175,8 +183,11 @@ void ThreadPool::parallel_for(int64_t n,
       execute(task);
       continue;
     }
-    std::unique_lock<std::mutex> lock(job.mu);
-    job.cv.wait(lock, [&job] { return job.pending == 0; });
+    MutexLock lock(job.mu);
+    job.cv.wait(lock, [&job] {
+      job.mu.assert_held();  // wait re-acquires job.mu before evaluating
+      return job.pending == 0;
+    });
     return;
   }
 }

@@ -23,14 +23,14 @@
 // idle siblings steal them, instead of the PR-4 behavior of running them
 // inline, serially.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "tensor/thread_annotations.h"
 
 namespace tbnet {
 
@@ -99,9 +99,9 @@ class ThreadPool {
   /// after, even when the completer was an unrelated helping thread.
   struct Job {
     const std::function<void(int64_t, int64_t)>* fn = nullptr;
-    std::mutex mu;
-    std::condition_variable cv;
-    int pending = 0;
+    Mutex mu;
+    CondVar cv;
+    int pending TS_GUARDED_BY(mu) = 0;
   };
 
   struct Task {
@@ -114,8 +114,8 @@ class ThreadPool {
   /// front by owner and thieves alike, so chunks of concurrent jobs drain
   /// oldest-first from every queue.
   struct TaskQueue {
-    std::mutex mu;
-    std::deque<Task> q;
+    Mutex mu;
+    std::deque<Task> q TS_GUARDED_BY(mu);
   };
 
   void worker_loop(int slot);
@@ -139,10 +139,10 @@ class ThreadPool {
   /// `epoch_` increments (under mu_) on every push batch, so a worker that
   /// records the epoch BEFORE scanning the queues cannot miss work pushed
   /// after its scan — the wait predicate sees the epoch move.
-  std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t epoch_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  uint64_t epoch_ TS_GUARDED_BY(mu_) = 0;
+  bool stop_ TS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace tbnet

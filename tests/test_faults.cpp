@@ -659,6 +659,69 @@ TEST(DeployedFaults, ReopenRecoversAfterPermanentLoss) {
   EXPECT_TRUE(allclose(deployed.infer_batch(batch), want, 0.0f, 0.0f));
 }
 
+// Regression test for the locking pass that put the engine/TEE
+// observability counters behind mutexes (DeployedTBNet retries/reopens,
+// TeeSession world_switches / simulated overhead, OneWayChannel byte
+// counters, SecureMemoryPool live/peak): a monitor thread polls them WHILE
+// the engine runs fault-sprinkled batches on this thread — exactly what
+// examples/serving_supervision.cpp and bench_serving do when folding engine
+// counters into ServingStats. Before the fix these reads raced the writes
+// (the TSan CI leg runs this suite); the monotonicity assertions also pin
+// that each counter stays coherent under concurrent access. session_ itself
+// is deliberately unguarded (reopen() is externally synchronized by the
+// supervision health protocol), so the monitor is stopped before reopen()
+// runs below.
+TEST(DeployedFaults, CounterPollingWhileServingIsRaceFree) {
+  core::TwoBranchModel tb = tiny_two_branch();
+  tee::SecureWorld world;
+  tee::TeeContext ctx(world);
+  DeployedTBNet deployed(tb, ctx, "tbnet-counter-poll");
+  Rng rng(31);
+  const Tensor batch = random_batch(2, rng);
+  deployed.infer_batch(batch);  // warm: panels packed, TA shapes pinned
+
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    int64_t last_switches = 0, last_retries = 0, last_bytes = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const int64_t sw = deployed.world_switches();
+      const int64_t rt = deployed.retries();
+      const int64_t by = ctx.channel().total_bytes();
+      EXPECT_GE(sw, last_switches);
+      EXPECT_GE(rt, last_retries);
+      EXPECT_GE(by, last_bytes);
+      EXPECT_GE(world.memory().peak_bytes(), world.memory().live_bytes());
+      EXPECT_GE(deployed.reopens(), 0);
+      last_switches = sw;
+      last_retries = rt;
+      last_bytes = by;
+      std::this_thread::yield();
+    }
+  });
+  // A transient sprinkle exercises the retry counter while serving.
+  ctx.faults().set_rate(0.05);
+  for (int i = 0; i < 30; ++i) {
+    try {
+      deployed.infer_batch(batch);
+    } catch (const std::runtime_error&) {
+      // Retry exhaustion needs 4 consecutive 5% draws (~6e-6 per invoke);
+      // tolerated here, the subject is the concurrent counter reads.
+    }
+  }
+  ctx.faults().set_rate(0.0);
+  done.store(true, std::memory_order_release);
+  monitor.join();
+
+  EXPECT_GT(deployed.world_switches(), 0);
+  EXPECT_GT(ctx.channel().total_bytes(), 0);
+  // With the monitor stopped, the supervisor-style recovery path still
+  // counts correctly through the same mutex.
+  ctx.faults().script(Kind::kPermanent);
+  EXPECT_THROW(deployed.infer_batch(batch), tee::PermanentFault);
+  deployed.reopen(batch);
+  EXPECT_EQ(deployed.reopens(), 1);
+}
+
 // ------------------------------------------------------------ supervision --
 
 TEST(Supervision, QuarantineRequeuesRidersAndDrainStaysExact) {

@@ -49,6 +49,25 @@ import argparse
 import json
 import sys
 
+# Top-level baseline keys that are deliberately NOT gated: run metadata
+# (machine shape, kernel tiers, bench mode), derived summary numbers whose
+# inputs are already gated shape-by-shape above, and descriptive sections
+# (scaling curves, stage tables, sweeps) that vary too much across runners
+# to hold to a ratio. tools/tbnet_lint.py enforces that every top-level key
+# of BENCH_*.json appears either in a compare_* gate or in this set — adding
+# a bench section without deciding its gating status fails CI.
+METADATA_KEYS = frozenset({
+    # BENCH_kernels.json
+    "bench", "isa", "int8_isa", "fast_kernels", "threads", "quick",
+    "hardware_threads", "geomean_speedup", "min_resnet_speedup",
+    "int8_geomean_vs_f32", "micro_roofline_gflops", "thread_scaling",
+    "nested_scaling",
+    # BENCH_serving.json
+    "model", "stages", "device_timing", "workspace_bytes", "sweep",
+    "server", "server_workers", "speedup_batch16_vs_batch1",
+    "speedup_workers2_vs_1",
+})
+
 
 def index_by_name(entries):
     return {e["name"]: e for e in entries}

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Header self-containment gate: every public header under src/ must compile
+as the FIRST include of a translation unit. A header that only builds when
+some sibling was included before it breaks the next refactor silently; this
+check (the `header_selfcontained` ctest entry, blocking in CI) catches the
+missing-include the moment it is introduced.
+
+For each src/**/*.h it synthesizes
+
+    #include "<header>"
+    int main() { return 0; }
+
+and runs `$CXX -std=c++20 -fsyntax-only -I src` on it. Failures print the
+compiler's own diagnostics. Headers are checked in parallel-free sequence —
+-fsyntax-only keeps the whole sweep to a few seconds.
+
+Usage: check_header_selfcontained.py [--root DIR] [--cxx COMPILER]
+(defaults: repo root containing this script; $CXX, else c++).
+"""
+
+import argparse
+import glob
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def headers(root):
+    return sorted(glob.glob(os.path.join(root, "src", "**", "*.h"),
+                            recursive=True))
+
+
+def check(root, cxx, header):
+    rel = os.path.relpath(header, os.path.join(root, "src"))
+    with tempfile.NamedTemporaryFile(
+            "w", suffix=".cpp", delete=False) as tu:
+        tu.write(f'#include "{rel}"\nint main() {{ return 0; }}\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [cxx, "-std=c++20", "-fsyntax-only",
+             "-I", os.path.join(root, "src"), tu_path],
+            capture_output=True, text=True)
+        return rel, proc.returncode, proc.stderr
+    finally:
+        os.unlink(tu_path)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Compile every src/ header standalone (see docstring).")
+    default_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    ap.add_argument("--root", default=default_root)
+    ap.add_argument("--cxx", default=os.environ.get("CXX", "c++"))
+    args = ap.parse_args()
+
+    hdrs = headers(args.root)
+    if not hdrs:
+        print("check_header_selfcontained: no headers under src/ — "
+              "wrong --root?", file=sys.stderr)
+        return 1
+
+    failures = []
+    for header in hdrs:
+        rel, rc, stderr = check(args.root, args.cxx, header)
+        if rc != 0:
+            failures.append((rel, stderr))
+            print(f"NOT SELF-CONTAINED: src/{rel}")
+            print(stderr)
+
+    total = len(hdrs)
+    if failures:
+        print(f"check_header_selfcontained: {len(failures)}/{total} "
+              f"header(s) failed")
+        return 1
+    print(f"check_header_selfcontained: {total} headers OK "
+          f"({args.cxx} -std=c++20)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/tbnet_lint.py: every rule must fire on a
+deliberate violation and stay quiet on the compliant twin. Runs as the
+`lint_selftest` ctest entry, so a rule that silently stops matching (regex
+rot, path rename) fails CI rather than linting nothing.
+
+Each test assembles a throwaway mini-repo in a temp dir with only the files
+the rule under test reads — tbnet_lint skips rules whose anchor files are
+absent, which is exactly what keeps these fixtures small.
+"""
+
+import os
+import sys
+import tempfile
+import textwrap
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import tbnet_lint  # noqa: E402
+
+
+class LintFixture(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def put(self, relpath, content):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(textwrap.dedent(content))
+
+    def rules_fired(self):
+        return [f.rule for f in tbnet_lint.run(self.root)]
+
+
+class HotPathHeapTest(LintFixture):
+    def test_bare_new_in_kernel_file_fires(self):
+        self.put("src/tensor/simd.cpp", """\
+            void grow() {
+              float* p = new float[64];
+              (void)p;
+            }
+            """)
+        self.assertEqual(self.rules_fired(), ["hot-path-heap"])
+
+    def test_allow_heap_marker_waives(self):
+        self.put("src/tensor/simd.cpp", """\
+            void grow() {
+              // lint: allow-heap(prepare-time fallback, fixture)
+              float* p = new float[64];
+              (void)p;
+            }
+            """)
+        self.assertEqual(self.rules_fired(), [])
+
+    def test_empty_justification_does_not_waive(self):
+        self.put("src/tensor/simd.cpp", """\
+            void grow() {
+              // lint: allow-heap()
+              float* p = new float[64];
+              (void)p;
+            }
+            """)
+        self.assertEqual(self.rules_fired(), ["hot-path-heap"])
+
+    def test_new_inside_string_or_comment_is_ignored(self):
+        self.put("src/tensor/simd.cpp", """\
+            #include <new>
+            // a new comment about new things
+            const char* kMsg = "try the new kernels";
+            """)
+        self.assertEqual(self.rules_fired(), [])
+
+    def test_container_growth_fires(self):
+        self.put("src/tensor/pack.cpp", """\
+            void grow(std::vector<float>& v) { v.push_back(1.0f); }
+            """)
+        self.assertEqual(self.rules_fired(), ["hot-path-heap"])
+
+
+class EnumSwitchTest(LintFixture):
+    ENUM_HEADER = """\
+        enum class WorkerHealth {
+          kHealthy = 0,
+          kQuarantined,
+          kRecovering,
+          kDead,
+        };
+        """
+
+    def test_missing_enumerator_without_default_fires(self):
+        self.put("src/runtime/measurements.h", self.ENUM_HEADER)
+        self.put("src/runtime/server.cpp", """\
+            const char* f(WorkerHealth h) {
+              switch (h) {
+                case WorkerHealth::kHealthy: return "healthy";
+                case WorkerHealth::kDead: return "dead";
+              }
+              return "?";
+            }
+            """)
+        fired = self.rules_fired()
+        self.assertEqual(fired, ["enum-switch"])
+        finding = tbnet_lint.run(self.root)[0]
+        self.assertIn("kQuarantined", finding.message)
+        self.assertIn("kRecovering", finding.message)
+
+    def test_exhaustive_switch_is_clean(self):
+        self.put("src/runtime/measurements.h", self.ENUM_HEADER)
+        self.put("src/runtime/server.cpp", """\
+            const char* f(WorkerHealth h) {
+              switch (h) {
+                case WorkerHealth::kHealthy: return "healthy";
+                case WorkerHealth::kQuarantined: return "quarantined";
+                case WorkerHealth::kRecovering: return "recovering";
+                case WorkerHealth::kDead: return "dead";
+              }
+              return "?";
+            }
+            """)
+        self.assertEqual(self.rules_fired(), [])
+
+    def test_default_label_is_clean(self):
+        self.put("src/runtime/measurements.h", self.ENUM_HEADER)
+        self.put("src/runtime/server.cpp", """\
+            bool g(WorkerHealth h) {
+              switch (h) {
+                case WorkerHealth::kDead: return false;
+                default: return true;
+              }
+            }
+            """)
+        self.assertEqual(self.rules_fired(), [])
+
+    def test_switch_over_untracked_enum_is_ignored(self):
+        self.put("src/runtime/measurements.h", self.ENUM_HEADER)
+        self.put("src/runtime/server.cpp", """\
+            int h(Color c) {
+              switch (c) {
+                case Color::kRed: return 1;
+              }
+              return 0;
+            }
+            """)
+        self.assertEqual(self.rules_fired(), [])
+
+
+class EnvDocTest(LintFixture):
+    def test_undocumented_env_var_fires(self):
+        self.put("src/runtime/server.cpp",
+                 'const char* v = std::getenv("TBNET_MYSTERY");\n')
+        self.put("README.md", "No knobs documented here.\n")
+        fired = tbnet_lint.run(self.root)
+        self.assertEqual([f.rule for f in fired], ["env-doc"])
+        self.assertIn("TBNET_MYSTERY", fired[0].message)
+
+    def test_documented_env_var_is_clean(self):
+        self.put("src/runtime/server.cpp",
+                 'const char* v = std::getenv("TBNET_MYSTERY");\n')
+        self.put("README.md", "`TBNET_MYSTERY=1` enables mystery mode.\n")
+        self.assertEqual(self.rules_fired(), [])
+
+    def test_tests_directory_is_not_scanned(self):
+        self.put("tests/test_env.cpp",
+                 'setenv("TBNET_TEST_ONLY", "1", 1);\n')
+        self.put("README.md", "Nothing.\n")
+        self.assertEqual(self.rules_fired(), [])
+
+
+class BenchKeysTest(LintFixture):
+    def test_unknown_top_level_key_fires(self):
+        self.put("BENCH_kernels.json", '{"gemm": [], "novel_section": 1}\n')
+        self.put("tools/check_bench_regression.py",
+                 'METADATA_KEYS = {"quick"}\ncompare(b, c, "gemm")\n')
+        fired = tbnet_lint.run(self.root)
+        self.assertEqual([f.rule for f in fired], ["bench-keys"])
+        self.assertIn("novel_section", fired[0].message)
+
+    def test_gated_and_metadata_keys_are_clean(self):
+        self.put("BENCH_kernels.json", '{"gemm": [], "quick": true}\n')
+        self.put("tools/check_bench_regression.py",
+                 'METADATA_KEYS = {"quick"}\ncompare(b, c, "gemm")\n')
+        self.assertEqual(self.rules_fired(), [])
+
+
+class SeededRngTest(LintFixture):
+    def test_std_rand_fires(self):
+        self.put("src/runtime/server.cpp",
+                 "int r() { return std::rand(); }\n")
+        self.assertEqual(self.rules_fired(), ["seeded-rng"])
+
+    def test_random_device_fires(self):
+        self.put("bench/common.cpp",
+                 "#include <random>\nstd::random_device rd;\n")
+        self.assertEqual(self.rules_fired(), ["seeded-rng"])
+
+    def test_tests_directory_exempt(self):
+        self.put("tests/test_rng.cpp",
+                 "int r() { return std::rand(); }\n")
+        self.assertEqual(self.rules_fired(), [])
+
+
+class RealRepoTest(unittest.TestCase):
+    """The committed tree must lint clean — same invocation CI blocks on."""
+
+    def test_repo_is_clean(self):
+        root = os.path.dirname(
+            os.path.dirname(os.path.abspath(tbnet_lint.__file__)))
+        findings = tbnet_lint.run(root)
+        self.assertEqual([str(f) for f in findings], [])
+
+
+if __name__ == "__main__":
+    unittest.main()
