@@ -18,11 +18,13 @@
 // The sweep runs single-threaded (TBNET_THREADS=1 unless the caller already
 // pinned it) so the batch-16 vs batch-1 ratio isolates batching itself.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +36,7 @@
 #include "tee/device_profile.h"
 #include "tee/optee_api.h"
 #include "tensor/rng.h"
+#include "tensor/threadpool.h"
 
 namespace {
 
@@ -355,6 +358,146 @@ ChaosPoint run_chaos(const core::TwoBranchModel& tb,
   return p;
 }
 
+// ---- elastic soak (PR 10) -------------------------------------------------
+// Worker autoscaling under a stepped load: 1x -> 10x -> 1x offered load,
+// each for a third of the soak. The fixed single-worker pool is the
+// baseline the PR-7 soak gates; the elastic server (min 1 / max 4 workers,
+// same bounded queue) must match or beat its goodput while shedding
+// strictly less — the spare slots absorb the 10x step, and the 1x thirds
+// give the scale-down path room to park workers again without stranding
+// any in-flight future.
+
+struct ElasticLeg {
+  int64_t submitted = 0;
+  int64_t ok = 0;
+  int64_t unresolved = 0;  ///< futures not ready after drain (must be 0)
+  double goodput_imgs_per_s = 0.0;
+  double shed_rate = 0.0;  ///< (submitted - ok) / submitted: all drop causes
+  runtime::ServingStats stats;
+};
+
+/// Open-loop stepped load (1x / 10x / 1x, phase_s each) against `server`.
+ElasticLeg drive_stepped_load(runtime::InferenceServer& server,
+                              double capacity, double phase_s) {
+  ElasticLeg leg;
+  Rng srng(47);
+  std::vector<Tensor> pool;
+  for (int i = 0; i < 32; ++i) {
+    pool.push_back(Tensor::randn(Shape{3, 32, 32}, srng));
+  }
+  std::vector<std::future<runtime::InferenceResult>> futures;
+  const double steps[3] = {1.0, 10.0, 1.0};
+  const auto t0 = Clock::now();
+  for (int phase = 0; phase < 3; ++phase) {
+    const auto interval =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(1.0 / (capacity * steps[phase])));
+    const auto end_at =
+        t0 + std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::duration<double>(phase_s *
+                                               static_cast<double>(phase + 1)));
+    auto next = Clock::now();
+    while (Clock::now() < end_at) {
+      futures.push_back(server.submit(pool[futures.size() % pool.size()]));
+      next += interval;
+      std::this_thread::sleep_until(next);
+    }
+  }
+  server.drain();
+  leg.stats = server.stats();
+  leg.submitted = static_cast<int64_t>(futures.size());
+  for (auto& f : futures) {
+    if (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      ++leg.unresolved;  // drain() returned with this future dangling
+      continue;
+    }
+    if (f.get().ok()) ++leg.ok;
+  }
+  const double wall_s = seconds_since(t0);
+  leg.goodput_imgs_per_s =
+      wall_s > 0.0 ? static_cast<double>(leg.ok) / wall_s : 0.0;
+  leg.shed_rate =
+      leg.submitted > 0
+          ? static_cast<double>(leg.submitted - leg.ok) /
+                static_cast<double>(leg.submitted)
+          : 0.0;
+  return leg;
+}
+
+struct ElasticPoint {
+  double soak_seconds = 0.0;
+  ElasticLeg fixed;
+  ElasticLeg elastic;
+};
+
+ElasticPoint run_elastic(const core::TwoBranchModel& tb,
+                         const tee::DeviceProfile& profile,
+                         bool device_timing, double capacity,
+                         double seconds) {
+  runtime::InferenceServer::Config scfg;
+  scfg.max_batch = 16;
+  scfg.max_queue_delay = std::chrono::microseconds(2000);
+  scfg.queue_capacity = 64;
+  scfg.admission = runtime::AdmissionPolicy::kShedOldest;
+  scfg.default_deadline = std::chrono::milliseconds(100);
+
+  ElasticPoint p;
+  p.soak_seconds = seconds;
+  const double phase_s = seconds / 3.0;
+
+  // Both servers deploy their engines through the same factory shape, so
+  // the fixed baseline pays the identical deploy path as every elastic
+  // slot (own secure world, own TA session, own arena).
+  struct Slots {
+    std::mutex mu;
+    std::vector<std::unique_ptr<tee::SecureWorld>> worlds;
+    std::vector<std::unique_ptr<tee::TeeContext>> ctxs;
+    std::vector<std::unique_ptr<runtime::DeployedTBNet>> engines;
+  };
+  const auto make_factory = [&tb, &profile, device_timing](Slots& slots) {
+    return [&tb, &profile, device_timing, &slots](int worker) {
+      // Invocations are serial by contract (construction thread, then the
+      // supervisor); the lock just makes that independence obvious.
+      std::lock_guard<std::mutex> lock(slots.mu);
+      slots.worlds.push_back(
+          std::make_unique<tee::SecureWorld>(profile.secure_mem_budget));
+      slots.ctxs.push_back(
+          std::make_unique<tee::TeeContext>(*slots.worlds.back()));
+      slots.engines.push_back(std::make_unique<runtime::DeployedTBNet>(
+          tb, *slots.ctxs.back(), "tbnet-elastic-" + std::to_string(worker),
+          runtime::DeployedTBNet::Options{.max_batch = 64}));
+      if (device_timing) {
+        slots.engines.back()->session().simulate_timing(profile);
+      }
+      runtime::DeployedTBNet* eng = slots.engines.back().get();
+      runtime::InferenceServer::BatchFn fn =
+          [eng](const Tensor& nchw) { return eng->infer_batch(nchw); };
+      return std::make_pair(std::move(fn),
+                            runtime::InferenceServer::RecoverFn{});
+    };
+  };
+
+  {
+    Slots slots;  // outlives the server (declared first)
+    runtime::InferenceServer::Config fixed_cfg = scfg;
+    fixed_cfg.min_workers = 1;
+    fixed_cfg.max_workers = 1;
+    runtime::InferenceServer server(make_factory(slots), fixed_cfg);
+    p.fixed = drive_stepped_load(server, capacity, phase_s);
+  }
+  {
+    Slots slots;
+    runtime::InferenceServer::Config elastic_cfg = scfg;
+    elastic_cfg.min_workers = 1;
+    elastic_cfg.max_workers = 4;
+    elastic_cfg.autoscale_interval = std::chrono::milliseconds(20);
+    elastic_cfg.autoscale_cooldown = std::chrono::milliseconds(150);
+    runtime::InferenceServer server(make_factory(slots), elastic_cfg);
+    p.elastic = drive_stepped_load(server, capacity, phase_s);
+  }
+  return p;
+}
+
 void print_soak_point(const SoakPoint& p, double goodput_1x,
                       const char* trailer) {
   std::printf(
@@ -478,10 +621,16 @@ int main(int argc, char** argv) {
   // cores (the CI artifact records the hosted runner's number).
   struct WorkerPoint {
     int workers = 0;
+    int intra_op_width = 0;
     double imgs_per_s = 0.0;
     runtime::ServingStats stats;
   };
   std::vector<WorkerPoint> worker_sweep;
+  // PR 10 default fix: each worker's engine caps its intra-op shards at
+  // pool_threads / nworkers, so N workers submit ~pool_threads chunks total
+  // instead of N x pool_threads (a no-op at this bench's TBNET_THREADS=1;
+  // the width_cap section below measures the effect on real cores).
+  const int pool_threads = ThreadPool::global().num_threads();
   for (int nworkers : {1, 2}) {
     // Dedicated worlds/engines per run so each sweep point starts cold-free
     // (one warmup batch each) and nothing is shared across workers.
@@ -498,6 +647,8 @@ int main(int argc, char** argv) {
           tb, *tee_ctxs.back(), "tbnet-worker-" + std::to_string(w),
           runtime::DeployedTBNet::Options{.max_batch = 64}));
       if (device_timing) engines.back()->session().simulate_timing(profile);
+      engines.back()->set_intra_op_width(
+          std::max(1, pool_threads / nworkers));
       engines.back()->infer_batch(Tensor::randn(Shape{4, 3, 32, 32}, wrng));
       runtime::DeployedTBNet* eng = engines.back().get();
       fns.push_back(
@@ -505,6 +656,7 @@ int main(int argc, char** argv) {
     }
     WorkerPoint p;
     p.workers = nworkers;
+    p.intra_op_width = std::max(1, pool_threads / nworkers);
     runtime::InferenceServer server(std::move(fns), scfg);
     const int64_t per_thread = 48;
     const auto t0 = Clock::now();
@@ -526,6 +678,74 @@ int main(int argc, char** argv) {
                    std::chrono::duration<double>(Clock::now() - t0).count();
     p.stats = server.stats();
     worker_sweep.push_back(std::move(p));
+  }
+
+  // ---- intra-op width cap: 2 workers, full width vs pool/2 -----------
+  // The sweep above pins TBNET_THREADS=1, where the cap cannot matter; this
+  // section swaps in a hardware-width pool and measures the same 2-worker
+  // closed-loop load with each engine sharding at full width (2x
+  // oversubscription) vs capped at half. Meaningful only on >= 2 real
+  // cores; CI notes the ratio warn-only for that reason.
+  struct WidthCapPoint {
+    int hardware_threads = 0;
+    int workers = 2;
+    int capped_width = 0;
+    double imgs_per_s_uncapped = 0.0;
+    double imgs_per_s_capped = 0.0;
+  };
+  WidthCapPoint width_cap;
+  {
+    ThreadPool hw_pool(0);  // hardware_concurrency
+    ThreadPool::set_global_for_testing(&hw_pool);
+    width_cap.hardware_threads = hw_pool.num_threads();
+    width_cap.capped_width =
+        std::max(1, width_cap.hardware_threads / width_cap.workers);
+    std::vector<std::unique_ptr<tee::SecureWorld>> worlds;
+    std::vector<std::unique_ptr<tee::TeeContext>> tee_ctxs;
+    std::vector<std::unique_ptr<runtime::DeployedTBNet>> engines;
+    Rng wrng(37);
+    for (int w = 0; w < width_cap.workers; ++w) {
+      worlds.push_back(
+          std::make_unique<tee::SecureWorld>(profile.secure_mem_budget));
+      tee_ctxs.push_back(std::make_unique<tee::TeeContext>(*worlds.back()));
+      engines.push_back(std::make_unique<runtime::DeployedTBNet>(
+          tb, *tee_ctxs.back(), "tbnet-width-" + std::to_string(w),
+          runtime::DeployedTBNet::Options{.max_batch = 64}));
+      if (device_timing) engines.back()->session().simulate_timing(profile);
+      engines.back()->infer_batch(Tensor::randn(Shape{4, 3, 32, 32}, wrng));
+    }
+    for (const bool capped : {false, true}) {
+      std::vector<runtime::InferenceServer::BatchFn> fns;
+      for (auto& e : engines) {
+        e->set_intra_op_width(capped ? width_cap.capped_width : 0);
+        runtime::DeployedTBNet* eng = e.get();
+        fns.push_back(
+            [eng](const Tensor& nchw) { return eng->infer_batch(nchw); });
+      }
+      runtime::InferenceServer server(std::move(fns), scfg);
+      const int64_t per_thread = 48;
+      const auto t0 = Clock::now();
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&server, per_thread, t] {
+          Rng trng(300 + static_cast<uint64_t>(t));
+          std::vector<std::future<runtime::InferenceResult>> futures;
+          for (int64_t i = 0; i < per_thread; ++i) {
+            futures.push_back(
+                server.submit(Tensor::randn(Shape{3, 32, 32}, trng)));
+          }
+          for (auto& f : futures) f.get();
+        });
+      }
+      for (auto& th : submitters) th.join();
+      server.drain();
+      const double imgs_per_s =
+          4.0 * static_cast<double>(per_thread) /
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      (capped ? width_cap.imgs_per_s_capped
+              : width_cap.imgs_per_s_uncapped) = imgs_per_s;
+    }
+    ThreadPool::set_global_for_testing(nullptr);
   }
 
   // ---- overload soak: bounded queue vs unbounded baseline ------------
@@ -577,6 +797,13 @@ int main(int argc, char** argv) {
     const double chaos_seconds = soak_seconds > 0.0 ? soak_seconds : 2.0;
     chaos_point =
         run_chaos(tb, profile, device_timing, capacity * 2.0, chaos_seconds);
+  }
+
+  // ---- elastic soak: autoscaled pool vs fixed single worker ----------
+  ElasticPoint elastic_point;
+  if (soak_seconds > 0.0) {
+    elastic_point =
+        run_elastic(tb, profile, device_timing, capacity, soak_seconds);
   }
 
   // ---- JSON ----------------------------------------------------------
@@ -636,11 +863,11 @@ int main(int argc, char** argv) {
     if (p.workers == 1) tput_1w = p.imgs_per_s;
     if (p.workers == 2) tput_2w = p.imgs_per_s;
     std::printf(
-        "    {\"workers\": %d, \"imgs_per_s\": %.2f, "
+        "    {\"workers\": %d, \"intra_op_width\": %d, \"imgs_per_s\": %.2f, "
         "\"request_p50_ms\": %.3f, \"request_p99_ms\": %.3f, "
         "\"mean_batch_size\": %.2f, \"max_queue_depth\": %lld, "
         "\"worker_utilization\": [",
-        p.workers, p.imgs_per_s,
+        p.workers, p.intra_op_width, p.imgs_per_s,
         p.stats.request_latency.percentile(50.0) * 1e3,
         p.stats.request_latency.percentile(99.0) * 1e3,
         p.stats.mean_batch_size(),
@@ -656,6 +883,23 @@ int main(int argc, char** argv) {
   // field above is the INTRA-op width each worker uses).
   std::printf("  \"speedup_workers2_vs_1\": %.3f,\n",
               tput_1w > 0.0 ? tput_2w / tput_1w : 0.0);
+  // Oversubscription fix receipts: same 2-worker load, engines sharding at
+  // full pool width (before) vs capped at pool/2 (after). Only meaningful
+  // on >= 2 hardware threads; CI reports the ratio warn-only.
+  std::printf("  \"width_cap\": {\n");
+  std::printf("    \"hardware_threads\": %d,\n", width_cap.hardware_threads);
+  std::printf("    \"workers\": %d,\n", width_cap.workers);
+  std::printf("    \"capped_width\": %d,\n", width_cap.capped_width);
+  std::printf("    \"imgs_per_s_uncapped\": %.2f,\n",
+              width_cap.imgs_per_s_uncapped);
+  std::printf("    \"imgs_per_s_capped\": %.2f,\n",
+              width_cap.imgs_per_s_capped);
+  std::printf("    \"speedup_capped_vs_uncapped\": %.3f\n",
+              width_cap.imgs_per_s_uncapped > 0.0
+                  ? width_cap.imgs_per_s_capped /
+                        width_cap.imgs_per_s_uncapped
+                  : 0.0);
+  std::printf("  },\n");
   if (soak_bounded.empty()) {
     std::printf("  \"soak\": null,\n");
   } else {
@@ -695,6 +939,55 @@ int main(int argc, char** argv) {
     const double p99_long = soak_unbounded.back().accepted_p99_ms;
     std::printf("    \"unbounded_p99_growth\": %.3f\n",
                 p99_short > 0.0 ? p99_long / p99_short : 0.0);
+    std::printf("  },\n");
+  }
+  if (soak_seconds <= 0.0) {
+    std::printf("  \"elastic\": null,\n");
+  } else {
+    const ElasticPoint& e = elastic_point;
+    std::printf("  \"elastic\": {\n");
+    std::printf("    \"soak_seconds\": %.2f,\n", e.soak_seconds);
+    std::printf("    \"capacity_imgs_per_s\": %.2f,\n", capacity);
+    std::printf("    \"load_steps_x\": [1.0, 10.0, 1.0],\n");
+    std::printf("    \"min_workers\": 1,\n");
+    std::printf("    \"max_workers\": 4,\n");
+    std::printf(
+        "    \"fixed\": {\"submitted\": %lld, \"ok\": %lld, "
+        "\"goodput_imgs_per_s\": %.2f, \"shed_rate\": %.3f, "
+        "\"unresolved\": %lld},\n",
+        static_cast<long long>(e.fixed.submitted),
+        static_cast<long long>(e.fixed.ok), e.fixed.goodput_imgs_per_s,
+        e.fixed.shed_rate, static_cast<long long>(e.fixed.unresolved));
+    std::printf(
+        "    \"elastic\": {\"submitted\": %lld, \"ok\": %lld, "
+        "\"goodput_imgs_per_s\": %.2f, \"shed_rate\": %.3f, "
+        "\"unresolved\": %lld, \"scale_ups\": %lld, "
+        "\"scale_downs\": %lld},\n",
+        static_cast<long long>(e.elastic.submitted),
+        static_cast<long long>(e.elastic.ok), e.elastic.goodput_imgs_per_s,
+        e.elastic.shed_rate, static_cast<long long>(e.elastic.unresolved),
+        static_cast<long long>(e.elastic.stats.scale_ups),
+        static_cast<long long>(e.elastic.stats.scale_downs));
+    // The machine-portable headlines the CI gate reads: the autoscaled pool
+    // must hold goodput at least at the fixed baseline while shedding
+    // strictly less, reach beyond min_workers at the 10x step, and resolve
+    // every future.
+    std::printf("    \"workers_high_water\": %lld,\n",
+                static_cast<long long>(e.elastic.stats.workers_high_water));
+    std::printf("    \"goodput_elastic_vs_fixed\": %.3f,\n",
+                e.fixed.goodput_imgs_per_s > 0.0
+                    ? e.elastic.goodput_imgs_per_s /
+                          e.fixed.goodput_imgs_per_s
+                    : 0.0);
+    std::printf("    \"shed_rate_fixed\": %.3f,\n", e.fixed.shed_rate);
+    std::printf("    \"shed_rate_elastic\": %.3f,\n", e.elastic.shed_rate);
+    std::printf("    \"shed_rate_elastic_vs_fixed\": %.3f,\n",
+                e.fixed.shed_rate > 0.0
+                    ? e.elastic.shed_rate / e.fixed.shed_rate
+                    : 0.0);
+    std::printf("    \"unresolved\": %lld\n",
+                static_cast<long long>(e.fixed.unresolved +
+                                       e.elastic.unresolved));
     std::printf("  },\n");
   }
   if (!chaos) {

@@ -88,7 +88,7 @@ Tensor BatchNorm2d::forward(ExecutionContext& ctx, const Tensor& input,
   } else {
     // Eval mode is the deployed hot path: channels are independent, shard
     // them on the context pool (disjoint writes; per-element math unchanged).
-    ctx.pool().parallel_for(c, [&](int64_t c0, int64_t c1) {
+    ctx.parallel_for(c, [&](int64_t c0, int64_t c1) {
       for (int64_t ch = c0; ch < c1; ++ch) {
         const float inv_std = 1.0f / std::sqrt(running_var_[ch] + eps_);
         const float g = gamma_[ch], b = beta_[ch], m = running_mean_[ch];

@@ -104,7 +104,7 @@ Tensor Conv2d::forward_impl(ExecutionContext& ctx, const Tensor& input,
     } else {
       float* ap = ctx.arena().alloc(packdetail::packed_a_floats(out_c_, rows));
       packdetail::pack_a_rowmajor(ctx.pool(), out_c_, rows, weight_.data(),
-                                  rows, ap);
+                                  rows, ap, ctx.intra_op_width());
       apack = ap;
     }
     for (int64_t i = 0; i < n; ++i) {
@@ -113,7 +113,7 @@ Tensor Conv2d::forward_impl(ExecutionContext& ctx, const Tensor& input,
       if (direct_1x1) {
         packdetail::run_packed_b_rowmajor(ctx.pool(), out_c_, cols, rows, 1.0f,
                                           apack, img, cols, 0.0f, dst, cols,
-                                          ep);
+                                          ep, ctx.intra_op_width());
       } else {
         packdetail::run_packed_b_producer(
             ctx, out_c_, cols, rows, 1.0f, apack,

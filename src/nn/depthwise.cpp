@@ -80,7 +80,7 @@ Tensor DepthwiseConv2d::forward_simd(ExecutionContext& ctx,
   // One task per (image, channel) plane, one row-kernel call per output row.
   // Writes are disjoint and each pixel's accumulation chain is fixed by the
   // kernel contract, so the shard layout cannot change results.
-  ctx.pool().parallel_for(n * channels_, [&](int64_t p0, int64_t p1) {
+  ctx.parallel_for(n * channels_, [&](int64_t p0, int64_t p1) {
     const float* rows[kMaxSimdKernel];
     for (int64_t pc = p0; pc < p1; ++pc) {
       const int64_t c = pc % channels_;
@@ -114,7 +114,7 @@ Tensor DepthwiseConv2d::forward_reference(ExecutionContext& ctx,
   // One task per (image, channel) plane; writes are disjoint, so the shard
   // layout cannot change results. Bit-stable across releases: this is the
   // arithmetic TBNET_DETERMINISTIC=1 pins.
-  ctx.pool().parallel_for(n * channels_, [&](int64_t p0, int64_t p1) {
+  ctx.parallel_for(n * channels_, [&](int64_t p0, int64_t p1) {
     for (int64_t pc = p0; pc < p1; ++pc) {
       const int64_t c = pc % channels_;
       const float* plane = input.data() + pc * ih * iw;
@@ -159,7 +159,7 @@ Tensor DepthwiseConv2d::backward(ExecutionContext& ctx,
   // Sharded over channels only: dk[c] (and db[c]) accumulate across the
   // batch, so the image loop must stay serial per channel to keep the
   // accumulation order (and hence the bits) identical to the serial kernel.
-  ctx.pool().parallel_for(channels_, [&](int64_t c0, int64_t c1) {
+  ctx.parallel_for(channels_, [&](int64_t c0, int64_t c1) {
     for (int64_t c = c0; c < c1; ++c) {
       const float* k = weight_.data() + c * opt_.kernel * opt_.kernel;
       float* dk = weight_grad_.data() + c * opt_.kernel * opt_.kernel;

@@ -220,7 +220,7 @@ Tensor forward_depthwise_pointwise(ExecutionContext& ctx, const Tensor& x,
   } else {
     float* ap = ctx.arena().alloc(packdetail::packed_a_floats(out_c, channels));
     packdetail::pack_a_rowmajor(ctx.pool(), out_c, channels, pw.weight().data(),
-                                channels, ap);
+                                channels, ap, ctx.intra_op_width());
     apack = ap;
   }
   // The per-image loop keeps batched output bit-identical to per-image calls

@@ -35,6 +35,7 @@ inline constexpr uint32_t kCmdGetLogits = 3;
 inline constexpr uint32_t kCmdPredict = 4;
 inline constexpr uint32_t kCmdReset = 5;
 inline constexpr uint32_t kCmdPredictBatch = 6;
+inline constexpr uint32_t kCmdSetWidth = 7;
 
 /// Splits a finalized TwoBranchModel into an REE half and an installed TA.
 ///
@@ -155,6 +156,16 @@ class DeployedTBNet {
     return reopens_;
   }
 
+  /// Caps intra-op parallelism on BOTH worlds' contexts: the REE context
+  /// directly, the TA's secure context via a kCmdSetWidth invocation. An
+  /// elastic InferenceServer sets each engine to ~hardware_threads /
+  /// active_workers so N engines sharding concurrently submit ~one chunk
+  /// per core instead of N. <= 0 removes the cap. Re-applied automatically
+  /// by reopen(), so a recovered worker keeps its width. Results are
+  /// bit-identical across widths (scheduling hint only).
+  void set_intra_op_width(int width);
+  int intra_op_width() const { return intra_op_width_; }
+
   /// The session, for enabling device-timing simulation in benches.
   tee::TeeSession& session() { return *session_; }
 
@@ -190,6 +201,7 @@ class DeployedTBNet {
   std::string uuid_;
   std::vector<uint8_t> ta_image_;  ///< retained for reopen()'s re-deploy
   int64_t ta_image_bytes_ = 0;
+  int intra_op_width_ = 0;  ///< last set_intra_op_width; reopen re-applies
   /// Guards the fault-handling counters a monitor may read cross-thread
   /// (retries/reopens) and the jitter PRNG both retry paths draw from.
   mutable Mutex mu_;

@@ -30,6 +30,8 @@ const char* worker_health_name(WorkerHealth health) {
       return "recovering";
     case WorkerHealth::kDead:
       return "dead";
+    case WorkerHealth::kParked:
+      return "parked";
   }
   return "unknown";  // unreachable with a valid enum; keeps -Wreturn-type quiet
 }

@@ -70,14 +70,24 @@ class LatencyRecorder {
 /// (canary passed) or back to Quarantined with doubled backoff on failure;
 /// -> Dead when the worker has no RecoverFn or the recovery-attempt budget
 /// is exhausted. Dead is terminal for the server's lifetime.
+///
+/// The autoscaler (PR 10) adds Parked: a deliberately idle worker that the
+/// scaling policy has taken out of rotation (Healthy <-> Parked only — a
+/// parked worker is not broken, so it never enters the recovery machinery,
+/// and an elastic server's workers above `min_workers` start Parked until
+/// load warrants spawning them). Parked workers count as live for
+/// admission: a queued request is servable because the supervisor can
+/// unpark capacity at the next tick.
 enum class WorkerHealth {
   kHealthy = 0,
   kQuarantined,
   kRecovering,
   kDead,
+  kParked,
 };
 
-/// Printable state name ("healthy"/"quarantined"/"recovering"/"dead").
+/// Printable state name
+/// ("healthy"/"quarantined"/"recovering"/"dead"/"parked").
 /// Exhaustive switch, no default — adding a state breaks this build.
 const char* worker_health_name(WorkerHealth health);
 
@@ -152,6 +162,14 @@ struct ServingStats {
   /// reporting; the server itself leaves them 0.
   int64_t retries = 0;
   int64_t faults_injected = 0;
+  // ---- elasticity accounting (PR 10). Autoscaler decisions made by the
+  // supervisor tick; all 0 on a fixed-pool server.
+  int64_t scale_ups = 0;    ///< supervisor unparked (or spawned) a worker
+  int64_t scale_downs = 0;  ///< supervisor parked a worker
+  /// Most workers simultaneously active (Healthy/Quarantined/Recovering —
+  /// i.e. in rotation, not Parked/Dead) at any point; on a fixed pool this
+  /// is simply the worker count.
+  int64_t workers_high_water = 0;
   /// Seconds since the server started, stamped when stats() snapshots —
   /// the denominator for worker utilization.
   double uptime_s = 0.0;

@@ -66,7 +66,9 @@ InferenceServer::InferenceServer(std::vector<BatchFn> engines,
   }
   expected_chw_ = cfg_.input_chw;
   stats_.per_worker.resize(engines_.size());
+  stats_.workers_high_water = static_cast<int64_t>(engines_.size());
   control_.resize(engines_.size());
+  last_tick_ = start_;
   workers_.reserve(engines_.size());
   for (int w = 0; w < static_cast<int>(engines_.size()); ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -82,6 +84,60 @@ InferenceServer::InferenceServer(BatchFn engine, Config cfg)
             return one;
           }(),
           std::vector<RecoverFn>{}, cfg) {}
+
+InferenceServer::InferenceServer(EngineFactory factory, Config cfg)
+    : factory_(std::move(factory)), cfg_(cfg), start_(Clock::now()) {
+  if (!factory_) {
+    throw std::invalid_argument("InferenceServer: null engine factory");
+  }
+  if (cfg_.min_workers < 1 || cfg_.max_workers < cfg_.min_workers) {
+    throw std::invalid_argument(
+        "InferenceServer: need 1 <= min_workers <= max_workers");
+  }
+  if (cfg_.max_batch <= 0) {
+    throw std::invalid_argument("InferenceServer: max_batch must be positive");
+  }
+  if (cfg_.queue_capacity < 0) {
+    throw std::invalid_argument(
+        "InferenceServer: queue_capacity must be >= 0 (0 = unbounded)");
+  }
+  if (cfg_.input_chw.ndim() != 0 && cfg_.input_chw.ndim() != 3) {
+    throw std::invalid_argument("InferenceServer: input_chw must be CHW, got " +
+                                cfg_.input_chw.str());
+  }
+  expected_chw_ = cfg_.input_chw;
+  // Every slot exists from the start — engines_/recovery_/control_ never
+  // reallocate, so run_batch's unlocked engines_[w] read stays valid for the
+  // server's lifetime. Slots above min_workers hold a null BatchFn until the
+  // autoscaler builds one; their health (kParked) keeps their worker thread
+  // from ever claiming work before then.
+  const size_t slots = static_cast<size_t>(cfg_.max_workers);
+  engines_.resize(slots);
+  recovery_.resize(slots);
+  control_.resize(slots);
+  stats_.per_worker.resize(slots);
+  stats_.workers_high_water = cfg_.min_workers;
+  last_tick_ = start_;
+  for (int w = 0; w < cfg_.max_workers; ++w) {
+    if (w < cfg_.min_workers) {
+      auto built = factory_(w);
+      if (!built.first) {
+        throw std::invalid_argument(
+            "InferenceServer: factory returned a null engine");
+      }
+      engines_[static_cast<size_t>(w)] = std::move(built.first);
+      recovery_[static_cast<size_t>(w)] = std::move(built.second);
+    } else {
+      control_[static_cast<size_t>(w)].health = WorkerHealth::kParked;
+      stats_.per_worker[static_cast<size_t>(w)].health = WorkerHealth::kParked;
+    }
+  }
+  workers_.reserve(slots);
+  for (int w = 0; w < cfg_.max_workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+  supervisor_ = std::thread([this] { supervisor_loop(); });
+}
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
@@ -103,9 +159,62 @@ int InferenceServer::live_workers_locked() const {
   return live;
 }
 
+int InferenceServer::active_workers_locked() const {
+  int active = 0;
+  for (const WorkerControl& wc : control_) {
+    if (wc.health != WorkerHealth::kDead &&
+        wc.health != WorkerHealth::kParked) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+int64_t InferenceServer::queued_total_locked() const {
+  int64_t total = 0;
+  for (const std::deque<Pending>& lane : lanes_) {
+    total += static_cast<int64_t>(lane.size());
+  }
+  return total;
+}
+
+bool InferenceServer::lanes_empty_locked() const {
+  for (const std::deque<Pending>& lane : lanes_) {
+    if (!lane.empty()) return false;
+  }
+  return true;
+}
+
+void InferenceServer::enqueue_locked(Pending p) {
+  std::deque<Pending>& lane = lanes_[static_cast<size_t>(p.priority)];
+  // Earliest-deadline-first within the lane, stable for ties: walk from the
+  // back past strictly-later deadlines. No-deadline requests (time max) stay
+  // FIFO among themselves behind every deadlined one; the common all-FIFO /
+  // monotone-deadline traffic inserts at the back in O(1).
+  auto it = lane.end();
+  while (it != lane.begin() && std::prev(it)->deadline > p.deadline) --it;
+  lane.insert(it, std::move(p));
+}
+
+InferenceServer::Pending InferenceServer::pop_shed_victim_locked() {
+  for (std::deque<Pending>& lane : lanes_) {  // lowest priority first
+    if (!lane.empty()) {
+      Pending victim = std::move(lane.front());
+      lane.pop_front();
+      return victim;
+    }
+  }
+  throw std::logic_error("InferenceServer: shed with empty lanes");
+}
+
 std::deque<InferenceServer::Pending> InferenceServer::take_queue_locked() {
   std::deque<Pending> taken;
-  taken.swap(queue_);
+  for (int lane = kPriorityLanes - 1; lane >= 0; --lane) {
+    for (Pending& p : lanes_[static_cast<size_t>(lane)]) {
+      taken.push_back(std::move(p));
+    }
+    lanes_[static_cast<size_t>(lane)].clear();
+  }
   return taken;
 }
 
@@ -130,16 +239,23 @@ bool InferenceServer::trip_breaker_locked(int w) {
 }
 
 std::future<InferenceResult> InferenceServer::submit(Tensor image_chw) {
-  return submit(std::move(image_chw), cfg_.default_deadline);
+  return submit(std::move(image_chw), cfg_.default_deadline,
+                Priority::kNormal);
 }
 
 std::future<InferenceResult> InferenceServer::submit(
     Tensor image_chw, std::chrono::microseconds deadline) {
+  return submit(std::move(image_chw), deadline, Priority::kNormal);
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    Tensor image_chw, std::chrono::microseconds deadline, Priority priority) {
   Pending p;
   p.image = std::move(image_chw);
   p.enqueued = Clock::now();
   p.deadline = deadline.count() > 0 ? p.enqueued + deadline
                                     : Clock::time_point::max();
+  p.priority = priority;
   std::future<InferenceResult> fut = p.promise.get_future();
 
   // A malformed request resolves Rejected on its own future — it must never
@@ -169,7 +285,7 @@ std::future<InferenceResult> InferenceServer::submit(
       }
     }
     if (reject.empty() && cfg_.queue_capacity > 0 &&
-        static_cast<int64_t>(queue_.size()) >= cfg_.queue_capacity) {
+        queued_total_locked() >= cfg_.queue_capacity) {
       switch (cfg_.admission) {
         case AdmissionPolicy::kBlock:
           // Backpressure: park this submitter until a worker frees space
@@ -177,7 +293,7 @@ std::future<InferenceResult> InferenceServer::submit(
           space_cv_.wait(lock, [this] {
             mu_.assert_held();  // wait re-acquires mu_ before evaluating
             return stop_ || live_workers_locked() == 0 ||
-                   static_cast<int64_t>(queue_.size()) < cfg_.queue_capacity;
+                   queued_total_locked() < cfg_.queue_capacity;
           });
           if (stop_) {
             reject = "submit blocked at shutdown";
@@ -190,11 +306,11 @@ std::future<InferenceResult> InferenceServer::submit(
                    std::to_string(cfg_.queue_capacity) + ")";
           break;
         case AdmissionPolicy::kShedOldest:
-          // The victim's in-flight slot transfers to the new request, so
-          // in_flight_ is net unchanged within this critical section and
-          // drain() never observes a spurious zero.
-          shed_victim = std::move(queue_.front());
-          queue_.pop_front();
+          // The victim — the lowest lane's front, so low-priority traffic
+          // absorbs overload first — hands its in-flight slot to the new
+          // request: in_flight_ is net unchanged within this critical
+          // section and drain() never observes a spurious zero.
+          shed_victim = pop_shed_victim_locked();
           have_victim = true;
           ++stats_.shed;
           --in_flight_;
@@ -202,10 +318,10 @@ std::future<InferenceResult> InferenceServer::submit(
       }
     }
     if (reject.empty()) {
-      queue_.push_back(std::move(p));
+      enqueue_locked(std::move(p));
       ++in_flight_;
-      stats_.max_queue_depth = std::max(
-          stats_.max_queue_depth, static_cast<int64_t>(queue_.size()));
+      stats_.max_queue_depth =
+          std::max(stats_.max_queue_depth, queued_total_locked());
     } else {
       ++stats_.rejected;
     }
@@ -293,58 +409,73 @@ void InferenceServer::worker_loop(int worker) {
     {
       MutexLock lock(mu_);
       // A non-Healthy worker must not claim work: it parks here until the
-      // supervisor restores it (queue_cv_ is notified on recovery) or
-      // shutdown. Health cannot change between this wait and the claim
-      // below — trips are self-inflicted (only this worker's own run_batch
-      // quarantines it) and the supervisor only moves workers toward
-      // Healthy.
+      // supervisor restores it (queue_cv_ is notified on recovery and
+      // scale-up) or shutdown. Breaker trips are self-inflicted (only this
+      // worker's own run_batch quarantines it), but the AUTOSCALER can park
+      // a Healthy worker from the supervisor thread while the coalescing
+      // wait below has the lock released — hence the health re-check after
+      // that wait.
       queue_cv_.wait(lock, [this, worker] {
         mu_.assert_held();  // wait re-acquires mu_ before evaluating
         return stop_ ||
-               (!queue_.empty() &&
+               (!lanes_empty_locked() &&
                 control_[static_cast<size_t>(worker)].health ==
                     WorkerHealth::kHealthy);
       });
-      if (queue_.empty() || control_[static_cast<size_t>(worker)].health !=
-                                WorkerHealth::kHealthy) {
+      if (lanes_empty_locked() || control_[static_cast<size_t>(worker)]
+                                          .health != WorkerHealth::kHealthy) {
         if (stop_) return;
         continue;
       }
-      // Coalesce: wait (bounded by the oldest request's flush deadline, and
-      // by its expiry — no point idling for company past the moment it
-      // dies) for the queue to fill up to max_batch, then take up to
-      // max_batch. With several workers parked here, whichever wakes first
-      // claims the batch; the others observe an empty queue and loop back.
-      auto flush = queue_.front().enqueued + cfg_.max_queue_delay;
-      if (queue_.front().deadline < flush) flush = queue_.front().deadline;
+      // Coalesce: wait (bounded by the most urgent lane front's flush
+      // deadline, and by its expiry — no point idling for company past the
+      // moment it dies) for the lanes to fill up to max_batch, then take up
+      // to max_batch. With several workers parked here, whichever wakes
+      // first claims the batch; the others observe empty lanes and loop.
+      auto flush = Clock::time_point::max();
+      for (const std::deque<Pending>& lane : lanes_) {
+        if (lane.empty()) continue;
+        auto f = lane.front().enqueued + cfg_.max_queue_delay;
+        if (lane.front().deadline < f) f = lane.front().deadline;
+        if (f < flush) flush = f;
+      }
       queue_cv_.wait_until(lock, flush, [this] {
         mu_.assert_held();  // wait re-acquires mu_ before evaluating
-        return stop_ ||
-               static_cast<int64_t>(queue_.size()) >= cfg_.max_batch;
+        return stop_ || queued_total_locked() >= cfg_.max_batch;
       });
-      if (queue_.empty()) {
+      // The coalescing wait released the lock: a sibling may have drained
+      // the lanes, and the autoscaler may have parked THIS worker. A parked
+      // worker stops claiming immediately (its pending wake-up work goes to
+      // the remaining pool) — that is what makes scale-down prompt without
+      // ever abandoning a claimed batch.
+      if (lanes_empty_locked() || control_[static_cast<size_t>(worker)]
+                                          .health != WorkerHealth::kHealthy) {
         if (stop_) return;
         continue;
       }
-      // Claim from the front, enforcing deadlines at batch-formation time:
-      // an expired request resolves kExpired without consuming a batch slot
-      // or ever touching an engine. FIFO order means the front is the
-      // oldest, so expiry checks stay O(1) amortized per request.
+      // Claim highest lane first, enforcing deadlines at batch-formation
+      // time: an expired request resolves kExpired without consuming a
+      // batch slot or ever touching an engine. Lanes are EDF-ordered, so
+      // each lane's front is its most urgent request and expiry checks stay
+      // O(1) amortized per request.
       const auto now = Clock::now();
-      while (static_cast<int64_t>(batch.size()) < cfg_.max_batch &&
-             !queue_.empty()) {
-        Pending pr = std::move(queue_.front());
-        queue_.pop_front();
-        if (pr.deadline <= now) {
-          expired.push_back(std::move(pr));
-        } else {
-          batch.push_back(std::move(pr));
+      for (int ln = kPriorityLanes - 1; ln >= 0; --ln) {
+        std::deque<Pending>& lane = lanes_[static_cast<size_t>(ln)];
+        while (static_cast<int64_t>(batch.size()) < cfg_.max_batch &&
+               !lane.empty()) {
+          Pending pr = std::move(lane.front());
+          lane.pop_front();
+          if (pr.deadline <= now) {
+            expired.push_back(std::move(pr));
+          } else {
+            batch.push_back(std::move(pr));
+          }
         }
       }
       stats_.expired += static_cast<int64_t>(expired.size());
       // Requests may remain (more than max_batch queued): hand them to a
       // sibling worker instead of serializing behind this batch.
-      if (!queue_.empty()) queue_cv_.notify_one();
+      if (!lanes_empty_locked()) queue_cv_.notify_one();
     }
     // Popping freed queue space: wake submitters blocked on admission.
     if (cfg_.queue_capacity > 0) space_cv_.notify_all();
@@ -362,7 +493,7 @@ void InferenceServer::worker_loop(int worker) {
     bool done;
     {
       MutexLock lock(mu_);
-      done = stop_ && queue_.empty();
+      done = stop_ && lanes_empty_locked();
     }
     if (done) return;
   }
@@ -472,8 +603,11 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
     }
     requeued_count = static_cast<int64_t>(requeue.size());
     stats_.requeued += requeued_count;
+    // Front of each rider's own lane, in reverse claim order, so the lane
+    // keeps its EDF order (the batch was claimed front-first from EDF-sorted
+    // lanes) and a rider never loses its priority by bouncing.
     for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
-      queue_.push_front(std::move(*it));
+      lanes_[static_cast<size_t>(it->priority)].push_front(std::move(*it));
     }
     // A requeued rider is NOT counted as an answered request here — the
     // batch that finally resolves it will count it — preserving the PR-7
@@ -550,10 +684,122 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
   if (!flushed.empty()) space_cv_.notify_all();
 }
 
+int InferenceServer::autoscale_tick(Clock::time_point now) {
+  // Utilization since the previous tick: busy_s deltas of the workers in
+  // rotation, over the wall time elapsed. This is the RECENT load signal —
+  // lifetime utilization would take minutes to reflect a spike.
+  const double elapsed = seconds_between(last_tick_, now);
+  last_tick_ = now;
+  int active = 0;
+  int healthy = 0;
+  double busy = 0.0;
+  for (size_t w = 0; w < control_.size(); ++w) {
+    WorkerControl& wc = control_[w];
+    const double b = stats_.per_worker[w].busy_s;
+    if (wc.health != WorkerHealth::kDead &&
+        wc.health != WorkerHealth::kParked) {
+      ++active;
+      busy += b - wc.tick_busy_s;
+    }
+    if (wc.health == WorkerHealth::kHealthy) ++healthy;
+    wc.tick_busy_s = b;
+  }
+  const double util =
+      active > 0 && elapsed > 0.0 ? busy / (elapsed * active) : 0.0;
+  const int64_t queued = queued_total_locked();
+  if (now < next_scale_allowed_) return -1;  // cooldown: no action this tick
+
+  // Scale UP when the backlog exceeds one batch round per healthy worker.
+  const double backlog_limit = cfg_.scale_up_queue_factor *
+                               static_cast<double>(cfg_.max_batch) *
+                               static_cast<double>(std::max(1, healthy));
+  if (static_cast<double>(queued) > backlog_limit &&
+      active < cfg_.max_workers) {
+    for (int w = 0; w < static_cast<int>(control_.size()); ++w) {
+      WorkerControl& wc = control_[static_cast<size_t>(w)];
+      if (wc.health != WorkerHealth::kParked) continue;
+      next_scale_allowed_ = now + cfg_.autoscale_cooldown;
+      if (!engines_[static_cast<size_t>(w)]) {
+        // No engine yet: hand the slot to supervisor_loop to build one
+        // outside the lock. Recovering keeps it out of every other scan
+        // (claim loops, this tick) until the install completes.
+        wc.health = WorkerHealth::kRecovering;
+        return w;
+      }
+      // Engine survives parking, so unparking is free: flip it back in.
+      wc.health = WorkerHealth::kHealthy;
+      wc.strikes = 0;
+      ++stats_.scale_ups;
+      stats_.workers_high_water = std::max(
+          stats_.workers_high_water,
+          static_cast<int64_t>(active_workers_locked()));
+      queue_cv_.notify_all();
+      return -1;
+    }
+    return -1;  // nothing parked (the rest are quarantined/recovering/dead)
+  }
+
+  // Scale DOWN when the pool is demonstrably idle: empty lanes and recent
+  // utilization under the threshold. Parking the HIGHEST healthy slot keeps
+  // the active set a prefix, and a parked worker finishes any batch it
+  // already claimed — nothing in flight is abandoned (drain stays exact).
+  if (cfg_.scale_down_utilization > 0.0 && healthy > cfg_.min_workers &&
+      queued == 0 && util < cfg_.scale_down_utilization) {
+    for (int w = static_cast<int>(control_.size()) - 1; w >= 0; --w) {
+      WorkerControl& wc = control_[static_cast<size_t>(w)];
+      if (wc.health != WorkerHealth::kHealthy) continue;
+      wc.health = WorkerHealth::kParked;
+      ++stats_.scale_downs;
+      next_scale_allowed_ = now + cfg_.autoscale_cooldown;
+      break;
+    }
+  }
+  return -1;
+}
+
 void InferenceServer::supervisor_loop() {
   MutexLock lock(mu_);
   for (;;) {
     if (stop_) return;
+    const auto now = Clock::now();
+    // Elastic servers evaluate the scaling policy every autoscale_interval.
+    if (factory_ && now >= last_tick_ + cfg_.autoscale_interval) {
+      const int spawn = autoscale_tick(now);
+      if (spawn >= 0) {
+        // Build the new slot's engine on this thread, outside the lock —
+        // deploying a TA image must not stall submitters or the healthy
+        // workers. The slot is Recovering, so nothing else touches it.
+        lock.unlock();
+        BatchFn engine;
+        RecoverFn recover;
+        try {
+          auto built = factory_(spawn);
+          engine = std::move(built.first);
+          recover = std::move(built.second);
+        } catch (...) {
+          engine = nullptr;
+        }
+        lock.lock();
+        WorkerControl& wc = control_[static_cast<size_t>(spawn)];
+        if (engine) {
+          engines_[static_cast<size_t>(spawn)] = std::move(engine);
+          recovery_[static_cast<size_t>(spawn)] = std::move(recover);
+          wc.health = WorkerHealth::kHealthy;
+          wc.strikes = 0;
+          ++stats_.scale_ups;
+          stats_.workers_high_water = std::max(
+              stats_.workers_high_water,
+              static_cast<int64_t>(active_workers_locked()));
+          queue_cv_.notify_all();
+        } else {
+          // Failed spawn: the slot returns to Parked (a later tick may
+          // retry) and the failure is visible in the canary counter.
+          wc.health = WorkerHealth::kParked;
+          ++stats_.canary_failures;
+        }
+      }
+      continue;
+    }
     // The earliest due recovery among quarantined workers (if any).
     int due = -1;
     Clock::time_point earliest = Clock::time_point::max();
@@ -565,14 +811,21 @@ void InferenceServer::supervisor_loop() {
         due = w;
       }
     }
-    if (due < 0) {
+    // Elastic servers never park indefinitely — the next tick bounds every
+    // wait so the scaling policy keeps sampling even without trips.
+    Clock::time_point wake = earliest;
+    if (factory_) {
+      wake = std::min(wake, last_tick_ + cfg_.autoscale_interval);
+    }
+    if (wake == Clock::time_point::max()) {
       supervisor_cv_.wait(lock);  // woken by trips and shutdown
       continue;
     }
-    if (Clock::now() < earliest) {
-      supervisor_cv_.wait_until(lock, earliest);
+    if (now < wake) {
+      supervisor_cv_.wait_until(lock, wake);
       continue;
     }
+    if (due < 0 || Clock::now() < earliest) continue;  // only the tick is due
     WorkerControl& wc = control_[static_cast<size_t>(due)];
     wc.health = WorkerHealth::kRecovering;
     RecoverFn recover = recovery_[static_cast<size_t>(due)];

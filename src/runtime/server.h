@@ -47,6 +47,7 @@
 // resolves with a typed status instead of hanging. Health states and the
 // quarantine/recovery counters land in ServingStats.
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -54,6 +55,7 @@
 #include <future>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "runtime/measurements.h"
@@ -76,6 +78,21 @@ enum class AdmissionPolicy {
   /// still have a use for.
   kShedOldest,
 };
+
+/// Per-request priority lane (PR 10). Batch formation serves the highest
+/// non-empty lane first, ordering WITHIN a lane by earliest deadline
+/// (requests without deadlines keep FIFO order — "no deadline" sorts last,
+/// stably). kShedOldest drops from the LOWEST non-empty lane, so under
+/// sustained overload low-priority traffic absorbs the shedding while high
+/// lanes keep their goodput. Not an admission class: every lane obeys the
+/// same queue bound and the same accounting identity.
+enum class Priority {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+
+inline constexpr int kPriorityLanes = 3;
 
 /// Typed outcome of one request. The future always resolves with one of
 /// these — never an exception — so one bad request or one failing engine
@@ -155,6 +172,30 @@ class InferenceServer {
     /// drains into quarantine instead of silently serving at 100x latency.
     /// <= 0 disables the watchdog.
     std::chrono::microseconds watchdog_timeout{0};
+    // ---- elasticity (PR 10) -------------------------------------------
+    // Only read by the EngineFactory constructor; the fixed-pool
+    // constructors ignore all five (their worker count is engines.size()).
+    /// Workers the elastic server keeps active at all times; the factory is
+    /// invoked for them at construction. Must be >= 1 and <= max_workers.
+    int min_workers = 1;
+    /// Hard ceiling on concurrently active workers. The factory is invoked
+    /// lazily (on the supervisor thread, first time a slot scales up), so an
+    /// engine that is never needed is never built.
+    int max_workers = 1;
+    /// How often the supervisor evaluates the scaling policy.
+    std::chrono::microseconds autoscale_interval{10000};
+    /// Minimum gap between two scaling actions (up OR down). Hysteresis: a
+    /// load spike that scales up cannot bounce straight back down — the
+    /// utilization signal gets at least one cooldown to reflect the new
+    /// pool before the next decision.
+    std::chrono::microseconds autoscale_cooldown{100000};
+    /// Scale up when queued > scale_up_queue_factor * max_batch * healthy
+    /// workers — i.e. the backlog exceeds what the active pool can clear in
+    /// one batch round per worker.
+    double scale_up_queue_factor = 1.0;
+    /// Park a worker when mean active-worker utilization since the last
+    /// tick falls below this AND the queue is empty. 0 disables scale-down.
+    double scale_down_utilization = 0.3;
   };
 
   /// Restores a broken worker's engine (e.g. a lambda calling
@@ -178,6 +219,24 @@ class InferenceServer {
   explicit InferenceServer(BatchFn engine)
       : InferenceServer(std::move(engine), Config{}) {}
 
+  /// Builds one worker's engine + recovery pair — e.g. deploy a fresh
+  /// DeployedTBNet (the reopen()-style deploy path) and wrap it. Invoked on
+  /// the constructing thread for the first min_workers slots and on the
+  /// supervisor thread (outside the server lock) when the autoscaler spawns
+  /// a later slot; never invoked concurrently with itself. A throw during
+  /// construction propagates; a throw during scale-up cancels that scale-up
+  /// (counted in ServingStats::canary_failures) and the slot stays parked.
+  using EngineFactory = std::function<std::pair<BatchFn, RecoverFn>(int worker)>;
+
+  /// Elastic server: cfg.min_workers..cfg.max_workers dispatch workers,
+  /// scaled by the supervisor off queue depth and worker utilization (see
+  /// the Config knobs). Slots above min_workers start Parked with no engine
+  /// built; scale-up activates them (building the engine on first use) and
+  /// scale-down parks the highest active slot again. Parked workers hold no
+  /// batch mid-park — a worker finishes its claimed batch before it stops
+  /// claiming — so drain()/shutdown() accounting is unchanged.
+  InferenceServer(EngineFactory factory, Config cfg);
+
   /// Drains the queue and joins the workers.
   ~InferenceServer();
 
@@ -188,10 +247,14 @@ class InferenceServer {
   /// typed status (see InferenceResult) — malformed shapes, a full queue
   /// under kReject, or a post-shutdown submit resolve kRejected instead of
   /// throwing. Under kBlock with a full queue this call blocks (that is the
-  /// backpressure). The one-argument form applies cfg.default_deadline.
+  /// backpressure). The one-argument form applies cfg.default_deadline; the
+  /// short forms submit at Priority::kNormal.
   std::future<InferenceResult> submit(Tensor image_chw);
   std::future<InferenceResult> submit(Tensor image_chw,
                                       std::chrono::microseconds deadline);
+  std::future<InferenceResult> submit(Tensor image_chw,
+                                      std::chrono::microseconds deadline,
+                                      Priority priority);
 
   /// Blocks until every request submitted so far has been answered.
   void drain();
@@ -207,6 +270,9 @@ class InferenceServer {
   ServingStats stats() const;
 
   const Config& config() const { return cfg_; }
+  /// Worker SLOTS (fixed pool: the engine count; elastic: max_workers —
+  /// ServingStats::per_worker has this many entries; parked slots show
+  /// health kParked with zero batches).
   int workers() const { return static_cast<int>(engines_.size()); }
 
  private:
@@ -216,6 +282,7 @@ class InferenceServer {
     std::chrono::steady_clock::time_point enqueued;
     /// Absolute expiry; time_point::max() = none.
     std::chrono::steady_clock::time_point deadline;
+    Priority priority = Priority::kNormal;
     /// Already survived one failed batch. A rider is re-queued AT MOST once
     /// (bounding the work one request can consume); a second failure
     /// resolves it with the failing batch's status.
@@ -228,26 +295,50 @@ class InferenceServer {
     int strikes = 0;            ///< consecutive failed batches while Healthy
     int recovery_attempts = 0;  ///< failed recoveries since quarantine
     std::chrono::steady_clock::time_point next_recovery{};
+    /// busy_s at the previous autoscaler tick (utilization delta base).
+    double tick_busy_s = 0.0;
   };
 
   void worker_loop(int worker);
   void supervisor_loop();
+  /// One autoscaler evaluation (elastic servers only), run entirely under
+  /// mu_. Unpark/park actions apply inline; when scale-up needs an engine
+  /// BUILT, returns the slot (marked Recovering so no tick re-picks it) for
+  /// supervisor_loop to run the factory outside the lock. Returns -1 when
+  /// no build is needed.
+  int autoscale_tick(std::chrono::steady_clock::time_point now)
+      TS_REQUIRES(mu_);
   void run_batch(int worker, std::vector<Pending> batch);
   /// Trips worker `w`'s breaker: quarantined (supervisor woken) when it has
   /// a RecoverFn, dead otherwise. Returns true if this call transitioned it
   /// out of Healthy.
   bool trip_breaker_locked(int w) TS_REQUIRES(mu_);
-  /// Counts workers not Dead.
+  /// Counts workers not Dead (Parked workers ARE live: the autoscaler can
+  /// return them to rotation, so queued work remains servable).
   int live_workers_locked() const TS_REQUIRES(mu_);
+  /// Counts workers in rotation (Healthy / Quarantined / Recovering).
+  int active_workers_locked() const TS_REQUIRES(mu_);
+  /// Requests across all lanes (the queue-bound observable).
+  int64_t queued_total_locked() const TS_REQUIRES(mu_);
+  bool lanes_empty_locked() const TS_REQUIRES(mu_);
+  /// Inserts into its priority lane in earliest-deadline-first order
+  /// (stable: no-deadline requests stay FIFO behind deadlined ones).
+  void enqueue_locked(Pending p) TS_REQUIRES(mu_);
+  /// Pops the shed victim: the front of the LOWEST non-empty lane.
+  Pending pop_shed_victim_locked() TS_REQUIRES(mu_);
   /// Fails everything still queued (used when the last live worker dies and
   /// at shutdown when no healthy worker remains to serve the backlog).
-  /// Returns the extracted requests to resolve outside the lock.
+  /// Returns the extracted requests (highest lane first) to resolve outside
+  /// the lock.
   std::deque<Pending> take_queue_locked() TS_REQUIRES(mu_);
   /// Resolves `p` with a non-Ok status, stamping latency fields.
   static void resolve_failure(Pending& p, Status status, std::string error);
 
   std::vector<BatchFn> engines_;  ///< engines_[w] runs on workers_[w] only
   std::vector<RecoverFn> recovery_;  ///< empty, or one (maybe null) per engine
+  /// Builds engines for scaled-up slots; null on a fixed pool. Only the
+  /// supervisor thread invokes it after construction, always outside mu_.
+  EngineFactory factory_;
   Config cfg_;
   std::chrono::steady_clock::time_point start_;
 
@@ -256,7 +347,8 @@ class InferenceServer {
   CondVar idle_cv_;        // drain() waits for in-flight == 0
   CondVar space_cv_;       // kBlock submitters wait for room
   CondVar supervisor_cv_;  // supervisor waits for quarantines
-  std::deque<Pending> queue_ TS_GUARDED_BY(mu_);
+  /// lanes_[p] holds Priority p's queued requests, earliest deadline first.
+  std::array<std::deque<Pending>, kPriorityLanes> lanes_ TS_GUARDED_BY(mu_);
   /// Pinned input shape ({} until first accept).
   Shape expected_chw_ TS_GUARDED_BY(mu_);
   /// Submitted, not yet answered.
@@ -264,6 +356,10 @@ class InferenceServer {
   bool stop_ TS_GUARDED_BY(mu_) = false;
   ServingStats stats_ TS_GUARDED_BY(mu_);
   std::vector<WorkerControl> control_ TS_GUARDED_BY(mu_);  // one per worker
+  /// Cooldown gate: no scaling action before this instant.
+  std::chrono::steady_clock::time_point next_scale_allowed_ TS_GUARDED_BY(mu_);
+  /// Previous autoscaler tick (utilization-delta denominator).
+  std::chrono::steady_clock::time_point last_tick_ TS_GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
   std::thread supervisor_;

@@ -81,6 +81,15 @@ ThreadPool& ExecutionContext::pool() const {
   return pool_ != nullptr ? *pool_ : ThreadPool::global();
 }
 
+void ExecutionContext::parallel_for(
+    int64_t n, const std::function<void(int64_t, int64_t)>& fn) const {
+  pool().parallel_for(n, fn, intra_op_width_);
+}
+
+int64_t ExecutionContext::chunk_size(int64_t n) const {
+  return pool().chunk_size(n, intra_op_width_);
+}
+
 ExecutionContext& default_execution_context() {
   // One per thread: concurrent trainer / server / TA code each get their own
   // arena, so the shims stay safe without locking. Construction is cheap

@@ -20,6 +20,7 @@
 // the old API while still reusing scratch across calls.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -125,6 +126,26 @@ class ExecutionContext {
   ThreadPool& pool() const;
   void set_pool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Intra-op width hint (PR 10): caps how many chunks THIS context's
+  /// parallel_for()/chunk_size() split a range into (<= 0 = uncapped, the
+  /// pool's full width). N dispatch workers each running an engine at full
+  /// pool width submit N x num_threads chunks onto num_threads cores; an
+  /// elastic server sets each engine context's width to ~num_threads / N so
+  /// inter-op and intra-op parallelism compose instead of oversubscribing.
+  /// Purely a scheduling hint — results stay bit-identical across widths.
+  int intra_op_width() const { return intra_op_width_; }
+  void set_intra_op_width(int width) {
+    intra_op_width_ = width > 0 ? width : 0;
+  }
+
+  /// Width-capped shard on this context's pool. Kernels that take a context
+  /// must use these (not ctx.pool().parallel_for directly) so the hint
+  /// actually reaches the split; both forward the same width, keeping the
+  /// chunk boundaries and any begin/chunk-keyed scratch in sync.
+  void parallel_for(int64_t n,
+                    const std::function<void(int64_t, int64_t)>& fn) const;
+  int64_t chunk_size(int64_t n) const;
+
   tee::World world() const { return world_; }
   void set_world(tee::World world) { world_ = world; }
 
@@ -132,6 +153,7 @@ class ExecutionContext {
   mutable WorkspaceArena arena_;
   tee::World world_ = tee::World::kNormal;
   ThreadPool* pool_ = nullptr;  // nullptr = ThreadPool::global()
+  int intra_op_width_ = 0;      // <= 0 = uncapped
 };
 
 /// The calling thread's fallback context (normal world, global pool). Used

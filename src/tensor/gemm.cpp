@@ -168,7 +168,7 @@ void gemm_packed(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
       // what a batch-1 dense head runs (n = classes, B^T rows = weight
       // rows). Each C element is computed independently; bits do not depend
       // on m or the pool partitioning.
-      ctx.pool().parallel_for(m, [&](int64_t i0, int64_t i1) {
+      ctx.parallel_for(m, [&](int64_t i0, int64_t i1) {
         for (int64_t i = i0; i < i1; ++i) {
           const float* arow = a + i * k;
           float* crow = c + i * n;
@@ -186,14 +186,16 @@ void gemm_packed(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
   }
   ArenaScope scope(ctx.arena());
   float* ap = ctx.arena().alloc(packdetail::packed_a_floats(m, k));
-  packdetail::pack_a_rowmajor(ctx.pool(), m, k, a, k, ap);
+  const int width = ctx.intra_op_width();
+  packdetail::pack_a_rowmajor(ctx.pool(), m, k, a, k, ap, width);
   if (b_is_transposed) {
     float* bp = ctx.arena().alloc(packdetail::packed_b_floats(k, n));
-    packdetail::pack_b_from_bt(ctx.pool(), n, k, b, k, bp);
-    packdetail::run_packed(ctx.pool(), m, n, k, alpha, ap, bp, beta, c, n, ep);
+    packdetail::pack_b_from_bt(ctx.pool(), n, k, b, k, bp, width);
+    packdetail::run_packed(ctx.pool(), m, n, k, alpha, ap, bp, beta, c, n, ep,
+                           width);
   } else {
     packdetail::run_packed_b_rowmajor(ctx.pool(), m, n, k, alpha, ap, b, n,
-                                      beta, c, n, ep);
+                                      beta, c, n, ep, width);
   }
 }
 
@@ -297,9 +299,11 @@ void gemm_tn(const ExecutionContext& ctx, int64_t m, int64_t n, int64_t k,
   // the determinism contract (k-ordered per-element accumulation) holds.
   ArenaScope scope(ctx.arena());
   float* ap = ctx.arena().alloc(packdetail::packed_a_floats(m, k));
-  packdetail::pack_a_from_at(ctx.pool(), m, k, a, m, ap);
+  packdetail::pack_a_from_at(ctx.pool(), m, k, a, m, ap,
+                             ctx.intra_op_width());
   packdetail::run_packed_b_rowmajor(ctx.pool(), m, n, k, alpha, ap, b, n, beta,
-                                    c, n, GemmEpilogue{});
+                                    c, n, GemmEpilogue{},
+                                    ctx.intra_op_width());
 }
 
 void gemm_tn(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
@@ -323,7 +327,7 @@ void gemv(const ExecutionContext& ctx, int64_t m, int64_t n, float alpha,
     gemv_reference(m, n, alpha, a, x, beta, y);
     return;
   }
-  ctx.pool().parallel_for(m, [&](int64_t i0, int64_t i1) {
+  ctx.parallel_for(m, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const float acc = simd::dot(a + i * n, x, n);
       y[i] = alpha * acc + (beta == 0.0f ? 0.0f : beta * y[i]);

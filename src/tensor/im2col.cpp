@@ -45,7 +45,7 @@ void im2col(const Conv2dGeom& g, const float* image, float* cols) {
 void im2col(const ExecutionContext& ctx, const Conv2dGeom& g,
             const float* image, float* cols) {
   const int64_t col_cols = g.col_cols();
-  ctx.pool().parallel_for(g.col_rows(), [&](int64_t r0, int64_t r1) {
+  ctx.parallel_for(g.col_rows(), [&](int64_t r0, int64_t r1) {
     for (int64_t row = r0; row < r1; ++row) {
       im2col_row(g, image, row, cols + row * col_cols);
     }

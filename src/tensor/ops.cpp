@@ -56,7 +56,7 @@ void elementwise_into(const ExecutionContext& ctx, const Tensor& a,
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  ctx.pool().parallel_for(a.numel(), [&](int64_t i0, int64_t i1) {
+  ctx.parallel_for(a.numel(), [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) po[i] = op(pa[i], pb[i]);
   });
 }

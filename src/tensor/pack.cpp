@@ -77,14 +77,17 @@ void pack_a_rowmajor(int64_t m, int64_t k, const float* a, int64_t lda,
 }
 
 void pack_a_rowmajor(ThreadPool& pool, int64_t m, int64_t k, const float* a,
-                     int64_t lda, float* dst) {
+                     int64_t lda, float* dst, int max_width) {
   const int64_t mpan = ceil_div(m, kMR);
   const int64_t m_round = mpan * kMR;
-  pool.parallel_for(mpan, [&](int64_t p0, int64_t p1) {
-    for (int64_t ip = p0; ip < p1; ++ip) {
-      pack_a_panel(m, k, a, lda, m_round, ip * kMR, dst);
-    }
-  });
+  pool.parallel_for(
+      mpan,
+      [&](int64_t p0, int64_t p1) {
+        for (int64_t ip = p0; ip < p1; ++ip) {
+          pack_a_panel(m, k, a, lda, m_round, ip * kMR, dst);
+        }
+      },
+      max_width);
 }
 
 void pack_a_from_at(int64_t m, int64_t k, const float* at, int64_t ldat,
@@ -96,14 +99,17 @@ void pack_a_from_at(int64_t m, int64_t k, const float* at, int64_t ldat,
 }
 
 void pack_a_from_at(ThreadPool& pool, int64_t m, int64_t k, const float* at,
-                    int64_t ldat, float* dst) {
+                    int64_t ldat, float* dst, int max_width) {
   const int64_t mpan = ceil_div(m, kMR);
   const int64_t m_round = mpan * kMR;
-  pool.parallel_for(mpan, [&](int64_t p0, int64_t p1) {
-    for (int64_t ip = p0; ip < p1; ++ip) {
-      pack_a_panel_from_at(m, k, at, ldat, m_round, ip * kMR, dst);
-    }
-  });
+  pool.parallel_for(
+      mpan,
+      [&](int64_t p0, int64_t p1) {
+        for (int64_t ip = p0; ip < p1; ++ip) {
+          pack_a_panel_from_at(m, k, at, ldat, m_round, ip * kMR, dst);
+        }
+      },
+      max_width);
 }
 
 /// Packs the B panel at column offset j0 across every k block.
@@ -134,19 +140,22 @@ void pack_b_from_bt(int64_t n, int64_t k, const float* bt, int64_t ldbt,
 }
 
 void pack_b_from_bt(ThreadPool& pool, int64_t n, int64_t k, const float* bt,
-                    int64_t ldbt, float* dst) {
+                    int64_t ldbt, float* dst, int max_width) {
   const int64_t npan = ceil_div(n, kNR);
   const int64_t n_round = npan * kNR;
-  pool.parallel_for(npan, [&](int64_t p0, int64_t p1) {
-    for (int64_t jp = p0; jp < p1; ++jp) {
-      pack_b_panel_from_bt(n, k, bt, ldbt, n_round, jp * kNR, dst);
-    }
-  });
+  pool.parallel_for(
+      npan,
+      [&](int64_t p0, int64_t p1) {
+        for (int64_t jp = p0; jp < p1; ++jp) {
+          pack_b_panel_from_bt(n, k, bt, ldbt, n_round, jp * kNR, dst);
+        }
+      },
+      max_width);
 }
 
 void run_packed(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
                 const float* apack, const float* bpack, float beta, float* c,
-                int64_t ldc, const GemmEpilogue& ep) {
+                int64_t ldc, const GemmEpilogue& ep, int max_width) {
   if (m <= 0 || n <= 0) return;
   const simd::MicroKernelFn micro = simd::micro_kernel();
   const simd::MicroKernelFn micro1 = simd::micro_kernel_mr1();
@@ -158,7 +167,7 @@ void run_packed(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
   // k == 0 still runs one zero-depth slice so beta scaling and the epilogue
   // are applied.
   const int64_t kblocks = std::max<int64_t>(1, ceil_div(k, kBlockK));
-  pool.parallel_for(npan, [&](int64_t jp0, int64_t jp1) {
+  const auto body = [&](int64_t jp0, int64_t jp1) {
     for (int64_t jp = jp0; jp < jp1;) {
       const int64_t j0 = jp * kNR;
       const int nr = static_cast<int>(std::min<int64_t>(kNR, n - j0));
@@ -202,13 +211,14 @@ void run_packed(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
       }
       jp += pair ? 2 : 1;
     }
-  });
+  };
+  pool.parallel_for(npan, body, max_width);
 }
 
 void run_packed_b_rowmajor(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
                            float alpha, const float* apack, const float* b,
                            int64_t ldb, float beta, float* c, int64_t ldc,
-                           const GemmEpilogue& ep) {
+                           const GemmEpilogue& ep, int max_width) {
   if (m <= 0 || n <= 0) return;
   const simd::MicroKernelFn micro = simd::micro_kernel();
   const simd::MicroKernelFn micro1 = simd::micro_kernel_mr1();
@@ -217,7 +227,7 @@ void run_packed_b_rowmajor(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
   const int64_t npan = ceil_div(n, kNR);
   const int64_t m_round = mpan * kMR;
   const int64_t kblocks = std::max<int64_t>(1, ceil_div(k, kBlockK));
-  pool.parallel_for(npan, [&](int64_t jp0, int64_t jp1) {
+  const auto body = [&](int64_t jp0, int64_t jp1) {
     // Scratch for the single ragged column panel (zero-padded); lives on the
     // worker's stack so tasks never contend.
     alignas(simd::kAlign) float edge[kBlockK * kNR];
@@ -273,13 +283,14 @@ void run_packed_b_rowmajor(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
       }
       jp += pair ? 2 : 1;
     }
-  });
+  };
+  pool.parallel_for(npan, body, max_width);
 }
 
-int64_t producer_slab_floats(ThreadPool& pool, int64_t n) {
+int64_t producer_slab_floats(ThreadPool& pool, int64_t n, int max_width) {
   if (n <= 0) return 0;
   const int64_t npan = ceil_div(n, kNR);
-  const int64_t nchunks = ceil_div(npan, pool.chunk_size(npan));
+  const int64_t nchunks = ceil_div(npan, pool.chunk_size(npan, max_width));
   const int64_t per_chunk =
       (simd::micro_kernel_wide() != nullptr ? 2 : 1) * kBlockK * kNR;
   return nchunks * per_chunk;
@@ -304,12 +315,15 @@ void run_packed_b_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
   // origin, which parallel_for guarantees is a multiple of chunk_size. A
   // task processes its panels serially, so one slab per chunk suffices, and
   // the whole allocation rewinds when the call returns.
-  // producer_slab_floats() mirrors this accounting for tests.
+  // producer_slab_floats() mirrors this accounting for tests. The context's
+  // intra-op width reaches BOTH the split and the slab keying, so the
+  // chunk-origin contract holds under a cap exactly as it does without one.
   ArenaScope scope(ctx.arena());
-  const int64_t chunk = pool.chunk_size(npan);
+  const int width = ctx.intra_op_width();
+  const int64_t chunk = pool.chunk_size(npan, width);
   const int64_t slab = (wide != nullptr ? 2 : 1) * kBlockK * kNR;
-  float* scratch = ctx.arena().alloc(producer_slab_floats(pool, n));
-  pool.parallel_for(npan, [&](int64_t jp0, int64_t jp1) {
+  float* scratch = ctx.arena().alloc(producer_slab_floats(pool, n, width));
+  const auto body = [&](int64_t jp0, int64_t jp1) {
     // Slab aliasing here would mean silent output corruption, so the
     // chunk-origin contract (threadpool.h) is enforced in debug builds.
     assert(jp0 % chunk == 0 && jp1 - jp0 <= chunk);
@@ -354,7 +368,8 @@ void run_packed_b_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
       }
       jp += pair ? 2 : 1;
     }
-  });
+  };
+  pool.parallel_for(npan, body, width);
 }
 
 // ------------------------------------------------------------------ int8 --
@@ -403,13 +418,14 @@ void run_packed_i8_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
   // per-chunk slab is one full-depth u8 panel — kg * kNR * kKG bytes, a
   // 16th of the f32 producer's f32 slab at equal depth.
   ArenaScope scope(ctx.arena());
-  const int64_t chunk = pool.chunk_size(npan);
+  const int width = ctx.intra_op_width();
+  const int64_t chunk = pool.chunk_size(npan, width);
   const int64_t nchunks = ceil_div(npan, chunk);
   const int64_t slab_bytes = panel_b_i8_bytes(k);
   uint8_t* scratch = reinterpret_cast<uint8_t*>(
       ctx.arena().alloc(ceil_div(nchunks * slab_bytes,
                                  static_cast<int64_t>(sizeof(float)))));
-  pool.parallel_for(npan, [&](int64_t jp0, int64_t jp1) {
+  const auto body = [&](int64_t jp0, int64_t jp1) {
     assert(jp0 % chunk == 0 && jp1 - jp0 <= chunk);
     uint8_t* panel = scratch + (jp0 / chunk) * slab_bytes;
     for (int64_t jp = jp0; jp < jp1; ++jp) {
@@ -424,7 +440,8 @@ void run_packed_i8_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
               mr, nr, te);
       }
     }
-  });
+  };
+  pool.parallel_for(npan, body, width);
 }
 
 }  // namespace packdetail
@@ -506,7 +523,7 @@ void PackedGemm::run(const ExecutionContext& ctx, int64_t n, float alpha,
     throw std::logic_error("PackedGemm::run: operand not packed as A");
   }
   packdetail::run_packed_b_rowmajor(ctx.pool(), m_, n, k_, alpha, data_, b, n,
-                                    beta, c, n, ep);
+                                    beta, c, n, ep, ctx.intra_op_width());
 }
 
 void PackedGemm::run_with_a(const ExecutionContext& ctx, int64_t m,
@@ -517,9 +534,10 @@ void PackedGemm::run_with_a(const ExecutionContext& ctx, int64_t m,
   }
   ArenaScope scope(ctx.arena());
   float* ap = ctx.arena().alloc(packdetail::packed_a_floats(m, k_));
-  packdetail::pack_a_rowmajor(ctx.pool(), m, k_, a, k_, ap);
+  packdetail::pack_a_rowmajor(ctx.pool(), m, k_, a, k_, ap,
+                              ctx.intra_op_width());
   packdetail::run_packed(ctx.pool(), m, n_, k_, alpha, ap, data_, beta, c, n_,
-                         ep);
+                         ep, ctx.intra_op_width());
 }
 
 }  // namespace tbnet

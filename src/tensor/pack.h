@@ -54,7 +54,7 @@ int64_t packed_b_floats(int64_t k, int64_t n);
 void pack_a_rowmajor(int64_t m, int64_t k, const float* a, int64_t lda,
                      float* dst);
 void pack_a_rowmajor(ThreadPool& pool, int64_t m, int64_t k, const float* a,
-                     int64_t lda, float* dst);
+                     int64_t lda, float* dst, int max_width = 0);
 
 /// Packs A panels from A^T: `at` is [k, m] row-major (row stride ldat), the
 /// layout gemm_tn receives (logical A row i is at's column i). Produces the
@@ -62,7 +62,7 @@ void pack_a_rowmajor(ThreadPool& pool, int64_t m, int64_t k, const float* a,
 void pack_a_from_at(int64_t m, int64_t k, const float* at, int64_t ldat,
                     float* dst);
 void pack_a_from_at(ThreadPool& pool, int64_t m, int64_t k, const float* at,
-                    int64_t ldat, float* dst);
+                    int64_t ldat, float* dst, int max_width = 0);
 
 /// Packs B panels from B^T: `bt` is [n, k] row-major (row stride ldbt), the
 /// natural layout of a Dense weight used as the right operand. (Row-major B
@@ -71,14 +71,16 @@ void pack_a_from_at(ThreadPool& pool, int64_t m, int64_t k, const float* at,
 void pack_b_from_bt(int64_t n, int64_t k, const float* bt, int64_t ldbt,
                     float* dst);
 void pack_b_from_bt(ThreadPool& pool, int64_t n, int64_t k, const float* bt,
-                    int64_t ldbt, float* dst);
+                    int64_t ldbt, float* dst, int max_width = 0);
 
 /// C[m, n] (row stride ldc) = ep(alpha * A * B + beta * C) from packed
-/// operands. Parallelizes over column panels on `pool`; per-element bits are
-/// independent of the pool size and of m/n partitioning (see simd.h).
+/// operands. Parallelizes over column panels on `pool`, splitting at most
+/// `max_width` ways (<= 0 = pool width; see ThreadPool::parallel_for) —
+/// per-element bits are independent of the pool size, the width cap, and
+/// the m/n partitioning (see simd.h).
 void run_packed(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
                 const float* apack, const float* bpack, float beta, float* c,
-                int64_t ldc, const GemmEpilogue& ep);
+                int64_t ldc, const GemmEpilogue& ep, int max_width = 0);
 
 /// Same contract, but the right operand is a row-major B [k, n] (row stride
 /// ldb) read IN PLACE: a full column panel of row-major B is already kNR
@@ -89,7 +91,7 @@ void run_packed(ThreadPool& pool, int64_t m, int64_t n, int64_t k, float alpha,
 void run_packed_b_rowmajor(ThreadPool& pool, int64_t m, int64_t n, int64_t k,
                            float alpha, const float* apack, const float* b,
                            int64_t ldb, float beta, float* c, int64_t ldc,
-                           const GemmEpilogue& ep);
+                           const GemmEpilogue& ep, int max_width = 0);
 
 /// Writes one B panel on demand: the [kc x nr] slab covering logical B rows
 /// [kk, kk+kc) and columns [j0, j0+nr), laid out [kc][kNR] at `panel` with
@@ -119,10 +121,11 @@ void run_packed_b_producer(const ExecutionContext& ctx, int64_t m, int64_t n,
 
 /// Arena floats run_packed_b_producer allocates for its per-chunk B slabs
 /// for an n-column GEMM on `pool` — one slab per parallel_for chunk, double
-/// width when the AVX-512 pair tile is active. Exposed so tests can assert
-/// producer arena usage against the real accounting instead of pinning a
-/// pool size.
-int64_t producer_slab_floats(ThreadPool& pool, int64_t n);
+/// width when the AVX-512 pair tile is active. `max_width` must match the
+/// ctx's intra-op width (0 = uncapped) so the chunk count matches the
+/// driver's split. Exposed so tests can assert producer arena usage against
+/// the real accounting instead of pinning a pool size.
+int64_t producer_slab_floats(ThreadPool& pool, int64_t n, int max_width = 0);
 
 // ------------------------------------------------------------------ int8 --
 //

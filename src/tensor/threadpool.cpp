@@ -121,18 +121,21 @@ void ThreadPool::worker_loop(int slot) {
   }
 }
 
-int64_t ThreadPool::chunk_size(int64_t n) const {
-  const int threads = num_threads();
+int64_t ThreadPool::chunk_size(int64_t n, int max_width) const {
+  int threads = num_threads();
+  if (max_width > 0 && max_width < threads) threads = max_width;
   return std::max<int64_t>(1, (n + threads - 1) / threads);
 }
 
 void ThreadPool::parallel_for(int64_t n,
-                              const std::function<void(int64_t, int64_t)>& fn) {
+                              const std::function<void(int64_t, int64_t)>& fn,
+                              int max_width) {
   // Empty ranges (n == 0, or negative from a degenerate shape) are complete
   // by definition: fn is never invoked and no pool state is touched.
   if (n <= 0) return;
-  const int threads = num_threads();
-  const int64_t chunk = chunk_size(n);
+  int threads = num_threads();
+  if (max_width > 0 && max_width < threads) threads = max_width;
+  const int64_t chunk = chunk_size(n, max_width);
   if (threads == 1 || n <= chunk) {
     fn(0, n);
     return;

@@ -65,14 +65,26 @@ class ThreadPool {
   /// bodies must not key state on thread identity beyond stack discipline —
   /// the existing contracts (disjoint writes, no arena use, thread-safety)
   /// already guarantee this for every kernel body in the tree.
-  void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
+  ///
+  /// `max_width` caps how many chunks the range splits into (<= 0 = no cap,
+  /// i.e. num_threads()). The cap changes ONLY the split — which indices
+  /// land in which chunk — never per-element arithmetic order, so results
+  /// stay bit-identical across widths (the same invariance the 1-vs-N
+  /// determinism tests enforce). It exists for inter-op callers: N dispatch
+  /// workers each issuing full-width intra-op chunks oversubscribe an
+  /// N-core machine N-fold; capping each at num_threads()/N keeps the
+  /// steal-scheduler fed without the oversubscription (see
+  /// ExecutionContext::set_intra_op_width, which threads the cap here).
+  void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                    int max_width = 0);
 
-  /// The chunk width parallel_for(n, fn) splits [0, n) into: every task's
-  /// begin index is a multiple of chunk_size(n). Callers that pre-allocate
-  /// per-task scratch (the fused-lowering GEMM driver) key it by
-  /// begin / chunk_size(n); the two functions must stay in sync. Stealing
+  /// The chunk width parallel_for(n, fn, max_width) splits [0, n) into:
+  /// every task's begin index is a multiple of chunk_size(n, max_width).
+  /// Callers that pre-allocate per-task scratch (the fused-lowering GEMM
+  /// driver) key it by begin / chunk_size(n, max_width); the two functions
+  /// must stay in sync — and must be called with the SAME width. Stealing
   /// never changes the split — only which thread runs a chunk.
-  int64_t chunk_size(int64_t n) const;
+  int64_t chunk_size(int64_t n, int max_width = 0) const;
 
   /// Process-wide shared pool. Lazy initialization is thread-safe against
   /// concurrent first use (C++11 magic static over a leaked instance).

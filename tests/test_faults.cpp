@@ -1000,6 +1000,7 @@ TEST(Supervision, StatusAndHealthNamesAreExhaustive) {
   EXPECT_STREQ(worker_health_name(WorkerHealth::kQuarantined), "quarantined");
   EXPECT_STREQ(worker_health_name(WorkerHealth::kRecovering), "recovering");
   EXPECT_STREQ(worker_health_name(WorkerHealth::kDead), "dead");
+  EXPECT_STREQ(worker_health_name(WorkerHealth::kParked), "parked");
 }
 
 }  // namespace

@@ -22,6 +22,14 @@ root) and flags any metric that regressed by more than the threshold:
     invariants are also enforced whenever the current run carries a chaos
     section: unresolved == 0 (drain never abandons a future) and
     recoveries >= 1 (the killed worker actually came back).
+  * "elastic" (bench_serving, soak enabled): the autoscaled pool vs the
+    fixed single-worker baseline under the 1x->10x->1x load step. Absolute
+    floors whenever the current run carries the section: goodput at least
+    the fixed baseline's (goodput_elastic_vs_fixed >= 1.0), shed rate
+    strictly below the fixed pool's, workers_high_water > min_workers (the
+    autoscaler actually grew the pool), and unresolved == 0 (scale-down
+    strands no future). goodput_elastic_vs_fixed is additionally compared
+    against the baseline file under the regression threshold.
 
 Sections absent from either file are skipped, so the one script gates both
 bench artifacts.
@@ -66,6 +74,10 @@ METADATA_KEYS = frozenset({
     "model", "stages", "device_timing", "workspace_bytes", "sweep",
     "server", "server_workers", "speedup_batch16_vs_batch1",
     "speedup_workers2_vs_1",
+    # width_cap is descriptive: the capped-vs-uncapped ratio only means
+    # something on >= 2 hardware threads, so CI notes it warn-only instead
+    # of gating a 1-vCPU runner's noise.
+    "width_cap",
 })
 
 
@@ -173,6 +185,51 @@ def compare_chaos(baseline, current, threshold):
     return regressions
 
 
+def compare_elastic(baseline, current, threshold):
+    """Gates the elastic soak: absolute floors + baseline-relative goodput.
+
+    Skipped when the current run has no "elastic" section (soak disabled);
+    the baseline-relative leg is additionally skipped when the baseline
+    predates the section.
+    """
+    cur = current.get("elastic")
+    if not cur:
+        return []
+    regressions = []
+
+    goodput_ratio = float(cur.get("goodput_elastic_vs_fixed", 0.0))
+    shed_fixed = float(cur.get("shed_rate_fixed", 0.0))
+    shed_elastic = float(cur.get("shed_rate_elastic", 0.0))
+    unresolved = int(cur.get("unresolved", 0))
+    high_water = int(cur.get("workers_high_water", 0))
+    min_workers = int(cur.get("min_workers", 1))
+    ok = (goodput_ratio >= 1.0 and shed_elastic < shed_fixed
+          and unresolved == 0 and high_water > min_workers)
+    status = "OK" if ok else "REGRESSED"
+    print(f"  [{status}] elastic: goodput_elastic_vs_fixed="
+          f"{goodput_ratio:.3f} (floor 1.0), shed_rate {shed_elastic:.3f} "
+          f"vs fixed {shed_fixed:.3f} (must be strictly lower), "
+          f"workers_high_water={high_water} (must exceed {min_workers}), "
+          f"unresolved={unresolved}")
+    if not ok:
+        regressions.append(("elastic/autoscale (absolute floors)", 1.0,
+                            goodput_ratio, goodput_ratio))
+
+    base = baseline.get("elastic")
+    if base:
+        b = float(base.get("goodput_elastic_vs_fixed", 0.0))
+        if b > 0 and goodput_ratio > 0:
+            rel = goodput_ratio / b
+            status = "OK" if rel >= 1.0 - threshold else "REGRESSED"
+            print(f"  [{status}] elastic/goodput_elastic_vs_fixed: "
+                  f"baseline={b:.4g} current={goodput_ratio:.4g} "
+                  f"(ratio {rel:.2f})")
+            if status == "REGRESSED":
+                regressions.append(("elastic/goodput_elastic_vs_fixed", b,
+                                    goodput_ratio, rel))
+    return regressions
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -221,6 +278,7 @@ def main():
                            args.threshold, args.min_flops, "depthwise_fused")
     regressions += compare_soak(baseline, current, args.threshold)
     regressions += compare_chaos(baseline, current, args.threshold)
+    regressions += compare_elastic(baseline, current, args.threshold)
 
     if not regressions:
         print("No gated per-shape regression beyond threshold.")

@@ -24,7 +24,17 @@ Rules (each reported as `rule-name: file:line: message`):
                      themselves.
   env-doc            Every `"TBNET_*"` environment variable named in code
                      (src/, bench/, tools/, examples/) is documented in
-                     README.md. Undocumented knobs rot.
+                     README.md or docs/OPERATIONS.md (the consolidated
+                     env-var table lives there since PR 10). Undocumented
+                     knobs rot.
+  docs-coverage      Every data member of InferenceServer::Config
+                     (src/runtime/server.h) and every counter of
+                     ServingStats (src/runtime/measurements.h) is named in
+                     docs/OPERATIONS.md — adding a serving knob or stat
+                     without operator documentation fails CI. Skipped
+                     silently when the anchor structs are absent (fixture
+                     trees); the structs existing WITHOUT the docs file is
+                     itself a finding.
   bench-keys         Every top-level key of the committed BENCH_*.json
                      baselines is known to tools/check_bench_regression.py
                      (gated, or listed in its METADATA_KEYS). A bench
@@ -225,9 +235,15 @@ def check_enum_switch(root):
 
 # ---------------------------------------------------------------- env-doc --
 
+ENV_DOC_FILES = ["README.md", "docs/OPERATIONS.md"]
+
+
 def check_env_doc(root):
-    readme = os.path.join(root, "README.md")
-    documented = read(readme) if os.path.exists(readme) else ""
+    documented = ""
+    for doc in ENV_DOC_FILES:
+        path = os.path.join(root, doc)
+        if os.path.exists(path):
+            documented += read(path)
     findings = []
     seen = set()
     for path in code_files(root):
@@ -240,7 +256,96 @@ def check_env_doc(root):
                 seen.add(var)
                 findings.append(Finding(
                     "env-doc", rel(root, path), lineno,
-                    f"{var} is read here but not documented in README.md"))
+                    f"{var} is read here but not documented in "
+                    f"{' or '.join(ENV_DOC_FILES)}"))
+    return findings
+
+
+# ----------------------------------------------------------- docs-coverage --
+
+# (struct, header) anchors whose data members must all be named in DOCS_OPS.
+DOCS_COVERAGE_STRUCTS = [
+    ("Config", "src/runtime/server.h"),
+    ("ServingStats", "src/runtime/measurements.h"),
+]
+DOCS_OPS = "docs/OPERATIONS.md"
+
+
+def struct_members(text, name):
+    """Returns [(member, lineno)] for the depth-1 data members of
+    `struct <name>` in stripped code, or None when the struct is absent.
+    Member functions, nested type definitions, and anything inside nested
+    braces (function bodies, brace initializers) are skipped."""
+    m = re.search(rf"struct\s+{name}\b[^{{;]*{{", text)
+    if m is None:
+        return None
+    members = []
+    depth, i = 1, m.end()
+    line = text.count("\n", 0, i) + 1
+    chunk, chunk_line = "", line
+
+    def flush():
+        nonlocal chunk
+        decl, chunk = chunk.strip(), ""
+        if (not decl or "(" in decl
+                or decl.startswith(("using ", "static ", "typedef ",
+                                    "friend ", "enum ", "struct ",
+                                    "class "))):
+            return
+        # `<type tokens...> <name>` optionally `= <init>`: the member name
+        # is the last identifier before any initializer.
+        tokens = re.findall(r"[A-Za-z_]\w*", decl.split("=", 1)[0])
+        if len(tokens) >= 2:
+            members.append((tokens[-1], chunk_line))
+
+    while i < len(text) and depth:
+        c = text[i]
+        if c == "\n":
+            line += 1
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 1:  # function body / brace initializer closed
+                flush()
+                chunk_line = line
+        elif depth == 1:
+            if c == ";":
+                flush()
+                chunk_line = line
+            else:
+                if not chunk.strip():
+                    chunk_line = line
+                chunk += c
+        i += 1
+    return members
+
+
+def check_docs_coverage(root):
+    findings = []
+    ops_path = os.path.join(root, DOCS_OPS)
+    ops = read(ops_path) if os.path.exists(ops_path) else None
+    for struct, header in DOCS_COVERAGE_STRUCTS:
+        path = os.path.join(root, header)
+        if not os.path.exists(path):
+            continue  # tree without the serving stack (lint fixtures)
+        members = struct_members(strip_code(read(path)), struct)
+        if members is None:
+            continue
+        if ops is None:
+            findings.append(Finding(
+                "docs-coverage", header, 1,
+                f"struct {struct} exists but {DOCS_OPS} is missing — every "
+                f"Config field and ServingStats counter must be documented "
+                f"there"))
+            continue
+        for name, lineno in members:
+            if not re.search(rf"\b{re.escape(name)}\b", ops):
+                findings.append(Finding(
+                    "docs-coverage", header, lineno,
+                    f"{struct}::{name} is not mentioned in {DOCS_OPS} — "
+                    f"document the knob/counter where operators will look "
+                    f"for it"))
     return findings
 
 
@@ -289,6 +394,7 @@ CHECKS = [
     check_hot_path_heap,
     check_enum_switch,
     check_env_doc,
+    check_docs_coverage,
     check_bench_keys,
     check_seeded_rng,
 ]

@@ -170,6 +170,79 @@ class EnvDocTest(LintFixture):
         self.put("README.md", "Nothing.\n")
         self.assertEqual(self.rules_fired(), [])
 
+    def test_docs_operations_counts_as_documentation(self):
+        # Since PR 10 the consolidated env table lives in docs/OPERATIONS.md;
+        # a var documented there but absent from README.md is fine.
+        self.put("src/runtime/server.cpp",
+                 'const char* v = std::getenv("TBNET_MYSTERY");\n')
+        self.put("README.md", "No knobs documented here.\n")
+        self.put("docs/OPERATIONS.md",
+                 "`TBNET_MYSTERY=1` enables mystery mode.\n")
+        self.assertEqual(self.rules_fired(), [])
+
+
+class DocsCoverageTest(LintFixture):
+    SERVER_H = """\
+        struct Config {
+          int64_t max_batch = 16;
+          std::chrono::microseconds max_queue_delay{2000};
+          double scale_down_utilization = 0.3;
+          bool helper() const { return max_batch > 0; }
+        };
+        """
+    MEASUREMENTS_H = """\
+        struct ServingStats {
+          int64_t requests = 0;
+          int64_t scale_ups = 0;
+          double mean_batch_size() const { return 1.0; }
+        };
+        """
+    DOCS_ALL = """\
+        `max_batch`, `max_queue_delay`, `scale_down_utilization` are knobs.
+        Counters: `requests`, `scale_ups`.
+        """
+
+    def test_missing_config_field_fires(self):
+        self.put("src/runtime/server.h", self.SERVER_H)
+        self.put("docs/OPERATIONS.md",
+                 "`max_batch` and `max_queue_delay` are documented.\n")
+        fired = tbnet_lint.run(self.root)
+        self.assertEqual([f.rule for f in fired], ["docs-coverage"])
+        self.assertIn("scale_down_utilization", fired[0].message)
+
+    def test_missing_stats_counter_fires(self):
+        self.put("src/runtime/measurements.h", self.MEASUREMENTS_H)
+        self.put("docs/OPERATIONS.md", "Counters: `requests`.\n")
+        fired = tbnet_lint.run(self.root)
+        self.assertEqual([f.rule for f in fired], ["docs-coverage"])
+        self.assertIn("scale_ups", fired[0].message)
+
+    def test_fully_documented_is_clean(self):
+        self.put("src/runtime/server.h", self.SERVER_H)
+        self.put("src/runtime/measurements.h", self.MEASUREMENTS_H)
+        self.put("docs/OPERATIONS.md", self.DOCS_ALL)
+        self.assertEqual(self.rules_fired(), [])
+
+    def test_member_functions_are_not_required(self):
+        # helper()/mean_batch_size() are API, not knobs/counters — the docs
+        # above never mention them and the rule stays quiet.
+        self.put("src/runtime/server.h", self.SERVER_H)
+        self.put("src/runtime/measurements.h", self.MEASUREMENTS_H)
+        self.put("docs/OPERATIONS.md", self.DOCS_ALL)
+        findings = [f for f in tbnet_lint.run(self.root)
+                    if "helper" in f.message or "mean_batch_size" in f.message]
+        self.assertEqual(findings, [])
+
+    def test_structs_without_docs_file_fire(self):
+        self.put("src/runtime/server.h", self.SERVER_H)
+        fired = tbnet_lint.run(self.root)
+        self.assertEqual([f.rule for f in fired], ["docs-coverage"])
+        self.assertIn("docs/OPERATIONS.md is missing", fired[0].message)
+
+    def test_tree_without_serving_stack_is_skipped(self):
+        self.put("src/tensor/simd.cpp", "int x = 0;\n")
+        self.assertEqual(self.rules_fired(), [])
+
 
 class BenchKeysTest(LintFixture):
     def test_unknown_top_level_key_fires(self):
