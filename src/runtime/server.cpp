@@ -335,7 +335,10 @@ std::future<InferenceResult> InferenceServer::submit(
     resolve_failure(p, Status::kRejected, std::move(reject));
     return fut;
   }
-  queue_cv_.notify_one();
+  // notify_all: only claimable workers wait on queue_cv_ (non-Healthy ones
+  // sit on park_cv_), but a single notification could still be consumed by
+  // a worker in its bounded coalescing wait while an idle worker sleeps on.
+  queue_cv_.notify_all();
   return fut;
 }
 
@@ -367,6 +370,7 @@ void InferenceServer::shutdown() {
     if (supervisor_.joinable()) supervisor = std::move(supervisor_);
   }
   queue_cv_.notify_all();
+  park_cv_.notify_all();   // non-Healthy workers exit their park wait
   space_cv_.notify_all();  // blocked submitters resolve Rejected
   supervisor_cv_.notify_all();
   for (std::thread& w : claimed) w.join();
@@ -408,41 +412,69 @@ void InferenceServer::worker_loop(int worker) {
     std::vector<Pending> expired;
     {
       MutexLock lock(mu_);
-      // A non-Healthy worker must not claim work: it parks here until the
-      // supervisor restores it (queue_cv_ is notified on recovery and
-      // scale-up) or shutdown. Breaker trips are self-inflicted (only this
+      // A non-Healthy worker must not claim work — and must not camp on
+      // queue_cv_ while it waits to be restored: a non-claimable waiter on
+      // queue_cv_ could consume a queue notification meant for the worker
+      // that can actually serve the request (lost wakeup), and in an
+      // elastic server Parked slots are the steady-state MAJORITY. It parks
+      // here, on park_cv_, until the supervisor restores it (park_cv_ is
+      // notified on recovery and scale-up) or shutdown; queue_cv_ only ever
+      // carries claimable waiters.
+      park_cv_.wait(lock, [this, worker] {
+        mu_.assert_held();  // wait re-acquires mu_ before evaluating
+        return stop_ || control_[static_cast<size_t>(worker)].health ==
+                            WorkerHealth::kHealthy;
+      });
+      if (control_[static_cast<size_t>(worker)].health !=
+          WorkerHealth::kHealthy) {
+        return;  // only stop_ releases a non-Healthy worker from park_cv_
+      }
+      // Healthy: wait for work. Breaker trips are self-inflicted (only this
       // worker's own run_batch quarantines it), but the AUTOSCALER can park
-      // a Healthy worker from the supervisor thread while the coalescing
-      // wait below has the lock released — hence the health re-check after
-      // that wait.
+      // a Healthy worker from the supervisor thread whenever the lock is
+      // free — it notifies queue_cv_ when it does, and both waits below
+      // release on the health flip so the worker returns to park_cv_
+      // instead of lingering among the claimable waiters.
       queue_cv_.wait(lock, [this, worker] {
         mu_.assert_held();  // wait re-acquires mu_ before evaluating
         return stop_ ||
-               (!lanes_empty_locked() &&
-                control_[static_cast<size_t>(worker)].health ==
-                    WorkerHealth::kHealthy);
+               control_[static_cast<size_t>(worker)].health !=
+                   WorkerHealth::kHealthy ||
+               !lanes_empty_locked();
       });
       if (lanes_empty_locked() || control_[static_cast<size_t>(worker)]
                                           .health != WorkerHealth::kHealthy) {
         if (stop_) return;
         continue;
       }
-      // Coalesce: wait (bounded by the most urgent lane front's flush
-      // deadline, and by its expiry — no point idling for company past the
-      // moment it dies) for the lanes to fill up to max_batch, then take up
-      // to max_batch. With several workers parked here, whichever wakes
+      // Coalesce: wait for the lanes to fill up to max_batch, then take up
+      // to max_batch. The wait is bounded by the OLDEST queued request's
+      // flush deadline and by the most urgent front's expiry (no point
+      // idling for company past the moment it dies). EDF ordering makes
+      // each lane's front the most URGENT request, not the oldest ARRIVAL —
+      // an early no-deadline request sorts behind later deadlined ones — so
+      // honoring max_queue_delay takes a scan over every queued request;
+      // the scan only runs when fewer than max_batch are queued, so it is
+      // O(max_batch). With several workers arriving here, whichever wakes
       // first claims the batch; the others observe empty lanes and loop.
-      auto flush = Clock::time_point::max();
-      for (const std::deque<Pending>& lane : lanes_) {
-        if (lane.empty()) continue;
-        auto f = lane.front().enqueued + cfg_.max_queue_delay;
-        if (lane.front().deadline < f) f = lane.front().deadline;
-        if (f < flush) flush = f;
+      if (queued_total_locked() < cfg_.max_batch) {
+        auto flush = Clock::time_point::max();
+        for (const std::deque<Pending>& lane : lanes_) {
+          if (lane.empty()) continue;
+          if (lane.front().deadline < flush) flush = lane.front().deadline;
+          for (const Pending& p : lane) {
+            const auto f = p.enqueued + cfg_.max_queue_delay;
+            if (f < flush) flush = f;
+          }
+        }
+        queue_cv_.wait_until(lock, flush, [this, worker] {
+          mu_.assert_held();  // wait re-acquires mu_ before evaluating
+          return stop_ ||
+                 control_[static_cast<size_t>(worker)].health !=
+                     WorkerHealth::kHealthy ||
+                 queued_total_locked() >= cfg_.max_batch;
+        });
       }
-      queue_cv_.wait_until(lock, flush, [this] {
-        mu_.assert_held();  // wait re-acquires mu_ before evaluating
-        return stop_ || queued_total_locked() >= cfg_.max_batch;
-      });
       // The coalescing wait released the lock: a sibling may have drained
       // the lanes, and the autoscaler may have parked THIS worker. A parked
       // worker stops claiming immediately (its pending wake-up work goes to
@@ -473,9 +505,12 @@ void InferenceServer::worker_loop(int worker) {
         }
       }
       stats_.expired += static_cast<int64_t>(expired.size());
-      // Requests may remain (more than max_batch queued): hand them to a
-      // sibling worker instead of serializing behind this batch.
-      if (!lanes_empty_locked()) queue_cv_.notify_one();
+      // Requests may remain (more than max_batch queued): hand them to the
+      // sibling workers instead of serializing behind this batch.
+      // notify_all, not notify_one — a single notification could land on a
+      // sibling sitting in its coalescing wait (predicate false, wakeup
+      // consumed) while an idle sibling keeps sleeping.
+      if (!lanes_empty_locked()) queue_cv_.notify_all();
     }
     // Popping freed queue space: wake submitters blocked on admission.
     if (cfg_.queue_capacity > 0) space_cv_.notify_all();
@@ -603,11 +638,15 @@ void InferenceServer::run_batch(int worker, std::vector<Pending> batch) {
     }
     requeued_count = static_cast<int64_t>(requeue.size());
     stats_.requeued += requeued_count;
-    // Front of each rider's own lane, in reverse claim order, so the lane
-    // keeps its EDF order (the batch was claimed front-first from EDF-sorted
-    // lanes) and a rider never loses its priority by bouncing.
-    for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
-      lanes_[static_cast<size_t>(it->priority)].push_front(std::move(*it));
+    // Each rider re-enters its own lane at EDF position — NOT a blind
+    // push_front: requests enqueued while the batch ran may hold earlier
+    // deadlines than the riders, and the lane's sort invariant is what
+    // keeps enqueue_locked's back-walk and the O(1) front-expiry honest.
+    // The batch was claimed front-first from EDF-sorted lanes and the
+    // insert is stable, so riders keep their relative order and never lose
+    // their lane by bouncing.
+    for (Pending& rider : requeue) {
+      enqueue_locked(std::move(rider));
     }
     // A requeued rider is NOT counted as an answered request here — the
     // batch that finally resolves it will count it — preserving the PR-7
@@ -733,7 +772,7 @@ int InferenceServer::autoscale_tick(Clock::time_point now) {
       stats_.workers_high_water = std::max(
           stats_.workers_high_water,
           static_cast<int64_t>(active_workers_locked()));
-      queue_cv_.notify_all();
+      park_cv_.notify_all();  // the unparked worker finds the backlog itself
       return -1;
     }
     return -1;  // nothing parked (the rest are quarantined/recovering/dead)
@@ -751,6 +790,10 @@ int InferenceServer::autoscale_tick(Clock::time_point now) {
       wc.health = WorkerHealth::kParked;
       ++stats_.scale_downs;
       next_scale_allowed_ = now + cfg_.autoscale_cooldown;
+      // Flush the parked worker out of any queue_cv_ wait (its predicates
+      // release on the health flip) so it migrates to park_cv_ instead of
+      // consuming queue notifications it can no longer act on.
+      queue_cv_.notify_all();
       break;
     }
   }
@@ -790,7 +833,7 @@ void InferenceServer::supervisor_loop() {
           stats_.workers_high_water = std::max(
               stats_.workers_high_water,
               static_cast<int64_t>(active_workers_locked()));
-          queue_cv_.notify_all();
+          park_cv_.notify_all();  // the spawned worker claims the backlog
         } else {
           // Failed spawn: the slot returns to Parked (a later tick may
           // retry) and the failure is visible in the canary counter.
@@ -854,7 +897,7 @@ void InferenceServer::supervisor_loop() {
       wc.recovery_attempts = 0;
       ++stats_.recoveries;
       ++stats_.per_worker[static_cast<size_t>(due)].recoveries;
-      queue_cv_.notify_all();  // the re-admitted worker may claim again
+      park_cv_.notify_all();  // the re-admitted worker may claim again
     } else {
       ++stats_.canary_failures;
       ++wc.recovery_attempts;

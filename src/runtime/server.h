@@ -343,7 +343,15 @@ class InferenceServer {
   std::chrono::steady_clock::time_point start_;
 
   mutable Mutex mu_;
-  CondVar queue_cv_;       // workers wake on arrivals/shutdown
+  /// Healthy workers wake on arrivals/leftovers/shutdown. Only CLAIMABLE
+  /// workers ever wait here: a non-Healthy waiter could consume a wakeup
+  /// meant for the worker that can actually serve the request (lost
+  /// wakeup), and in an elastic server non-Healthy slots are the steady-
+  /// state majority — they wait on park_cv_ instead.
+  CondVar queue_cv_;
+  /// Non-Healthy workers wait here to be restored (recovery, scale-up) or
+  /// shut down.
+  CondVar park_cv_;
   CondVar idle_cv_;        // drain() waits for in-flight == 0
   CondVar space_cv_;       // kBlock submitters wait for room
   CondVar supervisor_cv_;  // supervisor waits for quarantines

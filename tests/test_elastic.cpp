@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -210,6 +211,34 @@ TEST(Autoscaler, ScaleDownKeepsDrainExact) {
   EXPECT_EQ(stats.requests, submitted);  // nothing was dropped in this test
 }
 
+TEST(Autoscaler, ParkedMajorityNeverSwallowsWakeups) {
+  // Steady state for an elastic server is most slots Parked. Every queued
+  // request must still reach the one Healthy worker even though seven
+  // non-claimable workers are blocked inside the same server — the lost-
+  // wakeup scenario where a queue notification lands on a parked waiter
+  // (which cannot claim) while the only claimable worker sleeps on, leaving
+  // the request unserved with no further notification ever coming.
+  std::atomic<int> builds{0};
+  InferenceServer::Config cfg;
+  cfg.max_batch = 4;
+  cfg.max_queue_delay = microseconds(200);
+  cfg.min_workers = 1;
+  cfg.max_workers = 8;
+  // No tick fires during the test: the seven parked workers stay parked and
+  // one-request backlogs never trip the scale-up policy anyway.
+  cfg.autoscale_interval = std::chrono::minutes(10);
+  InferenceServer server(slow_factory(builds, milliseconds(0)), cfg);
+
+  for (int i = 0; i < 50; ++i) {
+    auto fut = server.submit(tagged_image(1));
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready)
+        << "request " << i << " was never claimed (lost wakeup)";
+    EXPECT_EQ(fut.get().status, Status::kOk);
+  }
+  EXPECT_EQ(builds.load(), 1);  // the parked slots never activated
+}
+
 /// Single-worker fixed-pool server whose engine blocks its FIRST batch on a
 /// gate; everything submitted while it is blocked queues up, which makes
 /// lane/ordering behavior at batch formation directly observable.
@@ -332,6 +361,99 @@ TEST(PriorityLanes, ShedOldestDropsLowestLaneFirst) {
   // Accounting identity across the shed: 5 submits.
   EXPECT_EQ(stats.requests + stats.rejected + stats.shed + stats.expired, 5);
   EXPECT_EQ(stats.requests, 3);
+}
+
+TEST(PriorityLanes, MaxQueueDelayBoundsNoDeadlineRequestBehindDeadlined) {
+  // EDF ordering places an early no-deadline arrival BEHIND a later
+  // deadlined one, so the lane front is not the oldest request. The
+  // coalescing flush bound must still honor the OLDEST arrival's
+  // max_queue_delay (it scans every queued request) — a front-only bound
+  // would restart the aged request's clock and hold the batch another full
+  // max_queue_delay.
+  InferenceServer::Config cfg;
+  cfg.max_batch = 3;  // strictly more than what queues up: no fullness flush
+  cfg.max_queue_delay = milliseconds(200);
+  GatedServer gs(cfg);
+  auto blocker = gs.occupy();
+
+  // The no-deadline request ages well past max_queue_delay while the worker
+  // is occupied; the far-deadline request then sorts ahead of it.
+  auto aged = gs.server->submit(tagged_image(1), microseconds(0));
+  std::this_thread::sleep_for(milliseconds(400));
+  auto fresh = gs.server->submit(tagged_image(2), milliseconds(10000));
+  const auto released = std::chrono::steady_clock::now();
+  gs.gate.set_value();
+
+  EXPECT_EQ(blocker.get().status, Status::kOk);
+  EXPECT_EQ(aged.get().status, Status::kOk);
+  EXPECT_EQ(fresh.get().status, Status::kOk);
+  const double after_release = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - released)
+                                   .count();
+  // The aged request's flush deadline passed long ago, so the partial batch
+  // flushes immediately; a front-only bound would idle ~200ms more.
+  EXPECT_LT(after_release, 0.1)
+      << "partial batch idled past the oldest request's max_queue_delay";
+  // One batch, EDF order within it: the deadlined request first.
+  EXPECT_EQ(gs.service_order(), (std::vector<float>{0, 2, 1}));
+}
+
+TEST(PriorityLanes, RequeuedRiderKeepsEdfOrder) {
+  // A rider bounced off a tripped worker re-enters its lane at EDF
+  // position: a request that arrived while the failing batch ran and holds
+  // an EARLIER deadline is served first after recovery. A blind re-queue to
+  // the lane front would invert that and break the sort invariant that
+  // enqueue_locked's back-walk insertion and the O(1) front-expiry rely on.
+  std::mutex order_mu;
+  std::vector<float> order;
+  std::promise<void> in_failing_batch;
+  std::promise<void> release_failing_batch;
+  std::shared_future<void> release{release_failing_batch.get_future().share()};
+  std::atomic<bool> failed_once{false};
+
+  InferenceServer::BatchFn engine = [&](const Tensor& nchw) -> Tensor {
+    if (nchw.data()[0] == 1.0f && !failed_once.exchange(true)) {
+      in_failing_batch.set_value();
+      release.wait();
+      throw std::runtime_error("injected trip");
+    }
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      for (int64_t i = 0; i < nchw.dim(0); ++i) {
+        order.push_back(nchw.data()[i]);
+      }
+    }
+    return fake_logits(nchw.dim(0));
+  };
+  std::vector<InferenceServer::BatchFn> engines;
+  engines.push_back(std::move(engine));
+  std::vector<InferenceServer::RecoverFn> recovery;
+  recovery.push_back([] {});  // recovery always succeeds
+
+  InferenceServer::Config cfg;
+  cfg.max_batch = 1;
+  cfg.max_queue_delay = microseconds(200);
+  cfg.breaker_threshold = 1;  // the first failed batch trips
+  cfg.recovery_backoff = microseconds(500);
+  InferenceServer server(std::move(engines), std::move(recovery), cfg);
+
+  auto rider = server.submit(tagged_image(1), milliseconds(8000));
+  in_failing_batch.get_future().wait();  // worker is inside the failing batch
+  // Arrives mid-batch with the earlier deadline: EDF puts it ahead of the
+  // about-to-bounce rider.
+  auto urgent = server.submit(tagged_image(2), milliseconds(3000));
+  release_failing_batch.set_value();
+
+  EXPECT_EQ(urgent.get().status, Status::kOk);
+  EXPECT_EQ(rider.get().status, Status::kOk);
+  {
+    std::lock_guard<std::mutex> lock(order_mu);
+    EXPECT_EQ(order, (std::vector<float>{2, 1}));
+  }
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.requeued, 1);
+  EXPECT_EQ(stats.quarantines, 1);
+  EXPECT_GE(stats.recoveries, 1);
 }
 
 TEST(PriorityLanes, ElasticServerPreservesPriorityAcrossScaleUp) {
